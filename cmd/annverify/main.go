@@ -1,0 +1,130 @@
+// Command annverify formally verifies a trained motion predictor against
+// the paper's safety property: with a vehicle on the ego's left, bound the
+// maximum lateral velocity the network can suggest, or prove a threshold
+// (Table II). The network must have ReLU hidden layers and a linear gmm
+// head as produced by anntrain.
+//
+// Usage:
+//
+//	annverify -net i4x10.json                 # maximum lateral velocity
+//	annverify -net i4x10.json -prove 3.0      # prove the 3 m/s bound
+//	annverify -net i4x10.json -timeout 5m     # with a time limit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gmm"
+	"repro/internal/nn"
+	"repro/internal/verify"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("annverify: ")
+	var (
+		netPath    = flag.String("net", "", "network JSON file (required)")
+		prove      = flag.Float64("prove", 0, "prove lateral velocity <= this bound (m/s); 0 = compute maximum instead")
+		timeout    = flag.Duration("timeout", 0, "verification time limit (0 = none)")
+		tighten    = flag.Bool("tighten", false, "LP-based bound tightening before encoding")
+		front      = flag.Bool("front", false, "verify the front-gap acceleration property instead")
+		resilience = flag.Bool("resilience", false, "compute the resilience radius around an all-0.5 nominal input")
+	)
+	flag.Parse()
+	if *netPath == "" {
+		log.Fatal("-net is required")
+	}
+	net, err := nn.Load(*netPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if net.OutputDim()%gmm.RawPerComponent != 0 {
+		log.Fatalf("network output %d is not a gmm head", net.OutputDim())
+	}
+	pred := &core.Predictor{Net: net, K: net.OutputDim() / gmm.RawPerComponent}
+	opts := verify.Options{TimeLimit: *timeout, Tighten: *tighten}
+
+	fmt.Printf("network %s (%s): %d hidden neurons, %d mixture components\n",
+		net.Name, net.ArchString(), net.HiddenNeurons(), pred.K)
+
+	if *resilience {
+		// Nominal point: every normalized feature mid-range, left occupied.
+		x0 := make([]float64, net.InputDim())
+		for i := range x0 {
+			x0[i] = 0.5
+		}
+		region := core.LeftOccupiedRegion()
+		for i, iv := range region.Box {
+			if iv.Lo == iv.Hi {
+				x0[i] = iv.Lo
+			}
+		}
+		dom := region.Box
+		thr := 3.0
+		if *prove > 0 {
+			thr = *prove
+		}
+		out := pred.MuLatOutputs()[0]
+		res, err := verify.Resilience(net, x0, dom, out, thr, verify.ResilienceOptions{
+			MaxIterations: 10,
+			Query:         opts,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("resilience: component-0 mu_lat stays <= %.2f m/s for all perturbations |δ|∞ <= %.4f\n", thr, res.Epsilon)
+		if res.Breaking != nil {
+			fmt.Printf("  first violation found beyond that radius reaches %.4f m/s\n", res.BreakingValue)
+		}
+		fmt.Printf("  (%d MILP queries, %.1fs)\n", res.Iterations, res.Elapsed.Seconds())
+		return
+	}
+
+	if *front {
+		fmt.Println("property region: a vehicle is close ahead of the ego vehicle")
+		res, err := pred.VerifyFrontSafety(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s max-long-accel=%8.6f  exact=%-5v  time=%8.1fs\n",
+			net.ArchString(), res.Value, res.Exact, res.Stats.Elapsed.Seconds())
+		return
+	}
+
+	fmt.Println("property region: a vehicle exists on the ego vehicle's left")
+
+	if *prove > 0 {
+		outcome, results, err := pred.ProveSafetyBound(*prove, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var elapsed time.Duration
+		for _, r := range results {
+			elapsed += r.Stats.Elapsed
+		}
+		fmt.Printf("prove lateral velocity <= %.2f m/s: %v  (%.1fs)\n", *prove, outcome, elapsed.Seconds())
+		for i, r := range results {
+			if r.Outcome == verify.Violated {
+				fmt.Printf("  component %d violated: value %.4f m/s\n", i, r.CounterValue)
+			}
+		}
+		return
+	}
+
+	res, err := pred.VerifySafety(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// One row in the shape of the paper's Table II.
+	fmt.Printf("%-8s max-lat-vel=%8.6f  exact=%-5v  time=%8.1fs  nodes=%d  binaries=%d/%d\n",
+		net.ArchString(), res.Value, res.Exact, res.Stats.Elapsed.Seconds(),
+		res.Stats.Nodes, res.Stats.Binaries, res.Stats.HiddenNeurons)
+	if !res.Exact {
+		fmt.Printf("  (timeout: best found %.4f, proven upper bound %.4f — the paper's \"n.a.\" row)\n",
+			res.Value, res.UpperBound)
+	}
+}

@@ -1,0 +1,79 @@
+// Command falsify runs gradient-guided attacks (PGD with restarts) against
+// a trained motion predictor's safety property — the fast, incomplete
+// counterpart to cmd/annverify. A found violation is a definitive
+// counterexample; finding nothing proves nothing (use annverify for proof).
+//
+// Usage:
+//
+//	falsify -net i4x10.json                  # attack the left-lane property
+//	falsify -net i4x10.json -threshold 1.0   # report only if > 1 m/s found
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/gmm"
+	"repro/internal/highway"
+	"repro/internal/nn"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("falsify: ")
+	var (
+		netPath   = flag.String("net", "", "network JSON file (required)")
+		threshold = flag.Float64("threshold", 3.0, "lateral velocity considered unsafe (m/s)")
+		restarts  = flag.Int("restarts", 16, "attack restarts per mixture component")
+		steps     = flag.Int("steps", 80, "PGD steps per restart")
+		seed      = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if *netPath == "" {
+		log.Fatal("-net is required")
+	}
+	net, err := nn.Load(*netPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if net.OutputDim()%gmm.RawPerComponent != 0 {
+		log.Fatalf("network output %d is not a gmm head", net.OutputDim())
+	}
+	pred := &core.Predictor{Net: net, K: net.OutputDim() / gmm.RawPerComponent}
+	region := core.LeftOccupiedRegion()
+	rng := rand.New(rand.NewSource(*seed))
+
+	best, bestVal := []float64(nil), -1e18
+	evals := 0
+	for _, out := range pred.MuLatOutputs() {
+		res, err := attack.Maximize(pred.Net, region, out, rng, attack.Options{
+			Restarts: *restarts, Steps: *steps,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		evals += res.Evaluations
+		if res.Value > bestVal {
+			bestVal, best = res.Value, res.Best
+		}
+	}
+	fmt.Printf("%s: strongest attack reached %.4f m/s after %d evaluations\n",
+		net.ArchString(), bestVal, evals)
+	if bestVal > *threshold {
+		fmt.Printf("VIOLATION: exceeds the %.2f m/s threshold\n", *threshold)
+		fmt.Println("counterexample (named features deviating from 0.5):")
+		names := highway.FeatureNames()
+		for i, v := range best {
+			if v < 0.25 || v > 0.75 {
+				fmt.Printf("  %-24s %.3f\n", names[i], v)
+			}
+		}
+	} else {
+		fmt.Printf("no violation of %.2f m/s found — not a proof; run annverify -prove %.1f\n",
+			*threshold, *threshold)
+	}
+}

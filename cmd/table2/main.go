@@ -1,0 +1,105 @@
+// Command table2 regenerates the paper's Table II end to end: it trains
+// motion predictors of the I<depth>×<width> family on identical simulator
+// data, then formally verifies each one — reporting the maximum lateral
+// velocity reachable when a vehicle exists on the left, and the wall-clock
+// verification time. A final row proves (or refutes) the 3 m/s bound on the
+// largest network, mirroring the paper's last row.
+//
+// Absolute times differ from the paper (pure-Go simplex vs CPLEX on a
+// 12-core VM); the shape — steep growth of verification time with width and
+// per-network variation in the attained maximum — is the reproduction
+// target. See EXPERIMENTS.md.
+//
+// Usage:
+//
+//	table2                                 # scaled default sweep
+//	table2 -widths 10,20,25,40,50,60 -depth 4 -timeout 30m   # paper scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataval"
+	"repro/internal/highway"
+	"repro/internal/train"
+	"repro/internal/verify"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("table2: ")
+	var (
+		widthsArg = flag.String("widths", "4,6,8,10", "comma-separated hidden widths to sweep")
+		depth     = flag.Int("depth", 2, "hidden layers (the paper uses 4)")
+		comps     = flag.Int("k", 2, "mixture components")
+		epochs    = flag.Int("epochs", 15, "training epochs")
+		seed      = flag.Int64("seed", 1, "random seed")
+		timeout   = flag.Duration("timeout", 5*time.Minute, "per-network verification time limit")
+		proveThr  = flag.Float64("prove", 3.0, "bound to prove on the largest network (m/s)")
+	)
+	flag.Parse()
+
+	var widths []int
+	for _, tok := range strings.Split(*widthsArg, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || w < 1 {
+			log.Fatalf("bad width %q", tok)
+		}
+		widths = append(widths, w)
+	}
+
+	// One dataset for all networks, as in the paper ("trained a couple of
+	// neural networks under the same data").
+	cfg := highway.DefaultDatasetConfig()
+	cfg.Sim.Seed = *seed
+	data, err := highway.GenerateDataset(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	clean, _ := dataval.Sanitize(data, core.SafetyRules(1e-9))
+	fmt.Printf("dataset: %d validated samples\n\n", len(clean))
+	fmt.Printf("%-8s | %-28s | %s\n", "ANN", "max lateral velocity (left occupied)", "verification time")
+	fmt.Println(strings.Repeat("-", 70))
+
+	var last *core.Predictor
+	for _, w := range widths {
+		pred := core.NewPredictorNet(*depth, w, *comps, *seed+int64(w))
+		trainer := &train.Trainer{
+			Net:       pred.Net,
+			Loss:      train.MDN{K: *comps},
+			Opt:       train.NewAdam(0.003),
+			BatchSize: 64,
+			Rng:       rand.New(rand.NewSource(*seed + int64(w)*13)),
+			ClipNorm:  20,
+		}
+		trainer.Fit(clean, *epochs)
+		res, err := pred.VerifySafety(verify.Options{TimeLimit: *timeout, Parallel: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Exact {
+			fmt.Printf("%-8s | %-28.6f | %.1fs\n", pred.Net.ArchString(), res.Value, res.Stats.Elapsed.Seconds())
+		} else {
+			fmt.Printf("%-8s | n.a. (unable to find maximum) | time-out (best %.4f, bound %.4f)\n",
+				pred.Net.ArchString(), res.Value, res.UpperBound)
+		}
+		last = pred
+	}
+
+	if last != nil && *proveThr > 0 {
+		start := time.Now()
+		outcome, _, err := last.ProveSafetyBound(*proveThr, verify.Options{TimeLimit: *timeout})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s | prove lat vel never > %.0f m/s: %-8v | %.1fs\n",
+			last.Net.ArchString(), *proveThr, outcome, time.Since(start).Seconds())
+	}
+}

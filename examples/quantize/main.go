@@ -1,0 +1,69 @@
+// Quantize demonstrates the paper's concluding remark (ii): quantized
+// neural networks as a route to more scalable verification. A predictor is
+// post-training quantized to 8 and 4 bits; the example measures the weight
+// and output perturbation, then formally verifies the float and quantized
+// models against the same safety property — showing the quantized models
+// remain verifiable with the identical MILP machinery (the in-repo analogue
+// of the bitvector-SMT encoding the paper cites).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/highway"
+	"repro/internal/quant"
+	"repro/internal/train"
+	"repro/internal/verify"
+)
+
+func main() {
+	log.SetFlags(0)
+	cfg := highway.DefaultDatasetConfig()
+	cfg.Episodes = 3
+	data, err := highway.GenerateDataset(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred := core.NewPredictorNet(2, 8, 2, 21)
+	trainer := &train.Trainer{
+		Net: pred.Net, Loss: train.MDN{K: 2}, Opt: train.NewAdam(0.003),
+		BatchSize: 64, Rng: rand.New(rand.NewSource(21)), ClipNorm: 20,
+	}
+	trainer.Fit(data, 10)
+
+	probes := make([][]float64, 200)
+	rng := rand.New(rand.NewSource(22))
+	for i := range probes {
+		probes[i] = highway.RandomFeatureVector(rng)
+	}
+
+	opts := verify.Options{TimeLimit: 5 * time.Minute, Parallel: true}
+	base, err := pred.VerifySafety(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-10s verified max lat vel %8.4f m/s  (%.1fs)\n",
+		"float64", base.Value, base.Stats.Elapsed.Seconds())
+
+	for _, bits := range []int{8, 4} {
+		qnet, info, err := quant.Quantize(pred.Net, bits)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dev := quant.OutputDeviation(pred.Net, qnet, probes)
+		qpred := &core.Predictor{Net: qnet, K: pred.K}
+		res, err := qpred.VerifySafety(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s verified max lat vel %8.4f m/s  (%.1fs)  weight err %.4f  output dev %.4f  distinct weights %d\n",
+			fmt.Sprintf("int%d", bits), res.Value, res.Stats.Elapsed.Seconds(),
+			info.MaxWeightError, dev, info.DistinctWeights)
+	}
+	fmt.Println("\nquantization perturbs the verified bound by roughly the output deviation —")
+	fmt.Println("certifying the quantized model directly (as deployed) avoids that gap entirely.")
+}

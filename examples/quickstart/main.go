@@ -1,0 +1,54 @@
+// Quickstart: build a small ReLU network by hand, state a safety property
+// over an input region, and verify it with the MILP engine — the minimal
+// end-to-end use of the library's public surface.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bounds"
+	"repro/internal/nn"
+	"repro/internal/verify"
+)
+
+func main() {
+	log.SetFlags(0)
+	// A hand-built network computing y = relu(x0 - x1) + relu(x1 - x0),
+	// i.e. |x0 - x1|.
+	net := &nn.Network{
+		Name: "absdiff",
+		Layers: []*nn.Layer{
+			{W: [][]float64{{1, -1}, {-1, 1}}, B: []float64{0, 0}, Act: nn.ReLU},
+			{W: [][]float64{{1, 1}}, B: []float64{0}, Act: nn.Identity},
+		},
+	}
+	if err := net.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Region: both inputs in [0, 1].
+	region := &verify.InputRegion{Box: []bounds.Interval{{Lo: 0, Hi: 1}, {Lo: 0, Hi: 1}}}
+
+	// Query 1: what is the maximum output over the region?
+	mx, err := verify.MaxOutput(net, region, 0, verify.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("max |x0-x1| over [0,1]^2 = %.4f at witness %v\n", mx.Value, mx.Witness)
+
+	// Query 2: prove the output can never exceed 1.
+	pr, err := verify.ProveUpperBound(net, region, 0, 1.0, verify.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("prove output <= 1.0: %v\n", pr.Outcome)
+
+	// Query 3: a bound that does not hold yields a counterexample.
+	pr, err = verify.ProveUpperBound(net, region, 0, 0.5, verify.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("prove output <= 0.5: %v (counterexample %v -> %.4f)\n",
+		pr.Outcome, pr.CounterExample, pr.CounterValue)
+}

@@ -1,0 +1,140 @@
+package repro
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/dataval"
+	"repro/internal/gmm"
+	"repro/internal/highway"
+	"repro/internal/nn"
+	"repro/internal/quant"
+	"repro/internal/train"
+	"repro/internal/verify"
+)
+
+// TestEndToEndCaseStudy is the cross-package contract test: simulate →
+// validate → train → verify, with every hand-off checked. It is the
+// repository's executable summary of the paper's case study.
+func TestEndToEndCaseStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end case study in -short mode")
+	}
+	// 1. Data.
+	cfg := highway.DefaultDatasetConfig()
+	cfg.Episodes = 2
+	cfg.StepsPerEpisode = 100
+	data, err := highway.GenerateDataset(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, _ := dataval.Sanitize(data, core.SafetyRules(1e-9))
+	if len(clean) < 500 {
+		t.Fatalf("only %d samples", len(clean))
+	}
+
+	// 2. Train.
+	pred := core.NewPredictorNet(2, 6, 2, 99)
+	trainer := &train.Trainer{
+		Net: pred.Net, Loss: train.MDN{K: 2}, Opt: train.NewAdam(0.003),
+		BatchSize: 64, Rng: rand.New(rand.NewSource(99)), ClipNorm: 20,
+	}
+	first := trainer.Epoch(clean)
+	var last float64
+	for i := 0; i < 7; i++ {
+		last = trainer.Epoch(clean)
+	}
+	if last >= first {
+		t.Fatalf("training did not reduce loss: %g -> %g", first, last)
+	}
+
+	// 3. The trained model produces valid mixtures on real scenes.
+	sim, err := highway.NewSim(highway.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(100, 0.25)
+	mix := pred.Predict(sim.Observe(sim.Vehicles[0]).Encode())
+	if err := mix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// 4. Attack lower bound vs verified maximum.
+	region := core.LeftOccupiedRegion()
+	atkBest := math.Inf(-1)
+	rng := rand.New(rand.NewSource(5))
+	for _, out := range pred.MuLatOutputs() {
+		r, err := attack.Maximize(pred.Net, region, out, rng, attack.Options{Restarts: 4, Steps: 30})
+		if err != nil {
+			t.Fatal(err)
+		}
+		atkBest = math.Max(atkBest, r.Value)
+	}
+	ver, err := pred.VerifySafety(verify.Options{TimeLimit: 5 * time.Minute, Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ver.Exact {
+		t.Fatal("verification did not finish")
+	}
+	if atkBest > ver.Value+1e-5 {
+		t.Fatalf("attack %g beats complete verifier %g", atkBest, ver.Value)
+	}
+	// The witness is a genuine left-occupied scene and replays exactly.
+	if !highway.LeftOccupiedInFeatures(ver.Witness) {
+		t.Fatal("witness lost the left-occupied precondition")
+	}
+	raw := pred.Net.Forward(ver.Witness)
+	replay := math.Inf(-1)
+	for _, out := range pred.MuLatOutputs() {
+		replay = math.Max(replay, raw[out])
+	}
+	if math.Abs(replay-ver.Value) > 1e-5 {
+		t.Fatalf("witness replay %g != verified %g", replay, ver.Value)
+	}
+
+	// 5. Quantized model verifies with the same machinery and lands near
+	// the float bound.
+	qnet, _, err := quant.Quantize(pred.Net, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qpred := &core.Predictor{Net: qnet, K: pred.K}
+	qver, err := qpred.VerifySafety(verify.Options{TimeLimit: 5 * time.Minute, Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(qver.Value-ver.Value) > 1.0 {
+		t.Fatalf("8-bit quantization moved the verified bound from %g to %g", ver.Value, qver.Value)
+	}
+}
+
+// TestSerializationAcrossPipeline round-trips a trained network through
+// JSON and confirms verification answers survive byte-for-byte.
+func TestSerializationAcrossPipeline(t *testing.T) {
+	pred := core.NewPredictorNet(1, 5, 2, 7)
+	path := t.TempDir() + "/net.json"
+	if err := pred.Net.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := nn.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred2 := &core.Predictor{Net: back, K: back.OutputDim() / gmm.RawPerComponent}
+	a, err := pred.VerifySafety(verify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pred2.VerifySafety(verify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Value-b.Value) > 1e-9 {
+		t.Fatalf("serialization changed the verified bound: %g vs %g", a.Value, b.Value)
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/attack"
+	"repro/internal/highway"
+	"repro/internal/train"
+)
+
+// HintConfig tunes HintFineTune.
+type HintConfig struct {
+	// Threshold is the lateral velocity the penalty activates at (m/s);
+	// 0 means 0.2.
+	Threshold float64
+	// Lambda scales the penalty; 0 means 8.
+	Lambda float64
+	// Rounds of counterexample-guided augmentation; 0 means 3.
+	Rounds int
+	// EpochsPerRound of retraining; 0 means 3.
+	EpochsPerRound int
+	// SamplesPerRound of safe-labeled attack neighbourhoods; 0 means 20.
+	SamplesPerRound int
+	// LR is the fine-tuning learning rate; 0 means 0.001.
+	LR float64
+	// Seed drives augmentation and attack randomness.
+	Seed int64
+}
+
+// HintFineTune applies the paper's future-work item (iii) to an already
+// trained predictor: fine-tune in place under the known safety property,
+// combining the hint penalty loss, uniform property-derived samples
+// (HintAugment) and counterexample-guided rounds (AdversarialHintRounds).
+// Across seeds this reliably lowers the *verified* maximum lateral velocity
+// relative to the network's own starting point.
+func HintFineTune(pred *Predictor, data []train.Sample, cfg HintConfig) error {
+	if cfg.Threshold == 0 {
+		cfg.Threshold = 0.2
+	}
+	if cfg.Lambda == 0 {
+		cfg.Lambda = 8
+	}
+	if cfg.Rounds == 0 {
+		cfg.Rounds = 3
+	}
+	if cfg.EpochsPerRound == 0 {
+		cfg.EpochsPerRound = 3
+	}
+	if cfg.SamplesPerRound == 0 {
+		cfg.SamplesPerRound = 20
+	}
+	if cfg.LR == 0 {
+		cfg.LR = 0.001
+	}
+	loss := train.HintPenalty{
+		Base:      train.MDN{K: pred.K},
+		Predicate: highway.LeftOccupiedInFeatures,
+		Threshold: cfg.Threshold,
+		Lambda:    cfg.Lambda,
+		K:         pred.K,
+	}
+	trainer := &train.Trainer{
+		Net: pred.Net, Loss: loss, Opt: train.NewAdam(cfg.LR),
+		BatchSize: 64, Rng: rand.New(rand.NewSource(cfg.Seed + 1)), ClipNorm: 20,
+	}
+	aug := append(append([]train.Sample(nil), data...),
+		HintAugment(len(data)/2, rand.New(rand.NewSource(cfg.Seed+2)))...)
+	_, err := AdversarialHintRounds(pred, trainer, aug, cfg.Rounds, cfg.EpochsPerRound, cfg.SamplesPerRound, rand.New(rand.NewSource(cfg.Seed+3)))
+	return err
+}
+
+// AdversarialHintRounds strengthens hints training with counterexample
+// guidance (a CEGIS-style loop): each round attacks the *current* network
+// over the left-occupied region to locate its worst suggested lateral
+// velocities, adds those concrete inputs as training samples labeled with a
+// safe action, and retrains. Unlike uniform region sampling, this targets
+// exactly the corners the verifier will maximize over, so the verified
+// maximum reliably decreases.
+//
+// The trainer must already be configured (loss, optimizer, rng); data is
+// the base dataset, which is not mutated. The augmented dataset is
+// returned so callers can keep training or inspect the added samples.
+func AdversarialHintRounds(pred *Predictor, trainer *train.Trainer, data []train.Sample, rounds, epochsPerRound, samplesPerRound int, rng *rand.Rand) ([]train.Sample, error) {
+	region := LeftOccupiedRegion()
+	augmented := append([]train.Sample(nil), data...)
+	for r := 0; r < rounds; r++ {
+		for _, out := range pred.MuLatOutputs() {
+			res, err := attack.Maximize(pred.Net, region, out, rng, attack.Options{
+				Restarts: 4 + samplesPerRound/4,
+				Steps:    50,
+			})
+			if err != nil {
+				return nil, err
+			}
+			// The attack's endpoint plus jittered neighbours become safe-
+			// labeled hint samples; jitter keeps the lesson from being a
+			// single point the network can route around.
+			for s := 0; s < samplesPerRound; s++ {
+				x := make([]float64, len(res.Best))
+				for i, v := range res.Best {
+					iv := region.Box[i]
+					jit := v
+					if iv.Hi > iv.Lo {
+						jit += rng.NormFloat64() * 0.02 * (iv.Hi - iv.Lo)
+						if jit < iv.Lo {
+							jit = iv.Lo
+						}
+						if jit > iv.Hi {
+							jit = iv.Hi
+						}
+					}
+					x[i] = jit
+				}
+				augmented = append(augmented, train.Sample{
+					X: x,
+					Y: []float64{-0.2 - 0.6*rng.Float64(), rng.NormFloat64() * 0.2},
+				})
+			}
+		}
+		trainer.Fit(augmented, epochsPerRound)
+	}
+	return augmented, nil
+}

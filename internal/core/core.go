@@ -1,0 +1,136 @@
+// Package core assembles the paper's case study: an ANN-based highway
+// motion predictor (84 inputs → Gaussian-mixture action distribution) and
+// the certification pipeline of Table I — data validation, training,
+// neuron-to-feature traceability, coverage analysis and formal verification
+// of the safety property "if a vehicle exists on the left of the ego
+// vehicle, the predictor never suggests a large left lateral velocity".
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bounds"
+	"repro/internal/gmm"
+	"repro/internal/highway"
+	"repro/internal/nn"
+	"repro/internal/train"
+	"repro/internal/verify"
+)
+
+// DefaultComponents is the number of mixture components in the predictor's
+// Gaussian-mixture head.
+const DefaultComponents = 3
+
+// Predictor wraps a trained network with its mixture-head decoding.
+type Predictor struct {
+	Net *nn.Network
+	K   int // mixture components
+}
+
+// NewPredictorNet constructs an untrained predictor network in the paper's
+// I<depth>×<width> family: 84 inputs, `depth` hidden ReLU layers of
+// `width` neurons, and a linear gmm head with k components.
+func NewPredictorNet(depth, width, k int, seed int64) *Predictor {
+	if depth < 1 || width < 1 || k < 1 {
+		panic(fmt.Sprintf("core: bad predictor shape depth=%d width=%d k=%d", depth, width, k))
+	}
+	hidden := make([]int, depth)
+	for i := range hidden {
+		hidden[i] = width
+	}
+	rng := rand.New(rand.NewSource(seed))
+	outNames := make([]string, k*gmm.RawPerComponent)
+	for i := 0; i < k; i++ {
+		base := i * gmm.RawPerComponent
+		outNames[base+gmm.RawLogit] = fmt.Sprintf("c%d.logit", i)
+		outNames[base+gmm.RawMuLat] = fmt.Sprintf("c%d.mu_lat", i)
+		outNames[base+gmm.RawMuLong] = fmt.Sprintf("c%d.mu_long", i)
+		outNames[base+gmm.RawLogSigLat] = fmt.Sprintf("c%d.logsig_lat", i)
+		outNames[base+gmm.RawLogSigLong] = fmt.Sprintf("c%d.logsig_long", i)
+	}
+	net := nn.New(nn.Config{
+		Name:        fmt.Sprintf("predictor-I%dx%d", depth, width),
+		InputDim:    highway.FeatureDim,
+		Hidden:      hidden,
+		OutputDim:   k * gmm.RawPerComponent,
+		HiddenAct:   nn.ReLU,
+		OutputAct:   nn.Identity,
+		InputNames:  highway.FeatureNames(),
+		OutputNames: outNames,
+	}, rng)
+	train.InitMDNHead(net, k, 1.0, -1, rng)
+	return &Predictor{Net: net, K: k}
+}
+
+// Predict decodes the network output at x into an action distribution.
+func (p *Predictor) Predict(x []float64) gmm.Mixture {
+	return gmm.Decode(p.Net.Forward(x))
+}
+
+// SuggestAction returns the dominant-component action suggestion
+// (lateral velocity, longitudinal acceleration).
+func (p *Predictor) SuggestAction(x []float64) (latVel, longAcc float64) {
+	c := p.Predict(x).Dominant()
+	return c.Mean[gmm.LatVel], c.Mean[gmm.LongAcc]
+}
+
+// MuLatOutputs lists the raw-output indices of all component lateral-
+// velocity means — the outputs the verifier bounds.
+func (p *Predictor) MuLatOutputs() []int {
+	out := make([]int, p.K)
+	for i := range out {
+		out[i] = gmm.MuLatIndex(i)
+	}
+	return out
+}
+
+// LeftOccupiedRegion is the input region of the paper's safety property:
+// every normalized feature ranges over its full domain except that the left
+// neighbor slot is occupied (presence pinned to 1, the alongside gap near
+// zero, plausible relative speed). The returned region quantifies over
+// every driving situation with a vehicle on the left.
+func LeftOccupiedRegion() *verify.InputRegion {
+	box := make([]bounds.Interval, highway.FeatureDim)
+	for i := range box {
+		box[i] = bounds.Interval{Lo: 0, Hi: 1}
+	}
+	pin := func(f int, lo, hi float64) { box[f] = bounds.Interval{Lo: lo, Hi: hi} }
+	pin(highway.NeighborFeature(highway.Left, highway.NPPresence), 1, 1)
+	// Alongside gap is ~0 by the sensor definition; allow a small band.
+	pin(highway.NeighborFeature(highway.Left, highway.NPGap), 0, 0.1)
+	// Relative speed within ±MaxRelSpeed but excluding the extremes keeps
+	// the region inside what the sensor can actually produce.
+	pin(highway.NeighborFeature(highway.Left, highway.NPRelSpeed), 0.1, 0.9)
+	return &verify.InputRegion{Box: box}
+}
+
+// VerifySafety bounds the maximum lateral-velocity component mean over the
+// left-occupied region (the Table II "maximum lateral velocity" column).
+// Bounding every component mean soundly bounds the mixture mean.
+func (p *Predictor) VerifySafety(opts verify.Options) (*verify.MaxResult, error) {
+	return verify.MaxOverOutputs(p.Net, LeftOccupiedRegion(), p.MuLatOutputs(), opts)
+}
+
+// ProveSafetyBound proves that no lateral-velocity component mean exceeds
+// the threshold over the left-occupied region (Table II's last row, with
+// threshold 3 m/s in the paper).
+func (p *Predictor) ProveSafetyBound(threshold float64, opts verify.Options) (verify.Outcome, []*verify.ProveResult, error) {
+	region := LeftOccupiedRegion()
+	results := make([]*verify.ProveResult, 0, p.K)
+	worst := verify.Proved
+	for _, out := range p.MuLatOutputs() {
+		r, err := verify.ProveUpperBound(p.Net, region, out, threshold, opts)
+		if err != nil {
+			return 0, nil, err
+		}
+		results = append(results, r)
+		switch r.Outcome {
+		case verify.Violated:
+			return verify.Violated, results, nil
+		case verify.Timeout:
+			worst = verify.Timeout
+		}
+	}
+	return worst, results, nil
+}

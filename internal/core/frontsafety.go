@@ -1,0 +1,74 @@
+package core
+
+import (
+	"repro/internal/bounds"
+	"repro/internal/gmm"
+	"repro/internal/highway"
+	"repro/internal/verify"
+)
+
+// The paper decomposes the predictor's action into a lateral-velocity
+// indicator ("is it feasible to switch lanes") and a longitudinal-
+// acceleration indicator ("is it feasible to accelerate"). The case study
+// verifies the lateral property; this file adds the symmetric longitudinal
+// one — "if a vehicle is close ahead, the predictor never suggests strong
+// acceleration" — exercising the same machinery on the second indicator.
+
+// FrontGapClose is the upper end of the normalized front gap considered
+// "close ahead" (0.15 × SensorRange = 15 m).
+const FrontGapClose = 0.15
+
+// FrontCloseRegion quantifies over every input with a vehicle close ahead:
+// front presence pinned to 1, front gap within [0, FrontGapClose], and the
+// front vehicle no faster than the ego (non-positive normalized relative
+// speed, i.e. ≤ 0.5 after normalization).
+func FrontCloseRegion() *verify.InputRegion {
+	box := make([]bounds.Interval, highway.FeatureDim)
+	for i := range box {
+		box[i] = bounds.Interval{Lo: 0, Hi: 1}
+	}
+	pin := func(f int, lo, hi float64) { box[f] = bounds.Interval{Lo: lo, Hi: hi} }
+	pin(highway.NeighborFeature(highway.Front, highway.NPPresence), 1, 1)
+	pin(highway.NeighborFeature(highway.Front, highway.NPGap), 0, FrontGapClose)
+	pin(highway.NeighborFeature(highway.Front, highway.NPRelSpeed), 0, 0.5)
+	return &verify.InputRegion{Box: box}
+}
+
+// MuLongOutputs lists the raw-output indices of all component longitudinal-
+// acceleration means.
+func (p *Predictor) MuLongOutputs() []int {
+	out := make([]int, p.K)
+	for i := range out {
+		out[i] = gmm.MuLongIndex(i)
+	}
+	return out
+}
+
+// VerifyFrontSafety bounds the maximum longitudinal-acceleration component
+// mean over the close-front region. A sound bound on every component mean
+// bounds the mixture's suggested acceleration.
+func (p *Predictor) VerifyFrontSafety(opts verify.Options) (*verify.MaxResult, error) {
+	return verify.MaxOverOutputs(p.Net, FrontCloseRegion(), p.MuLongOutputs(), opts)
+}
+
+// ProveFrontSafetyBound proves the acceleration suggestion stays at or
+// below threshold (m/s²) whenever a vehicle is close ahead.
+func (p *Predictor) ProveFrontSafetyBound(threshold float64, opts verify.Options) (verify.Outcome, []*verify.ProveResult, error) {
+	region := FrontCloseRegion()
+	results := make([]*verify.ProveResult, 0, p.K)
+	worst := verify.Proved
+	for _, out := range p.MuLongOutputs() {
+		r, err := verify.ProveUpperBound(p.Net, region, out, threshold, opts)
+		if err != nil {
+			return 0, nil, err
+		}
+		results = append(results, r)
+		switch r.Outcome {
+		case verify.Violated:
+			return verify.Violated, results, nil
+		case verify.Timeout:
+			worst = verify.Timeout
+		}
+	}
+	return worst, results, nil
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/highway"
+	"repro/internal/train"
+)
+
+// HintAugment implements the data-generation half of "hints" training
+// (Abu-Mostafa 1995, the paper's concluding remark iii): since the safety
+// property is known analytically — "left occupied ⇒ no positive lateral
+// velocity" — we can manufacture unlimited training examples of it across
+// the *whole* property region, not just the on-policy distribution the
+// simulator visits. Combined with the HintPenalty loss this pulls the
+// network's worst case (what the verifier bounds) down, not merely its
+// average case.
+//
+// Each sample is a uniformly random feature vector constrained to the
+// left-occupied region, labeled with a safe action: lateral velocity drawn
+// from [-1, 0] and a mild longitudinal acceleration.
+func HintAugment(n int, rng *rand.Rand) []train.Sample {
+	region := LeftOccupiedRegion()
+	out := make([]train.Sample, n)
+	for i := range out {
+		x := make([]float64, highway.FeatureDim)
+		for j, iv := range region.Box {
+			x[j] = iv.Lo + rng.Float64()*(iv.Hi-iv.Lo)
+		}
+		// Honest booleans for all presence flags except the pinned left one.
+		for o := highway.Orientation(0); o < highway.NumOrientations; o++ {
+			p := highway.NeighborFeature(o, highway.NPPresence)
+			if region.Box[p].Lo == region.Box[p].Hi {
+				continue // pinned by the region (the left slot)
+			}
+			if rng.Intn(2) == 0 {
+				x[p] = 0
+			} else {
+				x[p] = 1
+			}
+		}
+		out[i] = train.Sample{
+			X: x,
+			Y: []float64{-rng.Float64(), rng.NormFloat64() * 0.3},
+		}
+	}
+	return out
+}

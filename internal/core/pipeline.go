@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/coverage"
+	"repro/internal/dataval"
+	"repro/internal/highway"
+	"repro/internal/trace"
+	"repro/internal/train"
+	"repro/internal/verify"
+)
+
+// SafetyRules returns the data-validation rules of the case study
+// (Sec. II (C)): structural sanity plus the property that no training
+// sample exhibits a left move with the left slot occupied beyond latTol.
+func SafetyRules(latTol float64) []dataval.Rule {
+	rules := []dataval.Rule{
+		dataval.DimensionRule(highway.FeatureDim, 2),
+		dataval.FiniteRule(),
+		dataval.RangeRule(0, 1),
+		dataval.NewRule("no-left-move-when-left-occupied",
+			"no sample commands positive lateral velocity while the left slot is occupied",
+			func(s train.Sample) string {
+				if highway.LeftOccupiedInFeatures(s.X) && s.Y[0] > latTol {
+					return fmt.Sprintf("lat_vel %.3f with left occupied", s.Y[0])
+				}
+				return ""
+			}),
+	}
+	return rules
+}
+
+// PipelineConfig configures a full certification run.
+type PipelineConfig struct {
+	// Depth and Width give the I<Depth>×<Width> architecture.
+	Depth, Width int
+	// Components is the gmm head size; 0 means DefaultComponents.
+	Components int
+	// Seed drives data generation, initialization and training.
+	Seed int64
+	// Dataset controls synthetic data generation; zero value uses defaults.
+	Dataset highway.DatasetConfig
+	// Epochs of training; 0 means 30.
+	Epochs int
+	// Hints enables property-penalty training (future work iii).
+	Hints bool
+	// HintThreshold is the lateral velocity the penalty activates at
+	// (m/s); 0 means 0.2.
+	HintThreshold float64
+	// SafetyThreshold is the verified bound (m/s); 0 means 3.0 (Table II).
+	SafetyThreshold float64
+	// Verify controls the formal verification step.
+	Verify verify.Options
+	// SkipVerify omits the MILP step (for quick smoke runs).
+	SkipVerify bool
+}
+
+// PipelineResult is the certification dossier: one artifact per Table I row.
+type PipelineResult struct {
+	Arch string
+
+	// Specification validity (Sec. II C).
+	DataReport  *dataval.Report
+	DataRemoved int
+	Samples     int
+
+	// Training.
+	FinalLoss float64
+	ValLoss   float64
+
+	// Implementation understandability (Sec. II A).
+	Traceability *trace.Report
+
+	// Implementation correctness: testing view (Sec. II B, negative result).
+	Coverage          *coverage.Suite
+	BranchCount       string // 2^n as a decimal string
+	RequiredMCDCTests int
+
+	// Implementation correctness: testing view, falsification attempt —
+	// the best unsafe lateral velocity PGD attacks could reach (a lower
+	// bound on MaxLatVel; the gap between them is what only formal
+	// analysis can close).
+	AttackLatVel float64
+
+	// Implementation correctness: formal view (Sec. II B, positive result).
+	MaxLatVel   *verify.MaxResult
+	ProveResult verify.Outcome
+	Threshold   float64
+
+	Predictor *Predictor
+	Elapsed   time.Duration
+}
+
+// Certified reports whether the dossier supports certification: valid data,
+// and a proven safety bound.
+func (r *PipelineResult) Certified() bool {
+	if r.DataReport == nil || !r.DataReport.Valid() && r.DataRemoved == 0 {
+		return false
+	}
+	return r.ProveResult == verify.Proved
+}
+
+// String renders the dossier.
+func (r *PipelineResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "certification dossier: %s\n", r.Arch)
+	fmt.Fprintf(&b, "  data: %d samples, %d violations, %d removed\n", r.Samples, len(r.DataReport.Violations), r.DataRemoved)
+	fmt.Fprintf(&b, "  training: final loss %.4f (val %.4f)\n", r.FinalLoss, r.ValLoss)
+	fmt.Fprintf(&b, "  traceability: %d neurons analyzed, %d dead\n", len(r.Traceability.Neurons), len(r.Traceability.DeadNeurons()))
+	fmt.Fprintf(&b, "  testing: %s; exhaustive branches=%s, MC/DC lower bound=%d tests\n", r.Coverage, r.BranchCount, r.RequiredMCDCTests)
+	if r.MaxLatVel != nil {
+		fmt.Fprintf(&b, "  falsification: best attack reached %.4f m/s\n", r.AttackLatVel)
+		fmt.Fprintf(&b, "  verification: max lateral velocity %.4f m/s (exact=%v, %.1fs)\n",
+			r.MaxLatVel.Value, r.MaxLatVel.Exact, r.MaxLatVel.Stats.Elapsed.Seconds())
+		fmt.Fprintf(&b, "  safety bound %.1f m/s: %v\n", r.Threshold, r.ProveResult)
+	}
+	fmt.Fprintf(&b, "  certified: %v\n", r.Certified())
+	return b.String()
+}
+
+// RunPipeline executes the full certification methodology on a freshly
+// generated dataset and a freshly trained predictor.
+func RunPipeline(cfg PipelineConfig) (*PipelineResult, error) {
+	start := time.Now()
+	if cfg.Components == 0 {
+		cfg.Components = DefaultComponents
+	}
+	if cfg.Epochs == 0 {
+		cfg.Epochs = 30
+	}
+	if cfg.HintThreshold == 0 {
+		cfg.HintThreshold = 0.2
+	}
+	if cfg.SafetyThreshold == 0 {
+		cfg.SafetyThreshold = 3.0
+	}
+	if cfg.Dataset.Episodes == 0 {
+		cfg.Dataset = highway.DefaultDatasetConfig()
+	}
+	cfg.Dataset.Sim.Seed = cfg.Seed
+
+	// 1. Specification: generate and validate data (Table I, row 3).
+	data, err := highway.GenerateDataset(cfg.Dataset)
+	if err != nil {
+		return nil, fmt.Errorf("core: dataset: %w", err)
+	}
+	rules := SafetyRules(1e-9)
+	report := dataval.Validate(data, rules)
+	clean, removed := dataval.Sanitize(data, rules)
+	if len(clean) == 0 {
+		return nil, fmt.Errorf("core: no samples survived validation")
+	}
+
+	res := &PipelineResult{
+		DataReport:  report,
+		DataRemoved: removed,
+		Samples:     len(clean),
+		Threshold:   cfg.SafetyThreshold,
+	}
+
+	// 2. Train the predictor.
+	pred := NewPredictorNet(cfg.Depth, cfg.Width, cfg.Components, cfg.Seed)
+	res.Arch = pred.Net.ArchString()
+	res.Predictor = pred
+	trainSet, valSet := train.Split(clean, 0.15, rand.New(rand.NewSource(cfg.Seed+1)))
+	trainer := &train.Trainer{
+		Net:       pred.Net,
+		Loss:      train.MDN{K: cfg.Components},
+		Opt:       train.NewAdam(0.003),
+		BatchSize: 64,
+		Rng:       rand.New(rand.NewSource(cfg.Seed + 2)),
+		ClipNorm:  20,
+	}
+	curve := trainer.Fit(trainSet, cfg.Epochs)
+	if cfg.Hints {
+		// Future-work item (iii): fine-tune the trained network under the
+		// known property — penalty loss, property-derived samples, and
+		// counterexample-guided rounds (see HintFineTune).
+		if err := HintFineTune(pred, trainSet, HintConfig{
+			Threshold: cfg.HintThreshold,
+			Seed:      cfg.Seed + 3,
+		}); err != nil {
+			return nil, fmt.Errorf("core: hints: %w", err)
+		}
+	}
+	res.FinalLoss = curve[len(curve)-1]
+	if len(valSet) > 0 {
+		res.ValLoss = trainer.MeanLoss(valSet)
+	}
+
+	// 3. Understandability: neuron-to-feature traceability (Table I, row 1).
+	inputs := make([][]float64, 0, 512)
+	for i := 0; i < len(clean) && i < 512; i++ {
+		inputs = append(inputs, clean[i].X)
+	}
+	res.Traceability, err = trace.Analyze(pred.Net, inputs, highway.FeatureNames(), trace.Options{
+		Region: LeftOccupiedRegion().Box,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: trace: %w", err)
+	}
+
+	// 4. Correctness by testing: coverage and its limits (Table I, row 2−).
+	suite := coverage.NewSuite(pred.Net)
+	for _, x := range inputs {
+		suite.Add(x)
+	}
+	res.Coverage = suite
+	res.BranchCount = coverage.BranchCombinations(pred.Net).String()
+	res.RequiredMCDCTests = coverage.RequiredTests(pred.Net)
+
+	// 5. Falsification pre-pass: gradient attacks give a fast lower bound
+	// on the worst case (and concrete failures when the net is badly off).
+	atkRng := rand.New(rand.NewSource(cfg.Seed + 4))
+	res.AttackLatVel = math.Inf(-1)
+	for _, out := range pred.MuLatOutputs() {
+		r, err := attack.Maximize(pred.Net, LeftOccupiedRegion(), out, atkRng, attack.Options{Restarts: 6, Steps: 40})
+		if err != nil {
+			return nil, fmt.Errorf("core: attack: %w", err)
+		}
+		if r.Value > res.AttackLatVel {
+			res.AttackLatVel = r.Value
+		}
+	}
+
+	// 6. Correctness by formal analysis (Table I, row 2+).
+	if !cfg.SkipVerify {
+		res.MaxLatVel, err = pred.VerifySafety(cfg.Verify)
+		if err != nil {
+			return nil, fmt.Errorf("core: verify: %w", err)
+		}
+		outcome, _, err := pred.ProveSafetyBound(cfg.SafetyThreshold, cfg.Verify)
+		if err != nil {
+			return nil, fmt.Errorf("core: prove: %w", err)
+		}
+		res.ProveResult = outcome
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dataval"
+	"repro/internal/highway"
+)
+
+// TestPipelineCatchesRiskyData is the Sec. II (C) negative path: a fleet
+// with reckless drivers produces property-violating samples, the validation
+// rules flag them, and sanitization removes every one before training.
+func TestPipelineCatchesRiskyData(t *testing.T) {
+	cfg := highway.DefaultDatasetConfig()
+	cfg.Sim.RecklessFraction = 0.7
+	cfg.Sim.NumVehicles = 36
+	cfg.Sim.SpeedJitter = 0.4
+	cfg.Episodes = 3
+	cfg.StepsPerEpisode = 250
+	data, err := highway.GenerateDataset(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := SafetyRules(1e-9)
+	report := dataval.Validate(data, rules)
+	if report.Valid() {
+		t.Fatal("reckless data passed validation; rules are toothless")
+	}
+	if report.PerRule["no-left-move-when-left-occupied"] == 0 {
+		t.Fatalf("violations not attributed to the safety rule: %v", report.PerRule)
+	}
+	clean, removed := dataval.Sanitize(data, rules)
+	if removed == 0 {
+		t.Fatal("sanitize removed nothing")
+	}
+	// After sanitization the property holds in the data again.
+	for i, s := range clean {
+		if highway.LeftOccupiedInFeatures(s.X) && s.Y[0] > 1e-9 {
+			t.Fatalf("sample %d still violates after sanitize", i)
+		}
+	}
+	if rep := dataval.Validate(clean, rules); !rep.Valid() {
+		t.Fatalf("sanitized data still invalid: %v", rep.PerRule)
+	}
+}

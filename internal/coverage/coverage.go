@@ -1,0 +1,208 @@
+// Package coverage measures structural test coverage of networks and makes
+// the paper's Sec. II correctness argument concrete:
+//
+//   - a tanh network contains no branches, so MC/DC-style condition
+//     coverage is satisfied by a single test case (RequiredTests = 1);
+//   - a ReLU network contains one if-then-else per neuron, so exhaustive
+//     branch coverage needs 2^n activation patterns (BranchCombinations),
+//     which is intractable for any realistic n — the motivation for the
+//     formal analysis in package verify.
+//
+// The package also provides practical (incomplete) coverage metrics used in
+// the ANN testing literature: neuron coverage, sign (both-phase) coverage,
+// distinct activation patterns, and a coverage-guided random test generator.
+package coverage
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"strings"
+
+	"repro/internal/nn"
+)
+
+// ReLUConditions counts the branching conditions of a network: one per
+// hidden ReLU neuron (output layers do not branch).
+func ReLUConditions(net *nn.Network) int {
+	count := 0
+	for _, l := range net.Layers {
+		if l.Act == nn.ReLU { // every ReLU neuron is an if-then-else
+			count += l.OutDim()
+		}
+	}
+	return count
+}
+
+// BranchCombinations returns 2^conditions — the number of activation
+// patterns exhaustive branch testing would have to cover. The value
+// overflows int64 already for the paper's smallest predictor (I4×10 has
+// 40 neurons), hence math/big.
+func BranchCombinations(net *nn.Network) *big.Int {
+	return new(big.Int).Lsh(big.NewInt(1), uint(ReLUConditions(net)))
+}
+
+// RequiredTests returns the minimum number of test cases MC/DC-style
+// condition coverage demands: 1 for branch-free (e.g. tanh) networks —
+// the paper's point (i) — and conditions+1 as the standard MC/DC lower
+// bound when ReLU branches are present.
+func RequiredTests(net *nn.Network) int {
+	c := ReLUConditions(net)
+	if c == 0 {
+		return 1
+	}
+	return c + 1
+}
+
+// Suite accumulates coverage over a set of test inputs.
+type Suite struct {
+	net *nn.Network
+	// seenActive/seenInactive per hidden layer per neuron.
+	seenActive   [][]bool
+	seenInactive [][]bool
+	patterns     map[string]struct{}
+	tests        int
+}
+
+// NewSuite creates an empty coverage suite for the network.
+func NewSuite(net *nn.Network) *Suite {
+	s := &Suite{net: net, patterns: make(map[string]struct{})}
+	for i := 0; i+1 < len(net.Layers); i++ {
+		n := net.Layers[i].OutDim()
+		s.seenActive = append(s.seenActive, make([]bool, n))
+		s.seenInactive = append(s.seenInactive, make([]bool, n))
+	}
+	return s
+}
+
+// Add runs one test input through the network and records its coverage.
+// It returns true when the input increased sign coverage or exercised a new
+// activation pattern.
+func (s *Suite) Add(x []float64) bool {
+	pat := s.net.ActivationPattern(x)
+	s.tests++
+	improved := false
+	var key strings.Builder
+	for li, row := range pat {
+		for j, active := range row {
+			if active {
+				if !s.seenActive[li][j] {
+					s.seenActive[li][j] = true
+					improved = true
+				}
+				key.WriteByte('1')
+			} else {
+				if !s.seenInactive[li][j] {
+					s.seenInactive[li][j] = true
+					improved = true
+				}
+				key.WriteByte('0')
+			}
+		}
+		key.WriteByte('|')
+	}
+	if _, ok := s.patterns[key.String()]; !ok {
+		s.patterns[key.String()] = struct{}{}
+		improved = true
+	}
+	return improved
+}
+
+// Tests returns the number of inputs added.
+func (s *Suite) Tests() int { return s.tests }
+
+// Patterns returns the number of distinct activation patterns exercised.
+func (s *Suite) Patterns() int { return len(s.patterns) }
+
+// NeuronCoverage returns the fraction of hidden neurons activated by at
+// least one test (the classic DeepXplore metric).
+func (s *Suite) NeuronCoverage() float64 {
+	cov, total := 0, 0
+	for li := range s.seenActive {
+		for j := range s.seenActive[li] {
+			total++
+			if s.seenActive[li][j] {
+				cov++
+			}
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(cov) / float64(total)
+}
+
+// SignCoverage returns the fraction of hidden neurons observed in *both*
+// phases — the ReLU analogue of condition coverage: each "if" has been
+// taken both ways.
+func (s *Suite) SignCoverage() float64 {
+	cov, total := 0, 0
+	for li := range s.seenActive {
+		for j := range s.seenActive[li] {
+			total++
+			if s.seenActive[li][j] && s.seenInactive[li][j] {
+				cov++
+			}
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(cov) / float64(total)
+}
+
+// UncoveredNeurons lists (layer, neuron) pairs missing a phase.
+func (s *Suite) UncoveredNeurons() [][2]int {
+	var out [][2]int
+	for li := range s.seenActive {
+		for j := range s.seenActive[li] {
+			if !s.seenActive[li][j] || !s.seenInactive[li][j] {
+				out = append(out, [2]int{li, j})
+			}
+		}
+	}
+	return out
+}
+
+// String renders a coverage summary.
+func (s *Suite) String() string {
+	return fmt.Sprintf("coverage: %d tests, %d patterns, neuron %.1f%%, sign %.1f%%",
+		s.tests, s.Patterns(), 100*s.NeuronCoverage(), 100*s.SignCoverage())
+}
+
+// GenerateOptions tune coverage-guided generation.
+type GenerateOptions struct {
+	// MaxTests bounds the suite size; 0 means 1000.
+	MaxTests int
+	// TargetSign stops once sign coverage reaches this fraction; 0 means 1.0.
+	TargetSign float64
+}
+
+// Generate grows a test suite by rejection: random inputs from the box are
+// kept only when they improve coverage. It returns the suite and the kept
+// inputs. Boxes are given as parallel lo/hi slices.
+func Generate(net *nn.Network, lo, hi []float64, rng *rand.Rand, opts GenerateOptions) (*Suite, [][]float64) {
+	maxTests := opts.MaxTests
+	if maxTests <= 0 {
+		maxTests = 1000
+	}
+	target := opts.TargetSign
+	if target <= 0 {
+		target = 1
+	}
+	suite := NewSuite(net)
+	var kept [][]float64
+	for i := 0; i < maxTests; i++ {
+		x := make([]float64, len(lo))
+		for j := range x {
+			x[j] = lo[j] + rng.Float64()*(hi[j]-lo[j])
+		}
+		if suite.Add(x) {
+			kept = append(kept, x)
+		}
+		if suite.SignCoverage() >= target {
+			break
+		}
+	}
+	return suite, kept
+}

@@ -1,0 +1,152 @@
+package coverage
+
+import (
+	"math/big"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/nn"
+)
+
+func reluNet(seed int64, hidden []int) *nn.Network {
+	rng := rand.New(rand.NewSource(seed))
+	return nn.New(nn.Config{
+		Name: "c", InputDim: 3, Hidden: hidden, OutputDim: 2,
+		HiddenAct: nn.ReLU, OutputAct: nn.Identity,
+	}, rng)
+}
+
+func tanhNet(seed int64) *nn.Network {
+	rng := rand.New(rand.NewSource(seed))
+	return nn.New(nn.Config{
+		Name: "t", InputDim: 3, Hidden: []int{5, 5}, OutputDim: 2,
+		HiddenAct: nn.Tanh, OutputAct: nn.Identity,
+	}, rng)
+}
+
+func TestReLUConditionsCount(t *testing.T) {
+	if got := ReLUConditions(reluNet(1, []int{4, 6})); got != 10 {
+		t.Fatalf("conditions = %d, want 10", got)
+	}
+	if got := ReLUConditions(tanhNet(1)); got != 0 {
+		t.Fatalf("tanh conditions = %d, want 0", got)
+	}
+}
+
+// TestPaperMCDCArgument encodes the paper's Sec. II claim directly:
+// tanh networks satisfy MC/DC with one test; ReLU networks need
+// exponentially many branch combinations.
+func TestPaperMCDCArgument(t *testing.T) {
+	if got := RequiredTests(tanhNet(1)); got != 1 {
+		t.Fatalf("tanh RequiredTests = %d; the paper says one test suffices", got)
+	}
+	relu := reluNet(1, []int{4, 6})
+	if got := RequiredTests(relu); got != 11 {
+		t.Fatalf("relu RequiredTests = %d, want conditions+1 = 11", got)
+	}
+	want := new(big.Int).Lsh(big.NewInt(1), 10)
+	if BranchCombinations(relu).Cmp(want) != 0 {
+		t.Fatalf("BranchCombinations = %s, want 2^10", BranchCombinations(relu))
+	}
+}
+
+func TestBranchCombinationsOverflowScale(t *testing.T) {
+	// The paper's I4×60 has 240 ReLU neurons: 2^240 must be representable.
+	rng := rand.New(rand.NewSource(2))
+	big240 := nn.New(nn.Config{Name: "b", InputDim: 4, Hidden: []int{60, 60, 60, 60}, OutputDim: 1, HiddenAct: nn.ReLU, OutputAct: nn.Identity}, rng)
+	bc := BranchCombinations(big240)
+	if bc.BitLen() != 241 { // 2^240 has 241 bits
+		t.Fatalf("2^240 bitlen = %d", bc.BitLen())
+	}
+}
+
+func TestSuiteCoverageProgression(t *testing.T) {
+	net := &nn.Network{Layers: []*nn.Layer{
+		{W: [][]float64{{1}, {-1}}, B: []float64{0, 0}, Act: nn.ReLU},
+		{W: [][]float64{{1, 1}}, B: []float64{0}, Act: nn.Identity},
+	}}
+	s := NewSuite(net)
+	if s.NeuronCoverage() != 0 || s.Tests() != 0 {
+		t.Fatal("fresh suite should be empty")
+	}
+	if !s.Add([]float64{1}) { // neuron0 active, neuron1 inactive
+		t.Fatal("first test should improve coverage")
+	}
+	if s.NeuronCoverage() != 0.5 {
+		t.Fatalf("neuron coverage = %g, want 0.5", s.NeuronCoverage())
+	}
+	if s.SignCoverage() != 0 {
+		t.Fatalf("sign coverage = %g, want 0 (no neuron seen both ways)", s.SignCoverage())
+	}
+	if !s.Add([]float64{-1}) {
+		t.Fatal("second test should improve coverage")
+	}
+	if s.SignCoverage() != 1 || s.NeuronCoverage() != 1 {
+		t.Fatalf("full coverage expected, got neuron %g sign %g", s.NeuronCoverage(), s.SignCoverage())
+	}
+	if s.Patterns() != 2 {
+		t.Fatalf("patterns = %d, want 2", s.Patterns())
+	}
+	if s.Add([]float64{2}) { // same pattern as x=1
+		t.Fatal("repeat pattern should not count as improvement")
+	}
+	if len(s.UncoveredNeurons()) != 0 {
+		t.Fatalf("uncovered = %v", s.UncoveredNeurons())
+	}
+	if !strings.Contains(s.String(), "coverage:") {
+		t.Fatal("String() broken")
+	}
+}
+
+func TestUncoveredNeuronsListsDead(t *testing.T) {
+	// Neuron with bias -100 can never activate on [0,1] inputs.
+	net := &nn.Network{Layers: []*nn.Layer{
+		{W: [][]float64{{1}, {1}}, B: []float64{0, -100}, Act: nn.ReLU},
+		{W: [][]float64{{1, 1}}, B: []float64{0}, Act: nn.Identity},
+	}}
+	s := NewSuite(net)
+	s.Add([]float64{0.5})
+	s.Add([]float64{-0.5})
+	unc := s.UncoveredNeurons()
+	if len(unc) != 1 || unc[0] != [2]int{0, 1} {
+		t.Fatalf("uncovered = %v, want [[0 1]]", unc)
+	}
+}
+
+func TestGenerateReachesFullSignCoverage(t *testing.T) {
+	net := reluNet(7, []int{6})
+	lo := []float64{-2, -2, -2}
+	hi := []float64{2, 2, 2}
+	suite, kept := Generate(net, lo, hi, rand.New(rand.NewSource(3)), GenerateOptions{MaxTests: 4000})
+	if suite.SignCoverage() < 0.99 {
+		t.Fatalf("sign coverage only %.2f after generation", suite.SignCoverage())
+	}
+	if len(kept) == 0 || len(kept) > suite.Tests() {
+		t.Fatalf("kept %d of %d", len(kept), suite.Tests())
+	}
+}
+
+func TestGenerateRespectsTarget(t *testing.T) {
+	net := reluNet(8, []int{8})
+	lo := []float64{-1, -1, -1}
+	hi := []float64{1, 1, 1}
+	suite, _ := Generate(net, lo, hi, rand.New(rand.NewSource(4)), GenerateOptions{MaxTests: 5000, TargetSign: 0.5})
+	if suite.SignCoverage() < 0.5 {
+		t.Fatalf("target sign coverage not reached: %g", suite.SignCoverage())
+	}
+}
+
+func TestEmptyHiddenCoverage(t *testing.T) {
+	// A linear model has no hidden neurons: coverage is trivially 1.
+	rng := rand.New(rand.NewSource(5))
+	lin := nn.New(nn.Config{Name: "l", InputDim: 2, Hidden: nil, OutputDim: 1, OutputAct: nn.Identity}, rng)
+	s := NewSuite(lin)
+	s.Add([]float64{1, 2})
+	if s.NeuronCoverage() != 1 || s.SignCoverage() != 1 {
+		t.Fatal("trivial coverage expected for linear model")
+	}
+	if RequiredTests(lin) != 1 {
+		t.Fatalf("RequiredTests(linear) = %d", RequiredTests(lin))
+	}
+}

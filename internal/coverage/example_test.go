@@ -1,0 +1,34 @@
+package coverage_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/coverage"
+	"repro/internal/nn"
+)
+
+// Example demonstrates the paper's MC/DC dichotomy: one test suffices for
+// tanh, 2^n branch patterns exist for ReLU.
+func Example() {
+	rng := rand.New(rand.NewSource(1))
+	tanh := nn.New(nn.Config{Name: "t", InputDim: 4, Hidden: []int{10}, OutputDim: 1, HiddenAct: nn.Tanh, OutputAct: nn.Identity}, rng)
+	relu := nn.New(nn.Config{Name: "r", InputDim: 4, Hidden: []int{10}, OutputDim: 1, HiddenAct: nn.ReLU, OutputAct: nn.Identity}, rng)
+	fmt.Printf("tanh: %d test(s); relu: %s branch patterns\n",
+		coverage.RequiredTests(tanh), coverage.BranchCombinations(relu))
+	// Output: tanh: 1 test(s); relu: 1024 branch patterns
+}
+
+// ExampleSuite measures sign coverage of a two-test suite on a single
+// ReLU neuron.
+func ExampleSuite() {
+	net := &nn.Network{Layers: []*nn.Layer{
+		{W: [][]float64{{1}}, B: []float64{0}, Act: nn.ReLU},
+		{W: [][]float64{{1}}, B: []float64{0}, Act: nn.Identity},
+	}}
+	s := coverage.NewSuite(net)
+	s.Add([]float64{1})  // active phase
+	s.Add([]float64{-1}) // inactive phase
+	fmt.Printf("sign coverage %.0f%%\n", 100*s.SignCoverage())
+	// Output: sign coverage 100%
+}

@@ -1,0 +1,127 @@
+package coverage
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+)
+
+// PairSuite tracks sign–sign (SS) pair coverage, the MC/DC adaptation for
+// ReLU networks from the DNN-testing literature (cf. DeepCover): a pair
+// (condition neuron α in layer l, decision neuron β in layer l+1) is
+// covered when the suite contains two tests between which α's phase flips,
+// β's phase flips, and every *other* neuron of layer l keeps its phase —
+// demonstrating that α independently affects β, exactly MC/DC's
+// "each condition independently affects the decision".
+//
+// The quadratic pair count (and the need for near-identical test pairs)
+// makes full SS coverage practically unreachable for real networks — the
+// quantitative form of the paper's intractability argument.
+type PairSuite struct {
+	net *nn.Network
+	// patterns seen so far, as per-layer sign strings.
+	seen []snapshot
+	// covered[l][alpha][beta] for layers l -> l+1.
+	covered [][][]bool
+	pairs   int
+	tests   int
+}
+
+type snapshot struct {
+	signs [][]bool
+}
+
+// NewPairSuite creates an empty SS-coverage suite for a ReLU network.
+// Only hidden layers participate (the decision layer for the last hidden
+// layer's conditions is the output and has no phase).
+func NewPairSuite(net *nn.Network) *PairSuite {
+	ps := &PairSuite{net: net}
+	for li := 0; li+2 < len(net.Layers); li++ {
+		nA := net.Layers[li].OutDim()
+		nB := net.Layers[li+1].OutDim()
+		layer := make([][]bool, nA)
+		for a := range layer {
+			layer[a] = make([]bool, nB)
+		}
+		ps.covered = append(ps.covered, layer)
+		ps.pairs += nA * nB
+	}
+	return ps
+}
+
+// TotalPairs returns the number of condition–decision pairs to cover.
+func (ps *PairSuite) TotalPairs() int { return ps.pairs }
+
+// Tests returns the number of inputs added.
+func (ps *PairSuite) Tests() int { return ps.tests }
+
+// Add records one test input and returns how many new pairs it covered
+// (against all previously added tests).
+func (ps *PairSuite) Add(x []float64) int {
+	cur := snapshot{signs: ps.net.ActivationPattern(x)}
+	ps.tests++
+	newly := 0
+	for _, old := range ps.seen {
+		newly += ps.matchPair(old, cur)
+	}
+	ps.seen = append(ps.seen, cur)
+	return newly
+}
+
+// matchPair marks pairs covered by the (old, cur) test pair.
+func (ps *PairSuite) matchPair(a, b snapshot) int {
+	newly := 0
+	for li := range ps.covered {
+		// Count condition flips in layer li; SS coverage requires exactly
+		// one (the candidate α), so all other conditions keep their phase.
+		flips := make([]int, 0, 2)
+		for j := range a.signs[li] {
+			if a.signs[li][j] != b.signs[li][j] {
+				flips = append(flips, j)
+				if len(flips) > 1 {
+					break
+				}
+			}
+		}
+		if len(flips) != 1 {
+			continue
+		}
+		alpha := flips[0]
+		for beta := range a.signs[li+1] {
+			if a.signs[li+1][beta] != b.signs[li+1][beta] && !ps.covered[li][alpha][beta] {
+				ps.covered[li][alpha][beta] = true
+				newly++
+			}
+		}
+	}
+	return newly
+}
+
+// Covered returns the number of covered pairs.
+func (ps *PairSuite) Covered() int {
+	n := 0
+	for _, layer := range ps.covered {
+		for _, row := range layer {
+			for _, c := range row {
+				if c {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// Coverage returns the covered fraction (1 when there are no pairs).
+func (ps *PairSuite) Coverage() float64 {
+	if ps.pairs == 0 {
+		return 1
+	}
+	return float64(ps.Covered()) / float64(ps.pairs)
+}
+
+// String summarizes the suite.
+func (ps *PairSuite) String() string {
+	return fmt.Sprintf("ss-coverage: %d tests, %d/%d pairs (%.1f%%)",
+		ps.tests, ps.Covered(), ps.TotalPairs(), 100*ps.Coverage())
+}

@@ -1,0 +1,111 @@
+package coverage
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/nn"
+)
+
+// pairNet is a 3-layer net (2 hidden ReLU layers) where SS pairs exist.
+func pairNet() *nn.Network {
+	return &nn.Network{Layers: []*nn.Layer{
+		{W: [][]float64{{1, 0}, {0, 1}}, B: []float64{0, 0}, Act: nn.ReLU},
+		{W: [][]float64{{1, -1}}, B: []float64{0}, Act: nn.ReLU},
+		{W: [][]float64{{1}}, B: []float64{0}, Act: nn.Identity},
+	}}
+}
+
+func TestPairSuiteCounts(t *testing.T) {
+	ps := NewPairSuite(pairNet())
+	if ps.TotalPairs() != 2 { // 2 conditions in layer 0 × 1 decision in layer 1
+		t.Fatalf("pairs = %d, want 2", ps.TotalPairs())
+	}
+	if ps.Coverage() != 0 {
+		t.Fatalf("fresh coverage = %g", ps.Coverage())
+	}
+}
+
+func TestPairSuiteDetectsIndependentEffect(t *testing.T) {
+	ps := NewPairSuite(pairNet())
+	// Test 1: x = (1, 0): layer0 = [1, 0] -> phases (on, off);
+	// layer1 pre = 1 -> on.
+	ps.Add([]float64{1, 0})
+	// Test 2: x = (-1, 0): layer0 phases (off, off); layer1 pre = 0 -> off.
+	// Exactly condition 0 flips, decision flips: pair (0,0) covered.
+	newly := ps.Add([]float64{-1, 0})
+	if newly != 1 {
+		t.Fatalf("newly covered = %d, want 1", newly)
+	}
+	if ps.Covered() != 1 {
+		t.Fatalf("covered = %d", ps.Covered())
+	}
+	// Test 3: x = (1, 2): layer0 (on, on) — relative to test 1 only
+	// condition 1 flips; layer1 pre = 1-2 = -1 -> off (flips): pair (1,0).
+	newly = ps.Add([]float64{1, 2})
+	if newly != 1 {
+		t.Fatalf("newly covered = %d, want 1 (pair 1->0)", newly)
+	}
+	if ps.Coverage() != 1 {
+		t.Fatalf("coverage = %g, want 1", ps.Coverage())
+	}
+	if !strings.Contains(ps.String(), "2/2") {
+		t.Fatalf("summary %q", ps.String())
+	}
+}
+
+func TestPairSuiteRejectsMultiFlip(t *testing.T) {
+	ps := NewPairSuite(pairNet())
+	ps.Add([]float64{1, 2})            // phases (on, on)
+	newly := ps.Add([]float64{-1, -2}) // both conditions flip: no SS pair
+	if newly != 0 {
+		t.Fatalf("multi-flip pair counted: %d", newly)
+	}
+}
+
+func TestPairSuiteSingleHiddenLayerHasNoPairs(t *testing.T) {
+	net := &nn.Network{Layers: []*nn.Layer{
+		{W: [][]float64{{1}}, B: []float64{0}, Act: nn.ReLU},
+		{W: [][]float64{{1}}, B: []float64{0}, Act: nn.Identity},
+	}}
+	ps := NewPairSuite(net)
+	if ps.TotalPairs() != 0 || ps.Coverage() != 1 {
+		t.Fatalf("pairs=%d coverage=%g", ps.TotalPairs(), ps.Coverage())
+	}
+}
+
+// TestPairCoverageHardness demonstrates the paper's point quantitatively:
+// SS (MC/DC-style) coverage from random testing collapses as layers widen —
+// ~96% of pairs at width 12 but only a few percent at width 40 for the same
+// 300-test budget, because a pair needs two tests differing in *exactly one*
+// condition of a layer.
+func TestPairCoverageHardness(t *testing.T) {
+	run := func(width int) float64 {
+		rng := rand.New(rand.NewSource(1))
+		net := nn.New(nn.Config{
+			Name: "h", InputDim: 6, Hidden: []int{width, width, width}, OutputDim: 1,
+			HiddenAct: nn.ReLU, OutputAct: nn.Identity,
+		}, rng)
+		ps := NewPairSuite(net)
+		for i := 0; i < 300; i++ {
+			x := make([]float64, 6)
+			for j := range x {
+				x[j] = rng.Float64()*2 - 1
+			}
+			ps.Add(x)
+		}
+		if ps.Covered() == 0 {
+			t.Fatalf("width %d: not a single pair covered; suite is likely broken", width)
+		}
+		return ps.Coverage()
+	}
+	narrow := run(12)
+	wide := run(40)
+	if narrow < 0.7 {
+		t.Fatalf("narrow layers should nearly saturate, got %.0f%%", 100*narrow)
+	}
+	if wide > 0.3 {
+		t.Fatalf("wide layers covered %.0f%% — the width collapse demo is broken", 100*wide)
+	}
+}

@@ -1,0 +1,23 @@
+package gmm_test
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/gmm"
+)
+
+// ExampleDecode decodes a raw two-component network head and reads off the
+// mixture-mean action.
+func ExampleDecode() {
+	raw := make([]float64, 2*gmm.RawPerComponent)
+	// Component 0: weight logit 0, lateral mean +1.0.
+	raw[gmm.MuLatIndex(0)] = 1.0
+	// Component 1: weight logit 0, lateral mean -1.0.
+	raw[gmm.MuLatIndex(1)] = -1.0
+	mix := gmm.Decode(raw)
+	mean := mix.Mean()
+	fmt.Printf("components=%d mean_lat=%.1f max_component_lat=%.1f\n",
+		len(mix.Components), math.Abs(mean[gmm.LatVel]), mix.MaxComponentMean(gmm.LatVel))
+	// Output: components=2 mean_lat=0.0 max_component_lat=1.0
+}

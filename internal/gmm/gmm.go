@@ -1,0 +1,265 @@
+// Package gmm implements the Gaussian-mixture action distribution produced
+// by the motion predictor. Following the case study, each mixture component
+// is a 2-D Gaussian with diagonal covariance over (lateral velocity,
+// longitudinal acceleration): the lateral part indicates whether a lane
+// switch is suggested, the longitudinal part whether to accelerate.
+//
+// The package also defines the raw-output layout used by the network head
+// (see Decode): per component five raw values
+//
+//	[weight logit, μ_lat, μ_long, log σ_lat, log σ_long]
+//
+// so a K-component head is a 5K-wide linear output layer. The component
+// means μ_lat occupy raw indices 5k+1 — plain linear outputs, which is what
+// makes the safety property MILP-encodable (see package verify).
+package gmm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dims of the action space.
+const (
+	// LatVel indexes lateral velocity (m/s, positive = towards the left lane).
+	LatVel = 0
+	// LongAcc indexes longitudinal acceleration (m/s², positive = accelerate).
+	LongAcc = 1
+)
+
+// RawPerComponent is the number of raw network outputs per mixture component.
+const RawPerComponent = 5
+
+// Raw output offsets within one component's block.
+const (
+	RawLogit = iota
+	RawMuLat
+	RawMuLong
+	RawLogSigLat
+	RawLogSigLong
+)
+
+// MuLatIndex returns the raw-output index of component k's lateral-velocity
+// mean; these are the outputs the verifier bounds.
+func MuLatIndex(k int) int { return k*RawPerComponent + RawMuLat }
+
+// MuLongIndex returns the raw-output index of component k's longitudinal-
+// acceleration mean (used by the front-gap safety property).
+func MuLongIndex(k int) int { return k*RawPerComponent + RawMuLong }
+
+// Component is one diagonal 2-D Gaussian with a mixture weight.
+type Component struct {
+	Weight float64    // mixture weight, in [0,1]; weights sum to 1
+	Mean   [2]float64 // (lateral velocity, longitudinal acceleration)
+	Std    [2]float64 // standard deviations, strictly positive
+}
+
+// Mixture is a normalized Gaussian mixture over the 2-D action space.
+type Mixture struct {
+	Components []Component
+}
+
+// LogSigMin and LogSigMax bound log-σ raw outputs so Decode never produces
+// degenerate or overflowing deviations. Training code needs the same range
+// to zero gradients where the clamp saturates.
+const (
+	LogSigMin = -6.0
+	LogSigMax = 3.0
+)
+
+// Decode interprets a raw network output vector as a K-component mixture.
+// It panics if len(raw) is not a multiple of RawPerComponent or empty.
+func Decode(raw []float64) Mixture {
+	if len(raw) == 0 || len(raw)%RawPerComponent != 0 {
+		panic(fmt.Sprintf("gmm: Decode raw length %d not a positive multiple of %d", len(raw), RawPerComponent))
+	}
+	k := len(raw) / RawPerComponent
+	mix := Mixture{Components: make([]Component, k)}
+
+	// Softmax over logits with max-shift for stability.
+	maxLogit := math.Inf(-1)
+	for i := 0; i < k; i++ {
+		if l := raw[i*RawPerComponent+RawLogit]; l > maxLogit {
+			maxLogit = l
+		}
+	}
+	var z float64
+	for i := 0; i < k; i++ {
+		z += math.Exp(raw[i*RawPerComponent+RawLogit] - maxLogit)
+	}
+	for i := 0; i < k; i++ {
+		base := i * RawPerComponent
+		c := &mix.Components[i]
+		c.Weight = math.Exp(raw[base+RawLogit]-maxLogit) / z
+		c.Mean[LatVel] = raw[base+RawMuLat]
+		c.Mean[LongAcc] = raw[base+RawMuLong]
+		c.Std[LatVel] = math.Exp(clamp(raw[base+RawLogSigLat], LogSigMin, LogSigMax))
+		c.Std[LongAcc] = math.Exp(clamp(raw[base+RawLogSigLong], LogSigMin, LogSigMax))
+	}
+	return mix
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Mean returns the mixture mean Σ wᵢ μᵢ.
+func (m Mixture) Mean() [2]float64 {
+	var out [2]float64
+	for _, c := range m.Components {
+		out[0] += c.Weight * c.Mean[0]
+		out[1] += c.Weight * c.Mean[1]
+	}
+	return out
+}
+
+// MaxComponentMean returns max over components of Mean[dim]; this is the
+// sound upper bound on the mixture mean used by the verifier (the mixture
+// mean is a convex combination of component means).
+func (m Mixture) MaxComponentMean(dim int) float64 {
+	out := math.Inf(-1)
+	for _, c := range m.Components {
+		if c.Mean[dim] > out {
+			out = c.Mean[dim]
+		}
+	}
+	return out
+}
+
+// Dominant returns the component with the largest weight.
+// It panics on an empty mixture.
+func (m Mixture) Dominant() Component {
+	if len(m.Components) == 0 {
+		panic("gmm: Dominant on empty mixture")
+	}
+	best := 0
+	for i, c := range m.Components {
+		if c.Weight > m.Components[best].Weight {
+			best = i
+		}
+	}
+	return m.Components[best]
+}
+
+// PDF evaluates the mixture density at the action point.
+func (m Mixture) PDF(pt [2]float64) float64 {
+	var p float64
+	for _, c := range m.Components {
+		p += c.Weight * gauss(pt[0], c.Mean[0], c.Std[0]) * gauss(pt[1], c.Mean[1], c.Std[1])
+	}
+	return p
+}
+
+// LogPDF evaluates log density via log-sum-exp for numerical stability.
+func (m Mixture) LogPDF(pt [2]float64) float64 {
+	maxTerm := math.Inf(-1)
+	terms := make([]float64, len(m.Components))
+	for i, c := range m.Components {
+		t := math.Log(math.Max(c.Weight, 1e-300)) +
+			logGauss(pt[0], c.Mean[0], c.Std[0]) +
+			logGauss(pt[1], c.Mean[1], c.Std[1])
+		terms[i] = t
+		if t > maxTerm {
+			maxTerm = t
+		}
+	}
+	if math.IsInf(maxTerm, -1) {
+		return maxTerm
+	}
+	var s float64
+	for _, t := range terms {
+		s += math.Exp(t - maxTerm)
+	}
+	return maxTerm + math.Log(s)
+}
+
+// Sample draws one action from the mixture using rng.
+func (m Mixture) Sample(rng *rand.Rand) [2]float64 {
+	u := rng.Float64()
+	var acc float64
+	comp := m.Components[len(m.Components)-1]
+	for _, c := range m.Components {
+		acc += c.Weight
+		if u <= acc {
+			comp = c
+			break
+		}
+	}
+	return [2]float64{
+		comp.Mean[0] + rng.NormFloat64()*comp.Std[0],
+		comp.Mean[1] + rng.NormFloat64()*comp.Std[1],
+	}
+}
+
+// Validate checks normalization and positivity.
+func (m Mixture) Validate() error {
+	if len(m.Components) == 0 {
+		return fmt.Errorf("gmm: empty mixture")
+	}
+	var sum float64
+	for i, c := range m.Components {
+		if c.Weight < -1e-9 {
+			return fmt.Errorf("gmm: component %d has negative weight %g", i, c.Weight)
+		}
+		if c.Std[0] <= 0 || c.Std[1] <= 0 {
+			return fmt.Errorf("gmm: component %d has non-positive std %v", i, c.Std)
+		}
+		sum += c.Weight
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return fmt.Errorf("gmm: weights sum to %g, want 1", sum)
+	}
+	return nil
+}
+
+func gauss(x, mu, sigma float64) float64 {
+	d := (x - mu) / sigma
+	return math.Exp(-0.5*d*d) / (sigma * math.Sqrt(2*math.Pi))
+}
+
+func logGauss(x, mu, sigma float64) float64 {
+	d := (x - mu) / sigma
+	return -0.5*d*d - math.Log(sigma) - 0.5*math.Log(2*math.Pi)
+}
+
+// Grid renders the mixture density over a lat×long grid as characters with
+// increasing density (" .:-=+*#%@"); row 0 is the largest longitudinal
+// acceleration. It is the textual stand-in for the right half of the
+// paper's Fig. 1.
+func (m Mixture) Grid(latMin, latMax, longMin, longMax float64, w, h int) []string {
+	const shades = " .:-=+*#%@"
+	vals := make([][]float64, h)
+	peak := 0.0
+	for r := 0; r < h; r++ {
+		vals[r] = make([]float64, w)
+		longV := longMax - (longMax-longMin)*float64(r)/float64(h-1)
+		for c := 0; c < w; c++ {
+			latV := latMin + (latMax-latMin)*float64(c)/float64(w-1)
+			p := m.PDF([2]float64{latV, longV})
+			vals[r][c] = p
+			if p > peak {
+				peak = p
+			}
+		}
+	}
+	rows := make([]string, h)
+	for r := 0; r < h; r++ {
+		line := make([]byte, w)
+		for c := 0; c < w; c++ {
+			idx := 0
+			if peak > 0 {
+				idx = int(vals[r][c] / peak * float64(len(shades)-1))
+			}
+			line[c] = shades[idx]
+		}
+		rows[r] = string(line)
+	}
+	return rows
+}

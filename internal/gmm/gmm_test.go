@@ -1,0 +1,195 @@
+package gmm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func rawFor(comps []Component) []float64 {
+	// Builds a raw vector whose Decode equals comps (weights via log).
+	raw := make([]float64, len(comps)*RawPerComponent)
+	for i, c := range comps {
+		base := i * RawPerComponent
+		raw[base+RawLogit] = math.Log(c.Weight)
+		raw[base+RawMuLat] = c.Mean[LatVel]
+		raw[base+RawMuLong] = c.Mean[LongAcc]
+		raw[base+RawLogSigLat] = math.Log(c.Std[LatVel])
+		raw[base+RawLogSigLong] = math.Log(c.Std[LongAcc])
+	}
+	return raw
+}
+
+func TestDecodeWeightsNormalized(t *testing.T) {
+	raw := rawFor([]Component{
+		{Weight: 0.5, Mean: [2]float64{1, 0}, Std: [2]float64{1, 1}},
+		{Weight: 0.25, Mean: [2]float64{-1, 2}, Std: [2]float64{0.5, 2}},
+		{Weight: 0.25, Mean: [2]float64{0, 0}, Std: [2]float64{1, 1}},
+	})
+	mix := Decode(raw)
+	if err := mix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mix.Components[0].Weight-0.5) > 1e-9 {
+		t.Fatalf("weight = %g, want 0.5", mix.Components[0].Weight)
+	}
+	if mix.Components[1].Std[LatVel] != 0.5 {
+		t.Fatalf("std = %g, want 0.5", mix.Components[1].Std[LatVel])
+	}
+}
+
+func TestDecodeClampsSigma(t *testing.T) {
+	raw := make([]float64, RawPerComponent)
+	raw[RawLogSigLat] = 100  // would overflow exp
+	raw[RawLogSigLong] = -99 // would vanish
+	mix := Decode(raw)
+	if mix.Components[0].Std[LatVel] > math.Exp(LogSigMax)+1e-9 {
+		t.Fatalf("sigma not clamped above: %g", mix.Components[0].Std[LatVel])
+	}
+	if mix.Components[0].Std[LongAcc] < math.Exp(LogSigMin)-1e-12 {
+		t.Fatalf("sigma not clamped below: %g", mix.Components[0].Std[LongAcc])
+	}
+}
+
+func TestDecodePanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	Decode(make([]float64, 7))
+}
+
+func TestMeanIsConvexCombination(t *testing.T) {
+	mix := Mixture{Components: []Component{
+		{Weight: 0.75, Mean: [2]float64{2, 0}, Std: [2]float64{1, 1}},
+		{Weight: 0.25, Mean: [2]float64{-2, 4}, Std: [2]float64{1, 1}},
+	}}
+	mean := mix.Mean()
+	if math.Abs(mean[LatVel]-1) > 1e-12 || math.Abs(mean[LongAcc]-1) > 1e-12 {
+		t.Fatalf("Mean = %v, want (1,1)", mean)
+	}
+}
+
+func TestMaxComponentMeanBoundsMixtureMean(t *testing.T) {
+	f := func(ws [3]float64, mus [3]float64) bool {
+		comps := make([]Component, 3)
+		var sum float64
+		for i := range comps {
+			w := math.Abs(ws[i]) + 0.01
+			if w > 1e6 {
+				w = 1
+			}
+			mu := mus[i]
+			if math.IsNaN(mu) || math.Abs(mu) > 1e6 {
+				mu = float64(i)
+			}
+			comps[i] = Component{Weight: w, Mean: [2]float64{mu, 0}, Std: [2]float64{1, 1}}
+			sum += w
+		}
+		for i := range comps {
+			comps[i].Weight /= sum
+		}
+		mix := Mixture{Components: comps}
+		return mix.Mean()[LatVel] <= mix.MaxComponentMean(LatVel)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDominant(t *testing.T) {
+	mix := Mixture{Components: []Component{
+		{Weight: 0.2, Mean: [2]float64{0, 0}, Std: [2]float64{1, 1}},
+		{Weight: 0.8, Mean: [2]float64{5, 5}, Std: [2]float64{1, 1}},
+	}}
+	if d := mix.Dominant(); d.Mean[0] != 5 {
+		t.Fatalf("Dominant = %v", d)
+	}
+}
+
+func TestPDFIntegratesToOne(t *testing.T) {
+	mix := Mixture{Components: []Component{
+		{Weight: 0.6, Mean: [2]float64{0.5, -0.5}, Std: [2]float64{0.4, 0.7}},
+		{Weight: 0.4, Mean: [2]float64{-1, 1}, Std: [2]float64{0.6, 0.3}},
+	}}
+	// Midpoint rule over a wide box.
+	const n = 120
+	lo, hi := -5.0, 5.0
+	h := (hi - lo) / n
+	var integral float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			x := lo + (float64(i)+0.5)*h
+			y := lo + (float64(j)+0.5)*h
+			integral += mix.PDF([2]float64{x, y}) * h * h
+		}
+	}
+	if math.Abs(integral-1) > 0.01 {
+		t.Fatalf("PDF integral = %g, want ~1", integral)
+	}
+}
+
+func TestLogPDFMatchesPDF(t *testing.T) {
+	mix := Mixture{Components: []Component{
+		{Weight: 0.5, Mean: [2]float64{1, 1}, Std: [2]float64{0.5, 0.5}},
+		{Weight: 0.5, Mean: [2]float64{-1, -1}, Std: [2]float64{0.5, 0.5}},
+	}}
+	for _, pt := range [][2]float64{{0, 0}, {1, 1}, {-2, 3}} {
+		if diff := math.Abs(math.Log(mix.PDF(pt)) - mix.LogPDF(pt)); diff > 1e-9 {
+			t.Fatalf("LogPDF mismatch at %v: %g", pt, diff)
+		}
+	}
+}
+
+func TestSampleStatistics(t *testing.T) {
+	mix := Mixture{Components: []Component{
+		{Weight: 1, Mean: [2]float64{2, -1}, Std: [2]float64{0.1, 0.1}},
+	}}
+	rng := rand.New(rand.NewSource(5))
+	var sumLat, sumLong float64
+	const n = 5000
+	for i := 0; i < n; i++ {
+		s := mix.Sample(rng)
+		sumLat += s[0]
+		sumLong += s[1]
+	}
+	if math.Abs(sumLat/n-2) > 0.02 || math.Abs(sumLong/n+1) > 0.02 {
+		t.Fatalf("sample means (%g, %g) far from (2, -1)", sumLat/n, sumLong/n)
+	}
+}
+
+func TestValidateRejectsBadMixtures(t *testing.T) {
+	bad := []Mixture{
+		{},
+		{Components: []Component{{Weight: 0.5, Std: [2]float64{1, 1}}}},                                        // not normalized
+		{Components: []Component{{Weight: 1, Std: [2]float64{0, 1}}}},                                          // zero sigma
+		{Components: []Component{{Weight: -0.5, Std: [2]float64{1, 1}}, {Weight: 1.5, Std: [2]float64{1, 1}}}}, // negative weight
+	}
+	for i, m := range bad {
+		if m.Validate() == nil {
+			t.Fatalf("case %d: Validate accepted bad mixture", i)
+		}
+	}
+}
+
+func TestGridShapeAndPeak(t *testing.T) {
+	mix := Mixture{Components: []Component{
+		{Weight: 1, Mean: [2]float64{0, 0}, Std: [2]float64{0.5, 0.5}},
+	}}
+	rows := mix.Grid(-2, 2, -2, 2, 21, 11)
+	if len(rows) != 11 || len(rows[0]) != 21 {
+		t.Fatalf("grid %dx%d", len(rows), len(rows[0]))
+	}
+	// Peak density is at the center cell.
+	if rows[5][10] != '@' {
+		t.Fatalf("center cell %q, want '@'", rows[5][10])
+	}
+}
+
+func TestMuLatIndex(t *testing.T) {
+	if MuLatIndex(0) != 1 || MuLatIndex(2) != 11 {
+		t.Fatalf("MuLatIndex: %d %d", MuLatIndex(0), MuLatIndex(2))
+	}
+}

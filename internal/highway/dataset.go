@@ -1,0 +1,106 @@
+package highway
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/train"
+)
+
+// DatasetConfig controls synthetic data generation.
+type DatasetConfig struct {
+	Sim Config
+	// Episodes is the number of independent simulations to run.
+	Episodes int
+	// StepsPerEpisode is how long each episode runs.
+	StepsPerEpisode int
+	// Dt is the integration step in seconds.
+	Dt float64
+	// WarmupSteps are discarded before recording (traffic settles).
+	WarmupSteps int
+	// RecordEvery thins the recording to every n-th step.
+	RecordEvery int
+}
+
+// DefaultDatasetConfig returns a configuration that produces a few thousand
+// samples in well under a second.
+func DefaultDatasetConfig() DatasetConfig {
+	return DatasetConfig{
+		Sim:             DefaultConfig(),
+		Episodes:        6,
+		StepsPerEpisode: 400,
+		Dt:              0.25,
+		WarmupSteps:     80,
+		RecordEvery:     2,
+	}
+}
+
+// GenerateDataset simulates traffic and records (features, action) samples
+// for every vehicle acting as ego in turn. The action label is the safe
+// driver's executed (lateral velocity, longitudinal acceleration) — the
+// same two quantities the predictor's Gaussian mixture models. The safe
+// driver never moves left while the left slot is occupied, so the returned
+// data satisfies the safety property by construction.
+func GenerateDataset(cfg DatasetConfig) ([]train.Sample, error) {
+	if cfg.Episodes <= 0 || cfg.StepsPerEpisode <= 0 {
+		return nil, fmt.Errorf("highway: dataset config needs positive episodes/steps")
+	}
+	if cfg.Dt <= 0 {
+		return nil, fmt.Errorf("highway: dataset dt must be positive, got %g", cfg.Dt)
+	}
+	recordEvery := cfg.RecordEvery
+	if recordEvery <= 0 {
+		recordEvery = 1
+	}
+	var out []train.Sample
+	for ep := 0; ep < cfg.Episodes; ep++ {
+		simCfg := cfg.Sim
+		simCfg.Seed = cfg.Sim.Seed + int64(ep)*7919
+		s, err := NewSim(simCfg)
+		if err != nil {
+			return nil, err
+		}
+		s.Run(cfg.WarmupSteps, cfg.Dt)
+		for step := 0; step < cfg.StepsPerEpisode; step++ {
+			// Observe before stepping, act during the step, label with the
+			// action the driver actually executed.
+			type pending struct {
+				x   []float64
+				ego *Vehicle
+			}
+			var batch []pending
+			if step%recordEvery == 0 {
+				for _, ego := range s.Vehicles {
+					batch = append(batch, pending{x: s.Observe(ego).Encode(), ego: ego})
+				}
+			}
+			s.Step(cfg.Dt)
+			for _, p := range batch {
+				out = append(out, train.Sample{
+					X: p.x,
+					Y: []float64{p.ego.LatVel, p.ego.Accel},
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// RandomFeatureVector draws a feature vector uniformly from the valid
+// normalized space (coverage testing and fuzzing helper). Presence flags
+// are sampled as honest booleans.
+func RandomFeatureVector(rng *rand.Rand) []float64 {
+	x := make([]float64, FeatureDim)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	for o := Orientation(0); o < NumOrientations; o++ {
+		p := NeighborFeature(o, NPPresence)
+		if rng.Intn(2) == 0 {
+			x[p] = 0
+		} else {
+			x[p] = 1
+		}
+	}
+	return x
+}

@@ -1,0 +1,333 @@
+package highway
+
+import (
+	"fmt"
+	"math"
+)
+
+// Feature layout. The predictor input is exactly 84-dimensional, matching
+// the paper's description: (i) ego speed profile, (ii) parameters of the
+// nearest surrounding vehicle for each orientation, (iii) road condition.
+//
+//	[0,12)   ego block: 8 speed-history samples, lateral velocity,
+//	         acceleration, lane index, lane-center offset
+//	[12,76)  8 orientations × 8 neighbor parameters
+//	[76,84)  road condition block
+//
+// Every feature is normalized to [0,1]; the normalization constants below
+// are part of the public contract because verification regions and
+// traceability reports are phrased in terms of them.
+const (
+	// EgoHistLen is the number of speed-history samples in the ego block.
+	EgoHistLen = 8
+	// EgoBlockLen is the total width of the ego block.
+	EgoBlockLen = EgoHistLen + 4
+	// NumOrientations is the number of sensed neighbor slots.
+	NumOrientations = 8
+	// NumNeighborParams is the number of features per neighbor slot.
+	NumNeighborParams = 8
+	// RoadBlockLen is the width of the road-condition block.
+	RoadBlockLen = 8
+	// FeatureDim is the full input dimension (84, as in the paper).
+	FeatureDim = EgoBlockLen + NumOrientations*NumNeighborParams + RoadBlockLen
+)
+
+// Orientation identifies one sensed neighbor slot around the ego vehicle.
+type Orientation int
+
+// Orientations, counted clockwise from the left neighbor. "Left" means
+// alongside in the adjacent left lane — the slot the safety property
+// quantifies over.
+const (
+	Left Orientation = iota
+	FrontLeft
+	Front
+	FrontRight
+	Right
+	RearRight
+	Rear
+	RearLeft
+)
+
+// String returns the orientation name.
+func (o Orientation) String() string {
+	switch o {
+	case Left:
+		return "left"
+	case FrontLeft:
+		return "front-left"
+	case Front:
+		return "front"
+	case FrontRight:
+		return "front-right"
+	case Right:
+		return "right"
+	case RearRight:
+		return "rear-right"
+	case Rear:
+		return "rear"
+	case RearLeft:
+		return "rear-left"
+	}
+	return fmt.Sprintf("Orientation(%d)", int(o))
+}
+
+// NeighborParam identifies one feature within a neighbor slot.
+type NeighborParam int
+
+// Neighbor slot parameters.
+const (
+	// NPPresence is 1 when a vehicle occupies the slot within sensor range.
+	NPPresence NeighborParam = iota
+	// NPGap is the normalized bumper distance (0 = touching, 1 = out of range).
+	NPGap
+	// NPClosing is the normalized closing speed (rate the gap shrinks).
+	NPClosing
+	// NPRelSpeed is the normalized speed difference (other − ego).
+	NPRelSpeed
+	// NPLatOffset is the neighbor's lane-change progress.
+	NPLatOffset
+	// NPLength is the normalized vehicle length.
+	NPLength
+	// NPSpeed is the neighbor's normalized absolute speed.
+	NPSpeed
+	// NPHeadway is the normalized time headway to the neighbor.
+	NPHeadway
+)
+
+// Normalization constants (public contract of the feature encoding).
+const (
+	// MaxSpeed normalizes absolute speeds (m/s).
+	MaxSpeed = 45.0
+	// SensorRange is the forward/backward sensing distance (m).
+	SensorRange = 100.0
+	// MaxRelSpeed bounds speed differences at ±MaxRelSpeed (m/s).
+	MaxRelSpeed = 20.0
+	// MaxLatVel bounds lateral velocity at ±MaxLatVel (m/s).
+	MaxLatVel = 3.0
+	// AccelLo and AccelHi bound longitudinal acceleration (m/s²).
+	AccelLo = -9.0
+	AccelHi = 4.0
+	// MaxVehLen normalizes vehicle lengths (m).
+	MaxVehLen = 20.0
+	// MaxHeadway caps time headway (s).
+	MaxHeadway = 10.0
+	// MaxLanes normalizes the lane count.
+	MaxLanes = 6.0
+	// MaxCurvature normalizes road curvature (1/m).
+	MaxCurvature = 0.01
+	// MaxLaneWidth normalizes lane width (m).
+	MaxLaneWidth = 5.0
+	// MaxDensity normalizes vehicle density (veh/km/lane).
+	MaxDensity = 50.0
+)
+
+// Ego block feature indices.
+const (
+	// EgoLatVel indexes the ego's current lateral velocity.
+	EgoLatVel = EgoHistLen
+	// EgoAccel indexes the ego's longitudinal acceleration.
+	EgoAccel = EgoHistLen + 1
+	// EgoLane indexes the normalized ego lane.
+	EgoLane = EgoHistLen + 2
+	// EgoLaneOffset indexes the ego's lane-center offset.
+	EgoLaneOffset = EgoHistLen + 3
+)
+
+// NeighborFeature returns the global feature index of (orientation, param).
+func NeighborFeature(o Orientation, p NeighborParam) int {
+	return EgoBlockLen + int(o)*NumNeighborParams + int(p)
+}
+
+// Road block feature indices.
+const (
+	RoadLanes = EgoBlockLen + NumOrientations*NumNeighborParams + iota
+	RoadSpeedLimit
+	RoadCurvature
+	RoadFriction
+	RoadLaneWidth
+	RoadShoulderLeft
+	RoadShoulderRight
+	RoadDensity
+)
+
+// FeatureNames returns the 84 human-readable feature names in index order —
+// the vocabulary of the traceability reports (Sec. II (A)).
+func FeatureNames() []string {
+	names := make([]string, 0, FeatureDim)
+	for i := 0; i < EgoHistLen; i++ {
+		names = append(names, fmt.Sprintf("ego.speed[t-%d]", EgoHistLen-1-i))
+	}
+	names = append(names, "ego.lat_vel", "ego.accel", "ego.lane", "ego.lane_offset")
+	params := []string{"presence", "gap", "closing", "rel_speed", "lat_offset", "length", "speed", "headway"}
+	for o := Orientation(0); o < NumOrientations; o++ {
+		for _, p := range params {
+			names = append(names, fmt.Sprintf("nbr.%s.%s", o, p))
+		}
+	}
+	names = append(names,
+		"road.lanes", "road.speed_limit", "road.curvature", "road.friction",
+		"road.lane_width", "road.shoulder_left", "road.shoulder_right", "road.density")
+	return names
+}
+
+func norm01(v, lo, hi float64) float64 {
+	if hi <= lo {
+		return 0
+	}
+	x := (v - lo) / (hi - lo)
+	return math.Max(0, math.Min(1, x))
+}
+
+// Neighbor is one sensed vehicle relative to the ego.
+type Neighbor struct {
+	Present   bool
+	Gap       float64 // bumper distance, m (0 when alongside/overlapping)
+	RelSpeed  float64 // other − ego, m/s
+	Closing   float64 // rate the gap shrinks, m/s (positive = approaching)
+	LatOffset float64 // neighbor's lane-change progress, 0..1
+	Length    float64
+	Speed     float64
+	Headway   float64 // gap / ego speed, s
+}
+
+// Observation is the full sensor picture around the ego vehicle.
+type Observation struct {
+	Ego       *Vehicle
+	Neighbors [NumOrientations]Neighbor
+	Road      RoadCondition
+}
+
+// Observe builds the sensor observation for the ego vehicle.
+func (s *Sim) Observe(ego *Vehicle) *Observation {
+	obs := &Observation{Ego: ego, Road: s.Road}
+	left, right := ego.Lane+1, ego.Lane-1
+
+	fill := func(o Orientation, w *Vehicle, gap float64) {
+		if w == nil || gap > SensorRange {
+			return
+		}
+		n := &obs.Neighbors[o]
+		n.Present = true
+		n.Gap = math.Max(0, gap)
+		n.RelSpeed = w.Speed - ego.Speed
+		n.LatOffset = w.LatOffset
+		n.Length = w.Length
+		n.Speed = w.Speed
+		if ego.Speed > 0.1 {
+			n.Headway = n.Gap / ego.Speed
+		} else {
+			n.Headway = MaxHeadway
+		}
+		switch o {
+		case Front, FrontLeft, FrontRight:
+			n.Closing = ego.Speed - w.Speed
+		case Rear, RearLeft, RearRight:
+			n.Closing = w.Speed - ego.Speed
+		default: // alongside: closing is lateral, approximate with 0
+			n.Closing = 0
+		}
+	}
+
+	if lead := s.leaderIn(ego, ego.Lane); lead != nil {
+		fill(Front, lead, s.gapTo(ego, lead))
+	}
+	if fol := s.followerIn(ego, ego.Lane); fol != nil {
+		fill(Rear, fol, s.gapTo(fol, ego))
+	}
+	if left < s.Road.Lanes {
+		s.fillSide(obs, ego, left, Left, FrontLeft, RearLeft, fill)
+	}
+	if right >= 0 {
+		s.fillSide(obs, ego, right, Right, FrontRight, RearRight, fill)
+	}
+	return obs
+}
+
+// fillSide senses one adjacent lane: the alongside slot plus ahead/behind.
+func (s *Sim) fillSide(obs *Observation, ego *Vehicle, lane int, side, frontO, rearO Orientation, fill func(Orientation, *Vehicle, float64)) {
+	// Alongside: nearest overlap within the window.
+	var alongside *Vehicle
+	bestAbs := AlongsideWindow
+	for _, w := range s.Vehicles {
+		if w == ego || w.Lane != lane {
+			continue
+		}
+		fwd := math.Mod(w.Pos-ego.Pos+s.Length, s.Length)
+		d := math.Min(fwd, s.Length-fwd)
+		if d <= bestAbs {
+			alongside, bestAbs = w, d
+		}
+	}
+	if alongside != nil {
+		fill(side, alongside, 0)
+	}
+	if lead := s.leaderIn(ego, lane); lead != nil && lead != alongside {
+		fill(frontO, lead, s.gapTo(ego, lead))
+	}
+	if fol := s.followerIn(ego, lane); fol != nil && fol != alongside {
+		fill(rearO, fol, s.gapTo(fol, ego))
+	}
+}
+
+// Encode renders the observation as the 84-dimensional normalized feature
+// vector consumed by the predictor.
+func (obs *Observation) Encode() []float64 {
+	x := make([]float64, FeatureDim)
+	hist := obs.Ego.SpeedHistory(EgoHistLen)
+	for i, v := range hist {
+		x[i] = norm01(v, 0, MaxSpeed)
+	}
+	x[EgoLatVel] = norm01(obs.Ego.LatVel, -MaxLatVel, MaxLatVel)
+	x[EgoAccel] = norm01(obs.Ego.Accel, AccelLo, AccelHi)
+	x[EgoLane] = norm01(float64(obs.Ego.Lane), 0, MaxLanes-1)
+	x[EgoLaneOffset] = norm01(obs.Ego.LatOffset, 0, 1)
+
+	for o := Orientation(0); o < NumOrientations; o++ {
+		n := obs.Neighbors[o]
+		base := func(p NeighborParam) int { return NeighborFeature(o, p) }
+		if !n.Present {
+			// Absent: presence 0, gap saturated at max, neutral speeds.
+			x[base(NPPresence)] = 0
+			x[base(NPGap)] = 1
+			x[base(NPClosing)] = 0.5
+			x[base(NPRelSpeed)] = 0.5
+			x[base(NPHeadway)] = 1
+			continue
+		}
+		x[base(NPPresence)] = 1
+		x[base(NPGap)] = norm01(n.Gap, 0, SensorRange)
+		x[base(NPClosing)] = norm01(n.Closing, -MaxRelSpeed, MaxRelSpeed)
+		x[base(NPRelSpeed)] = norm01(n.RelSpeed, -MaxRelSpeed, MaxRelSpeed)
+		x[base(NPLatOffset)] = norm01(n.LatOffset, 0, 1)
+		x[base(NPLength)] = norm01(n.Length, 0, MaxVehLen)
+		x[base(NPSpeed)] = norm01(n.Speed, 0, MaxSpeed)
+		x[base(NPHeadway)] = norm01(n.Headway, 0, MaxHeadway)
+	}
+
+	x[RoadLanes] = norm01(float64(obs.Road.Lanes), 0, MaxLanes)
+	x[RoadSpeedLimit] = norm01(obs.Road.SpeedLimit, 0, MaxSpeed)
+	x[RoadCurvature] = norm01(obs.Road.Curvature, -MaxCurvature, MaxCurvature)
+	x[RoadFriction] = norm01(obs.Road.Friction, 0, 1)
+	x[RoadLaneWidth] = norm01(obs.Road.LaneWidth, 0, MaxLaneWidth)
+	if obs.Road.ShoulderLeft {
+		x[RoadShoulderLeft] = 1
+	}
+	if obs.Road.ShoulderRight {
+		x[RoadShoulderRight] = 1
+	}
+	x[RoadDensity] = norm01(obs.Road.Density, 0, MaxDensity)
+	return x
+}
+
+// LeftOccupied reports whether the observation's left slot is occupied —
+// the precondition of the paper's safety property.
+func (obs *Observation) LeftOccupied() bool {
+	return obs.Neighbors[Left].Present
+}
+
+// LeftOccupiedInFeatures reports the same predicate directly on an encoded
+// feature vector (used by data validation and the hints loss).
+func LeftOccupiedInFeatures(x []float64) bool {
+	return x[NeighborFeature(Left, NPPresence)] > 0.5
+}

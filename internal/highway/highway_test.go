@@ -1,0 +1,362 @@
+package highway
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func newTestSim(t *testing.T, cfg Config) *Sim {
+	t.Helper()
+	s, err := NewSim(cfg)
+	if err != nil {
+		t.Fatalf("NewSim: %v", err)
+	}
+	return s
+}
+
+func TestIDMFreeRoadAcceleratesTowardsDesired(t *testing.T) {
+	p := DefaultIDM()
+	if a := p.Accel(p.DesiredSpeed/2, math.Inf(1), 0); a <= 0 {
+		t.Fatalf("half speed on free road should accelerate, got %g", a)
+	}
+	if a := p.Accel(p.DesiredSpeed, math.Inf(1), 0); math.Abs(a) > 1e-9 {
+		t.Fatalf("at desired speed acceleration should vanish, got %g", a)
+	}
+	if a := p.Accel(p.DesiredSpeed*1.2, math.Inf(1), 0); a >= 0 {
+		t.Fatalf("above desired speed should decelerate, got %g", a)
+	}
+}
+
+func TestIDMBrakesWhenClosingFast(t *testing.T) {
+	p := DefaultIDM()
+	// 30 m/s, leader 20 m ahead and 10 m/s slower: hard braking expected.
+	if a := p.Accel(30, 20, 10); a > -1 {
+		t.Fatalf("closing fast should brake hard, got %g", a)
+	}
+	if a := p.Accel(30, 0.05, 0); a != -9 {
+		t.Fatalf("bumper contact should emergency-brake, got %g", a)
+	}
+}
+
+func TestNewSimValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Road.Lanes = 0
+	if _, err := NewSim(cfg); err == nil {
+		t.Fatal("zero lanes accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.Length = 50
+	if _, err := NewSim(cfg); err == nil {
+		t.Fatal("tiny road accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.NumVehicles = 500
+	if _, err := NewSim(cfg); err == nil {
+		t.Fatal("overcrowded road accepted")
+	}
+}
+
+func TestSimNoCollisionsLongRun(t *testing.T) {
+	s := newTestSim(t, DefaultConfig())
+	for i := 0; i < 2000; i++ {
+		s.Step(0.25)
+		if bad := s.CollisionCheck(); len(bad) != 0 {
+			t.Fatalf("collision at step %d: %v", i, bad)
+		}
+	}
+}
+
+func TestSimSpeedsStayReasonable(t *testing.T) {
+	s := newTestSim(t, DefaultConfig())
+	s.Run(1500, 0.25)
+	for _, v := range s.Vehicles {
+		if v.Speed < 0 || v.Speed > MaxSpeed {
+			t.Fatalf("%v speed out of range", v)
+		}
+		if v.Lane < 0 || v.Lane >= s.Road.Lanes {
+			t.Fatalf("%v lane out of range", v)
+		}
+	}
+}
+
+func TestLaneChangesHappen(t *testing.T) {
+	// With jittered desired speeds on a ring road, overtaking must occur.
+	cfg := DefaultConfig()
+	cfg.SpeedJitter = 0.35
+	s := newTestSim(t, cfg)
+	changes := 0
+	lanes := make([]int, len(s.Vehicles))
+	for i, v := range s.Vehicles {
+		lanes[i] = v.Lane
+	}
+	for step := 0; step < 2400; step++ {
+		s.Step(0.25)
+		for i, v := range s.Vehicles {
+			if v.Lane != lanes[i] {
+				changes++
+				lanes[i] = v.Lane
+			}
+		}
+	}
+	if changes == 0 {
+		t.Fatal("no lane change in 10 simulated minutes of mixed-speed traffic")
+	}
+}
+
+// TestSafeDriverNeverMovesLeftWhenLeftOccupied is the data-side guarantee
+// the paper's Sec. II (C) demands: the behaviour that generates training
+// data must itself respect the safety property.
+func TestSafeDriverNeverMovesLeftWhenLeftOccupied(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumVehicles = 30
+	cfg.SpeedJitter = 0.35
+	s := newTestSim(t, cfg)
+	for step := 0; step < 2000; step++ {
+		// Check the decision *before* stepping: no vehicle with an occupied
+		// left slot may begin a left lane change this step.
+		type egoState struct {
+			occupied bool
+			lane     int
+			changing bool
+		}
+		states := make([]egoState, len(s.Vehicles))
+		for i, v := range s.Vehicles {
+			states[i] = egoState{
+				occupied: s.occupiedAlongside(v, v.Lane+1, AlongsideWindow),
+				lane:     v.Lane,
+				changing: v.Changing(),
+			}
+		}
+		s.Step(0.25)
+		for i, v := range s.Vehicles {
+			st := states[i]
+			if st.changing || !st.occupied {
+				continue
+			}
+			if v.TargetLane > st.lane && v.LatVel > 0 {
+				t.Fatalf("step %d: %v started left change with left occupied", step, v)
+			}
+		}
+	}
+}
+
+func TestObserveFrontNeighbor(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumVehicles = 2
+	s := newTestSim(t, cfg)
+	// Place both vehicles on lane 0, 30 m apart.
+	a, b := s.Vehicles[0], s.Vehicles[1]
+	a.Lane, a.TargetLane, a.Pos, a.Speed = 0, 0, 100, 25
+	b.Lane, b.TargetLane, b.Pos, b.Speed = 0, 0, 100+30+b.Length, 20
+	obs := s.Observe(a)
+	n := obs.Neighbors[Front]
+	if !n.Present {
+		t.Fatal("front neighbor not sensed")
+	}
+	if math.Abs(n.Gap-30) > 1e-9 {
+		t.Fatalf("front gap = %g, want 30", n.Gap)
+	}
+	if math.Abs(n.RelSpeed+5) > 1e-9 {
+		t.Fatalf("rel speed = %g, want -5", n.RelSpeed)
+	}
+	if obs.Neighbors[Left].Present || obs.Neighbors[Right].Present {
+		t.Fatal("phantom side neighbors")
+	}
+}
+
+func TestObserveLeftAlongside(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumVehicles = 2
+	s := newTestSim(t, cfg)
+	a, b := s.Vehicles[0], s.Vehicles[1]
+	a.Lane, a.TargetLane, a.Pos = 0, 0, 200
+	b.Lane, b.TargetLane, b.Pos = 1, 1, 203 // within AlongsideWindow
+	obs := s.Observe(a)
+	if !obs.LeftOccupied() {
+		t.Fatal("left alongside not sensed")
+	}
+	x := obs.Encode()
+	if !LeftOccupiedInFeatures(x) {
+		t.Fatal("feature encoding lost left occupancy")
+	}
+}
+
+func TestObserveBeyondSensorRange(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumVehicles = 2
+	cfg.Length = 1000
+	s := newTestSim(t, cfg)
+	a, b := s.Vehicles[0], s.Vehicles[1]
+	a.Lane, a.TargetLane, a.Pos = 0, 0, 0
+	b.Lane, b.TargetLane, b.Pos = 0, 0, 400 // far beyond SensorRange
+	obs := s.Observe(a)
+	if obs.Neighbors[Front].Present && obs.Neighbors[Front].Gap > SensorRange {
+		t.Fatal("sensed beyond range")
+	}
+}
+
+func TestEncodeDimensionAndRange(t *testing.T) {
+	s := newTestSim(t, DefaultConfig())
+	s.Run(200, 0.25)
+	for _, v := range s.Vehicles[:5] {
+		x := s.Observe(v).Encode()
+		if len(x) != FeatureDim {
+			t.Fatalf("feature dim %d, want %d", len(x), FeatureDim)
+		}
+		for i, f := range x {
+			if f < 0 || f > 1 || math.IsNaN(f) {
+				t.Fatalf("feature %d = %g outside [0,1]", i, f)
+			}
+		}
+	}
+}
+
+func TestFeatureDimIs84(t *testing.T) {
+	if FeatureDim != 84 {
+		t.Fatalf("FeatureDim = %d, the paper's predictor has 84 inputs", FeatureDim)
+	}
+	names := FeatureNames()
+	if len(names) != 84 {
+		t.Fatalf("len(FeatureNames()) = %d", len(names))
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate feature name %q", n)
+		}
+		seen[n] = true
+	}
+	if names[NeighborFeature(Left, NPPresence)] != "nbr.left.presence" {
+		t.Fatalf("left presence name = %q", names[NeighborFeature(Left, NPPresence)])
+	}
+	if names[EgoLatVel] != "ego.lat_vel" {
+		t.Fatalf("ego latvel name = %q", names[EgoLatVel])
+	}
+}
+
+func TestSpeedHistory(t *testing.T) {
+	v := &Vehicle{Speed: 10}
+	h := v.SpeedHistory(4)
+	for _, s := range h {
+		if s != 10 {
+			t.Fatalf("empty history should pad with current speed: %v", h)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		v.Speed = float64(i)
+		v.pushSpeed(8)
+	}
+	h = v.SpeedHistory(3)
+	if h[0] != 3 || h[1] != 4 || h[2] != 5 {
+		t.Fatalf("history = %v, want [3 4 5]", h)
+	}
+	h = v.SpeedHistory(8)
+	if h[0] != 0 || h[7] != 5 {
+		t.Fatalf("padded history = %v", h)
+	}
+}
+
+func TestGenerateDataset(t *testing.T) {
+	cfg := DefaultDatasetConfig()
+	cfg.Episodes = 2
+	cfg.StepsPerEpisode = 60
+	data, err := GenerateDataset(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("no samples generated")
+	}
+	for i, s := range data {
+		if len(s.X) != FeatureDim || len(s.Y) != 2 {
+			t.Fatalf("sample %d dims %d/%d", i, len(s.X), len(s.Y))
+		}
+		// Property holds in the data: left occupied => no positive latvel.
+		if LeftOccupiedInFeatures(s.X) && s.Y[0] > 1e-9 {
+			t.Fatalf("sample %d violates safety property: latvel %g with left occupied", i, s.Y[0])
+		}
+	}
+}
+
+func TestGenerateDatasetDeterministic(t *testing.T) {
+	cfg := DefaultDatasetConfig()
+	cfg.Episodes = 1
+	cfg.StepsPerEpisode = 40
+	a, err := GenerateDataset(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateDataset(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		for j := range a[i].X {
+			if a[i].X[j] != b[i].X[j] {
+				t.Fatalf("sample %d feature %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateDatasetValidation(t *testing.T) {
+	cfg := DefaultDatasetConfig()
+	cfg.Dt = 0
+	if _, err := GenerateDataset(cfg); err == nil {
+		t.Fatal("dt=0 accepted")
+	}
+	cfg = DefaultDatasetConfig()
+	cfg.Episodes = 0
+	if _, err := GenerateDataset(cfg); err == nil {
+		t.Fatal("0 episodes accepted")
+	}
+}
+
+func TestRandomFeatureVector(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := RandomFeatureVector(rng)
+	if len(x) != FeatureDim {
+		t.Fatalf("dim %d", len(x))
+	}
+	for o := Orientation(0); o < NumOrientations; o++ {
+		p := x[NeighborFeature(o, NPPresence)]
+		if p != 0 && p != 1 {
+			t.Fatalf("presence %v not boolean: %g", o, p)
+		}
+	}
+}
+
+func TestRenderContainsEgoAndLanes(t *testing.T) {
+	s := newTestSim(t, DefaultConfig())
+	s.Run(40, 0.25)
+	out := s.Render(s.Vehicles[0], 200, 60)
+	if !strings.Contains(out, "E") {
+		t.Fatal("ego marker missing from render")
+	}
+	if !strings.Contains(out, "lane 0") || !strings.Contains(out, "lane 2") {
+		t.Fatal("lane rows missing")
+	}
+}
+
+func TestDescribeObservation(t *testing.T) {
+	s := newTestSim(t, DefaultConfig())
+	s.Run(40, 0.25)
+	desc := DescribeObservation(s.Observe(s.Vehicles[0]))
+	if !strings.Contains(desc, "ego:") || !strings.Contains(desc, "front") {
+		t.Fatalf("description incomplete:\n%s", desc)
+	}
+}
+
+func TestOrientationStrings(t *testing.T) {
+	want := []string{"left", "front-left", "front", "front-right", "right", "rear-right", "rear", "rear-left"}
+	for o := Orientation(0); o < NumOrientations; o++ {
+		if o.String() != want[o] {
+			t.Fatalf("orientation %d = %q, want %q", o, o.String(), want[o])
+		}
+	}
+}

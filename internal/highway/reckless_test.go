@@ -1,0 +1,67 @@
+package highway
+
+import (
+	"testing"
+)
+
+// recklessDatasetConfig builds a fleet with many reckless drivers at high
+// density so unsafe cut-ins actually happen.
+func recklessDatasetConfig() DatasetConfig {
+	cfg := DefaultDatasetConfig()
+	cfg.Sim.RecklessFraction = 0.7
+	cfg.Sim.NumVehicles = 36
+	cfg.Sim.SpeedJitter = 0.4
+	cfg.Episodes = 4
+	cfg.StepsPerEpisode = 300
+	return cfg
+}
+
+// TestRecklessFleetProducesPropertyViolations checks that reckless drivers
+// generate exactly the risky data Sec. II (C) validation exists to catch:
+// samples commanding a left move while the sensed left slot is occupied.
+func TestRecklessFleetProducesPropertyViolations(t *testing.T) {
+	data, err := GenerateDataset(recklessDatasetConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	violations := 0
+	for _, s := range data {
+		if LeftOccupiedInFeatures(s.X) && s.Y[0] > 1e-9 {
+			violations++
+		}
+	}
+	if violations == 0 {
+		t.Fatal("reckless fleet produced no property-violating samples; data validation has nothing to catch")
+	}
+}
+
+// TestRecklessFleetStillCollisionFree: reckless ≠ suicidal — cut-ins are
+// harsh but the physical gap checks still hold, so the simulator invariant
+// survives.
+func TestRecklessFleetStillCollisionFree(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RecklessFraction = 0.7
+	cfg.NumVehicles = 30
+	s, err := NewSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1500; i++ {
+		s.Step(0.25)
+		if bad := s.CollisionCheck(); len(bad) != 0 {
+			t.Fatalf("collision at step %d: %v", i, bad)
+		}
+	}
+}
+
+func TestRecklessFractionZeroMeansNone(t *testing.T) {
+	s, err := NewSim(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range s.Vehicles {
+		if v.Reckless {
+			t.Fatal("default config spawned a reckless driver")
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package highway
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render draws a window of the highway as ASCII art, one row per lane with
+// the leftmost lane on top (the textual analogue of the left half of the
+// paper's Fig. 1). The ego vehicle is drawn as 'E', others as their ID's
+// last digit; '>' marks a vehicle mid lane-change.
+func (s *Sim) Render(ego *Vehicle, window float64, cols int) string {
+	if cols < 10 {
+		cols = 10
+	}
+	var b strings.Builder
+	center := 0.0
+	if ego != nil {
+		center = ego.Pos
+	}
+	half := window / 2
+	fmt.Fprintf(&b, "t=%6.1fs  road: %d lanes, limit %.0f m/s\n", s.Time, s.Road.Lanes, s.Road.SpeedLimit)
+	for lane := s.Road.Lanes - 1; lane >= 0; lane-- {
+		row := make([]byte, cols)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, v := range s.Vehicles {
+			if v.Lane != lane {
+				continue
+			}
+			// Signed offset from the window center along the ring.
+			d := v.Pos - center
+			for d > s.Length/2 {
+				d -= s.Length
+			}
+			for d < -s.Length/2 {
+				d += s.Length
+			}
+			if d < -half || d > half {
+				continue
+			}
+			col := int((d + half) / window * float64(cols-1))
+			ch := byte('0' + v.ID%10)
+			if v == ego {
+				ch = 'E'
+			} else if v.Changing() {
+				ch = '>'
+			}
+			row[col] = ch
+		}
+		fmt.Fprintf(&b, "lane %d |%s|\n", lane, string(row))
+	}
+	return b.String()
+}
+
+// DescribeObservation renders a compact textual sensor summary.
+func DescribeObservation(obs *Observation) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ego: lane %d, %.1f m/s, latvel %.2f\n", obs.Ego.Lane, obs.Ego.Speed, obs.Ego.LatVel)
+	for o := Orientation(0); o < NumOrientations; o++ {
+		n := obs.Neighbors[o]
+		if !n.Present {
+			fmt.Fprintf(&b, "  %-11s —\n", o)
+			continue
+		}
+		fmt.Fprintf(&b, "  %-11s gap %5.1fm  rel %+5.1f m/s\n", o, n.Gap, n.RelSpeed)
+	}
+	return b.String()
+}

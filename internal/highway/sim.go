@@ -1,0 +1,346 @@
+package highway
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// RoadCondition captures the static context features of the scenario.
+type RoadCondition struct {
+	Lanes         int     // number of lanes
+	SpeedLimit    float64 // m/s
+	Curvature     float64 // 1/m, 0 = straight
+	Friction      float64 // 0..1, 1 = dry asphalt
+	LaneWidth     float64 // m
+	ShoulderLeft  bool
+	ShoulderRight bool
+	Density       float64 // vehicles per km per lane (as spawned)
+}
+
+// DefaultRoad returns a dry three-lane highway.
+func DefaultRoad() RoadCondition {
+	return RoadCondition{
+		Lanes:         3,
+		SpeedLimit:    33.3, // 120 km/h
+		Curvature:     0,
+		Friction:      1,
+		LaneWidth:     3.5,
+		ShoulderLeft:  false,
+		ShoulderRight: true,
+		Density:       12,
+	}
+}
+
+// Config describes a simulation to construct.
+type Config struct {
+	Road        RoadCondition
+	Length      float64 // ring-road length in meters
+	NumVehicles int
+	Seed        int64
+	// SpeedJitter randomizes desired speeds by ±fraction.
+	SpeedJitter float64
+	// RecklessFraction is the probability a spawned vehicle drives
+	// recklessly (cutting into occupied slots). Zero for the safe fleet.
+	RecklessFraction float64
+}
+
+// DefaultConfig returns a medium-density three-lane scenario.
+func DefaultConfig() Config {
+	return Config{
+		Road:        DefaultRoad(),
+		Length:      1000,
+		NumVehicles: 24,
+		Seed:        1,
+		SpeedJitter: 0.2,
+	}
+}
+
+// Sim is a ring-road multi-lane traffic simulation.
+type Sim struct {
+	Road     RoadCondition
+	Length   float64
+	Vehicles []*Vehicle
+	Time     float64
+	rng      *rand.Rand
+	// speedHistLen controls how much per-vehicle speed history is kept
+	// (the feature encoder needs EgoHistLen entries).
+	speedHistLen int
+}
+
+// NewSim builds and populates a simulation. Vehicles are placed uniformly
+// with jittered speeds; initial placement guarantees a minimum gap.
+func NewSim(cfg Config) (*Sim, error) {
+	if cfg.Road.Lanes < 1 {
+		return nil, fmt.Errorf("highway: need at least one lane, got %d", cfg.Road.Lanes)
+	}
+	if cfg.Length < 100 {
+		return nil, fmt.Errorf("highway: road length %.1f too short", cfg.Length)
+	}
+	perLane := int(math.Ceil(float64(cfg.NumVehicles) / float64(cfg.Road.Lanes)))
+	minSpacing := cfg.Length / float64(perLane+1)
+	if minSpacing < 12 {
+		return nil, fmt.Errorf("highway: %d vehicles will not fit on %d lanes of %.0fm", cfg.NumVehicles, cfg.Road.Lanes, cfg.Length)
+	}
+	s := &Sim{
+		Road:         cfg.Road,
+		Length:       cfg.Length,
+		rng:          rand.New(rand.NewSource(cfg.Seed)),
+		speedHistLen: EgoHistLen,
+	}
+	for i := 0; i < cfg.NumVehicles; i++ {
+		lane := i % cfg.Road.Lanes
+		slot := i / cfg.Road.Lanes
+		idm := DefaultIDM()
+		idm.DesiredSpeed = cfg.Road.SpeedLimit * (1 + cfg.SpeedJitter*(2*s.rng.Float64()-1))
+		v := &Vehicle{
+			ID:         i,
+			Pos:        math.Mod(float64(slot)*minSpacing+s.rng.Float64()*minSpacing*0.3, cfg.Length),
+			Speed:      idm.DesiredSpeed * (0.8 + 0.2*s.rng.Float64()),
+			Lane:       lane,
+			TargetLane: lane,
+			Length:     4.5,
+			Reckless:   s.rng.Float64() < cfg.RecklessFraction,
+			IDM:        idm,
+			MOBIL:      DefaultMOBIL(),
+		}
+		s.Vehicles = append(s.Vehicles, v)
+	}
+	return s, nil
+}
+
+// gapTo returns the bumper-to-bumper distance from v forward to w along the
+// ring (always in [0, Length)).
+func (s *Sim) gapTo(v, w *Vehicle) float64 {
+	d := math.Mod(w.Pos-v.Pos+s.Length, s.Length)
+	return d - w.Length
+}
+
+// occupiesLane reports whether w occupies the given lane: its physical lane,
+// or — while mid lane-change — also its target lane. Treating a merging
+// vehicle as present in both lanes makes followers brake for it and
+// prevents merge collisions.
+func occupiesLane(w *Vehicle, lane int) bool {
+	return w.Lane == lane || (w.Changing() && w.TargetLane == lane)
+}
+
+// leaderIn returns the nearest vehicle ahead of v in the given lane
+// (excluding v itself), or nil when the lane is empty.
+func (s *Sim) leaderIn(v *Vehicle, lane int) *Vehicle {
+	var best *Vehicle
+	bestD := math.Inf(1)
+	for _, w := range s.Vehicles {
+		if w == v || !occupiesLane(w, lane) {
+			continue
+		}
+		d := math.Mod(w.Pos-v.Pos+s.Length, s.Length)
+		if d > 0 && d < bestD {
+			best, bestD = w, d
+		}
+	}
+	return best
+}
+
+// followerIn returns the nearest vehicle behind v in the given lane.
+func (s *Sim) followerIn(v *Vehicle, lane int) *Vehicle {
+	var best *Vehicle
+	bestD := math.Inf(1)
+	for _, w := range s.Vehicles {
+		if w == v || !occupiesLane(w, lane) {
+			continue
+		}
+		d := math.Mod(v.Pos-w.Pos+s.Length, s.Length)
+		if d > 0 && d < bestD {
+			best, bestD = w, d
+		}
+	}
+	return best
+}
+
+// accelTowards computes v's IDM acceleration if it drove in `lane`.
+func (s *Sim) accelTowards(v *Vehicle, lane int) float64 {
+	lead := s.leaderIn(v, lane)
+	if lead == nil {
+		return v.IDM.Accel(v.Speed, math.Inf(1), 0)
+	}
+	return v.IDM.Accel(v.Speed, s.gapTo(v, lead), v.Speed-lead.Speed)
+}
+
+// laneChangeSafe checks MOBIL's safety criterion: the would-be follower in
+// the target lane must not need to brake harder than SafeBraking, and a
+// minimum physical gap must exist both ways. Reckless drivers use a much
+// smaller alongside margin and impose near-emergency braking on others —
+// enough to produce property-violating data without physical collisions.
+func (s *Sim) laneChangeSafe(v *Vehicle, lane int) bool {
+	if lane < 0 || lane >= s.Road.Lanes {
+		return false
+	}
+	window := AlongsideWindow
+	braking := v.MOBIL.SafeBraking
+	if v.Reckless {
+		window = recklessWindow
+		braking = 8
+	}
+	if s.occupiedAlongside(v, lane, window) {
+		return false
+	}
+	if fol := s.followerIn(v, lane); fol != nil {
+		gap := s.gapTo(fol, v)
+		if gap < fol.IDM.MinGap {
+			return false
+		}
+		a := fol.IDM.Accel(fol.Speed, gap, fol.Speed-v.Speed)
+		if a < -braking {
+			return false
+		}
+	}
+	if lead := s.leaderIn(v, lane); lead != nil {
+		if s.gapTo(v, lead) < v.IDM.MinGap {
+			return false
+		}
+	}
+	return true
+}
+
+// recklessWindow is the reduced alongside margin a reckless driver accepts:
+// well inside AlongsideWindow, so a reckless left change still registers as
+// "left occupied" on the sensor — a recorded property violation.
+const recklessWindow = 5.5
+
+// AlongsideWindow is the longitudinal distance (m) within which a vehicle in
+// an adjacent lane counts as "alongside" — i.e. occupying the neighbor slot
+// the safety property quantifies over.
+const AlongsideWindow = 8.0
+
+// occupiedAlongside reports whether some vehicle in `lane` overlaps v's
+// position within the window.
+func (s *Sim) occupiedAlongside(v *Vehicle, lane int, window float64) bool {
+	for _, w := range s.Vehicles {
+		if w == v || !occupiesLane(w, lane) {
+			continue
+		}
+		fwd := math.Mod(w.Pos-v.Pos+s.Length, s.Length)
+		back := s.Length - fwd
+		if math.Min(fwd, back) <= window {
+			return true
+		}
+	}
+	return false
+}
+
+// mobilDecision returns the lane v's safe driver wants to move to
+// (v.Lane when staying).
+func (s *Sim) mobilDecision(v *Vehicle) int {
+	if v.Changing() {
+		return v.TargetLane
+	}
+	aHere := s.accelTowards(v, v.Lane)
+	best, bestGain := v.Lane, v.MOBIL.Threshold
+	for _, lane := range []int{v.Lane + 1, v.Lane - 1} { // +1 = left
+		if lane < 0 || lane >= s.Road.Lanes {
+			continue
+		}
+		if !s.laneChangeSafe(v, lane) {
+			continue
+		}
+		gain := s.accelTowards(v, lane) - aHere
+		// Politeness: subtract the loss imposed on the new follower.
+		if fol := s.followerIn(v, lane); fol != nil {
+			before := s.accelTowards(fol, fol.Lane)
+			gapAfter := s.gapTo(fol, v)
+			after := fol.IDM.Accel(fol.Speed, gapAfter, fol.Speed-v.Speed)
+			gain -= v.MOBIL.Politeness * (before - after)
+		}
+		if lane < v.Lane {
+			gain += v.MOBIL.BiasRight
+		}
+		if gain > bestGain {
+			best, bestGain = lane, gain
+		}
+	}
+	return best
+}
+
+// Step advances the simulation by dt seconds: every vehicle picks an IDM
+// acceleration and a MOBIL lane decision, then states integrate.
+func (s *Sim) Step(dt float64) {
+	type plan struct {
+		accel float64
+		lane  int
+	}
+	plans := make([]plan, len(s.Vehicles))
+	for i, v := range s.Vehicles {
+		a := s.accelTowards(v, v.Lane)
+		if v.Changing() {
+			// A merging vehicle must satisfy the leaders of both lanes.
+			a = math.Min(a, s.accelTowards(v, v.TargetLane))
+		}
+		plans[i] = plan{accel: a, lane: s.mobilDecision(v)}
+	}
+	for i, v := range s.Vehicles {
+		p := plans[i]
+		v.Accel = p.accel
+		v.Speed = math.Max(0, v.Speed+p.accel*dt)
+		v.Pos = math.Mod(v.Pos+v.Speed*dt+s.Length, s.Length)
+		if p.lane != v.Lane && !v.Changing() {
+			v.TargetLane = p.lane
+		}
+		// Lateral integration: progress towards the target lane.
+		if v.Changing() {
+			dir := 1.0
+			if v.TargetLane < v.Lane {
+				dir = -1
+			}
+			v.LatVel = dir * v.MOBIL.LateralSpeed
+			v.LatOffset += v.MOBIL.LateralSpeed * dt / s.Road.LaneWidth
+			if v.LatOffset >= 1 {
+				v.Lane = v.TargetLane
+				v.LatOffset = 0
+				v.LatVel = 0
+			}
+		} else {
+			v.LatVel = 0
+		}
+		v.pushSpeed(s.speedHistLen)
+	}
+	s.Time += dt
+}
+
+// Run advances the simulation n steps of dt seconds each.
+func (s *Sim) Run(n int, dt float64) {
+	for i := 0; i < n; i++ {
+		s.Step(dt)
+	}
+}
+
+// VehiclesInLane returns the vehicles of one lane ordered by position.
+func (s *Sim) VehiclesInLane(lane int) []*Vehicle {
+	var out []*Vehicle
+	for _, v := range s.Vehicles {
+		if v.Lane == lane {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
+}
+
+// CollisionCheck returns pairs of vehicles in the same lane whose bumpers
+// overlap — the simulator invariant tests assert this stays empty.
+func (s *Sim) CollisionCheck() [][2]int {
+	var bad [][2]int
+	for lane := 0; lane < s.Road.Lanes; lane++ {
+		vs := s.VehiclesInLane(lane)
+		for i := range vs {
+			next := vs[(i+1)%len(vs)]
+			if next == vs[i] {
+				continue
+			}
+			if s.gapTo(vs[i], next) < 0 {
+				bad = append(bad, [2]int{vs[i].ID, next.ID})
+			}
+		}
+	}
+	return bad
+}

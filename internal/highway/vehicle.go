@@ -1,0 +1,136 @@
+// Package highway implements the driving substrate of the case study: a
+// multi-lane highway traffic simulator with IDM longitudinal control and
+// MOBIL-style lane changing, a sensor model that observes the nearest
+// vehicle in eight orientations around the ego vehicle, and the
+// 84-dimensional feature encoding consumed by the motion predictor
+// (the input layout of Lenz et al.'s network as described in the paper:
+// ego speed profile, nearest surrounding vehicles per orientation, and
+// road condition).
+//
+// The paper's training data is proprietary; this simulator is the
+// documented substitution (see DESIGN.md): its safe driver never commands
+// a left lane change while the left neighbor slot is occupied, so datasets
+// generated here satisfy the safety property by construction — exactly the
+// data-validation precondition of Sec. II (C).
+package highway
+
+import (
+	"fmt"
+	"math"
+)
+
+// IDMParams are Intelligent Driver Model parameters for one vehicle.
+type IDMParams struct {
+	DesiredSpeed float64 // v0: free-flow speed (m/s)
+	TimeHeadway  float64 // T: desired time headway (s)
+	MinGap       float64 // s0: jam distance (m)
+	MaxAccel     float64 // a: maximum acceleration (m/s²)
+	ComfortDecel float64 // b: comfortable braking deceleration (m/s², positive)
+}
+
+// DefaultIDM returns typical passenger-car IDM parameters.
+func DefaultIDM() IDMParams {
+	return IDMParams{
+		DesiredSpeed: 30,
+		TimeHeadway:  1.5,
+		MinGap:       2,
+		MaxAccel:     1.5,
+		ComfortDecel: 2,
+	}
+}
+
+// Accel computes the IDM acceleration for a vehicle at speed v following a
+// leader gap meters ahead that travels deltaV slower (deltaV = v − vLead).
+// A non-positive gap yields emergency braking.
+func (p IDMParams) Accel(v, gap, deltaV float64) float64 {
+	free := 1 - math.Pow(v/p.DesiredSpeed, 4)
+	if gap <= 0.1 {
+		return -9 // emergency stop: bumper contact imminent
+	}
+	sStar := p.MinGap + math.Max(0, v*p.TimeHeadway+v*deltaV/(2*math.Sqrt(p.MaxAccel*p.ComfortDecel)))
+	inter := math.Pow(sStar/gap, 2)
+	a := p.MaxAccel * (free - inter)
+	return math.Max(a, -9)
+}
+
+// MOBILParams govern lane-change decisions.
+type MOBILParams struct {
+	Politeness   float64 // p: weight of other drivers' losses
+	Threshold    float64 // Δa: minimum net advantage to bother changing (m/s²)
+	SafeBraking  float64 // b_safe: max deceleration imposed on the new follower
+	BiasRight    float64 // keep-right incentive added when moving right
+	LateralSpeed float64 // commanded lateral speed while changing (m/s)
+}
+
+// DefaultMOBIL returns typical MOBIL parameters.
+func DefaultMOBIL() MOBILParams {
+	return MOBILParams{
+		Politeness:   0.3,
+		Threshold:    0.2,
+		SafeBraking:  3,
+		BiasRight:    0.1,
+		LateralSpeed: 1.2,
+	}
+}
+
+// Vehicle is one simulated vehicle on the ring highway.
+type Vehicle struct {
+	ID     int
+	Pos    float64 // longitudinal position along the road (m), wraps at road length
+	Speed  float64 // longitudinal speed (m/s)
+	Accel  float64 // last applied longitudinal acceleration (m/s²)
+	Lane   int     // current lane index; 0 is rightmost, increasing to the left
+	Length float64 // vehicle length (m)
+
+	// Lateral lane-change state.
+	TargetLane int     // equals Lane when not changing
+	LatOffset  float64 // progress towards TargetLane in [0,1); 0 = centered
+	LatVel     float64 // most recent lateral velocity command (m/s, +left)
+
+	// Reckless drivers cut into occupied neighbor slots (tiny alongside
+	// margin, harsh imposed braking). They exist to generate the *risky*
+	// training data that Sec. II (C) data validation must catch; the
+	// default safe driver never produces it.
+	Reckless bool
+
+	IDM   IDMParams
+	MOBIL MOBILParams
+
+	speedHist []float64 // most recent speeds, newest last
+}
+
+// Changing reports whether the vehicle is mid lane-change.
+func (v *Vehicle) Changing() bool { return v.TargetLane != v.Lane }
+
+// SpeedHistory returns up to n most recent speeds, oldest first, padded at
+// the front with the oldest known value when history is shorter than n.
+func (v *Vehicle) SpeedHistory(n int) []float64 {
+	out := make([]float64, n)
+	h := v.speedHist
+	if len(h) == 0 {
+		for i := range out {
+			out[i] = v.Speed
+		}
+		return out
+	}
+	for i := 0; i < n; i++ {
+		idx := len(h) - n + i
+		if idx < 0 {
+			idx = 0
+		}
+		out[i] = h[idx]
+	}
+	return out
+}
+
+func (v *Vehicle) pushSpeed(maxKeep int) {
+	v.speedHist = append(v.speedHist, v.Speed)
+	if len(v.speedHist) > maxKeep {
+		v.speedHist = v.speedHist[len(v.speedHist)-maxKeep:]
+	}
+}
+
+// String renders a short vehicle summary.
+func (v *Vehicle) String() string {
+	return fmt.Sprintf("veh%d lane=%d pos=%.1f v=%.1f", v.ID, v.Lane, v.Pos, v.Speed)
+}

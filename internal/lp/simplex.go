@@ -1,0 +1,467 @@
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Status reports the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	// Optimal means an optimal basic feasible solution was found.
+	Optimal Status = iota
+	// Infeasible means the constraints admit no point.
+	Infeasible
+	// Unbounded means the objective improves without limit.
+	Unbounded
+	// IterationLimit means the pivot budget was exhausted first.
+	IterationLimit
+)
+
+// String returns a readable status name.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterationLimit:
+		return "iteration-limit"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Solution is the result of a successful or unsuccessful solve.
+type Solution struct {
+	Status     Status
+	Objective  float64   // objective value in the model's own direction
+	X          []float64 // one value per model variable (valid when Optimal)
+	Iterations int       // total simplex pivots across both phases
+}
+
+// Options tune the solver. The zero value selects sensible defaults.
+type Options struct {
+	// MaxIterations bounds total pivots; 0 means 400*(rows+cols)+20000.
+	MaxIterations int
+	// Tol is the feasibility/optimality tolerance; 0 means 1e-7.
+	Tol float64
+}
+
+// ErrBadModel is returned for structurally unusable models
+// (e.g. a variable with lower > upper introduced via direct mutation).
+var ErrBadModel = errors.New("lp: malformed model")
+
+const (
+	pivotTol       = 1e-9
+	defaultTol     = 1e-7
+	refreshPeriod  = 512 // pivots between reduced-cost refreshes
+	blandTrigger   = 4   // multiples of (m+n) before Bland's rule engages
+	artificialBase = "artificial"
+)
+
+type varStatus int8
+
+const (
+	atLower varStatus = iota
+	atUpper
+	free
+	basic
+)
+
+// tableau is the working state of a solve.
+type tableau struct {
+	m, nStruct, nTotal int
+	t                  [][]float64 // m × nTotal working tableau (B⁻¹A)
+	lower, upper       []float64   // bounds per column
+	cost               []float64   // current phase costs per column
+	d                  []float64   // reduced costs per column
+	x                  []float64   // current value per column
+	status             []varStatus
+	basis              []int // column basic in each row
+	iters              int
+	maxIters           int
+	tol                float64
+}
+
+// Solve optimizes the model and returns a solution.
+// The model is not mutated.
+func Solve(m *Model, opts Options) (*Solution, error) {
+	tol := opts.Tol
+	if tol <= 0 {
+		tol = defaultTol
+	}
+	for _, v := range m.vars {
+		if v.Lower > v.Upper || math.IsNaN(v.Lower) || math.IsNaN(v.Upper) {
+			return nil, ErrBadModel
+		}
+	}
+
+	nStruct := len(m.vars)
+	rows := len(m.cons)
+	nTotal := nStruct + 2*rows // slacks + artificials
+	tb := &tableau{
+		m:       rows,
+		nStruct: nStruct,
+		nTotal:  nTotal,
+		lower:   make([]float64, nTotal),
+		upper:   make([]float64, nTotal),
+		cost:    make([]float64, nTotal),
+		d:       make([]float64, nTotal),
+		x:       make([]float64, nTotal),
+		status:  make([]varStatus, nTotal),
+		basis:   make([]int, rows),
+		tol:     tol,
+	}
+	tb.maxIters = opts.MaxIterations
+	if tb.maxIters <= 0 {
+		tb.maxIters = 400*(rows+nTotal) + 20000
+	}
+
+	tb.t = make([][]float64, rows)
+	backing := make([]float64, rows*nTotal)
+	for i := range tb.t {
+		tb.t[i], backing = backing[:nTotal:nTotal], backing[nTotal:]
+	}
+
+	// Column layout: [0,nStruct) structural, [nStruct,nStruct+m) slacks,
+	// [nStruct+m, nTotal) artificials.
+	for j, v := range m.vars {
+		tb.lower[j], tb.upper[j] = v.Lower, v.Upper
+	}
+	for i, c := range m.cons {
+		for _, term := range c.Terms {
+			tb.t[i][term.Var] += term.Coeff
+		}
+		slack := nStruct + i
+		tb.t[i][slack] = 1
+		switch c.Sense {
+		case LE:
+			tb.lower[slack], tb.upper[slack] = 0, math.Inf(1)
+		case GE:
+			tb.lower[slack], tb.upper[slack] = math.Inf(-1), 0
+		case EQ:
+			tb.lower[slack], tb.upper[slack] = 0, 0
+		}
+	}
+
+	// Rest every non-artificial at a finite bound (free vars at 0).
+	for j := 0; j < nStruct+rows; j++ {
+		switch {
+		case !math.IsInf(tb.lower[j], -1):
+			tb.status[j], tb.x[j] = atLower, tb.lower[j]
+		case !math.IsInf(tb.upper[j], 1):
+			tb.status[j], tb.x[j] = atUpper, tb.upper[j]
+		default:
+			tb.status[j], tb.x[j] = free, 0
+		}
+	}
+
+	// Artificial variables absorb each row's residual and start basic.
+	var phase1Needed bool
+	for i, c := range m.cons {
+		var lhs float64
+		for j := 0; j < nStruct+rows; j++ {
+			if tb.t[i][j] != 0 {
+				lhs += tb.t[i][j] * tb.x[j]
+			}
+		}
+		r := c.RHS - lhs
+		art := nStruct + rows + i
+		tb.t[i][art] = 1
+		tb.basis[i] = art
+		tb.status[art] = basic
+		tb.x[art] = r
+		if r >= 0 {
+			tb.lower[art], tb.upper[art] = 0, math.Inf(1)
+			tb.cost[art] = 1
+		} else {
+			tb.lower[art], tb.upper[art] = math.Inf(-1), 0
+			tb.cost[art] = -1
+		}
+		if math.Abs(r) > tol {
+			phase1Needed = true
+		}
+	}
+
+	// Phase 1: minimize signed artificial mass.
+	if phase1Needed {
+		tb.refreshReducedCosts()
+		st := tb.iterate()
+		if st == IterationLimit {
+			return &Solution{Status: IterationLimit, Iterations: tb.iters}, nil
+		}
+		if tb.phase1Objective() > 10*tol {
+			return &Solution{Status: Infeasible, Iterations: tb.iters}, nil
+		}
+	}
+	tb.retireArtificials()
+
+	// Phase 2: the real objective.
+	for j := range tb.cost {
+		tb.cost[j] = 0
+	}
+	sign := 1.0
+	if m.maximize {
+		sign = -1
+	}
+	for j, v := range m.vars {
+		tb.cost[j] = sign * v.Obj
+	}
+	tb.refreshReducedCosts()
+	st := tb.iterate()
+
+	sol := &Solution{Status: st, Iterations: tb.iters}
+	switch st {
+	case Optimal, IterationLimit:
+		sol.X = make([]float64, nStruct)
+		copy(sol.X, tb.x[:nStruct])
+		sol.Objective = m.EvalObjective(sol.X)
+	case Unbounded:
+		// No finite solution to report.
+	}
+	return sol, nil
+}
+
+// phase1Objective sums the absolute values of artificial variables.
+func (tb *tableau) phase1Objective() float64 {
+	var s float64
+	for j := tb.nStruct + tb.m; j < tb.nTotal; j++ {
+		s += math.Abs(tb.x[j])
+	}
+	return s
+}
+
+// retireArtificials pins artificial columns at zero and pivots basic
+// artificials out of the basis where a usable pivot exists. A row whose
+// artificial cannot be pivoted out is redundant and stays inert.
+func (tb *tableau) retireArtificials() {
+	artStart := tb.nStruct + tb.m
+	for j := artStart; j < tb.nTotal; j++ {
+		tb.lower[j], tb.upper[j] = 0, 0
+		if tb.status[j] != basic {
+			tb.status[j] = atLower
+			tb.x[j] = 0
+		}
+	}
+	for r := 0; r < tb.m; r++ {
+		if tb.basis[r] < artStart {
+			continue
+		}
+		// Degenerate pivot onto any non-artificial column with a stable pivot.
+		best, bestAbs := -1, pivotTol
+		for j := 0; j < artStart; j++ {
+			if tb.status[j] == basic {
+				continue
+			}
+			if a := math.Abs(tb.t[r][j]); a > bestAbs {
+				best, bestAbs = j, a
+			}
+		}
+		if best >= 0 {
+			art := tb.basis[r]
+			tb.status[art] = atLower
+			tb.x[art] = 0
+			tb.pivot(r, best, tb.x[best])
+		}
+	}
+}
+
+// refreshReducedCosts recomputes d = c − cᵦᵀT from scratch.
+func (tb *tableau) refreshReducedCosts() {
+	copy(tb.d, tb.cost)
+	for i := 0; i < tb.m; i++ {
+		cb := tb.cost[tb.basis[i]]
+		if cb == 0 {
+			continue
+		}
+		row := tb.t[i]
+		for j := 0; j < tb.nTotal; j++ {
+			tb.d[j] -= cb * row[j]
+		}
+	}
+	for i := 0; i < tb.m; i++ {
+		tb.d[tb.basis[i]] = 0
+	}
+}
+
+// entering selects an entering column and its movement direction, or (-1, 0)
+// at optimality. Dantzig pricing normally, Bland's rule when bland is set.
+func (tb *tableau) entering(bland bool) (col int, dir float64) {
+	bestScore := tb.tol
+	col = -1
+	for j := 0; j < tb.nTotal; j++ {
+		if tb.status[j] == basic || tb.lower[j] == tb.upper[j] {
+			continue // fixed columns can never move
+		}
+		rc := tb.d[j]
+		var cand float64
+		switch tb.status[j] {
+		case atLower:
+			if rc < -bestScore {
+				cand = 1
+			}
+		case atUpper:
+			if rc > bestScore {
+				cand = -1
+			}
+		case free:
+			if math.Abs(rc) > bestScore {
+				cand = 1
+				if rc > 0 {
+					cand = -1
+				}
+			}
+		}
+		if cand != 0 {
+			if bland {
+				return j, cand
+			}
+			bestScore = math.Abs(rc)
+			col, dir = j, cand
+		}
+	}
+	return col, dir
+}
+
+// iterate runs primal pivots until optimality, unboundedness, or the
+// iteration budget is exhausted.
+func (tb *tableau) iterate() Status {
+	blandAfter := blandTrigger * (tb.m + tb.nTotal)
+	sinceRefresh := 0
+	for stall := 0; ; tb.iters++ {
+		if tb.iters >= tb.maxIters {
+			return IterationLimit
+		}
+		if sinceRefresh >= refreshPeriod {
+			tb.refreshReducedCosts()
+			sinceRefresh = 0
+		}
+		j, dir := tb.entering(stall > blandAfter)
+		if j < 0 {
+			return Optimal
+		}
+
+		// Ratio test: how far can x_j move along dir before a basic
+		// variable (or x_j's own opposite bound) hits a bound?
+		tMax := math.Inf(1)
+		if !math.IsInf(tb.lower[j], -1) && !math.IsInf(tb.upper[j], 1) {
+			tMax = tb.upper[j] - tb.lower[j]
+		}
+		leaveRow, leaveAtUpper := -1, false
+		bestPivot := 0.0
+		for i := 0; i < tb.m; i++ {
+			a := tb.t[i][j]
+			if math.Abs(a) < pivotTol {
+				continue
+			}
+			delta := -dir * a // change of basic i per unit t
+			bi := tb.basis[i]
+			var limit float64
+			var hitsUpper bool
+			if delta > 0 {
+				if math.IsInf(tb.upper[bi], 1) {
+					continue
+				}
+				limit = (tb.upper[bi] - tb.x[bi]) / delta
+				hitsUpper = true
+			} else {
+				if math.IsInf(tb.lower[bi], -1) {
+					continue
+				}
+				limit = (tb.x[bi] - tb.lower[bi]) / (-delta)
+			}
+			if limit < 0 {
+				limit = 0 // tolerate slight infeasibility from roundoff
+			}
+			// Prefer strictly smaller limits; on near-ties take the
+			// largest pivot magnitude for numerical stability.
+			if limit < tMax-1e-12 || (leaveRow >= 0 && limit <= tMax+1e-12 && math.Abs(a) > bestPivot) {
+				tMax = math.Min(tMax, limit)
+				leaveRow, leaveAtUpper = i, hitsUpper
+				bestPivot = math.Abs(a)
+			}
+		}
+
+		if math.IsInf(tMax, 1) {
+			return Unbounded
+		}
+		if tMax <= 1e-12 {
+			stall++
+		} else {
+			stall = 0
+		}
+
+		// Move the entering variable and every basic variable.
+		step := dir * tMax
+		tb.x[j] += step
+		for i := 0; i < tb.m; i++ {
+			if a := tb.t[i][j]; a != 0 {
+				tb.x[tb.basis[i]] -= step * a
+			}
+		}
+
+		if leaveRow < 0 {
+			// Bound flip: x_j traversed to its opposite bound.
+			if dir > 0 {
+				tb.status[j] = atUpper
+				tb.x[j] = tb.upper[j]
+			} else {
+				tb.status[j] = atLower
+				tb.x[j] = tb.lower[j]
+			}
+			sinceRefresh++
+			continue
+		}
+
+		// Snap the leaving variable exactly onto the bound it reached.
+		leaving := tb.basis[leaveRow]
+		if leaveAtUpper {
+			tb.status[leaving] = atUpper
+			tb.x[leaving] = tb.upper[leaving]
+		} else {
+			tb.status[leaving] = atLower
+			tb.x[leaving] = tb.lower[leaving]
+		}
+		tb.pivot(leaveRow, j, tb.x[j])
+		sinceRefresh++
+	}
+}
+
+// pivot makes column j basic in row r, keeping its current value xj.
+func (tb *tableau) pivot(r, j int, xj float64) {
+	p := tb.t[r][j]
+	row := tb.t[r]
+	inv := 1 / p
+	for k := 0; k < tb.nTotal; k++ {
+		row[k] *= inv
+	}
+	row[j] = 1
+	for i := 0; i < tb.m; i++ {
+		if i == r {
+			continue
+		}
+		f := tb.t[i][j]
+		if f == 0 {
+			continue
+		}
+		ti := tb.t[i]
+		for k := 0; k < tb.nTotal; k++ {
+			ti[k] -= f * row[k]
+		}
+		ti[j] = 0
+	}
+	if f := tb.d[j]; f != 0 {
+		for k := 0; k < tb.nTotal; k++ {
+			tb.d[k] -= f * row[k]
+		}
+	}
+	tb.d[j] = 0
+	tb.basis[r] = j
+	tb.status[j] = basic
+	tb.x[j] = xj
+}

@@ -1,0 +1,108 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestBealeCycling solves Beale's classic cycling example; a simplex with
+// Dantzig pricing and no anti-cycling safeguard loops forever on it.
+//
+//	min −0.75x4 + 150x5 − 0.02x6 + 6x7
+//	s.t. 0.25x4 − 60x5 − 0.04x6 + 9x7 ≤ 0
+//	     0.5 x4 − 90x5 − 0.02x6 + 3x7 ≤ 0
+//	     x6 ≤ 1,  all xi ≥ 0.       Optimum: −0.05 at x6 = 1.
+func TestBealeCycling(t *testing.T) {
+	m := NewModel()
+	x4 := m.AddVariable(0, Inf, "x4")
+	x5 := m.AddVariable(0, Inf, "x5")
+	x6 := m.AddVariable(0, Inf, "x6")
+	x7 := m.AddVariable(0, Inf, "x7")
+	m.SetObjective(x4, -0.75)
+	m.SetObjective(x5, 150)
+	m.SetObjective(x6, -0.02)
+	m.SetObjective(x7, 6)
+	m.AddConstraint([]Term{{x4, 0.25}, {x5, -60}, {x6, -0.04}, {x7, 9}}, LE, 0, "r1")
+	m.AddConstraint([]Term{{x4, 0.5}, {x5, -90}, {x6, -0.02}, {x7, 3}}, LE, 0, "r2")
+	m.AddConstraint([]Term{{x6, 1}}, LE, 1, "r3")
+	sol := solveOK(t, m)
+	wantOptimal(t, sol, -0.05)
+}
+
+// TestKleeMinty solves the 6-D Klee–Minty cube — worst case for Dantzig
+// pricing (exponential pivots) but it must still terminate correctly.
+func TestKleeMinty(t *testing.T) {
+	const n = 6
+	m := NewModel()
+	vars := make([]int, n)
+	for i := 0; i < n; i++ {
+		vars[i] = m.AddVariable(0, Inf, "")
+		m.SetObjective(vars[i], math.Pow(2, float64(n-1-i)))
+	}
+	m.SetMaximize(true)
+	for i := 0; i < n; i++ {
+		terms := []Term{{vars[i], 1}}
+		for j := 0; j < i; j++ {
+			terms = append(terms, Term{vars[j], math.Pow(2, float64(i-j+1))})
+		}
+		m.AddConstraint(terms, LE, math.Pow(5, float64(i+1)), "")
+	}
+	sol := solveOK(t, m)
+	wantOptimal(t, sol, math.Pow(5, n)) // optimum is 5^n at the last vertex
+}
+
+// TestLargeDenseLP exercises scale: 120 variables, 80 dense rows.
+func TestLargeDenseLP(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := randomBoxLP(rng, 120, 80)
+	sol := solveOK(t, m)
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	if fe := m.FeasibilityError(sol.X); fe > 1e-5 {
+		t.Fatalf("solution infeasible by %g", fe)
+	}
+}
+
+// TestManyEqualities: a transport-like LP with only equality rows keeps
+// phase 1 honest.
+func TestManyEqualities(t *testing.T) {
+	// Ship 10 units from 2 sources (capacities 6, 7) to 2 sinks
+	// (demands 4, 6), cost matrix [[1,3],[2,1]]. Optimum: s0->d0 4, s0->d1 0,
+	// s1->d1 6, s1->d0 0 -> cost 4*1 + 6*1 = 10.
+	m := NewModel()
+	x := make([]int, 4) // x[2i+j] = flow from source i to sink j
+	costs := []float64{1, 3, 2, 1}
+	for i := range x {
+		x[i] = m.AddVariable(0, Inf, "")
+		m.SetObjective(x[i], costs[i])
+	}
+	m.AddConstraint([]Term{{x[0], 1}, {x[1], 1}}, LE, 6, "cap0")
+	m.AddConstraint([]Term{{x[2], 1}, {x[3], 1}}, LE, 7, "cap1")
+	m.AddConstraint([]Term{{x[0], 1}, {x[2], 1}}, EQ, 4, "dem0")
+	m.AddConstraint([]Term{{x[1], 1}, {x[3], 1}}, EQ, 6, "dem1")
+	sol := solveOK(t, m)
+	wantOptimal(t, sol, 10)
+}
+
+// TestWarmRepeatedSolves re-solves a model after bound mutations, the
+// access pattern branch-and-bound uses constantly.
+func TestWarmRepeatedSolves(t *testing.T) {
+	m := NewModel()
+	x := m.AddVariable(0, 1, "x")
+	y := m.AddVariable(0, 1, "y")
+	m.SetObjective(x, 1)
+	m.SetObjective(y, 2)
+	m.SetMaximize(true)
+	m.AddConstraint([]Term{{x, 1}, {y, 1}}, LE, 1.5, "cap")
+	for i := 0; i < 50; i++ {
+		hi := float64(i%4) * 0.25
+		m.SetBounds(y, 0, hi)
+		sol := solveOK(t, m)
+		want := math.Min(1, 1.5-hi) + 2*hi
+		if sol.Status != Optimal || math.Abs(sol.Objective-want) > 1e-7 {
+			t.Fatalf("iter %d: obj %g want %g", i, sol.Objective, want)
+		}
+	}
+}

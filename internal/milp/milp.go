@@ -1,0 +1,314 @@
+// Package milp solves mixed-integer linear programs by branch-and-bound on
+// the LP relaxation from package lp.
+//
+// The solver targets the network-verification MILPs in this repository:
+// every integer variable is a 0/1 ReLU phase indicator, so branching is
+// binary and big-M bound fixing (setting a binary's bounds to [0,0] or
+// [1,1]) is the only node operation. Node relaxations are solved from
+// scratch by the primal simplex; nodes are explored best-first by
+// relaxation bound so the incumbent/bound gap shrinks monotonically.
+package milp
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/lp"
+)
+
+// Status reports the outcome of a MILP solve.
+type Status int
+
+// Solve outcomes.
+const (
+	// Optimal means the incumbent is proven optimal within the gap tolerance.
+	Optimal Status = iota
+	// Infeasible means no integer-feasible point exists.
+	Infeasible
+	// Unbounded means the relaxation (and thus the MILP) is unbounded.
+	Unbounded
+	// TimeLimit means the deadline elapsed; the incumbent (if any) and the
+	// best bound are still reported.
+	TimeLimit
+	// NodeLimit means the node budget was exhausted first.
+	NodeLimit
+)
+
+// String returns a readable status name.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case TimeLimit:
+		return "time-limit"
+	case NodeLimit:
+		return "node-limit"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Options tune the branch-and-bound search.
+type Options struct {
+	// TimeLimit bounds wall-clock time; 0 means no limit.
+	TimeLimit time.Duration
+	// MaxNodes bounds explored nodes; 0 means no limit.
+	MaxNodes int
+	// IntTol is the integrality tolerance; 0 means 1e-6.
+	IntTol float64
+	// Gap is the relative optimality gap at which search stops; 0 means
+	// prove optimality exactly (up to tolerances).
+	Gap float64
+	// LP forwards options to every relaxation solve.
+	LP lp.Options
+}
+
+// Result is the outcome of a MILP solve.
+type Result struct {
+	Status    Status
+	Objective float64   // incumbent objective (model direction); valid if HasSolution
+	X         []float64 // incumbent point; valid if HasSolution
+	Bound     float64   // best proven bound on the optimum (model direction)
+	// HasSolution reports whether any integer-feasible point was found.
+	HasSolution bool
+	Nodes       int           // branch-and-bound nodes explored
+	LPPivots    int           // total simplex iterations across all nodes
+	Elapsed     time.Duration // wall-clock solve time
+}
+
+// Gap returns the relative incumbent/bound gap, or +Inf without an incumbent.
+func (r *Result) Gap() float64 {
+	if !r.HasSolution {
+		return math.Inf(1)
+	}
+	denom := math.Max(1e-9, math.Abs(r.Objective))
+	return math.Abs(r.Bound-r.Objective) / denom
+}
+
+// Problem couples an LP model with a set of integer-constrained variables.
+type Problem struct {
+	Model *lp.Model
+	// Integers lists variable indices that must take integral values.
+	// For this repository they are always 0/1 indicators.
+	Integers []int
+}
+
+// node is a branch-and-bound node: a set of tightened bounds plus the
+// relaxation bound inherited from its parent (used for best-first order).
+type node struct {
+	fixes []fix
+	bound float64 // relaxation objective of the parent, in minimize direction
+	depth int
+}
+
+type fix struct {
+	v            int
+	lower, upper float64
+}
+
+type nodeQueue []*node
+
+func (q nodeQueue) Len() int            { return len(q) }
+func (q nodeQueue) Less(i, j int) bool  { return q[i].bound < q[j].bound }
+func (q nodeQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *nodeQueue) Push(x interface{}) { *q = append(*q, x.(*node)) }
+func (q *nodeQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+// Solve runs branch-and-bound and returns the result.
+// The problem's model is not mutated.
+func Solve(p Problem, opts Options) (*Result, error) {
+	start := time.Now()
+	intTol := opts.IntTol
+	if intTol <= 0 {
+		intTol = 1e-6
+	}
+	deadline := time.Time{}
+	if opts.TimeLimit > 0 {
+		deadline = start.Add(opts.TimeLimit)
+	}
+
+	work := p.Model.Clone()
+	maximize := work.Maximizing()
+	// Internally bounds are tracked in minimize direction: lower bounds on
+	// the optimum come from relaxations.
+	toMin := func(v float64) float64 {
+		if maximize {
+			return -v
+		}
+		return v
+	}
+
+	res := &Result{Bound: math.Inf(-1)}
+	if maximize {
+		res.Bound = math.Inf(1)
+	}
+	bestMin := math.Inf(1) // incumbent objective, minimize direction
+	intSet := make(map[int]bool, len(p.Integers))
+	for _, v := range p.Integers {
+		intSet[v] = true
+	}
+
+	queue := &nodeQueue{{bound: math.Inf(-1)}}
+	heap.Init(queue)
+
+	applyFixes := func(fs []fix) []fix {
+		saved := make([]fix, len(fs))
+		for i, f := range fs {
+			lo, hi := work.Bounds(f.v)
+			saved[i] = fix{f.v, lo, hi}
+			work.SetBounds(f.v, f.lower, f.upper)
+		}
+		return saved
+	}
+	restore := func(saved []fix) {
+		for i := len(saved) - 1; i >= 0; i-- {
+			f := saved[i]
+			work.SetBounds(f.v, f.lower, f.upper)
+		}
+	}
+
+	finish := func(st Status) (*Result, error) {
+		res.Elapsed = time.Since(start)
+		res.Status = st
+		// Best bound: min over incumbent and open nodes.
+		openBest := math.Inf(1)
+		if queue.Len() > 0 {
+			openBest = (*queue)[0].bound
+		}
+		b := math.Min(bestMin, openBest)
+		if st == Optimal && res.HasSolution {
+			b = bestMin
+		}
+		if maximize {
+			res.Bound = -b
+		} else {
+			res.Bound = b
+		}
+		return res, nil
+	}
+
+	for queue.Len() > 0 {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return finish(TimeLimit)
+		}
+		if opts.MaxNodes > 0 && res.Nodes >= opts.MaxNodes {
+			return finish(NodeLimit)
+		}
+		nd := heap.Pop(queue).(*node)
+		// Bound pruning against the incumbent.
+		if nd.bound >= bestMin-1e-9 && res.HasSolution {
+			continue
+		}
+		res.Nodes++
+
+		saved := applyFixes(nd.fixes)
+		sol, err := lp.Solve(work, opts.LP)
+		restore(saved)
+		if err != nil {
+			return nil, err
+		}
+		res.LPPivots += sol.Iterations
+
+		switch sol.Status {
+		case lp.Infeasible:
+			continue
+		case lp.Unbounded:
+			if res.Nodes == 1 && len(nd.fixes) == 0 {
+				return finish(Unbounded)
+			}
+			continue // a child cannot be more unbounded than the root; treat as cut off
+		case lp.IterationLimit:
+			// Cannot trust the node; drop it conservatively only if we
+			// already have an incumbent, otherwise report the limit.
+			if !res.HasSolution {
+				return finish(NodeLimit)
+			}
+			continue
+		}
+		nodeBound := toMin(sol.Objective)
+		if res.HasSolution && nodeBound >= bestMin-1e-9 {
+			continue
+		}
+
+		// Find the most fractional integer variable.
+		branchVar, worst := -1, intTol
+		for _, v := range p.Integers {
+			f := sol.X[v]
+			frac := math.Abs(f - math.Round(f))
+			if frac > worst {
+				branchVar, worst = v, frac
+			}
+		}
+		if branchVar < 0 {
+			// Integer feasible: candidate incumbent.
+			if nodeBound < bestMin {
+				bestMin = nodeBound
+				res.HasSolution = true
+				res.X = roundIntegers(sol.X, intSet)
+				res.Objective = sol.Objective
+				if opts.Gap > 0 {
+					openBest := math.Inf(1)
+					if queue.Len() > 0 {
+						openBest = (*queue)[0].bound
+					}
+					gap := math.Abs(bestMin-math.Min(openBest, nodeBound)) / math.Max(1e-9, math.Abs(bestMin))
+					if gap <= opts.Gap {
+						return finish(Optimal)
+					}
+				}
+			}
+			continue
+		}
+
+		// Branch on floor/ceil of the fractional value. Child bounds must
+		// intersect with whatever an ancestor already imposed on this
+		// variable, so start from the effective bounds at this node.
+		val := sol.X[branchVar]
+		effLo, effHi := work.Bounds(branchVar)
+		for _, f := range nd.fixes {
+			if f.v == branchVar {
+				effLo, effHi = f.lower, f.upper
+			}
+		}
+		floorFixes := append(append([]fix(nil), nd.fixes...), fix{branchVar, effLo, math.Floor(val)})
+		ceilFixes := append(append([]fix(nil), nd.fixes...), fix{branchVar, math.Ceil(val), effHi})
+		heap.Push(queue, &node{fixes: floorFixes, bound: nodeBound, depth: nd.depth + 1})
+		heap.Push(queue, &node{fixes: ceilFixes, bound: nodeBound, depth: nd.depth + 1})
+	}
+
+	if res.HasSolution {
+		return finish(Optimal)
+	}
+	return finish(Infeasible)
+}
+
+// roundIntegers snaps integer variables of x to the nearest integer.
+func roundIntegers(x []float64, intSet map[int]bool) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	for v := range intSet {
+		out[v] = math.Round(out[v])
+	}
+	return out
+}
+
+// SortedIntegers returns the integer variable indices in ascending order;
+// useful for deterministic reporting.
+func (p Problem) SortedIntegers() []int {
+	out := append([]int(nil), p.Integers...)
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,338 @@
+// Package nn implements the feedforward networks used by the motion
+// predictor case study: fully connected layers with ReLU, tanh or identity
+// activations, a forward pass that can record every neuron's pre- and
+// post-activation value (needed by coverage, traceability and verification),
+// and JSON serialization.
+//
+// The package deliberately contains no training code; see package train.
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/linalg"
+)
+
+// Activation selects a layer's nonlinearity.
+type Activation int
+
+// Supported activations.
+const (
+	// Identity applies no nonlinearity (linear output layers).
+	Identity Activation = iota
+	// ReLU is max(0, z); the only activation the MILP verifier encodes exactly.
+	ReLU
+	// Tanh is the smooth saturating activation discussed in the paper's
+	// MC/DC argument (one test case satisfies MC/DC as there is no branch).
+	Tanh
+)
+
+// String returns the conventional lowercase name.
+func (a Activation) String() string {
+	switch a {
+	case Identity:
+		return "identity"
+	case ReLU:
+		return "relu"
+	case Tanh:
+		return "tanh"
+	}
+	return fmt.Sprintf("Activation(%d)", int(a))
+}
+
+// Apply evaluates the activation at z.
+func (a Activation) Apply(z float64) float64 {
+	switch a {
+	case ReLU:
+		if z < 0 {
+			return 0
+		}
+		return z
+	case Tanh:
+		return math.Tanh(z)
+	default:
+		return z
+	}
+}
+
+// Derivative returns dApply/dz at pre-activation z.
+func (a Activation) Derivative(z float64) float64 {
+	switch a {
+	case ReLU:
+		if z < 0 {
+			return 0
+		}
+		return 1
+	case Tanh:
+		th := math.Tanh(z)
+		return 1 - th*th
+	default:
+		return 1
+	}
+}
+
+// Layer is one dense layer: out = act(W·in + b).
+type Layer struct {
+	W   [][]float64 `json:"w"` // outDim × inDim
+	B   []float64   `json:"b"` // outDim
+	Act Activation  `json:"act"`
+}
+
+// InDim returns the layer's input width.
+func (l *Layer) InDim() int {
+	if len(l.W) == 0 {
+		return 0
+	}
+	return len(l.W[0])
+}
+
+// OutDim returns the layer's output width.
+func (l *Layer) OutDim() int { return len(l.W) }
+
+// Network is a feedforward network with named inputs and outputs.
+type Network struct {
+	Name        string   `json:"name"`
+	InputNames  []string `json:"input_names,omitempty"`
+	OutputNames []string `json:"output_names,omitempty"`
+	Layers      []*Layer `json:"layers"`
+}
+
+// Config describes a network to construct.
+type Config struct {
+	Name        string
+	InputDim    int
+	Hidden      []int // widths of hidden layers
+	OutputDim   int
+	HiddenAct   Activation // activation of every hidden layer
+	OutputAct   Activation // activation of the output layer
+	InputNames  []string   // optional; length InputDim when set
+	OutputNames []string   // optional; length OutputDim when set
+}
+
+// New builds a network with He-style initialization drawn from rng.
+// A nil rng panics; callers own their randomness for reproducibility.
+func New(cfg Config, rng *rand.Rand) *Network {
+	if rng == nil {
+		panic("nn: New requires a non-nil rng")
+	}
+	if cfg.InputDim <= 0 || cfg.OutputDim <= 0 {
+		panic(fmt.Sprintf("nn: New dims %d -> %d", cfg.InputDim, cfg.OutputDim))
+	}
+	dims := append([]int{cfg.InputDim}, cfg.Hidden...)
+	dims = append(dims, cfg.OutputDim)
+	net := &Network{
+		Name:        cfg.Name,
+		InputNames:  append([]string(nil), cfg.InputNames...),
+		OutputNames: append([]string(nil), cfg.OutputNames...),
+	}
+	for i := 0; i+1 < len(dims); i++ {
+		in, out := dims[i], dims[i+1]
+		act := cfg.HiddenAct
+		if i == len(dims)-2 {
+			act = cfg.OutputAct
+		}
+		scale := math.Sqrt(2.0 / float64(in)) // He init, suited to ReLU
+		l := &Layer{W: linalg.NewMatrix(out, in), B: make([]float64, out), Act: act}
+		for r := 0; r < out; r++ {
+			for c := 0; c < in; c++ {
+				l.W[r][c] = rng.NormFloat64() * scale
+			}
+		}
+		net.Layers = append(net.Layers, l)
+	}
+	return net
+}
+
+// InputDim returns the network's input width.
+func (n *Network) InputDim() int {
+	if len(n.Layers) == 0 {
+		return 0
+	}
+	return n.Layers[0].InDim()
+}
+
+// OutputDim returns the network's output width.
+func (n *Network) OutputDim() int {
+	if len(n.Layers) == 0 {
+		return 0
+	}
+	return n.Layers[len(n.Layers)-1].OutDim()
+}
+
+// HiddenNeurons counts neurons in all hidden (non-output) layers.
+func (n *Network) HiddenNeurons() int {
+	total := 0
+	for i := 0; i+1 < len(n.Layers); i++ {
+		total += n.Layers[i].OutDim()
+	}
+	return total
+}
+
+// Validate checks structural consistency: layer widths chain, bias lengths
+// match, names (when present) match dimensions, weights are finite.
+func (n *Network) Validate() error {
+	if len(n.Layers) == 0 {
+		return errors.New("nn: network has no layers")
+	}
+	prev := n.Layers[0].InDim()
+	for i, l := range n.Layers {
+		if l.InDim() != prev {
+			return fmt.Errorf("nn: layer %d expects %d inputs, previous layer provides %d", i, l.InDim(), prev)
+		}
+		if len(l.B) != l.OutDim() {
+			return fmt.Errorf("nn: layer %d has %d biases for %d neurons", i, len(l.B), l.OutDim())
+		}
+		for _, row := range l.W {
+			if !linalg.AllFinite(row) {
+				return fmt.Errorf("nn: layer %d has non-finite weights", i)
+			}
+		}
+		if !linalg.AllFinite(l.B) {
+			return fmt.Errorf("nn: layer %d has non-finite biases", i)
+		}
+		prev = l.OutDim()
+	}
+	if len(n.InputNames) != 0 && len(n.InputNames) != n.InputDim() {
+		return fmt.Errorf("nn: %d input names for %d inputs", len(n.InputNames), n.InputDim())
+	}
+	if len(n.OutputNames) != 0 && len(n.OutputNames) != n.OutputDim() {
+		return fmt.Errorf("nn: %d output names for %d outputs", len(n.OutputNames), n.OutputDim())
+	}
+	return nil
+}
+
+// Forward evaluates the network at x and returns the raw output vector.
+// It panics if len(x) != InputDim().
+func (n *Network) Forward(x []float64) []float64 {
+	if len(x) != n.InputDim() {
+		panic(fmt.Sprintf("nn: Forward input dim %d, want %d", len(x), n.InputDim()))
+	}
+	cur := x
+	for _, l := range n.Layers {
+		next := make([]float64, l.OutDim())
+		for i, row := range l.W {
+			next[i] = l.Act.Apply(linalg.Dot(row, cur) + l.B[i])
+		}
+		cur = next
+	}
+	return cur
+}
+
+// Trace records every layer's pre- and post-activation values for one input.
+type Trace struct {
+	Input []float64
+	// Pre[i][j] is neuron j of layer i before activation; Post after.
+	Pre  [][]float64
+	Post [][]float64
+}
+
+// Output returns the network output recorded in the trace.
+func (tr *Trace) Output() []float64 {
+	if len(tr.Post) == 0 {
+		return nil
+	}
+	return tr.Post[len(tr.Post)-1]
+}
+
+// ForwardTrace evaluates the network recording every neuron value.
+func (n *Network) ForwardTrace(x []float64) *Trace {
+	if len(x) != n.InputDim() {
+		panic(fmt.Sprintf("nn: ForwardTrace input dim %d, want %d", len(x), n.InputDim()))
+	}
+	tr := &Trace{
+		Input: linalg.Clone(x),
+		Pre:   make([][]float64, len(n.Layers)),
+		Post:  make([][]float64, len(n.Layers)),
+	}
+	cur := x
+	for li, l := range n.Layers {
+		pre := make([]float64, l.OutDim())
+		post := make([]float64, l.OutDim())
+		for i, row := range l.W {
+			pre[i] = linalg.Dot(row, cur) + l.B[i]
+			post[i] = l.Act.Apply(pre[i])
+		}
+		tr.Pre[li], tr.Post[li] = pre, post
+		cur = post
+	}
+	return tr
+}
+
+// ActivationPattern returns, for every hidden ReLU layer, which neurons are
+// active (pre-activation > 0) at input x. Output layers are excluded.
+func (n *Network) ActivationPattern(x []float64) [][]bool {
+	tr := n.ForwardTrace(x)
+	out := make([][]bool, 0, len(n.Layers)-1)
+	for li := 0; li+1 < len(n.Layers); li++ {
+		row := make([]bool, len(tr.Pre[li]))
+		for j, z := range tr.Pre[li] {
+			row[j] = z > 0
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// Clone returns a deep copy of the network.
+func (n *Network) Clone() *Network {
+	out := &Network{
+		Name:        n.Name,
+		InputNames:  append([]string(nil), n.InputNames...),
+		OutputNames: append([]string(nil), n.OutputNames...),
+	}
+	for _, l := range n.Layers {
+		out.Layers = append(out.Layers, &Layer{
+			W:   linalg.CloneMatrix(l.W),
+			B:   linalg.Clone(l.B),
+			Act: l.Act,
+		})
+	}
+	return out
+}
+
+// ArchString renders the architecture like "I4x25" for 4 hidden layers of
+// width 25 (the notation used in the paper's Table II), falling back to an
+// explicit size list for non-uniform hidden layers.
+func (n *Network) ArchString() string {
+	if len(n.Layers) < 2 {
+		return fmt.Sprintf("I0 (%d->%d)", n.InputDim(), n.OutputDim())
+	}
+	width := n.Layers[0].OutDim()
+	uniform := true
+	for i := 0; i+1 < len(n.Layers); i++ {
+		if n.Layers[i].OutDim() != width {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		return fmt.Sprintf("I%dx%d", len(n.Layers)-1, width)
+	}
+	s := "I["
+	for i := 0; i+1 < len(n.Layers); i++ {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprint(n.Layers[i].OutDim())
+	}
+	return s + "]"
+}
+
+// InputName returns the name of input i, or a generated placeholder.
+func (n *Network) InputName(i int) string {
+	if i < len(n.InputNames) {
+		return n.InputNames[i]
+	}
+	return fmt.Sprintf("x%d", i)
+}
+
+// OutputName returns the name of output i, or a generated placeholder.
+func (n *Network) OutputName(i int) string {
+	if i < len(n.OutputNames) {
+		return n.OutputNames[i]
+	}
+	return fmt.Sprintf("y%d", i)
+}

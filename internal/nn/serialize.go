@@ -1,0 +1,53 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Encode writes the network as indented JSON to w.
+func (n *Network) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(n); err != nil {
+		return fmt.Errorf("nn: encode %q: %w", n.Name, err)
+	}
+	return nil
+}
+
+// Decode reads a network from JSON and validates it.
+func Decode(r io.Reader) (*Network, error) {
+	var n Network
+	if err := json.NewDecoder(r).Decode(&n); err != nil {
+		return nil, fmt.Errorf("nn: decode: %w", err)
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return &n, nil
+}
+
+// Save writes the network to the named file.
+func (n *Network) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("nn: save: %w", err)
+	}
+	defer f.Close()
+	if err := n.Encode(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a network from the named file.
+func Load(path string) (*Network, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("nn: load: %w", err)
+	}
+	defer f.Close()
+	return Decode(f)
+}

@@ -1,0 +1,290 @@
+// Package trace implements neuron-to-feature traceability — the paper's
+// adaptation (A) of requirement-to-code traceability for neural networks
+// (Sec. II, Table I): it associates each hidden neuron with the input
+// features (conditions) under which it activates, giving the fine-grained
+// "which requirement does this unit implement" argument certification
+// expects.
+//
+// Three complementary analyses are combined:
+//
+//  1. weight-path attribution: the absolute product of weights along all
+//     paths from an input to the neuron (architecture-level influence);
+//  2. activation statistics over a dataset: activation rate and the
+//     correlation of each feature with the neuron's activation;
+//  3. interval activation conditions over an input region: neurons proven
+//     always-active or always-inactive by static analysis (package bounds).
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/bounds"
+	"repro/internal/linalg"
+	"repro/internal/nn"
+)
+
+// FeatureScore couples a feature index with an attribution score.
+type FeatureScore struct {
+	Feature int
+	Name    string
+	Score   float64
+}
+
+// NeuronInfo is the traceability record of one hidden neuron.
+type NeuronInfo struct {
+	Layer, Index int
+	// ActivationRate is the fraction of dataset samples activating the
+	// neuron (0 and 1 flag dead / saturated units).
+	ActivationRate float64
+	// MeanActivation is the average post-activation value.
+	MeanActivation float64
+	// TopByWeight are the strongest input features by weight-path product.
+	TopByWeight []FeatureScore
+	// TopByCorrelation are the features most correlated with activation.
+	TopByCorrelation []FeatureScore
+}
+
+// Condition classifies a neuron's behaviour over an input region.
+type Condition int
+
+// Region activation conditions.
+const (
+	// Conditional means the neuron switches phase inside the region.
+	Conditional Condition = iota
+	// AlwaysActive means the neuron is proven active on the whole region.
+	AlwaysActive
+	// AlwaysInactive means the neuron is proven inactive (dead) on it.
+	AlwaysInactive
+)
+
+// String returns a readable condition name.
+func (c Condition) String() string {
+	switch c {
+	case AlwaysActive:
+		return "always-active"
+	case AlwaysInactive:
+		return "always-inactive"
+	case Conditional:
+		return "conditional"
+	}
+	return fmt.Sprintf("Condition(%d)", int(c))
+}
+
+// Report is the full traceability analysis of a network.
+type Report struct {
+	Arch         string
+	FeatureNames []string
+	Neurons      []NeuronInfo
+	// Conditions[layer][neuron] holds region activation conditions when a
+	// region was supplied (nil otherwise).
+	Conditions [][]Condition
+}
+
+// Options tune the analysis.
+type Options struct {
+	// TopK limits attribution lists; 0 means 5.
+	TopK int
+	// Region, when non-nil, adds interval activation conditions.
+	Region []bounds.Interval
+}
+
+// Analyze computes the traceability report of net over a dataset of inputs.
+func Analyze(net *nn.Network, data [][]float64, featureNames []string, opts Options) (*Report, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("trace: need at least one data point")
+	}
+	topK := opts.TopK
+	if topK <= 0 {
+		topK = 5
+	}
+	if len(featureNames) == 0 {
+		featureNames = make([]string, net.InputDim())
+		for i := range featureNames {
+			featureNames[i] = fmt.Sprintf("x%d", i)
+		}
+	}
+	if len(featureNames) != net.InputDim() {
+		return nil, fmt.Errorf("trace: %d feature names for %d inputs", len(featureNames), net.InputDim())
+	}
+
+	rep := &Report{Arch: net.ArchString(), FeatureNames: featureNames}
+
+	// Pass 1: collect activation traces.
+	nLayers := len(net.Layers) - 1 // hidden layers only
+	type acc struct {
+		rate, mean []float64
+		// For correlation: running sums of x, x², a, a², xa per feature.
+		sx, sxx []float64
+		sa, saa []float64
+		sxa     [][]float64
+	}
+	accs := make([]acc, nLayers)
+	for li := 0; li < nLayers; li++ {
+		n := net.Layers[li].OutDim()
+		accs[li] = acc{
+			rate: make([]float64, n), mean: make([]float64, n),
+			sa: make([]float64, n), saa: make([]float64, n),
+			sxa: linalg.NewMatrix(n, net.InputDim()),
+		}
+	}
+	sx := make([]float64, net.InputDim())
+	sxx := make([]float64, net.InputDim())
+	for _, x := range data {
+		tr := net.ForwardTrace(x)
+		for j, v := range x {
+			sx[j] += v
+			sxx[j] += v * v
+		}
+		for li := 0; li < nLayers; li++ {
+			a := &accs[li]
+			for j, post := range tr.Post[li] {
+				if tr.Pre[li][j] > 0 {
+					a.rate[j]++
+				}
+				a.mean[j] += post
+				a.sa[j] += post
+				a.saa[j] += post * post
+				for k, v := range x {
+					a.sxa[j][k] += v * post
+				}
+			}
+		}
+	}
+
+	// Pass 2: weight-path attribution. influence[li][j][k] = Σ paths |w|.
+	pathWeights := pathAttribution(net)
+
+	n := float64(len(data))
+	for li := 0; li < nLayers; li++ {
+		a := &accs[li]
+		for j := 0; j < net.Layers[li].OutDim(); j++ {
+			info := NeuronInfo{
+				Layer:          li,
+				Index:          j,
+				ActivationRate: a.rate[j] / n,
+				MeanActivation: a.mean[j] / n,
+			}
+			// Correlation of each feature with the activation value.
+			corr := make([]float64, net.InputDim())
+			va := a.saa[j]/n - (a.sa[j]/n)*(a.sa[j]/n)
+			for k := range corr {
+				vx := sxx[k]/n - (sx[k]/n)*(sx[k]/n)
+				cov := a.sxa[j][k]/n - (sx[k]/n)*(a.sa[j]/n)
+				if vx > 1e-12 && va > 1e-12 {
+					corr[k] = cov / math.Sqrt(vx*va)
+				}
+			}
+			info.TopByWeight = topScores(pathWeights[li][j], featureNames, topK, false)
+			info.TopByCorrelation = topScores(corr, featureNames, topK, true)
+			rep.Neurons = append(rep.Neurons, info)
+		}
+	}
+
+	if opts.Region != nil {
+		nb, err := bounds.Propagate(net, opts.Region)
+		if err != nil {
+			return nil, err
+		}
+		for li := 0; li < nLayers; li++ {
+			row := make([]Condition, net.Layers[li].OutDim())
+			for j, iv := range nb.Layers[li].Pre {
+				switch {
+				case iv.Lo >= 0:
+					row[j] = AlwaysActive
+				case iv.Hi <= 0:
+					row[j] = AlwaysInactive
+				default:
+					row[j] = Conditional
+				}
+			}
+			rep.Conditions = append(rep.Conditions, row)
+		}
+	}
+	return rep, nil
+}
+
+// pathAttribution computes, for every hidden neuron, the summed absolute
+// weight product over all paths from each input feature.
+func pathAttribution(net *nn.Network) [][][]float64 {
+	nLayers := len(net.Layers) - 1
+	out := make([][][]float64, nLayers)
+	// influence[k] for current layer's inputs; start with identity on inputs.
+	prev := linalg.NewMatrix(net.InputDim(), net.InputDim())
+	for i := range prev {
+		prev[i][i] = 1
+	}
+	for li := 0; li < nLayers; li++ {
+		layer := net.Layers[li]
+		cur := linalg.NewMatrix(layer.OutDim(), net.InputDim())
+		for j, row := range layer.W {
+			for p, w := range row {
+				if w == 0 {
+					continue
+				}
+				linalg.Axpy(math.Abs(w), prev[p], cur[j])
+			}
+		}
+		out[li] = cur
+		prev = cur
+	}
+	return out
+}
+
+// topScores returns the topK features by |score|; signed keeps the sign in
+// the reported score.
+func topScores(scores []float64, names []string, topK int, signed bool) []FeatureScore {
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return math.Abs(scores[idx[a]]) > math.Abs(scores[idx[b]])
+	})
+	if topK > len(idx) {
+		topK = len(idx)
+	}
+	out := make([]FeatureScore, 0, topK)
+	for _, i := range idx[:topK] {
+		s := scores[i]
+		if !signed {
+			s = math.Abs(s)
+		}
+		out = append(out, FeatureScore{Feature: i, Name: names[i], Score: s})
+	}
+	return out
+}
+
+// DeadNeurons lists neurons never activated on the dataset — candidates for
+// the "unreachable code" finding of a classical review.
+func (r *Report) DeadNeurons() []NeuronInfo {
+	var out []NeuronInfo
+	for _, n := range r.Neurons {
+		if n.ActivationRate == 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// String renders a compact human-readable report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "traceability report for %s: %d hidden neurons\n", r.Arch, len(r.Neurons))
+	for _, n := range r.Neurons {
+		fmt.Fprintf(&b, "L%d/N%-3d act%%=%5.1f mean=%7.3f top:", n.Layer, n.Index, 100*n.ActivationRate, n.MeanActivation)
+		for i, fs := range n.TopByWeight {
+			if i > 2 {
+				break
+			}
+			fmt.Fprintf(&b, " %s(%.2f)", fs.Name, fs.Score)
+		}
+		if r.Conditions != nil {
+			fmt.Fprintf(&b, " [%s]", r.Conditions[n.Layer][n.Index])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/bounds"
+	"repro/internal/nn"
+)
+
+func testNet() *nn.Network {
+	// Hand-built: neuron (0,0) listens only to input 0; (0,1) only to input 1.
+	return &nn.Network{Layers: []*nn.Layer{
+		{W: [][]float64{{2, 0}, {0, 1}}, B: []float64{0, 0}, Act: nn.ReLU},
+		{W: [][]float64{{1, 1}}, B: []float64{0}, Act: nn.Identity},
+	}}
+}
+
+func gridData(n int) [][]float64 {
+	rng := rand.New(rand.NewSource(1))
+	data := make([][]float64, n)
+	for i := range data {
+		data[i] = []float64{rng.Float64()*2 - 1, rng.Float64()*2 - 1}
+	}
+	return data
+}
+
+func TestAnalyzeAttributionPicksRightFeature(t *testing.T) {
+	rep, err := Analyze(testNet(), gridData(200), []string{"a", "b"}, Options{TopK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Neurons) != 2 {
+		t.Fatalf("neurons = %d", len(rep.Neurons))
+	}
+	// Neuron 0 is driven by feature "a" with weight 2.
+	if rep.Neurons[0].TopByWeight[0].Name != "a" || rep.Neurons[0].TopByWeight[0].Score != 2 {
+		t.Fatalf("neuron 0 top feature = %+v", rep.Neurons[0].TopByWeight[0])
+	}
+	if rep.Neurons[1].TopByWeight[0].Name != "b" {
+		t.Fatalf("neuron 1 top feature = %+v", rep.Neurons[1].TopByWeight[0])
+	}
+	// Correlation must also identify the right driver, positively.
+	if rep.Neurons[0].TopByCorrelation[0].Name != "a" || rep.Neurons[0].TopByCorrelation[0].Score <= 0 {
+		t.Fatalf("neuron 0 top correlation = %+v", rep.Neurons[0].TopByCorrelation[0])
+	}
+}
+
+func TestActivationRate(t *testing.T) {
+	// Inputs uniform in [-1,1]: relu(2a) active about half the time.
+	rep, err := Analyze(testNet(), gridData(2000), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := rep.Neurons[0].ActivationRate
+	if rate < 0.4 || rate > 0.6 {
+		t.Fatalf("activation rate = %g, want ~0.5", rate)
+	}
+}
+
+func TestPathAttributionMultiLayer(t *testing.T) {
+	// Two layers: input 0 influences the deep neuron via path 2*3 = 6.
+	net := &nn.Network{Layers: []*nn.Layer{
+		{W: [][]float64{{2, 0}}, B: []float64{0}, Act: nn.ReLU},
+		{W: [][]float64{{3}}, B: []float64{0}, Act: nn.ReLU},
+		{W: [][]float64{{1}}, B: []float64{0}, Act: nn.Identity},
+	}}
+	rep, err := Analyze(net, [][]float64{{0.5, 0.5}, {-0.5, 0.2}}, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second hidden layer neuron (layer 1, index 0).
+	var deep *NeuronInfo
+	for i := range rep.Neurons {
+		if rep.Neurons[i].Layer == 1 {
+			deep = &rep.Neurons[i]
+		}
+	}
+	if deep == nil {
+		t.Fatal("deep neuron missing")
+	}
+	if deep.TopByWeight[0].Feature != 0 || deep.TopByWeight[0].Score != 6 {
+		t.Fatalf("deep attribution = %+v, want feature 0 score 6", deep.TopByWeight[0])
+	}
+}
+
+func TestRegionConditions(t *testing.T) {
+	// Neuron 0: pre = 2a; on region a in [0.1, 1] it is always active.
+	// Neuron 1: pre = b; on b in [-1, -0.1] always inactive.
+	rep, err := Analyze(testNet(), gridData(10), nil, Options{
+		Region: []bounds.Interval{{Lo: 0.1, Hi: 1}, {Lo: -1, Hi: -0.1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Conditions[0][0] != AlwaysActive {
+		t.Fatalf("neuron 0 condition = %v", rep.Conditions[0][0])
+	}
+	if rep.Conditions[0][1] != AlwaysInactive {
+		t.Fatalf("neuron 1 condition = %v", rep.Conditions[0][1])
+	}
+}
+
+func TestDeadNeurons(t *testing.T) {
+	net := &nn.Network{Layers: []*nn.Layer{
+		{W: [][]float64{{1}, {1}}, B: []float64{0, -100}, Act: nn.ReLU},
+		{W: [][]float64{{1, 1}}, B: []float64{0}, Act: nn.Identity},
+	}}
+	rep, err := Analyze(net, [][]float64{{0.5}, {0.9}, {-0.3}}, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := rep.DeadNeurons()
+	if len(dead) != 1 || dead[0].Index != 1 {
+		t.Fatalf("dead = %+v", dead)
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	if _, err := Analyze(testNet(), nil, nil, Options{}); err == nil {
+		t.Fatal("empty data accepted")
+	}
+	if _, err := Analyze(testNet(), gridData(3), []string{"only-one"}, Options{}); err == nil {
+		t.Fatal("wrong name count accepted")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep, err := Analyze(testNet(), gridData(50), []string{"a", "b"}, Options{
+		Region: []bounds.Interval{{Lo: -1, Hi: 1}, {Lo: -1, Hi: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.String()
+	if !strings.Contains(s, "traceability report") || !strings.Contains(s, "conditional") {
+		t.Fatalf("report string incomplete:\n%s", s)
+	}
+}
+
+func TestConstantFeatureZeroCorrelation(t *testing.T) {
+	data := [][]float64{{1, 0.3}, {1, -0.8}, {1, 0.5}, {1, 0.1}}
+	rep, err := Analyze(testNet(), data, []string{"const", "varies"}, Options{TopK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The constant feature must not appear as the top correlation.
+	for _, n := range rep.Neurons {
+		if len(n.TopByCorrelation) > 0 && n.TopByCorrelation[0].Name == "const" && n.TopByCorrelation[0].Score != 0 {
+			t.Fatalf("constant feature got nonzero correlation: %+v", n.TopByCorrelation[0])
+		}
+	}
+}

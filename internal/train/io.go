@@ -1,0 +1,54 @@
+package train
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// SaveSamples writes a dataset as JSON to the named file.
+func SaveSamples(path string, data []Sample) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("train: save samples: %w", err)
+	}
+	defer f.Close()
+	if err := EncodeSamples(f, data); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadSamples reads a dataset from the named file.
+func LoadSamples(path string) ([]Sample, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("train: load samples: %w", err)
+	}
+	defer f.Close()
+	return DecodeSamples(f)
+}
+
+// EncodeSamples writes samples as JSON to w.
+func EncodeSamples(w io.Writer, data []Sample) error {
+	if err := json.NewEncoder(w).Encode(data); err != nil {
+		return fmt.Errorf("train: encode samples: %w", err)
+	}
+	return nil
+}
+
+// DecodeSamples reads samples from JSON and checks rectangularity.
+func DecodeSamples(r io.Reader) ([]Sample, error) {
+	var data []Sample
+	if err := json.NewDecoder(r).Decode(&data); err != nil {
+		return nil, fmt.Errorf("train: decode samples: %w", err)
+	}
+	for i, s := range data {
+		if len(data) > 0 && (len(s.X) != len(data[0].X) || len(s.Y) != len(data[0].Y)) {
+			return nil, fmt.Errorf("train: sample %d has dims %d/%d, first has %d/%d",
+				i, len(s.X), len(s.Y), len(data[0].X), len(data[0].Y))
+		}
+	}
+	return data, nil
+}

@@ -1,0 +1,136 @@
+package train
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/gmm"
+)
+
+// MSE is mean squared error over raw outputs: L = Σ (raw−y)² / dim.
+type MSE struct{}
+
+// Name implements Loss.
+func (MSE) Name() string { return "mse" }
+
+// Eval implements Loss.
+func (MSE) Eval(_, raw, y []float64) (float64, []float64) {
+	if len(raw) != len(y) {
+		panic(fmt.Sprintf("train: MSE target dim %d, raw dim %d", len(y), len(raw)))
+	}
+	grad := make([]float64, len(raw))
+	var loss float64
+	inv := 1 / float64(len(raw))
+	for i := range raw {
+		d := raw[i] - y[i]
+		loss += d * d * inv
+		grad[i] = 2 * d * inv
+	}
+	return loss, grad
+}
+
+// MDN is the mixture-density negative log-likelihood over the gmm raw
+// layout: the target y is one observed action (lateral velocity,
+// longitudinal acceleration) and the network output parameterizes a
+// K-component Gaussian mixture (see package gmm).
+type MDN struct {
+	// K is the number of mixture components; raw outputs must have
+	// length K*gmm.RawPerComponent.
+	K int
+}
+
+// Name implements Loss.
+func (MDN) Name() string { return "mdn-nll" }
+
+// Eval implements Loss. Gradients follow the standard MDN derivation with
+// responsibilities r_k: d/dlogit = π−r; d/dμ = r(μ−y)/σ²;
+// d/dlogσ = r(1−(y−μ)²/σ²). Clamped log-σ raw values receive zero gradient
+// outside the clamp range (subgradient of the clamp).
+func (l MDN) Eval(_, raw, y []float64) (float64, []float64) {
+	if len(raw) != l.K*gmm.RawPerComponent {
+		panic(fmt.Sprintf("train: MDN raw dim %d, want %d", len(raw), l.K*gmm.RawPerComponent))
+	}
+	if len(y) != 2 {
+		panic(fmt.Sprintf("train: MDN target dim %d, want 2", len(y)))
+	}
+	mix := gmm.Decode(raw)
+	pt := [2]float64{y[0], y[1]}
+	ll := mix.LogPDF(pt)
+	loss := -ll
+
+	// Responsibilities r_k = w_k N_k / Σ w N computed stably from log terms.
+	k := l.K
+	logTerms := make([]float64, k)
+	maxT := math.Inf(-1)
+	for i, c := range mix.Components {
+		t := math.Log(math.Max(c.Weight, 1e-300)) +
+			logGauss(y[0], c.Mean[0], c.Std[0]) +
+			logGauss(y[1], c.Mean[1], c.Std[1])
+		logTerms[i] = t
+		if t > maxT {
+			maxT = t
+		}
+	}
+	var z float64
+	for _, t := range logTerms {
+		z += math.Exp(t - maxT)
+	}
+	grad := make([]float64, len(raw))
+	for i, c := range mix.Components {
+		r := math.Exp(logTerms[i]-maxT) / z
+		base := i * gmm.RawPerComponent
+		grad[base+gmm.RawLogit] = c.Weight - r
+		for d := 0; d < 2; d++ {
+			sig2 := c.Std[d] * c.Std[d]
+			grad[base+gmm.RawMuLat+d] = r * (c.Mean[d] - y[d]) / sig2
+			// Zero gradient where the decode clamp saturated.
+			rawLS := raw[base+gmm.RawLogSigLat+d]
+			if rawLS > gmm.LogSigMin && rawLS < gmm.LogSigMax {
+				diff := y[d] - c.Mean[d]
+				grad[base+gmm.RawLogSigLat+d] = r * (1 - diff*diff/sig2)
+			}
+		}
+	}
+	return loss, grad
+}
+
+func logGauss(x, mu, sigma float64) float64 {
+	d := (x - mu) / sigma
+	return -0.5*d*d - math.Log(sigma) - 0.5*math.Log(2*math.Pi)
+}
+
+// HintPenalty wraps a base loss with the paper's "hints" idea (concluding
+// remark iii): when the scenario predicate holds for the input — e.g. a
+// vehicle is present on the left — every component's lateral-velocity mean
+// above Threshold is penalized quadratically, steering training toward
+// networks that verify.
+type HintPenalty struct {
+	Base Loss
+	// Predicate reports whether the safety precondition holds at x.
+	Predicate func(x []float64) bool
+	// Threshold is the lateral-velocity bound the property imposes (m/s).
+	Threshold float64
+	// Lambda scales the penalty.
+	Lambda float64
+	// K is the number of mixture components in the raw layout.
+	K int
+}
+
+// Name implements Loss.
+func (h HintPenalty) Name() string { return h.Base.Name() + "+hints" }
+
+// Eval implements Loss.
+func (h HintPenalty) Eval(x, raw, y []float64) (float64, []float64) {
+	loss, grad := h.Base.Eval(x, raw, y)
+	if h.Predicate == nil || !h.Predicate(x) {
+		return loss, grad
+	}
+	for k := 0; k < h.K; k++ {
+		i := gmm.MuLatIndex(k)
+		if over := raw[i] - h.Threshold; over > 0 {
+			loss += h.Lambda * over * over
+			grad[i] += 2 * h.Lambda * over
+		}
+	}
+	return loss, grad
+}

@@ -1,0 +1,39 @@
+package train
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/gmm"
+	"repro/internal/nn"
+)
+
+// InitMDNHead breaks mixture symmetry on a freshly constructed network with
+// a K-component gmm head: component lateral-velocity means are spread evenly
+// over [-spread, +spread] via output biases and log-σ biases start at
+// logSigma0 (σ≈e^logSigma0), so components specialize instead of collapsing
+// onto one broad Gaussian. jitter adds small random noise so equal-width
+// mixtures do not stay exactly symmetric.
+func InitMDNHead(net *nn.Network, k int, spread, logSigma0 float64, rng *rand.Rand) {
+	if len(net.Layers) == 0 {
+		panic("train: InitMDNHead on empty network")
+	}
+	out := net.Layers[len(net.Layers)-1]
+	if out.OutDim() != k*gmm.RawPerComponent {
+		panic(fmt.Sprintf("train: InitMDNHead head width %d, want %d", out.OutDim(), k*gmm.RawPerComponent))
+	}
+	for i := 0; i < k; i++ {
+		pos := 0.0
+		if k > 1 {
+			pos = -spread + 2*spread*float64(i)/float64(k-1)
+		}
+		base := i * gmm.RawPerComponent
+		out.B[base+gmm.RawMuLat] = pos
+		out.B[base+gmm.RawLogSigLat] = logSigma0
+		out.B[base+gmm.RawLogSigLong] = logSigma0
+		if rng != nil {
+			out.B[base+gmm.RawMuLat] += rng.NormFloat64() * 0.01
+			out.B[base+gmm.RawMuLong] = rng.NormFloat64() * 0.01
+		}
+	}
+}

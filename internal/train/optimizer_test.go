@@ -1,0 +1,136 @@
+package train
+
+import (
+	"io"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/nn"
+)
+
+// fitQuadratic trains a small net on y = x² with the given optimizer and
+// returns the final loss.
+func fitQuadratic(t *testing.T, opt Optimizer, epochs int) float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(13))
+	net := nn.New(nn.Config{Name: "q", InputDim: 1, Hidden: []int{12}, OutputDim: 1, HiddenAct: nn.Tanh, OutputAct: nn.Identity}, rng)
+	data := make([]Sample, 128)
+	dr := rand.New(rand.NewSource(14))
+	for i := range data {
+		x := dr.Float64()*2 - 1
+		data[i] = Sample{X: []float64{x}, Y: []float64{x * x}}
+	}
+	tr := &Trainer{Net: net, Loss: MSE{}, Opt: opt, Rng: rand.New(rand.NewSource(15)), BatchSize: 32}
+	curve := tr.Fit(data, epochs)
+	return curve[len(curve)-1]
+}
+
+func TestOptimizersAllConverge(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  Optimizer
+		tol  float64
+	}{
+		{"sgd", &SGD{LR: 0.2}, 0.01},
+		{"sgd+momentum", &SGD{LR: 0.05, Momentum: 0.9}, 0.01},
+		{"adam", NewAdam(0.02), 0.005},
+	}
+	for _, c := range cases {
+		if loss := fitQuadratic(t, c.opt, 120); loss > c.tol {
+			t.Errorf("%s final loss %g > %g", c.name, loss, c.tol)
+		}
+	}
+}
+
+func TestMomentumAcceleratesEarly(t *testing.T) {
+	plain := fitQuadratic(t, &SGD{LR: 0.05}, 25)
+	moment := fitQuadratic(t, &SGD{LR: 0.05, Momentum: 0.9}, 25)
+	if moment > plain {
+		t.Fatalf("momentum (%g) should not lag plain SGD (%g) on a smooth objective", moment, plain)
+	}
+}
+
+func TestOptimizerNames(t *testing.T) {
+	if (&SGD{}).Name() != "sgd" || NewAdam(0.1).Name() != "adam" {
+		t.Fatal("optimizer names broken")
+	}
+	if (MSE{}).Name() != "mse" || (MDN{K: 1}).Name() != "mdn-nll" {
+		t.Fatal("loss names broken")
+	}
+	h := HintPenalty{Base: MDN{K: 1}}
+	if h.Name() != "mdn-nll+hints" {
+		t.Fatalf("hint name %q", h.Name())
+	}
+}
+
+// TestQuickMSENonNegative: the MSE loss is non-negative and zero exactly at
+// the target.
+func TestQuickMSENonNegative(t *testing.T) {
+	f := func(raw, y [4]float64) bool {
+		for i := range raw {
+			if math.IsNaN(raw[i]) || math.IsNaN(y[i]) || math.Abs(raw[i]) > 1e100 || math.Abs(y[i]) > 1e100 {
+				return true
+			}
+		}
+		loss, _ := MSE{}.Eval(nil, raw[:], y[:])
+		if loss < 0 {
+			return false
+		}
+		self, _ := MSE{}.Eval(nil, raw[:], raw[:])
+		return self == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSamplesRoundTrip: encode/decode of datasets is lossless.
+func TestQuickSamplesRoundTrip(t *testing.T) {
+	f := func(vals [6]float64) bool {
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		data := []Sample{
+			{X: vals[:3], Y: vals[3:5]},
+			{X: []float64{vals[5], 0, 1}, Y: []float64{2, 3}},
+		}
+		var buf mockBuffer
+		if err := EncodeSamples(&buf, data); err != nil {
+			return false
+		}
+		back, err := DecodeSamples(&buf)
+		if err != nil || len(back) != len(data) {
+			return false
+		}
+		for i := range data {
+			for j := range data[i].X {
+				if back[i].X[j] != data[i].X[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// mockBuffer is a minimal io.ReadWriter for round-trip tests.
+type mockBuffer struct{ data []byte }
+
+func (b *mockBuffer) Write(p []byte) (int, error) { b.data = append(b.data, p...); return len(p), nil }
+func (b *mockBuffer) Read(p []byte) (int, error) {
+	if len(b.data) == 0 {
+		return 0, errEOF
+	}
+	n := copy(p, b.data)
+	b.data = b.data[n:]
+	return n, nil
+}
+
+var errEOF = io.EOF

@@ -1,0 +1,309 @@
+// Package train implements supervised training for the networks in package
+// nn: reverse-mode gradients through dense ReLU/tanh layers, SGD and Adam
+// optimizers, mean-squared-error and mixture-density (GMM negative
+// log-likelihood) losses, and the property-penalty "hints" regularizer that
+// realizes the paper's future-work item (iii) — training under known safety
+// properties.
+package train
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/linalg"
+	"repro/internal/nn"
+)
+
+// Sample is one supervised example.
+type Sample struct {
+	X []float64 // network input
+	Y []float64 // target (loss-specific semantics)
+}
+
+// Loss maps a raw network output and a target to a scalar loss and the
+// gradient of that loss with respect to the raw output.
+type Loss interface {
+	// Eval returns loss and dLoss/dRaw. grad must have len(raw).
+	Eval(x, raw, y []float64) (loss float64, grad []float64)
+	// Name identifies the loss in logs.
+	Name() string
+}
+
+// Gradients holds per-layer weight and bias gradients matching a network.
+type Gradients struct {
+	W [][][]float64
+	B [][]float64
+}
+
+// NewGradients allocates zeroed gradients shaped like net.
+func NewGradients(net *nn.Network) *Gradients {
+	g := &Gradients{}
+	for _, l := range net.Layers {
+		g.W = append(g.W, linalg.NewMatrix(l.OutDim(), l.InDim()))
+		g.B = append(g.B, make([]float64, l.OutDim()))
+	}
+	return g
+}
+
+// Zero resets all gradients.
+func (g *Gradients) Zero() {
+	for li := range g.W {
+		for _, row := range g.W[li] {
+			linalg.Zero(row)
+		}
+		linalg.Zero(g.B[li])
+	}
+}
+
+// Scale multiplies all gradients by alpha.
+func (g *Gradients) Scale(alpha float64) {
+	for li := range g.W {
+		for _, row := range g.W[li] {
+			linalg.Scale(alpha, row)
+		}
+		linalg.Scale(alpha, g.B[li])
+	}
+}
+
+// Backward accumulates dLoss/dParams into g for one sample, given the
+// forward trace and the loss gradient with respect to raw outputs.
+// It returns nothing; gradients add onto g so minibatches accumulate.
+func Backward(net *nn.Network, tr *nn.Trace, dRaw []float64, g *Gradients) {
+	L := len(net.Layers)
+	// delta starts as dLoss/dPost for the output layer, then walks back.
+	delta := linalg.Clone(dRaw)
+	for li := L - 1; li >= 0; li-- {
+		layer := net.Layers[li]
+		pre := tr.Pre[li]
+		// dLoss/dPre = dLoss/dPost ⊙ act'(pre)
+		for j := range delta {
+			delta[j] *= layer.Act.Derivative(pre[j])
+		}
+		// Input to this layer.
+		var in []float64
+		if li == 0 {
+			in = tr.Input
+		} else {
+			in = tr.Post[li-1]
+		}
+		// Accumulate parameter gradients.
+		linalg.AddOuter(g.W[li], 1, delta, in)
+		linalg.Axpy(1, delta, g.B[li])
+		if li == 0 {
+			break
+		}
+		// Propagate to previous layer: dLoss/dPost_{li-1} = Wᵀ delta.
+		prev := make([]float64, layer.InDim())
+		linalg.MatTVec(layer.W, delta, prev)
+		delta = prev
+	}
+}
+
+// InputGradient returns dLoss/dInput for one sample — used by
+// coverage-guided test generation and saliency traceability.
+func InputGradient(net *nn.Network, tr *nn.Trace, dRaw []float64) []float64 {
+	delta := linalg.Clone(dRaw)
+	for li := len(net.Layers) - 1; li >= 0; li-- {
+		layer := net.Layers[li]
+		pre := tr.Pre[li]
+		for j := range delta {
+			delta[j] *= layer.Act.Derivative(pre[j])
+		}
+		prev := make([]float64, layer.InDim())
+		linalg.MatTVec(layer.W, delta, prev)
+		delta = prev
+	}
+	return delta
+}
+
+// Optimizer updates network parameters from accumulated gradients.
+type Optimizer interface {
+	// Step applies one update. Gradients are treated as the minibatch mean.
+	Step(net *nn.Network, g *Gradients)
+	// Name identifies the optimizer in logs.
+	Name() string
+}
+
+// SGD is stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	vel      *Gradients
+}
+
+// Name implements Optimizer.
+func (s *SGD) Name() string { return "sgd" }
+
+// Step implements Optimizer.
+func (s *SGD) Step(net *nn.Network, g *Gradients) {
+	if s.Momentum > 0 && s.vel == nil {
+		s.vel = NewGradients(net)
+	}
+	for li, l := range net.Layers {
+		for r := range l.W {
+			for c := range l.W[r] {
+				step := g.W[li][r][c]
+				if s.Momentum > 0 {
+					s.vel.W[li][r][c] = s.Momentum*s.vel.W[li][r][c] + step
+					step = s.vel.W[li][r][c]
+				}
+				l.W[r][c] -= s.LR * step
+			}
+		}
+		for r := range l.B {
+			step := g.B[li][r]
+			if s.Momentum > 0 {
+				s.vel.B[li][r] = s.Momentum*s.vel.B[li][r] + step
+				step = s.vel.B[li][r]
+			}
+			l.B[r] -= s.LR * step
+		}
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba) with bias correction.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	t                     int
+	m, v                  *Gradients
+}
+
+// NewAdam returns Adam with the conventional defaults and the given rate.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Name implements Optimizer.
+func (a *Adam) Name() string { return "adam" }
+
+// Step implements Optimizer.
+func (a *Adam) Step(net *nn.Network, g *Gradients) {
+	if a.m == nil {
+		a.m = NewGradients(net)
+		a.v = NewGradients(net)
+	}
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	upd := func(p, gr, m, v *float64) {
+		*m = a.Beta1**m + (1-a.Beta1)**gr
+		*v = a.Beta2**v + (1-a.Beta2)**gr**gr
+		*p -= a.LR * (*m / c1) / (math.Sqrt(*v/c2) + a.Eps)
+	}
+	for li, l := range net.Layers {
+		for r := range l.W {
+			for c := range l.W[r] {
+				upd(&l.W[r][c], &g.W[li][r][c], &a.m.W[li][r][c], &a.v.W[li][r][c])
+			}
+		}
+		for r := range l.B {
+			upd(&l.B[r], &g.B[li][r], &a.m.B[li][r], &a.v.B[li][r])
+		}
+	}
+}
+
+// Trainer couples a network, a loss and an optimizer.
+type Trainer struct {
+	Net       *nn.Network
+	Loss      Loss
+	Opt       Optimizer
+	BatchSize int // 0 means 32
+	Rng       *rand.Rand
+	// ClipNorm, when positive, rescales minibatch gradients whose global
+	// L2 norm exceeds it (keeps MDN training stable).
+	ClipNorm float64
+}
+
+// Epoch shuffles data, runs one pass of minibatch updates and returns the
+// mean per-sample loss observed during the pass.
+func (t *Trainer) Epoch(data []Sample) float64 {
+	if t.Rng == nil {
+		panic("train: Trainer.Rng must be set for reproducibility")
+	}
+	bs := t.BatchSize
+	if bs <= 0 {
+		bs = 32
+	}
+	idx := t.Rng.Perm(len(data))
+	g := NewGradients(t.Net)
+	var total float64
+	for start := 0; start < len(idx); start += bs {
+		end := start + bs
+		if end > len(idx) {
+			end = len(idx)
+		}
+		g.Zero()
+		for _, di := range idx[start:end] {
+			s := data[di]
+			tr := t.Net.ForwardTrace(s.X)
+			loss, dRaw := t.Loss.Eval(s.X, tr.Output(), s.Y)
+			total += loss
+			Backward(t.Net, tr, dRaw, g)
+		}
+		g.Scale(1 / float64(end-start))
+		if t.ClipNorm > 0 {
+			clip(g, t.ClipNorm)
+		}
+		t.Opt.Step(t.Net, g)
+	}
+	return total / float64(len(data))
+}
+
+// Fit runs epochs passes and returns the loss curve.
+func (t *Trainer) Fit(data []Sample, epochs int) []float64 {
+	curve := make([]float64, 0, epochs)
+	for e := 0; e < epochs; e++ {
+		curve = append(curve, t.Epoch(data))
+	}
+	return curve
+}
+
+// MeanLoss evaluates the dataset without updating parameters.
+func (t *Trainer) MeanLoss(data []Sample) float64 {
+	var total float64
+	for _, s := range data {
+		raw := t.Net.Forward(s.X)
+		loss, _ := t.Loss.Eval(s.X, raw, s.Y)
+		total += loss
+	}
+	return total / float64(len(data))
+}
+
+func clip(g *Gradients, maxNorm float64) {
+	var sq float64
+	for li := range g.W {
+		for _, row := range g.W[li] {
+			for _, v := range row {
+				sq += v * v
+			}
+		}
+		for _, v := range g.B[li] {
+			sq += v * v
+		}
+	}
+	norm := math.Sqrt(sq)
+	if norm > maxNorm {
+		g.Scale(maxNorm / norm)
+	}
+}
+
+// Split partitions data into train/validation parts with the given
+// validation fraction, shuffled by rng.
+func Split(data []Sample, valFrac float64, rng *rand.Rand) (train, val []Sample) {
+	if valFrac < 0 || valFrac >= 1 {
+		panic(fmt.Sprintf("train: Split fraction %g out of [0,1)", valFrac))
+	}
+	idx := rng.Perm(len(data))
+	nVal := int(float64(len(data)) * valFrac)
+	val = make([]Sample, 0, nVal)
+	train = make([]Sample, 0, len(data)-nVal)
+	for i, di := range idx {
+		if i < nVal {
+			val = append(val, data[di])
+		} else {
+			train = append(train, data[di])
+		}
+	}
+	return train, val
+}

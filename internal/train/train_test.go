@@ -1,0 +1,297 @@
+package train
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gmm"
+	"repro/internal/nn"
+)
+
+func smallNet(seed int64, act nn.Activation) *nn.Network {
+	rng := rand.New(rand.NewSource(seed))
+	return nn.New(nn.Config{
+		Name: "t", InputDim: 4, Hidden: []int{6, 5}, OutputDim: 3,
+		HiddenAct: act, OutputAct: nn.Identity,
+	}, rng)
+}
+
+// numericalGrad estimates dLoss/dParam by central differences for every
+// parameter and compares with Backward's analytic gradients.
+func checkGradients(t *testing.T, net *nn.Network, loss Loss, x, y []float64, tol float64) {
+	t.Helper()
+	tr := net.ForwardTrace(x)
+	_, dRaw := loss.Eval(x, tr.Output(), y)
+	g := NewGradients(net)
+	Backward(net, tr, dRaw, g)
+
+	const h = 1e-6
+	evalLoss := func() float64 {
+		out := net.Forward(x)
+		l, _ := loss.Eval(x, out, y)
+		return l
+	}
+	for li, l := range net.Layers {
+		for r := range l.W {
+			for c := range l.W[r] {
+				orig := l.W[r][c]
+				l.W[r][c] = orig + h
+				up := evalLoss()
+				l.W[r][c] = orig - h
+				down := evalLoss()
+				l.W[r][c] = orig
+				num := (up - down) / (2 * h)
+				if diff := math.Abs(num - g.W[li][r][c]); diff > tol*(1+math.Abs(num)) {
+					t.Fatalf("layer %d W[%d][%d]: analytic %g vs numeric %g", li, r, c, g.W[li][r][c], num)
+				}
+			}
+		}
+		for r := range l.B {
+			orig := l.B[r]
+			l.B[r] = orig + h
+			up := evalLoss()
+			l.B[r] = orig - h
+			down := evalLoss()
+			l.B[r] = orig
+			num := (up - down) / (2 * h)
+			if diff := math.Abs(num - g.B[li][r]); diff > tol*(1+math.Abs(num)) {
+				t.Fatalf("layer %d B[%d]: analytic %g vs numeric %g", li, r, num, g.B[li][r])
+			}
+		}
+	}
+}
+
+func TestGradientCheckMSEReLU(t *testing.T) {
+	net := smallNet(3, nn.ReLU)
+	// Nudge inputs away from ReLU kinks for a clean finite-difference check.
+	checkGradients(t, net, MSE{}, []float64{0.31, -0.42, 0.77, 0.13}, []float64{0.5, -0.2, 0.9}, 1e-4)
+}
+
+func TestGradientCheckMSETanh(t *testing.T) {
+	net := smallNet(4, nn.Tanh)
+	checkGradients(t, net, MSE{}, []float64{0.2, 0.1, -0.5, 0.9}, []float64{0.1, 0.2, 0.3}, 1e-4)
+}
+
+func TestGradientCheckMDN(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	net := nn.New(nn.Config{
+		Name: "mdn", InputDim: 4, Hidden: []int{6}, OutputDim: 2 * gmm.RawPerComponent,
+		HiddenAct: nn.Tanh, OutputAct: nn.Identity,
+	}, rng)
+	loss := MDN{K: 2}
+	checkGradients(t, net, loss, []float64{0.3, -0.2, 0.5, 0.1}, []float64{0.4, -0.6}, 1e-3)
+}
+
+func TestGradientCheckHintPenalty(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	net := nn.New(nn.Config{
+		Name: "h", InputDim: 3, Hidden: []int{5}, OutputDim: 2 * gmm.RawPerComponent,
+		HiddenAct: nn.Tanh, OutputAct: nn.Identity,
+	}, rng)
+	loss := HintPenalty{
+		Base:      MDN{K: 2},
+		Predicate: func(x []float64) bool { return x[0] > 0 },
+		Threshold: -10, // guarantees the penalty branch is active and smooth
+		Lambda:    0.5,
+		K:         2,
+	}
+	checkGradients(t, net, loss, []float64{0.4, 0.2, -0.1}, []float64{0.3, 0.1}, 1e-3)
+}
+
+func TestMSELossValues(t *testing.T) {
+	loss, grad := MSE{}.Eval(nil, []float64{1, 3}, []float64{0, 1})
+	if math.Abs(loss-2.5) > 1e-12 { // (1+4)/2
+		t.Fatalf("loss = %g, want 2.5", loss)
+	}
+	if grad[0] != 1 || grad[1] != 2 {
+		t.Fatalf("grad = %v, want [1 2]", grad)
+	}
+}
+
+func TestSGDReducesLossOnLinearFit(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	net := nn.New(nn.Config{Name: "lin", InputDim: 2, Hidden: nil, OutputDim: 1, OutputAct: nn.Identity}, rng)
+	data := make([]Sample, 200)
+	for i := range data {
+		x := []float64{rng.Float64()*2 - 1, rng.Float64()*2 - 1}
+		data[i] = Sample{X: x, Y: []float64{3*x[0] - 2*x[1] + 0.5}}
+	}
+	tr := &Trainer{Net: net, Loss: MSE{}, Opt: &SGD{LR: 0.1}, Rng: rand.New(rand.NewSource(1))}
+	first := tr.Epoch(data)
+	var last float64
+	for i := 0; i < 60; i++ {
+		last = tr.Epoch(data)
+	}
+	if last > first/10 || last > 1e-3 {
+		t.Fatalf("SGD failed to fit linear target: first %g last %g", first, last)
+	}
+}
+
+func TestAdamFitsNonlinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	net := nn.New(nn.Config{Name: "n", InputDim: 1, Hidden: []int{16, 16}, OutputDim: 1, HiddenAct: nn.ReLU, OutputAct: nn.Identity}, rng)
+	data := make([]Sample, 256)
+	for i := range data {
+		x := rng.Float64()*4 - 2
+		data[i] = Sample{X: []float64{x}, Y: []float64{math.Abs(x)}}
+	}
+	tr := &Trainer{Net: net, Loss: MSE{}, Opt: NewAdam(0.01), Rng: rand.New(rand.NewSource(2)), BatchSize: 32}
+	curve := tr.Fit(data, 80)
+	if curve[len(curve)-1] > 0.01 {
+		t.Fatalf("Adam failed to fit |x|: final loss %g", curve[len(curve)-1])
+	}
+}
+
+func TestMDNLearnsBimodalTarget(t *testing.T) {
+	// Target: for any x, action is ±1 laterally with equal probability.
+	// A single Gaussian cannot fit this; a 2-component MDN can.
+	rng := rand.New(rand.NewSource(31))
+	net := nn.New(nn.Config{
+		Name: "mdn", InputDim: 1, Hidden: []int{12}, OutputDim: 2 * gmm.RawPerComponent,
+		HiddenAct: nn.Tanh, OutputAct: nn.Identity,
+	}, rng)
+	// Break mixture symmetry the standard MDN way: spread initial component
+	// means apart and start with small σ so components specialize.
+	out := net.Layers[len(net.Layers)-1]
+	out.B[gmm.MuLatIndex(0)] = 0.5
+	out.B[gmm.MuLatIndex(1)] = -0.5
+	for k := 0; k < 2; k++ {
+		out.B[k*gmm.RawPerComponent+gmm.RawLogSigLat] = -1
+		out.B[k*gmm.RawPerComponent+gmm.RawLogSigLong] = -1
+	}
+	data := make([]Sample, 400)
+	for i := range data {
+		lat := 1.0
+		if rng.Intn(2) == 0 {
+			lat = -1
+		}
+		data[i] = Sample{X: []float64{rng.Float64()}, Y: []float64{lat + rng.NormFloat64()*0.05, 0}}
+	}
+	tr := &Trainer{Net: net, Loss: MDN{K: 2}, Opt: NewAdam(0.02), Rng: rand.New(rand.NewSource(3)), BatchSize: 64, ClipNorm: 10}
+	tr.Fit(data, 250)
+
+	mix := gmm.Decode(net.Forward([]float64{0.5}))
+	if err := mix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The learned distribution must be bimodal: both ±1 actions clearly
+	// more likely than the midpoint a unimodal fit would choose.
+	atPlus := mix.LogPDF([2]float64{1, 0})
+	atMinus := mix.LogPDF([2]float64{-1, 0})
+	atMid := mix.LogPDF([2]float64{0, 0})
+	if atPlus <= atMid || atMinus <= atMid {
+		t.Fatalf("not bimodal: logpdf(+1)=%g logpdf(-1)=%g logpdf(0)=%g", atPlus, atMinus, atMid)
+	}
+}
+
+func TestHintPenaltySuppressesUnsafeOutput(t *testing.T) {
+	// Train two nets on data that weakly pushes lateral velocity upward in
+	// "left occupied" states; the hinted net must end with smaller μ_lat.
+	build := func(hint bool) *nn.Network {
+		rng := rand.New(rand.NewSource(41))
+		net := nn.New(nn.Config{
+			Name: "h", InputDim: 2, Hidden: []int{8}, OutputDim: gmm.RawPerComponent,
+			HiddenAct: nn.Tanh, OutputAct: nn.Identity,
+		}, rng)
+		data := make([]Sample, 300)
+		dr := rand.New(rand.NewSource(42))
+		for i := range data {
+			occupied := float64(i % 2)
+			lat := dr.NormFloat64()*0.2 + 1.5*occupied // unsafe habit in data
+			data[i] = Sample{X: []float64{occupied, dr.Float64()}, Y: []float64{lat, 0}}
+		}
+		var loss Loss = MDN{K: 1}
+		if hint {
+			loss = HintPenalty{
+				Base:      loss,
+				Predicate: func(x []float64) bool { return x[0] > 0.5 },
+				Threshold: 0.2,
+				Lambda:    5,
+				K:         1,
+			}
+		}
+		tr := &Trainer{Net: net, Loss: loss, Opt: NewAdam(0.02), Rng: rand.New(rand.NewSource(5)), BatchSize: 32, ClipNorm: 10}
+		tr.Fit(data, 80)
+		return net
+	}
+	plain := build(false)
+	hinted := build(true)
+	x := []float64{1, 0.5} // left occupied
+	muPlain := plain.Forward(x)[gmm.MuLatIndex(0)]
+	muHinted := hinted.Forward(x)[gmm.MuLatIndex(0)]
+	if muHinted >= muPlain {
+		t.Fatalf("hints did not reduce unsafe mean: plain %g hinted %g", muPlain, muHinted)
+	}
+	if muHinted > 0.6 {
+		t.Fatalf("hinted mean %g still far above threshold", muHinted)
+	}
+}
+
+func TestInputGradientNumerically(t *testing.T) {
+	net := smallNet(51, nn.Tanh)
+	x := []float64{0.3, -0.1, 0.6, 0.2}
+	y := []float64{0.1, 0.4, -0.3}
+	tr := net.ForwardTrace(x)
+	_, dRaw := MSE{}.Eval(x, tr.Output(), y)
+	grad := InputGradient(net, tr, dRaw)
+	const h = 1e-6
+	for i := range x {
+		orig := x[i]
+		x[i] = orig + h
+		up, _ := MSE{}.Eval(x, net.Forward(x), y)
+		x[i] = orig - h
+		down, _ := MSE{}.Eval(x, net.Forward(x), y)
+		x[i] = orig
+		num := (up - down) / (2 * h)
+		if math.Abs(num-grad[i]) > 1e-5*(1+math.Abs(num)) {
+			t.Fatalf("input grad %d: analytic %g numeric %g", i, grad[i], num)
+		}
+	}
+}
+
+func TestSplitPartitions(t *testing.T) {
+	data := make([]Sample, 100)
+	for i := range data {
+		data[i] = Sample{X: []float64{float64(i)}}
+	}
+	tr, val := Split(data, 0.25, rand.New(rand.NewSource(1)))
+	if len(tr) != 75 || len(val) != 25 {
+		t.Fatalf("split sizes %d/%d", len(tr), len(val))
+	}
+	seen := map[float64]bool{}
+	for _, s := range append(append([]Sample{}, tr...), val...) {
+		if seen[s.X[0]] {
+			t.Fatal("sample duplicated across split")
+		}
+		seen[s.X[0]] = true
+	}
+	if len(seen) != 100 {
+		t.Fatal("samples lost in split")
+	}
+}
+
+func TestTrainerRequiresRng(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on nil rng")
+		}
+	}()
+	tr := &Trainer{Net: smallNet(1, nn.ReLU), Loss: MSE{}, Opt: &SGD{LR: 0.1}}
+	tr.Epoch([]Sample{{X: []float64{0, 0, 0, 0}, Y: []float64{0, 0, 0}}})
+}
+
+func TestGradientsZeroAndScale(t *testing.T) {
+	net := smallNet(6, nn.ReLU)
+	g := NewGradients(net)
+	g.W[0][0][0] = 2
+	g.B[0][0] = 4
+	g.Scale(0.5)
+	if g.W[0][0][0] != 1 || g.B[0][0] != 2 {
+		t.Fatal("Scale broken")
+	}
+	g.Zero()
+	if g.W[0][0][0] != 0 || g.B[0][0] != 0 {
+		t.Fatal("Zero broken")
+	}
+}

@@ -1,0 +1,301 @@
+package verify
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/bounds"
+	"repro/internal/milp"
+	"repro/internal/nn"
+)
+
+// Outcome classifies a verification result.
+type Outcome int
+
+// Possible outcomes.
+const (
+	// Proved means the property was established for the whole region.
+	Proved Outcome = iota
+	// Violated means a concrete counterexample input was found.
+	Violated
+	// Timeout means resources ran out before a conclusion — the paper's
+	// "n.a. (unable to find maximum)" row.
+	Timeout
+)
+
+// String returns a readable outcome name.
+func (o Outcome) String() string {
+	switch o {
+	case Proved:
+		return "proved"
+	case Violated:
+		return "violated"
+	case Timeout:
+		return "timeout"
+	}
+	return fmt.Sprintf("Outcome(%d)", int(o))
+}
+
+// Options tune a verification run.
+type Options struct {
+	// TimeLimit bounds the MILP solve; 0 means unlimited.
+	TimeLimit time.Duration
+	// MaxNodes bounds branch-and-bound nodes; 0 means unlimited.
+	MaxNodes int
+	// Tighten selects LP-based bound tightening before encoding
+	// (slower preprocessing, smaller search trees).
+	Tighten bool
+	// Parallel lets MaxOverOutputs solve its per-output MILPs concurrently
+	// (they are independent problems); single queries are unaffected.
+	Parallel bool
+}
+
+// Stats describes the effort a query took.
+type Stats struct {
+	Elapsed       time.Duration
+	Nodes         int
+	LPPivots      int
+	Binaries      int // unstable neurons that required an indicator
+	StableNeurons int // neurons encoded linearly thanks to interval bounds
+	HiddenNeurons int
+}
+
+// MaxResult is the answer to a MaxOutput query.
+type MaxResult struct {
+	// Exact reports whether Value is the proven maximum (false on timeout).
+	Exact bool
+	// Value is the maximum output value found (a lower bound on the true
+	// maximum when !Exact and a witness exists).
+	Value float64
+	// UpperBound is the proven upper bound from branch-and-bound
+	// (equals Value when Exact).
+	UpperBound float64
+	// Witness is an input achieving Value, nil if none was found.
+	Witness []float64
+	Stats   Stats
+}
+
+// MaxOutput computes the maximum of output neuron outIndex over the region.
+// This is the paper's "maximum lateral velocity when a vehicle exists on
+// the left" query.
+func MaxOutput(net *nn.Network, region *InputRegion, outIndex int, opts Options) (*MaxResult, error) {
+	if outIndex < 0 || outIndex >= net.OutputDim() {
+		return nil, fmt.Errorf("verify: output index %d of %d", outIndex, net.OutputDim())
+	}
+	start := time.Now()
+	nb, err := prepareBounds(net, region, opts)
+	if err != nil {
+		return nil, err
+	}
+	enc, err := encode(net, region, nb, encodeOptions{prefixLayers: -1})
+	if err != nil {
+		return nil, err
+	}
+	enc.model.SetObjective(enc.outputs[outIndex], 1)
+	enc.model.SetMaximize(true)
+
+	res, err := milp.Solve(milp.Problem{Model: enc.model, Integers: enc.binaries}, milp.Options{
+		TimeLimit: remaining(opts.TimeLimit, start),
+		MaxNodes:  opts.MaxNodes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &MaxResult{Stats: enc.stats(res, start)}
+	switch res.Status {
+	case milp.Optimal:
+		out.Exact = true
+		out.Value = res.Objective
+		out.UpperBound = res.Objective
+		out.Witness = extractWitness(enc, res.X)
+	case milp.Infeasible:
+		return nil, fmt.Errorf("verify: region is empty (MILP infeasible)")
+	default: // time/node limits
+		out.UpperBound = res.Bound
+		if res.HasSolution {
+			out.Value = res.Objective
+			out.Witness = extractWitness(enc, res.X)
+		} else {
+			out.Value = math.Inf(-1)
+		}
+	}
+	return out, nil
+}
+
+// ProveResult is the answer to a ProveUpperBound query.
+type ProveResult struct {
+	Outcome Outcome
+	// Threshold echoes the bound that was checked.
+	Threshold float64
+	// CounterExample is an input with output > Threshold when Violated.
+	CounterExample []float64
+	// CounterValue is the network output at the counterexample.
+	CounterValue float64
+	Stats        Stats
+}
+
+// ProveUpperBound proves output[outIndex] ≤ threshold over the region, or
+// returns a counterexample. This is Table II's last row: "prove that the
+// lateral velocity can never be larger than 3 m/s".
+//
+// The query is encoded as a feasibility problem: the output is constrained
+// to exceed the threshold and branch-and-bound searches for any integer-
+// feasible point; infeasibility proves the bound.
+func ProveUpperBound(net *nn.Network, region *InputRegion, outIndex int, threshold float64, opts Options) (*ProveResult, error) {
+	if outIndex < 0 || outIndex >= net.OutputDim() {
+		return nil, fmt.Errorf("verify: output index %d of %d", outIndex, net.OutputDim())
+	}
+	start := time.Now()
+	nb, err := prepareBounds(net, region, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	pr := &ProveResult{Threshold: threshold}
+	// Fast path: interval analysis alone may already prove the bound.
+	if nb.Output()[outIndex].Hi <= threshold {
+		pr.Outcome = Proved
+		stable, total := nb.StableNeurons()
+		pr.Stats = Stats{Elapsed: time.Since(start), StableNeurons: stable, HiddenNeurons: total}
+		return pr, nil
+	}
+
+	enc, err := encode(net, region, nb, encodeOptions{prefixLayers: -1})
+	if err != nil {
+		return nil, err
+	}
+	// Feasibility of "output strictly above threshold": maximize the output
+	// subject to output ≥ threshold; any feasible point is a counterexample,
+	// infeasibility is a proof.
+	y := enc.outputs[outIndex]
+	lo, hi := enc.model.Bounds(y)
+	enc.model.SetBounds(y, math.Max(lo, threshold), math.Max(hi, threshold))
+	enc.model.SetObjective(y, 1)
+	enc.model.SetMaximize(true)
+
+	res, err := milp.Solve(milp.Problem{Model: enc.model, Integers: enc.binaries}, milp.Options{
+		TimeLimit: remaining(opts.TimeLimit, start),
+		MaxNodes:  opts.MaxNodes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pr.Stats = enc.stats(res, start)
+	switch {
+	case res.Status == milp.Infeasible:
+		pr.Outcome = Proved
+	case res.HasSolution && res.Objective > threshold+1e-7:
+		pr.Outcome = Violated
+		pr.CounterExample = extractWitness(enc, res.X)
+		pr.CounterValue = net.Forward(pr.CounterExample)[outIndex]
+	case res.Status == milp.Optimal:
+		// Optimum exists but does not exceed the threshold: the region
+		// touches the threshold at most; that still proves ≤.
+		pr.Outcome = Proved
+	default:
+		pr.Outcome = Timeout
+	}
+	return pr, nil
+}
+
+// MaxOverOutputs returns the maximum over several output neurons (one MILP
+// per output — a disjunction solved as independent problems, concurrently
+// when opts.Parallel is set). The verifier uses it to bound every mixture
+// component's μ_lat, which soundly bounds the mixture mean (see package
+// gmm). With Parallel, Stats.Elapsed sums per-query times and so exceeds
+// wall-clock time.
+func MaxOverOutputs(net *nn.Network, region *InputRegion, outIndices []int, opts Options) (*MaxResult, error) {
+	if len(outIndices) == 0 {
+		return nil, fmt.Errorf("verify: MaxOverOutputs needs at least one output index")
+	}
+	results := make([]*MaxResult, len(outIndices))
+	errs := make([]error, len(outIndices))
+	if opts.Parallel {
+		var wg sync.WaitGroup
+		for i, oi := range outIndices {
+			wg.Add(1)
+			go func(slot, out int) {
+				defer wg.Done()
+				results[slot], errs[slot] = MaxOutput(net, region, out, opts)
+			}(i, oi)
+		}
+		wg.Wait()
+	} else {
+		for i, oi := range outIndices {
+			results[i], errs[i] = MaxOutput(net, region, oi, opts)
+		}
+	}
+	best := &MaxResult{Exact: true, Value: math.Inf(-1), UpperBound: math.Inf(-1)}
+	for i, r := range results {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		best.Stats.Elapsed += r.Stats.Elapsed
+		best.Stats.Nodes += r.Stats.Nodes
+		best.Stats.LPPivots += r.Stats.LPPivots
+		best.Stats.Binaries = r.Stats.Binaries
+		best.Stats.StableNeurons = r.Stats.StableNeurons
+		best.Stats.HiddenNeurons = r.Stats.HiddenNeurons
+		if r.Value > best.Value {
+			best.Value = r.Value
+			best.Witness = r.Witness
+		}
+		if r.UpperBound > best.UpperBound {
+			best.UpperBound = r.UpperBound
+		}
+		if !r.Exact {
+			best.Exact = false
+		}
+	}
+	return best, nil
+}
+
+// prepareBounds runs interval propagation (plus optional LP tightening)
+// over the region box.
+func prepareBounds(net *nn.Network, region *InputRegion, opts Options) (*bounds.NetworkBounds, error) {
+	if err := region.Validate(net); err != nil {
+		return nil, err
+	}
+	nb, err := bounds.Propagate(net, region.Box)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Tighten {
+		return TightenLP(net, region, nb)
+	}
+	return nb, nil
+}
+
+func remaining(limit time.Duration, start time.Time) time.Duration {
+	if limit <= 0 {
+		return 0
+	}
+	rem := limit - time.Since(start)
+	if rem <= 0 {
+		return time.Nanosecond // already exhausted; force immediate timeout
+	}
+	return rem
+}
+
+func extractWitness(e *encoding, x []float64) []float64 {
+	w := make([]float64, len(e.inputs))
+	for i, v := range e.inputs {
+		w[i] = x[v]
+	}
+	return w
+}
+
+// stats assembles query statistics from an encoding and a MILP result.
+func (e *encoding) stats(res *milp.Result, start time.Time) Stats {
+	stable, total := e.nb.StableNeurons()
+	return Stats{
+		Elapsed:       time.Since(start),
+		Nodes:         res.Nodes,
+		LPPivots:      res.LPPivots,
+		Binaries:      len(e.binaries),
+		StableNeurons: stable,
+		HiddenNeurons: total,
+	}
+}
