@@ -10,6 +10,7 @@
 //	BenchmarkQuantVerify/*       — remark (ii): quantized-network verification
 //	BenchmarkHintsAblation/*     — remark (iii): property-guided training
 //	BenchmarkBigMAblation/*      — design choice: interval vs LP-tightened big-M
+//	BenchmarkEngineWorkers/*     — warm-started engine: Workers=1 vs all cores
 //
 // The sweep uses scaled-down widths so `go test -bench=.` terminates on a
 // laptop; `cmd/table2` runs the paper's exact architectures.
@@ -17,6 +18,7 @@ package repro
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 	"testing"
@@ -271,6 +273,40 @@ func BenchmarkHintsAblation(b *testing.B) {
 	}
 	b.Run("plain", func(b *testing.B) { run(b, st.preds[benchWidths[0]]) })
 	b.Run("hints", func(b *testing.B) { run(b, st.hinted) })
+}
+
+// BenchmarkEngineWorkers runs the hardest Table II row on the sequential
+// engine (Workers=1) and the default parallel engine (Workers=0, all
+// cores). The verified maximum must agree between the two modes — the
+// engines differ only in scheduling and warm-start paths, never in the
+// answer — while wall-clock time shows the parallel speedup.
+func BenchmarkEngineWorkers(b *testing.B) {
+	st := setup(b)
+	pred := st.preds[benchWidths[len(benchWidths)-1]]
+	sequentialValue := math.NaN()
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{{"workers1", 1}, {"workersAuto", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var last *verify.MaxResult
+			for i := 0; i < b.N; i++ {
+				res, err := pred.VerifySafety(verify.Options{TimeLimit: 10 * time.Minute, Workers: mode.workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			if mode.workers == 1 {
+				sequentialValue = last.Value
+			} else if !math.IsNaN(sequentialValue) && math.Abs(last.Value-sequentialValue) > 1e-9 {
+				b.Fatalf("parallel engine value %.12g != sequential %.12g", last.Value, sequentialValue)
+			}
+			b.ReportMetric(last.Value, "maxLatVel(m/s)")
+			b.ReportMetric(float64(last.Stats.Nodes), "bbNodes")
+			b.ReportMetric(float64(last.Stats.LPPivots), "lpPivots")
+		})
+	}
 }
 
 // BenchmarkBigMAblation isolates the effect of LP-based bound tightening on

@@ -9,6 +9,7 @@
 //	annverify -net i4x10.json                 # maximum lateral velocity
 //	annverify -net i4x10.json -prove 3.0      # prove the 3 m/s bound
 //	annverify -net i4x10.json -timeout 5m     # with a time limit
+//	annverify -net i4x10.json -workers 1      # force the sequential engine
 package main
 
 import (
@@ -33,6 +34,7 @@ func main() {
 		tighten    = flag.Bool("tighten", false, "LP-based bound tightening before encoding")
 		front      = flag.Bool("front", false, "verify the front-gap acceleration property instead")
 		resilience = flag.Bool("resilience", false, "compute the resilience radius around an all-0.5 nominal input")
+		workers    = flag.Int("workers", 0, "branch-and-bound workers per MILP solve (0 = all cores, 1 = sequential)")
 	)
 	flag.Parse()
 	if *netPath == "" {
@@ -46,7 +48,7 @@ func main() {
 		log.Fatalf("network output %d is not a gmm head", net.OutputDim())
 	}
 	pred := &core.Predictor{Net: net, K: net.OutputDim() / gmm.RawPerComponent}
-	opts := verify.Options{TimeLimit: *timeout, Tighten: *tighten}
+	opts := verify.Options{TimeLimit: *timeout, Tighten: *tighten, Workers: *workers}
 
 	fmt.Printf("network %s (%s): %d hidden neurons, %d mixture components\n",
 		net.Name, net.ArchString(), net.HiddenNeurons(), pred.K)

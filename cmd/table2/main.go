@@ -14,6 +14,7 @@
 //
 //	table2                                 # scaled default sweep
 //	table2 -widths 10,20,25,40,50,60 -depth 4 -timeout 30m   # paper scale
+//	table2 -workers 1                      # sequential branch-and-bound
 package main
 
 import (
@@ -43,6 +44,8 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		timeout   = flag.Duration("timeout", 5*time.Minute, "per-network verification time limit")
 		proveThr  = flag.Float64("prove", 3.0, "bound to prove on the largest network (m/s)")
+		workers   = flag.Int("workers", 0, "branch-and-bound workers per MILP solve (0 = all cores, 1 = sequential)")
+		tighten   = flag.Bool("tighten", false, "LP-based bound tightening before encoding")
 	)
 	flag.Parse()
 
@@ -80,7 +83,7 @@ func main() {
 			ClipNorm:  20,
 		}
 		trainer.Fit(clean, *epochs)
-		res, err := pred.VerifySafety(verify.Options{TimeLimit: *timeout, Parallel: true})
+		res, err := pred.VerifySafety(verify.Options{TimeLimit: *timeout, Parallel: true, Workers: *workers, Tighten: *tighten})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -95,7 +98,7 @@ func main() {
 
 	if last != nil && *proveThr > 0 {
 		start := time.Now()
-		outcome, _, err := last.ProveSafetyBound(*proveThr, verify.Options{TimeLimit: *timeout})
+		outcome, _, err := last.ProveSafetyBound(*proveThr, verify.Options{TimeLimit: *timeout, Workers: *workers, Tighten: *tighten})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -57,11 +57,10 @@ type Options struct {
 var ErrBadModel = errors.New("lp: malformed model")
 
 const (
-	pivotTol       = 1e-9
-	defaultTol     = 1e-7
-	refreshPeriod  = 512 // pivots between reduced-cost refreshes
-	blandTrigger   = 4   // multiples of (m+n) before Bland's rule engages
-	artificialBase = "artificial"
+	pivotTol      = 1e-9
+	defaultTol    = 1e-7
+	refreshPeriod = 512 // pivots between reduced-cost refreshes
+	blandTrigger  = 4   // multiples of (m+n) before Bland's rule engages
 )
 
 type varStatus int8
@@ -73,158 +72,36 @@ const (
 	basic
 )
 
-// tableau is the working state of a solve.
+// tableau is the working state of a solve. Column layout:
+// [0,nStruct) structural, [nStruct,nStruct+m) slacks,
+// [nStruct+m, nTotal) artificials.
+//
+// width is the pricing/update extent: nTotal while phase-1 artificials are
+// live, nStruct+m once they are retired. Columns at or beyond width are
+// never priced and their tableau entries go stale; the artificials are
+// pinned to [0,0] by then, so they can never re-enter the basis.
 type tableau struct {
 	m, nStruct, nTotal int
+	width              int
 	t                  [][]float64 // m × nTotal working tableau (B⁻¹A)
+	backing            []float64   // t's backing storage, for fast cold resets
 	lower, upper       []float64   // bounds per column
 	cost               []float64   // current phase costs per column
 	d                  []float64   // reduced costs per column
 	x                  []float64   // current value per column
 	status             []varStatus
-	basis              []int // column basic in each row
+	basis              []int     // column basic in each row
+	rhsInv             []float64 // B⁻¹·b, maintained through pivots
 	iters              int
 	maxIters           int
 	tol                float64
 }
 
 // Solve optimizes the model and returns a solution.
-// The model is not mutated.
+// The model is not mutated. Each call builds and solves from scratch; use
+// a Solver for repeated solves of one model under bound/objective changes.
 func Solve(m *Model, opts Options) (*Solution, error) {
-	tol := opts.Tol
-	if tol <= 0 {
-		tol = defaultTol
-	}
-	for _, v := range m.vars {
-		if v.Lower > v.Upper || math.IsNaN(v.Lower) || math.IsNaN(v.Upper) {
-			return nil, ErrBadModel
-		}
-	}
-
-	nStruct := len(m.vars)
-	rows := len(m.cons)
-	nTotal := nStruct + 2*rows // slacks + artificials
-	tb := &tableau{
-		m:       rows,
-		nStruct: nStruct,
-		nTotal:  nTotal,
-		lower:   make([]float64, nTotal),
-		upper:   make([]float64, nTotal),
-		cost:    make([]float64, nTotal),
-		d:       make([]float64, nTotal),
-		x:       make([]float64, nTotal),
-		status:  make([]varStatus, nTotal),
-		basis:   make([]int, rows),
-		tol:     tol,
-	}
-	tb.maxIters = opts.MaxIterations
-	if tb.maxIters <= 0 {
-		tb.maxIters = 400*(rows+nTotal) + 20000
-	}
-
-	tb.t = make([][]float64, rows)
-	backing := make([]float64, rows*nTotal)
-	for i := range tb.t {
-		tb.t[i], backing = backing[:nTotal:nTotal], backing[nTotal:]
-	}
-
-	// Column layout: [0,nStruct) structural, [nStruct,nStruct+m) slacks,
-	// [nStruct+m, nTotal) artificials.
-	for j, v := range m.vars {
-		tb.lower[j], tb.upper[j] = v.Lower, v.Upper
-	}
-	for i, c := range m.cons {
-		for _, term := range c.Terms {
-			tb.t[i][term.Var] += term.Coeff
-		}
-		slack := nStruct + i
-		tb.t[i][slack] = 1
-		switch c.Sense {
-		case LE:
-			tb.lower[slack], tb.upper[slack] = 0, math.Inf(1)
-		case GE:
-			tb.lower[slack], tb.upper[slack] = math.Inf(-1), 0
-		case EQ:
-			tb.lower[slack], tb.upper[slack] = 0, 0
-		}
-	}
-
-	// Rest every non-artificial at a finite bound (free vars at 0).
-	for j := 0; j < nStruct+rows; j++ {
-		switch {
-		case !math.IsInf(tb.lower[j], -1):
-			tb.status[j], tb.x[j] = atLower, tb.lower[j]
-		case !math.IsInf(tb.upper[j], 1):
-			tb.status[j], tb.x[j] = atUpper, tb.upper[j]
-		default:
-			tb.status[j], tb.x[j] = free, 0
-		}
-	}
-
-	// Artificial variables absorb each row's residual and start basic.
-	var phase1Needed bool
-	for i, c := range m.cons {
-		var lhs float64
-		for j := 0; j < nStruct+rows; j++ {
-			if tb.t[i][j] != 0 {
-				lhs += tb.t[i][j] * tb.x[j]
-			}
-		}
-		r := c.RHS - lhs
-		art := nStruct + rows + i
-		tb.t[i][art] = 1
-		tb.basis[i] = art
-		tb.status[art] = basic
-		tb.x[art] = r
-		if r >= 0 {
-			tb.lower[art], tb.upper[art] = 0, math.Inf(1)
-			tb.cost[art] = 1
-		} else {
-			tb.lower[art], tb.upper[art] = math.Inf(-1), 0
-			tb.cost[art] = -1
-		}
-		if math.Abs(r) > tol {
-			phase1Needed = true
-		}
-	}
-
-	// Phase 1: minimize signed artificial mass.
-	if phase1Needed {
-		tb.refreshReducedCosts()
-		st := tb.iterate()
-		if st == IterationLimit {
-			return &Solution{Status: IterationLimit, Iterations: tb.iters}, nil
-		}
-		if tb.phase1Objective() > 10*tol {
-			return &Solution{Status: Infeasible, Iterations: tb.iters}, nil
-		}
-	}
-	tb.retireArtificials()
-
-	// Phase 2: the real objective.
-	for j := range tb.cost {
-		tb.cost[j] = 0
-	}
-	sign := 1.0
-	if m.maximize {
-		sign = -1
-	}
-	for j, v := range m.vars {
-		tb.cost[j] = sign * v.Obj
-	}
-	tb.refreshReducedCosts()
-	st := tb.iterate()
-
-	sol := &Solution{Status: st, Iterations: tb.iters}
-	switch st {
-	case Optimal, IterationLimit:
-		sol.X = make([]float64, nStruct)
-		copy(sol.X, tb.x[:nStruct])
-		sol.Objective = m.EvalObjective(sol.X)
-	case Unbounded:
-		// No finite solution to report.
-	}
-	return sol, nil
+	return NewSolver(m).Solve(opts)
 }
 
 // phase1Objective sums the absolute values of artificial variables.
@@ -239,6 +116,7 @@ func (tb *tableau) phase1Objective() float64 {
 // retireArtificials pins artificial columns at zero and pivots basic
 // artificials out of the basis where a usable pivot exists. A row whose
 // artificial cannot be pivoted out is redundant and stays inert.
+// Must run while width still covers the artificial columns.
 func (tb *tableau) retireArtificials() {
 	artStart := tb.nStruct + tb.m
 	for j := artStart; j < tb.nTotal; j++ {
@@ -280,7 +158,7 @@ func (tb *tableau) refreshReducedCosts() {
 			continue
 		}
 		row := tb.t[i]
-		for j := 0; j < tb.nTotal; j++ {
+		for j := 0; j < tb.width; j++ {
 			tb.d[j] -= cb * row[j]
 		}
 	}
@@ -291,10 +169,11 @@ func (tb *tableau) refreshReducedCosts() {
 
 // entering selects an entering column and its movement direction, or (-1, 0)
 // at optimality. Dantzig pricing normally, Bland's rule when bland is set.
+// The scan stops at width, so retired artificial columns are never priced.
 func (tb *tableau) entering(bland bool) (col int, dir float64) {
 	bestScore := tb.tol
 	col = -1
-	for j := 0; j < tb.nTotal; j++ {
+	for j := 0; j < tb.width; j++ {
 		if tb.status[j] == basic || tb.lower[j] == tb.upper[j] {
 			continue // fixed columns can never move
 		}
@@ -433,14 +312,16 @@ func (tb *tableau) iterate() Status {
 }
 
 // pivot makes column j basic in row r, keeping its current value xj.
+// Row operations stop at width; columns beyond it are stale by design.
 func (tb *tableau) pivot(r, j int, xj float64) {
 	p := tb.t[r][j]
 	row := tb.t[r]
 	inv := 1 / p
-	for k := 0; k < tb.nTotal; k++ {
+	for k := 0; k < tb.width; k++ {
 		row[k] *= inv
 	}
 	row[j] = 1
+	tb.rhsInv[r] *= inv
 	for i := 0; i < tb.m; i++ {
 		if i == r {
 			continue
@@ -450,13 +331,14 @@ func (tb *tableau) pivot(r, j int, xj float64) {
 			continue
 		}
 		ti := tb.t[i]
-		for k := 0; k < tb.nTotal; k++ {
+		for k := 0; k < tb.width; k++ {
 			ti[k] -= f * row[k]
 		}
 		ti[j] = 0
+		tb.rhsInv[i] -= f * tb.rhsInv[r]
 	}
 	if f := tb.d[j]; f != 0 {
-		for k := 0; k < tb.nTotal; k++ {
+		for k := 0; k < tb.width; k++ {
 			tb.d[k] -= f * row[k]
 		}
 	}
@@ -464,4 +346,240 @@ func (tb *tableau) pivot(r, j int, xj float64) {
 	tb.basis[r] = j
 	tb.status[j] = basic
 	tb.x[j] = xj
+}
+
+// computeBasics recomputes every basic variable's value from the invariant
+// T·x = B⁻¹·b given the current nonbasic rest values.
+func (tb *tableau) computeBasics() {
+	for i := 0; i < tb.m; i++ {
+		v := tb.rhsInv[i]
+		row := tb.t[i]
+		for j := 0; j < tb.width; j++ {
+			if tb.status[j] != basic && tb.x[j] != 0 {
+				v -= row[j] * tb.x[j]
+			}
+		}
+		tb.x[tb.basis[i]] = v
+	}
+}
+
+// firstInfeasibleRow returns the first row whose basic variable violates its
+// bounds beyond tolerance, or -1 when the basis is primal feasible.
+func (tb *tableau) firstInfeasibleRow() int {
+	for i := 0; i < tb.m; i++ {
+		bi := tb.basis[i]
+		v := tb.x[bi]
+		if lo := tb.lower[bi]; v < lo-tb.tol*(1+math.Abs(lo)) {
+			return i
+		}
+		if hi := tb.upper[bi]; v > hi+tb.tol*(1+math.Abs(hi)) {
+			return i
+		}
+	}
+	return -1
+}
+
+// mostInfeasibleRow returns the row whose basic variable violates its bounds
+// the most, or -1 when the basis is primal feasible.
+func (tb *tableau) mostInfeasibleRow() int {
+	row, worst := -1, 0.0
+	for i := 0; i < tb.m; i++ {
+		bi := tb.basis[i]
+		v := tb.x[bi]
+		if d := (tb.lower[bi] - v) - tb.tol*(1+math.Abs(tb.lower[bi])); d > worst {
+			row, worst = i, d
+		}
+		if d := (v - tb.upper[bi]) - tb.tol*(1+math.Abs(tb.upper[bi])); d > worst {
+			row, worst = i, d
+		}
+	}
+	return row
+}
+
+// dualFeasible reports whether the current reduced costs satisfy the
+// optimality sign conventions — the precondition for dual pivoting. True
+// whenever the basis was optimal for the same objective (the branch-and-
+// bound child case: only bounds changed). The threshold is deliberately
+// loose: the dual simplex is only a pivot rule here — optimality is
+// re-certified by the primal polish afterwards — so near-feasible reduced
+// costs (pricing leaves residuals up to tol, and a fresh refresh can push
+// them slightly past it) just cost a few extra primal pivots, while
+// rejecting them would force a full cold solve.
+func (tb *tableau) dualFeasible() bool {
+	slack := 10 * tb.tol
+	for j := 0; j < tb.width; j++ {
+		if tb.status[j] == basic || tb.lower[j] == tb.upper[j] {
+			continue
+		}
+		switch tb.status[j] {
+		case atLower:
+			if tb.d[j] < -slack {
+				return false
+			}
+		case atUpper:
+			if tb.d[j] > slack {
+				return false
+			}
+		case free:
+			if math.Abs(tb.d[j]) > slack {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// rowProvesInfeasible checks whether row r certifies primal infeasibility
+// directly from tableau data: the basic variable's extreme achievable value
+// over the nonbasic box still violates its bound.
+func (tb *tableau) rowProvesInfeasible(r int) bool {
+	bi := tb.basis[r]
+	row := tb.t[r]
+	// x_bi = rhsInv[r] − Σ α_j x_j; maximize and minimize over the box.
+	maxV, minV := tb.rhsInv[r], tb.rhsInv[r]
+	for j := 0; j < tb.width; j++ {
+		if tb.status[j] == basic {
+			continue
+		}
+		a := row[j]
+		if a == 0 {
+			continue
+		}
+		lo, hi := tb.lower[j], tb.upper[j]
+		if math.IsInf(lo, -1) || math.IsInf(hi, 1) {
+			return false // unbounded box direction: no certificate here
+		}
+		if a > 0 {
+			maxV -= a * lo
+			minV -= a * hi
+		} else {
+			maxV -= a * hi
+			minV -= a * lo
+		}
+	}
+	slack := tb.tol * (1 + math.Abs(tb.lower[bi]) + math.Abs(tb.upper[bi]))
+	return maxV < tb.lower[bi]-slack || minV > tb.upper[bi]+slack
+}
+
+// dualIterate runs bounded-variable dual simplex pivots until the basis is
+// primal feasible (→ Optimal), certified primal infeasible (→ Infeasible),
+// or the pivot budget runs out. It requires (near-)dual-feasible reduced
+// costs on entry; the caller re-polishes with primal pivots, so mild sign
+// drift costs extra primal work, never correctness. ok=false means the
+// pass could not conclude and the caller must go cold.
+//
+// The ratio test is the long-step variant: a min-ratio column whose own
+// bound range cannot absorb the leaving variable's residual is flipped to
+// its opposite bound — an O(m) value update instead of an O(m·n) pivot —
+// and the scan continues with the next candidate. Without flips, big-M
+// verification LPs (full of boxed indicator columns with narrow ranges)
+// degenerate into long chains of full pivots.
+func (tb *tableau) dualIterate() (st Status, ok bool) {
+	budget := 6*tb.m + 100 // dual steps, not counting flips
+	for steps := 0; ; steps++ {
+		if tb.iters >= tb.maxIters {
+			return IterationLimit, true
+		}
+		if steps > budget {
+			return 0, false // stalling; let the cold path decide
+		}
+		r := tb.mostInfeasibleRow()
+		if r < 0 {
+			return Optimal, true
+		}
+		bi := tb.basis[r]
+		below := tb.x[bi] < tb.lower[bi]
+		var target float64
+		var leaveAt varStatus
+		if below {
+			target, leaveAt = tb.lower[bi], atLower
+		} else {
+			target, leaveAt = tb.upper[bi], atUpper
+		}
+		row := tb.t[r]
+
+		// Resolve row r: flip boxed min-ratio columns that cannot absorb
+		// the residual, enter the first one that can.
+		entered := false
+		for tb.x[bi] != target {
+			deltaB := target - tb.x[bi] // >0 when below, <0 when above
+
+			// Dual ratio test: entering column must let x_bi move toward
+			// its bound (sign condition) while keeping reduced-cost signs
+			// valid — smallest |d|/|α|, largest |α| on near-ties.
+			best, bestRatio, bestAbs := -1, math.Inf(1), 0.0
+			for j := 0; j < tb.width; j++ {
+				if tb.status[j] == basic || tb.lower[j] == tb.upper[j] {
+					continue
+				}
+				a := row[j]
+				if math.Abs(a) < pivotTol {
+					continue
+				}
+				// x_bi changes by −α_j·Δx_j; Δx_j ≥ 0 from atLower, ≤ 0
+				// from atUpper, either direction when free.
+				switch tb.status[j] {
+				case atLower:
+					if (below && a >= 0) || (!below && a <= 0) {
+						continue
+					}
+				case atUpper:
+					if (below && a <= 0) || (!below && a >= 0) {
+						continue
+					}
+				}
+				ratio := math.Abs(tb.d[j]) / math.Abs(a)
+				if ratio < bestRatio-1e-12 || (ratio <= bestRatio+1e-12 && math.Abs(a) > bestAbs) {
+					best, bestRatio, bestAbs = j, ratio, math.Abs(a)
+				}
+			}
+			if best < 0 {
+				// No admissible entering column: either a genuine
+				// infeasibility certificate or a numerical dead end.
+				if tb.rowProvesInfeasible(r) {
+					return Infeasible, true
+				}
+				return 0, false
+			}
+
+			deltaJ := deltaB / -row[best]
+			rng := tb.upper[best] - tb.lower[best]
+			if tb.status[best] != free && !math.IsInf(rng, 1) && math.Abs(deltaJ) > rng {
+				// Bound flip: the column saturates before the row is whole.
+				var step float64
+				if tb.status[best] == atLower {
+					step = rng
+					tb.status[best] = atUpper
+					tb.x[best] = tb.upper[best]
+				} else {
+					step = -rng
+					tb.status[best] = atLower
+					tb.x[best] = tb.lower[best]
+				}
+				for i := 0; i < tb.m; i++ {
+					if a := tb.t[i][best]; a != 0 {
+						tb.x[tb.basis[i]] -= step * a
+					}
+				}
+				continue
+			}
+
+			newXj := tb.x[best] + deltaJ
+			for i := 0; i < tb.m; i++ {
+				if a := tb.t[i][best]; a != 0 {
+					tb.x[tb.basis[i]] -= deltaJ * a
+				}
+			}
+			tb.status[bi] = leaveAt
+			tb.x[bi] = target
+			tb.pivot(r, best, newXj)
+			tb.iters++
+			entered = true
+			break
+		}
+		if !entered && tb.x[bi] == target {
+			// Flips alone made the row feasible; the basic variable stays.
+			continue
+		}
+	}
 }

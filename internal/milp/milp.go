@@ -4,16 +4,25 @@
 // The solver targets the network-verification MILPs in this repository:
 // every integer variable is a 0/1 ReLU phase indicator, so branching is
 // binary and big-M bound fixing (setting a binary's bounds to [0,0] or
-// [1,1]) is the only node operation. Node relaxations are solved from
-// scratch by the primal simplex; nodes are explored best-first by
+// [1,1]) is the only node operation. Nodes are explored best-first by
 // relaxation bound so the incumbent/bound gap shrinks monotonically.
+//
+// The engine is parallel and warm-started: Options.Workers workers each
+// own a model clone and a persistent lp.Solver, nodes are pulled from a
+// shared best-first heap in synchronized batches, and every child node
+// re-solves from its parent's saved simplex basis instead of from scratch.
+// Batch-synchronous scheduling keeps the search deterministic for a fixed
+// worker count: node counts, objectives and incumbents are reproducible
+// run to run, and Workers=1 is exactly the classical sequential search.
 package milp
 
 import (
 	"container/heap"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/lp"
@@ -65,6 +74,11 @@ type Options struct {
 	// Gap is the relative optimality gap at which search stops; 0 means
 	// prove optimality exactly (up to tolerances).
 	Gap float64
+	// Workers is the number of node solvers running concurrently:
+	// 0 means GOMAXPROCS, 1 is the sequential deterministic path. For any
+	// fixed value the search itself is deterministic (batch-synchronous
+	// scheduling), so results are reproducible run to run.
+	Workers int
 	// LP forwards options to every relaxation solve.
 	LP lp.Options
 }
@@ -99,12 +113,20 @@ type Problem struct {
 	Integers []int
 }
 
-// node is a branch-and-bound node: a set of tightened bounds plus the
-// relaxation bound inherited from its parent (used for best-first order).
+// maxBasisQueue bounds how many open nodes may hold basis snapshots:
+// past this queue size, children are pushed without one (their solve
+// warm-starts from the worker's own basis or falls back to a cold solve).
+const maxBasisQueue = 8192
+
+// node is a branch-and-bound node: a set of tightened bounds, the
+// relaxation bound inherited from its parent (best-first key), and the
+// parent's optimal simplex basis for warm-starting the node's own solve.
 type node struct {
-	fixes []fix
-	bound float64 // relaxation objective of the parent, in minimize direction
+	fixes []fix // deduplicated: at most one entry per variable
+	bound float64
 	depth int
+	seq   int64     // creation order; deterministic heap tie-break
+	basis *lp.Basis // parent's optimal basis (nil at the root)
 }
 
 type fix struct {
@@ -114,8 +136,13 @@ type fix struct {
 
 type nodeQueue []*node
 
-func (q nodeQueue) Len() int            { return len(q) }
-func (q nodeQueue) Less(i, j int) bool  { return q[i].bound < q[j].bound }
+func (q nodeQueue) Len() int { return len(q) }
+func (q nodeQueue) Less(i, j int) bool {
+	if q[i].bound != q[j].bound {
+		return q[i].bound < q[j].bound
+	}
+	return q[i].seq < q[j].seq
+}
 func (q nodeQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
 func (q *nodeQueue) Push(x interface{}) { *q = append(*q, x.(*node)) }
 func (q *nodeQueue) Pop() interface{} {
@@ -125,6 +152,41 @@ func (q *nodeQueue) Pop() interface{} {
 	old[n-1] = nil
 	*q = old[:n-1]
 	return it
+}
+
+// worker owns one model clone and one persistent warm-started solver.
+type worker struct {
+	model   *lp.Model
+	solver  *lp.Solver
+	applied []fix // fixes currently applied to model, for cheap undo
+}
+
+// nodeResult carries one solved relaxation back to the coordinator.
+type nodeResult struct {
+	sol   *lp.Solution
+	basis *lp.Basis // this node's own optimal basis (nil unless Optimal)
+	err   error
+}
+
+// solveNode applies the node's bound fixes to the worker's clone and solves
+// the relaxation, warm-starting from the parent's basis.
+func (w *worker) solveNode(nd *node, rootLo, rootHi []float64, lpOpts lp.Options) nodeResult {
+	for _, f := range w.applied {
+		w.model.SetBounds(f.v, rootLo[f.v], rootHi[f.v])
+	}
+	for _, f := range nd.fixes {
+		w.model.SetBounds(f.v, f.lower, f.upper)
+	}
+	w.applied = nd.fixes
+	sol, err := w.solver.SolveFrom(nd.basis, lpOpts)
+	if err != nil {
+		return nodeResult{err: err}
+	}
+	var basis *lp.Basis
+	if sol.Status == lp.Optimal {
+		basis = w.solver.SaveBasis()
+	}
+	return nodeResult{sol: sol, basis: basis}
 }
 
 // Solve runs branch-and-bound and returns the result.
@@ -139,9 +201,12 @@ func Solve(p Problem, opts Options) (*Result, error) {
 	if opts.TimeLimit > 0 {
 		deadline = start.Add(opts.TimeLimit)
 	}
+	nWorkers := opts.Workers
+	if nWorkers <= 0 {
+		nWorkers = runtime.GOMAXPROCS(0)
+	}
 
-	work := p.Model.Clone()
-	maximize := work.Maximizing()
+	maximize := p.Model.Maximizing()
 	// Internally bounds are tracked in minimize direction: lower bounds on
 	// the optimum come from relaxations.
 	toMin := func(v float64) float64 {
@@ -161,32 +226,43 @@ func Solve(p Problem, opts Options) (*Result, error) {
 		intSet[v] = true
 	}
 
+	// Root bounds, for undoing a node's fixes on a worker clone.
+	nVars := p.Model.NumVariables()
+	rootLo := make([]float64, nVars)
+	rootHi := make([]float64, nVars)
+	for v := 0; v < nVars; v++ {
+		rootLo[v], rootHi[v] = p.Model.Bounds(v)
+	}
+
+	// Workers are created lazily: batches start at size 1 and are bounded
+	// by the open-node count, so a tree that dies early never pays for the
+	// full set of model clones and dense tableaus.
+	workers := make([]*worker, nWorkers)
+	getWorker := func(i int) *worker {
+		if workers[i] == nil {
+			m := p.Model.Clone()
+			workers[i] = &worker{model: m, solver: lp.NewSolver(m)}
+		}
+		return workers[i]
+	}
+
+	var seq int64
 	queue := &nodeQueue{{bound: math.Inf(-1)}}
 	heap.Init(queue)
 
-	applyFixes := func(fs []fix) []fix {
-		saved := make([]fix, len(fs))
-		for i, f := range fs {
-			lo, hi := work.Bounds(f.v)
-			saved[i] = fix{f.v, lo, hi}
-			work.SetBounds(f.v, f.lower, f.upper)
-		}
-		return saved
-	}
-	restore := func(saved []fix) {
-		for i := len(saved) - 1; i >= 0; i-- {
-			f := saved[i]
-			work.SetBounds(f.v, f.lower, f.upper)
-		}
-	}
+	// droppedBound tracks the best (minimize-direction) bound over nodes
+	// that were abandoned without resolution — LP iteration limits, or a
+	// non-root unbounded relaxation. Their subtrees are unexplored, so the
+	// proven bound and the Optimal claim must account for them.
+	droppedBound := math.Inf(1)
 
 	finish := func(st Status) (*Result, error) {
 		res.Elapsed = time.Since(start)
 		res.Status = st
-		// Best bound: min over incumbent and open nodes.
-		openBest := math.Inf(1)
+		// Best bound: min over incumbent, open nodes, and dropped nodes.
+		openBest := droppedBound
 		if queue.Len() > 0 {
-			openBest = (*queue)[0].bound
+			openBest = math.Min(openBest, (*queue)[0].bound)
 		}
 		b := math.Min(bestMin, openBest)
 		if st == Optimal && res.HasSolution {
@@ -200,99 +276,202 @@ func Solve(p Problem, opts Options) (*Result, error) {
 		return res, nil
 	}
 
+	batch := make([]*node, 0, nWorkers)
+	results := make([]nodeResult, nWorkers)
 	for queue.Len() > 0 {
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			return finish(TimeLimit)
 		}
-		if opts.MaxNodes > 0 && res.Nodes >= opts.MaxNodes {
-			return finish(NodeLimit)
-		}
-		nd := heap.Pop(queue).(*node)
-		// Bound pruning against the incumbent.
-		if nd.bound >= bestMin-1e-9 && res.HasSolution {
-			continue
-		}
-		res.Nodes++
-
-		saved := applyFixes(nd.fixes)
-		sol, err := lp.Solve(work, opts.LP)
-		restore(saved)
-		if err != nil {
-			return nil, err
-		}
-		res.LPPivots += sol.Iterations
-
-		switch sol.Status {
-		case lp.Infeasible:
-			continue
-		case lp.Unbounded:
-			if res.Nodes == 1 && len(nd.fixes) == 0 {
-				return finish(Unbounded)
+		batchCap := nWorkers
+		if opts.MaxNodes > 0 {
+			if rem := opts.MaxNodes - res.Nodes; rem < batchCap {
+				batchCap = rem
 			}
-			continue // a child cannot be more unbounded than the root; treat as cut off
-		case lp.IterationLimit:
-			// Cannot trust the node; drop it conservatively only if we
-			// already have an incumbent, otherwise report the limit.
-			if !res.HasSolution {
+			if batchCap <= 0 {
 				return finish(NodeLimit)
 			}
-			continue
 		}
-		nodeBound := toMin(sol.Objective)
-		if res.HasSolution && nodeBound >= bestMin-1e-9 {
+
+		// Form a batch of the best open nodes, dropping prunable ones.
+		batch = batch[:0]
+		for len(batch) < batchCap && queue.Len() > 0 {
+			nd := heap.Pop(queue).(*node)
+			if res.HasSolution && nd.bound >= bestMin-1e-9 {
+				continue
+			}
+			batch = append(batch, nd)
+		}
+		if len(batch) == 0 {
 			continue
 		}
 
-		// Find the most fractional integer variable.
-		branchVar, worst := -1, intTol
-		for _, v := range p.Integers {
-			f := sol.X[v]
-			frac := math.Abs(f - math.Round(f))
-			if frac > worst {
-				branchVar, worst = v, frac
+		// Solve the batch: node i on worker i. Workers share nothing, so
+		// results are independent of goroutine scheduling.
+		if len(batch) == 1 {
+			results[0] = getWorker(0).solveNode(batch[0], rootLo, rootHi, opts.LP)
+		} else {
+			var wg sync.WaitGroup
+			for i := range batch {
+				w := getWorker(i)
+				wg.Add(1)
+				go func(i int, w *worker) {
+					defer wg.Done()
+					results[i] = w.solveNode(batch[i], rootLo, rootHi, opts.LP)
+				}(i, w)
+			}
+			wg.Wait()
+		}
+
+		// If processing ends the search mid-batch, the batch members after
+		// the current one — popped first, holding the best open bounds —
+		// must rejoin the queue so the reported Bound stays sound. Their
+		// already-computed LP results are deliberately discarded: finish()
+		// terminates the solve, so only the Bound matters, and counting
+		// unprocessed nodes in Nodes/LPPivots would misstate exploration.
+		requeueAfter := func(i int) {
+			for _, nd := range batch[i+1:] {
+				heap.Push(queue, nd)
 			}
 		}
-		if branchVar < 0 {
-			// Integer feasible: candidate incumbent.
-			if nodeBound < bestMin {
-				bestMin = nodeBound
-				res.HasSolution = true
-				res.X = roundIntegers(sol.X, intSet)
-				res.Objective = sol.Objective
-				if opts.Gap > 0 {
-					openBest := math.Inf(1)
-					if queue.Len() > 0 {
-						openBest = (*queue)[0].bound
-					}
-					gap := math.Abs(bestMin-math.Min(openBest, nodeBound)) / math.Max(1e-9, math.Abs(bestMin))
-					if gap <= opts.Gap {
-						return finish(Optimal)
-					}
+
+		// Process results in batch order — the deterministic part.
+		for i := range batch {
+			nd, r := batch[i], results[i]
+			if r.err != nil {
+				return nil, r.err
+			}
+			sol := r.sol
+			res.Nodes++
+			res.LPPivots += sol.Iterations
+
+			switch sol.Status {
+			case lp.Infeasible:
+				continue
+			case lp.Unbounded:
+				if nd.depth == 0 {
+					return finish(Unbounded)
+				}
+				// A bounded root cannot have an unbounded child; treat it
+				// as unresolved rather than cut off.
+				droppedBound = math.Min(droppedBound, nd.bound)
+				continue
+			case lp.IterationLimit:
+				// Cannot trust the node: its subtree stays unexplored, so
+				// its inherited bound caps what the search can claim. Stop
+				// outright if there is no incumbent yet.
+				droppedBound = math.Min(droppedBound, nd.bound)
+				if !res.HasSolution {
+					requeueAfter(i)
+					return finish(NodeLimit)
+				}
+				continue
+			}
+			nodeBound := toMin(sol.Objective)
+			if res.HasSolution && nodeBound >= bestMin-1e-9 {
+				continue
+			}
+
+			// Find the most fractional integer variable.
+			branchVar, worst := -1, intTol
+			for _, v := range p.Integers {
+				f := sol.X[v]
+				frac := math.Abs(f - math.Round(f))
+				if frac > worst {
+					branchVar, worst = v, frac
 				}
 			}
-			continue
-		}
-
-		// Branch on floor/ceil of the fractional value. Child bounds must
-		// intersect with whatever an ancestor already imposed on this
-		// variable, so start from the effective bounds at this node.
-		val := sol.X[branchVar]
-		effLo, effHi := work.Bounds(branchVar)
-		for _, f := range nd.fixes {
-			if f.v == branchVar {
-				effLo, effHi = f.lower, f.upper
+			if branchVar < 0 {
+				// Integer feasible: candidate incumbent.
+				if nodeBound < bestMin {
+					bestMin = nodeBound
+					res.HasSolution = true
+					res.X = roundIntegers(sol.X, intSet)
+					res.Objective = sol.Objective
+					if opts.Gap > 0 {
+						// Open bound: the queue top, dropped subtrees, and
+						// any batch members still waiting to be processed.
+						openBest := droppedBound
+						if queue.Len() > 0 {
+							openBest = math.Min(openBest, (*queue)[0].bound)
+						}
+						for _, rest := range batch[i+1:] {
+							if rest.bound < openBest {
+								openBest = rest.bound
+							}
+						}
+						gap := math.Abs(bestMin-math.Min(openBest, nodeBound)) / math.Max(1e-9, math.Abs(bestMin))
+						if gap <= opts.Gap {
+							requeueAfter(i)
+							return finish(Optimal)
+						}
+					}
+				}
+				continue
 			}
+
+			// Branch on floor/ceil of the fractional value. Child bounds
+			// intersect whatever an ancestor already imposed on this
+			// variable; fixes are deduplicated so each variable carries at
+			// most one entry regardless of how often it is re-branched.
+			val := sol.X[branchVar]
+			effLo, effHi := rootLo[branchVar], rootHi[branchVar]
+			for _, f := range nd.fixes {
+				if f.v == branchVar {
+					effLo, effHi = f.lower, f.upper
+				}
+			}
+			floorFix := fix{branchVar, effLo, math.Max(effLo, math.Floor(val))}
+			ceilFix := fix{branchVar, math.Min(effHi, math.Ceil(val)), effHi}
+			// Beyond the cap, children carry no basis snapshot: a snapshot
+			// is only consulted by a worker without a live basis of its
+			// own, and bounding retention keeps huge open queues from
+			// holding one O(model)-sized snapshot per expanded node.
+			childBasis := r.basis
+			if queue.Len() >= maxBasisQueue {
+				childBasis = nil
+			}
+			heap.Push(queue, &node{
+				fixes: childFixes(nd.fixes, floorFix), bound: nodeBound,
+				depth: nd.depth + 1, seq: nextSeq(&seq), basis: childBasis,
+			})
+			heap.Push(queue, &node{
+				fixes: childFixes(nd.fixes, ceilFix), bound: nodeBound,
+				depth: nd.depth + 1, seq: nextSeq(&seq), basis: childBasis,
+			})
 		}
-		floorFixes := append(append([]fix(nil), nd.fixes...), fix{branchVar, effLo, math.Floor(val)})
-		ceilFixes := append(append([]fix(nil), nd.fixes...), fix{branchVar, math.Ceil(val), effHi})
-		heap.Push(queue, &node{fixes: floorFixes, bound: nodeBound, depth: nd.depth + 1})
-		heap.Push(queue, &node{fixes: ceilFixes, bound: nodeBound, depth: nd.depth + 1})
 	}
 
 	if res.HasSolution {
+		if droppedBound < bestMin-1e-9 {
+			// An abandoned subtree could still beat the incumbent: the
+			// incumbent stands but optimality is not proven.
+			return finish(NodeLimit)
+		}
 		return finish(Optimal)
 	}
+	if !math.IsInf(droppedBound, 1) {
+		return finish(NodeLimit) // dropped subtrees forbid an infeasibility claim
+	}
 	return finish(Infeasible)
+}
+
+func nextSeq(seq *int64) int64 {
+	*seq++
+	return *seq
+}
+
+// childFixes extends a parent's fix set with one new fix, replacing any
+// earlier fix of the same variable (the new fix already carries the
+// intersected bounds). Keeping fixes deduplicated makes node bookkeeping
+// O(depth-distinct-variables) instead of O(depth) per node.
+func childFixes(parent []fix, nf fix) []fix {
+	out := make([]fix, 0, len(parent)+1)
+	for _, f := range parent {
+		if f.v != nf.v {
+			out = append(out, f)
+		}
+	}
+	return append(out, nf)
 }
 
 // roundIntegers snaps integer variables of x to the nearest integer.

@@ -1,0 +1,194 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/lp"
+)
+
+// randomKnapsack builds a maximization knapsack with n binaries.
+func randomKnapsack(rng *rand.Rand, n int) Problem {
+	m := lp.NewModel()
+	ints := make([]int, n)
+	terms := make([]lp.Term, n)
+	var wsum float64
+	for i := 0; i < n; i++ {
+		ints[i] = m.AddVariable(0, 1, "")
+		m.SetObjective(ints[i], rng.Float64()*10+0.1)
+		w := rng.Float64()*5 + 0.1
+		terms[i] = lp.Term{Var: ints[i], Coeff: w}
+		wsum += w
+	}
+	m.SetMaximize(true)
+	m.AddConstraint(terms, lp.LE, wsum*(0.3+0.4*rng.Float64()), "cap")
+	return Problem{Model: m, Integers: ints}
+}
+
+// randomMixed builds a mixed binary/continuous problem feasible at the origin.
+func randomMixed(rng *rand.Rand, nBin, nCont int) Problem {
+	m := lp.NewModel()
+	var ints []int
+	for i := 0; i < nBin; i++ {
+		v := m.AddVariable(0, 1, "")
+		m.SetObjective(v, rng.Float64()*4-2)
+		ints = append(ints, v)
+	}
+	for i := 0; i < nCont; i++ {
+		v := m.AddVariable(-1, 1, "")
+		m.SetObjective(v, rng.Float64()*4-2)
+	}
+	m.SetMaximize(true)
+	total := nBin + nCont
+	for r := 0; r < 3; r++ {
+		terms := make([]lp.Term, 0, total)
+		for v := 0; v < total; v++ {
+			if rng.Float64() < 0.7 {
+				terms = append(terms, lp.Term{Var: v, Coeff: rng.Float64()*2 - 1})
+			}
+		}
+		if len(terms) > 0 {
+			m.AddConstraint(terms, lp.LE, rng.Float64()+0.1, "")
+		}
+	}
+	return Problem{Model: m, Integers: ints}
+}
+
+// TestWorkersMatchSequential cross-checks the parallel warm-started engine
+// against the sequential path on the package stress models: identical
+// statuses and objectives to 1e-6 regardless of worker count.
+func TestWorkersMatchSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	problems := make([]Problem, 0, 20)
+	for i := 0; i < 10; i++ {
+		problems = append(problems, randomKnapsack(rng, 6+rng.Intn(8)))
+	}
+	for i := 0; i < 10; i++ {
+		problems = append(problems, randomMixed(rng, 2+rng.Intn(5), 2+rng.Intn(3)))
+	}
+	for pi, p := range problems {
+		seqRes, err := Solve(p, Options{Workers: 1})
+		if err != nil {
+			t.Fatalf("problem %d sequential: %v", pi, err)
+		}
+		for _, w := range []int{2, 4} {
+			parRes, err := Solve(p, Options{Workers: w})
+			if err != nil {
+				t.Fatalf("problem %d workers=%d: %v", pi, w, err)
+			}
+			if parRes.Status != seqRes.Status {
+				t.Fatalf("problem %d workers=%d: status %v, sequential %v", pi, w, parRes.Status, seqRes.Status)
+			}
+			if seqRes.HasSolution != parRes.HasSolution {
+				t.Fatalf("problem %d workers=%d: HasSolution %v vs %v", pi, w, parRes.HasSolution, seqRes.HasSolution)
+			}
+			if seqRes.HasSolution && math.Abs(parRes.Objective-seqRes.Objective) > 1e-6 {
+				t.Fatalf("problem %d workers=%d: objective %.12g, sequential %.12g",
+					pi, w, parRes.Objective, seqRes.Objective)
+			}
+			if parRes.HasSolution {
+				// The incumbent must actually be integer feasible.
+				for _, v := range p.Integers {
+					if f := parRes.X[v]; math.Abs(f-math.Round(f)) > 1e-6 {
+						t.Fatalf("problem %d workers=%d: non-integral incumbent %v", pi, w, parRes.X)
+					}
+				}
+				if fe := p.Model.FeasibilityError(parRes.X); fe > 1e-5 {
+					t.Fatalf("problem %d workers=%d: incumbent infeasible by %g", pi, w, fe)
+				}
+			}
+		}
+	}
+}
+
+// TestWorkersDeterministic re-runs a parallel solve and demands bitwise
+// identical results: batch-synchronous scheduling makes the search a pure
+// function of (problem, worker count).
+func TestWorkersDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	p := randomKnapsack(rng, 14)
+	a, err := Solve(p, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(p, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Nodes != b.Nodes || a.LPPivots != b.LPPivots {
+		t.Fatalf("node/pivot accounting differs across runs: %d/%d vs %d/%d",
+			a.Nodes, a.LPPivots, b.Nodes, b.LPPivots)
+	}
+	if a.Objective != b.Objective || a.Bound != b.Bound {
+		t.Fatalf("objective/bound differ across runs: %g/%g vs %g/%g",
+			a.Objective, a.Bound, b.Objective, b.Bound)
+	}
+	for i := range a.X {
+		if a.X[i] != b.X[i] {
+			t.Fatalf("incumbent differs at %d: %g vs %g", i, a.X[i], b.X[i])
+		}
+	}
+}
+
+// TestWorkersAgainstBruteForce repeats the brute-force cross-check with the
+// parallel engine — exactness, not just seq/par agreement.
+func TestWorkersAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 12; trial++ {
+		n := 4 + rng.Intn(7)
+		p := randomKnapsack(rng, n)
+		res, err := Solve(p, Options{Workers: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, res.Status)
+		}
+		best := 0.0
+		x := make([]float64, p.Model.NumVariables())
+		for mask := 0; mask < 1<<n; mask++ {
+			var val float64
+			for i, v := range p.Integers {
+				x[v] = float64((mask >> i) & 1)
+				val += x[v] * p.Model.Objective(v)
+			}
+			if p.Model.FeasibilityError(x) > 1e-9 {
+				continue
+			}
+			if val > best {
+				best = val
+			}
+		}
+		if math.Abs(res.Objective-best) > 1e-5 {
+			t.Fatalf("trial %d: milp=%g bruteforce=%g", trial, res.Objective, best)
+		}
+	}
+}
+
+// TestWarmStartReducesPivots sanity-checks that the warm-started engine
+// does less simplex work than a cold engine would: the LP pivot total for a
+// tree of N nodes must come in well under N times the root relaxation cost.
+func TestWarmStartReducesPivots(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	p := randomKnapsack(rng, 16)
+	res, err := Solve(p, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal {
+		t.Fatalf("status %v", res.Status)
+	}
+	rootSol, err := lp.Solve(p.Model, lp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes < 3 {
+		t.Skip("tree too small to measure warm-start effect")
+	}
+	coldEstimate := res.Nodes * rootSol.Iterations
+	if coldEstimate > 0 && res.LPPivots >= coldEstimate {
+		t.Fatalf("warm-started tree used %d pivots over %d nodes; cold estimate %d — warm start ineffective",
+			res.LPPivots, res.Nodes, coldEstimate)
+	}
+}

@@ -71,10 +71,7 @@ func MaxOverOutputsSingleMILP(net *nn.Network, region *InputRegion, outIndices [
 	res, err := milp.Solve(milp.Problem{
 		Model:    enc.model,
 		Integers: append(append([]int(nil), enc.binaries...), selectors...),
-	}, milp.Options{
-		TimeLimit: remaining(opts.TimeLimit, start),
-		MaxNodes:  opts.MaxNodes,
-	})
+	}, opts.milpOptions(start))
 	if err != nil {
 		return nil, err
 	}

@@ -103,6 +103,15 @@ type encoding struct {
 	stable   int // hidden neurons encoded without a binary
 }
 
+// withModelClone returns a copy of the encoding whose model is an
+// independent clone, so several queries can mutate objectives and bounds
+// concurrently while sharing one encoding pass. Variable indices carry over.
+func (e *encoding) withModelClone() *encoding {
+	out := *e
+	out.model = e.model.Clone()
+	return &out
+}
+
 // encodeOptions tune the encoding.
 type encodeOptions struct {
 	// relaxBinaries makes phase indicators continuous in [0,1]

@@ -10,7 +10,9 @@ import (
 
 // TestParallelMatchesSequential checks that concurrent MaxOverOutputs
 // returns exactly the sequential answer (the MILPs are independent; only
-// scheduling differs).
+// scheduling differs). Workers is pinned explicitly so the inner engines
+// are identical regardless of the machine's core count — with the auto
+// value, Parallel mode deliberately divides the core budget per query.
 func TestParallelMatchesSequential(t *testing.T) {
 	rng := rand.New(rand.NewSource(77))
 	net := nn.New(nn.Config{
@@ -19,11 +21,11 @@ func TestParallelMatchesSequential(t *testing.T) {
 	}, rng)
 	region := unitRegion(4)
 	outs := []int{0, 1, 2, 3, 4}
-	seq, err := MaxOverOutputs(net, region, outs, Options{})
+	seq, err := MaxOverOutputs(net, region, outs, Options{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := MaxOverOutputs(net, region, outs, Options{Parallel: true})
+	par, err := MaxOverOutputs(net, region, outs, Options{Parallel: true, Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,6 +53,39 @@ func argBest(net *nn.Network, x []float64, outs []int) int {
 		}
 	}
 	return best
+}
+
+// TestWorkersMatchSequentialVerify pins the parallel warm-started MILP
+// engine against the sequential one on real verification queries: identical
+// exactness and objectives, with and without LP bound tightening.
+func TestWorkersMatchSequentialVerify(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	net := nn.New(nn.Config{
+		Name: "w", InputDim: 4, Hidden: []int{8, 6}, OutputDim: 3,
+		HiddenAct: nn.ReLU, OutputAct: nn.Identity,
+	}, rng)
+	region := unitRegion(4)
+	for _, tighten := range []bool{false, true} {
+		seq, err := MaxOutput(net, region, 0, Options{Workers: 1, Tighten: tighten})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{2, 3} {
+			par, err := MaxOutput(net, region, 0, Options{Workers: w, Tighten: tighten})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !seq.Exact || !par.Exact {
+				t.Fatalf("tighten=%v workers=%d: exactness lost: seq=%v par=%v", tighten, w, seq.Exact, par.Exact)
+			}
+			if math.Abs(seq.Value-par.Value) > 1e-9 {
+				t.Fatalf("tighten=%v workers=%d: value %.12g != sequential %.12g", tighten, w, par.Value, seq.Value)
+			}
+			if v := net.Forward(par.Witness)[0]; math.Abs(v-par.Value) > 1e-6 {
+				t.Fatalf("tighten=%v workers=%d: witness does not replay: %g vs %g", tighten, w, v, par.Value)
+			}
+		}
+	}
 }
 
 // TestParallelRace runs the parallel path repeatedly; under `go test -race`

@@ -3,6 +3,7 @@ package verify
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 	"time"
 
@@ -50,6 +51,20 @@ type Options struct {
 	// Parallel lets MaxOverOutputs solve its per-output MILPs concurrently
 	// (they are independent problems); single queries are unaffected.
 	Parallel bool
+	// Workers is the number of branch-and-bound workers inside each MILP
+	// solve, and the fan-out of TightenLP's per-neuron LPs: 0 means
+	// GOMAXPROCS, 1 forces the sequential engine. For any fixed value the
+	// underlying search is deterministic.
+	Workers int
+}
+
+// milpOptions assembles the branch-and-bound options for one solve.
+func (o Options) milpOptions(start time.Time) milp.Options {
+	return milp.Options{
+		TimeLimit: remaining(o.TimeLimit, start),
+		MaxNodes:  o.MaxNodes,
+		Workers:   o.Workers,
+	}
 }
 
 // Stats describes the effort a query took.
@@ -93,13 +108,16 @@ func MaxOutput(net *nn.Network, region *InputRegion, outIndex int, opts Options)
 	if err != nil {
 		return nil, err
 	}
+	return maxWithEncoding(enc, outIndex, opts, start)
+}
+
+// maxWithEncoding runs the MaxOutput MILP on an already-built encoding.
+// The encoding's model is mutated (objective + direction) and solved.
+func maxWithEncoding(enc *encoding, outIndex int, opts Options, start time.Time) (*MaxResult, error) {
 	enc.model.SetObjective(enc.outputs[outIndex], 1)
 	enc.model.SetMaximize(true)
 
-	res, err := milp.Solve(milp.Problem{Model: enc.model, Integers: enc.binaries}, milp.Options{
-		TimeLimit: remaining(opts.TimeLimit, start),
-		MaxNodes:  opts.MaxNodes,
-	})
+	res, err := milp.Solve(milp.Problem{Model: enc.model, Integers: enc.binaries}, opts.milpOptions(start))
 	if err != nil {
 		return nil, err
 	}
@@ -175,10 +193,7 @@ func ProveUpperBound(net *nn.Network, region *InputRegion, outIndex int, thresho
 	enc.model.SetObjective(y, 1)
 	enc.model.SetMaximize(true)
 
-	res, err := milp.Solve(milp.Problem{Model: enc.model, Integers: enc.binaries}, milp.Options{
-		TimeLimit: remaining(opts.TimeLimit, start),
-		MaxNodes:  opts.MaxNodes,
-	})
+	res, err := milp.Solve(milp.Problem{Model: enc.model, Integers: enc.binaries}, opts.milpOptions(start))
 	if err != nil {
 		return nil, err
 	}
@@ -206,10 +221,52 @@ func ProveUpperBound(net *nn.Network, region *InputRegion, outIndex int, thresho
 // component's μ_lat, which soundly bounds the mixture mean (see package
 // gmm). With Parallel, Stats.Elapsed sums per-query times and so exceeds
 // wall-clock time.
+//
+// Bound preparation (interval propagation plus optional LP tightening) and
+// the MILP encoding are shared across the outputs: the network is encoded
+// once and each per-output solve only swaps the objective on a clone,
+// instead of re-encoding the whole network per output.
 func MaxOverOutputs(net *nn.Network, region *InputRegion, outIndices []int, opts Options) (*MaxResult, error) {
 	if len(outIndices) == 0 {
 		return nil, fmt.Errorf("verify: MaxOverOutputs needs at least one output index")
 	}
+	for _, oi := range outIndices {
+		if oi < 0 || oi >= net.OutputDim() {
+			return nil, fmt.Errorf("verify: output index %d of %d", oi, net.OutputDim())
+		}
+	}
+	start := time.Now()
+	nb, err := prepareBounds(net, region, opts)
+	if err != nil {
+		return nil, err
+	}
+	shared, err := encode(net, region, nb, encodeOptions{prefixLayers: -1})
+	if err != nil {
+		return nil, err
+	}
+	prepElapsed := time.Since(start)
+
+	// Each per-output query runs against its own clock: the full TimeLimit
+	// applies to every MILP (as it did when each output re-encoded from
+	// scratch) and per-query Elapsed stats stay disjoint, so their sum
+	// remains meaningful in sequential mode.
+	//
+	// With Parallel and the auto worker count, the core budget is divided
+	// across the concurrent queries instead of letting each MILP claim all
+	// of GOMAXPROCS (K queries × P workers would oversubscribe the CPU and
+	// hold K×P dense tableaus). An explicit Workers value is honored as-is.
+	innerOpts := opts
+	if opts.Parallel && opts.Workers == 0 {
+		innerOpts.Workers = runtime.GOMAXPROCS(0) / len(outIndices)
+		if innerOpts.Workers < 1 {
+			innerOpts.Workers = 1
+		}
+	}
+	solveOne := func(out int) (*MaxResult, error) {
+		enc := shared.withModelClone()
+		return maxWithEncoding(enc, out, innerOpts, time.Now())
+	}
+
 	results := make([]*MaxResult, len(outIndices))
 	errs := make([]error, len(outIndices))
 	if opts.Parallel {
@@ -218,16 +275,17 @@ func MaxOverOutputs(net *nn.Network, region *InputRegion, outIndices []int, opts
 			wg.Add(1)
 			go func(slot, out int) {
 				defer wg.Done()
-				results[slot], errs[slot] = MaxOutput(net, region, out, opts)
+				results[slot], errs[slot] = solveOne(out)
 			}(i, oi)
 		}
 		wg.Wait()
 	} else {
 		for i, oi := range outIndices {
-			results[i], errs[i] = MaxOutput(net, region, oi, opts)
+			results[i], errs[i] = solveOne(oi)
 		}
 	}
 	best := &MaxResult{Exact: true, Value: math.Inf(-1), UpperBound: math.Inf(-1)}
+	best.Stats.Elapsed = prepElapsed // shared bound preparation + encoding, counted once
 	for i, r := range results {
 		if errs[i] != nil {
 			return nil, errs[i]
@@ -263,7 +321,7 @@ func prepareBounds(net *nn.Network, region *InputRegion, opts Options) (*bounds.
 		return nil, err
 	}
 	if opts.Tighten {
-		return TightenLP(net, region, nb)
+		return TightenLPWorkers(net, region, nb, opts.Workers)
 	}
 	return nb, nil
 }

@@ -2,6 +2,8 @@ package verify
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"repro/internal/bounds"
 	"repro/internal/lp"
@@ -18,8 +20,28 @@ import (
 //
 // The result is always sound: LP bounds are intersected with the interval
 // bounds, never widened. This is the preprocessing ablation benchmarked in
-// BenchmarkBigMAblation.
+// BenchmarkBigMAblation. TightenLP runs sequentially; TightenLPWorkers
+// fans the per-neuron LPs out across workers.
 func TightenLP(net *nn.Network, region *InputRegion, nb *bounds.NetworkBounds) (*bounds.NetworkBounds, error) {
+	return TightenLPWorkers(net, region, nb, 1)
+}
+
+// neuronBounds is the LP answer for one neuron's pre-activation.
+type neuronBounds struct {
+	hi, lo dirResult
+}
+
+// TightenLPWorkers is TightenLP with the per-neuron bound LPs of each layer
+// distributed over the given number of workers (0 means GOMAXPROCS). Every
+// worker owns a clone of the layer encoding and a persistent warm-started
+// lp.Solver: within a layer only the objective changes between solves, so
+// the saved simplex basis stays primal feasible and phase 1 never reruns.
+// Neurons are assigned to workers statically (round-robin by index), which
+// keeps the result deterministic for a fixed worker count.
+func TightenLPWorkers(net *nn.Network, region *InputRegion, nb *bounds.NetworkBounds, workers int) (*bounds.NetworkBounds, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	hints := make([][]bounds.Interval, len(net.Layers))
 	cur := nb
 	for li := 0; li+1 < len(net.Layers); li++ {
@@ -37,32 +59,84 @@ func TightenLP(net *nn.Network, region *InputRegion, nb *bounds.NetworkBounds) (
 		layer := net.Layers[li]
 		tightened := make([]bounds.Interval, layer.OutDim())
 		copy(tightened, cur.Layers[li].Pre)
-		for j, row := range layer.W {
+
+		// The unstable neurons are the LP work items for this layer.
+		jobs := make([]int, 0, layer.OutDim())
+		for j := range layer.W {
+			if cur.Layers[li].Pre[j].StraddlesZero() {
+				jobs = append(jobs, j)
+			}
+		}
+		if len(jobs) == 0 {
+			hints[li] = tightened
+			next, err := bounds.PropagateWithHints(net, region.Box, hints)
+			if err != nil {
+				return nil, err
+			}
+			cur = next
+			continue
+		}
+
+		nw := workers
+		if nw > len(jobs) {
+			nw = len(jobs)
+		}
+		results := make([]neuronBounds, layer.OutDim())
+		errs := make([]error, nw)
+		run := func(slot int, model *lp.Model) {
+			solver := lp.NewSolver(model)
+			for idx := slot; idx < len(jobs); idx += nw {
+				j := jobs[idx]
+				row := layer.W[j]
+				for k, w := range row {
+					model.SetObjective(prevVars[k], w)
+				}
+				hi, err := solveDirection(solver, true)
+				if err != nil {
+					errs[slot] = err
+					return
+				}
+				lo, err := solveDirection(solver, false)
+				if err != nil {
+					errs[slot] = err
+					return
+				}
+				for k := range row {
+					model.SetObjective(prevVars[k], 0)
+				}
+				results[j] = neuronBounds{hi: hi, lo: lo}
+			}
+		}
+		if nw == 1 {
+			run(0, enc.model)
+		} else {
+			var wg sync.WaitGroup
+			for slot := 0; slot < nw; slot++ {
+				wg.Add(1)
+				go func(slot int, model *lp.Model) {
+					defer wg.Done()
+					run(slot, model)
+				}(slot, enc.model.Clone())
+			}
+			wg.Wait()
+		}
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+
+		// Intersect in neuron order — deterministic regardless of scheduling.
+		for _, j := range jobs {
 			iv := cur.Layers[li].Pre[j]
-			if !iv.StraddlesZero() {
-				continue // stability already proven; LP cannot help encoding
-			}
-			for k, w := range row {
-				enc.model.SetObjective(prevVars[k], w)
-			}
-			hi, err := solveDirection(enc.model, true)
-			if err != nil {
-				return nil, err
-			}
-			lo, err := solveDirection(enc.model, false)
-			if err != nil {
-				return nil, err
-			}
-			for k := range row {
-				enc.model.SetObjective(prevVars[k], 0)
-			}
-			if hi.ok {
-				if v := hi.val + layer.B[j]; v < iv.Hi {
+			r := results[j]
+			if r.hi.ok {
+				if v := r.hi.val + layer.B[j]; v < iv.Hi {
 					iv.Hi = v
 				}
 			}
-			if lo.ok {
-				if v := lo.val + layer.B[j]; v > iv.Lo {
+			if r.lo.ok {
+				if v := r.lo.val + layer.B[j]; v > iv.Lo {
 					iv.Lo = v
 				}
 			}
@@ -88,9 +162,12 @@ type dirResult struct {
 	val float64
 }
 
-func solveDirection(m *lp.Model, maximize bool) (dirResult, error) {
-	m.SetMaximize(maximize)
-	sol, err := lp.Solve(m, lp.Options{})
+// solveDirection re-solves the worker's persistent model for one objective
+// direction. Flipping the direction only changes costs, so every solve
+// after the first warm-starts from the previous basis.
+func solveDirection(s *lp.Solver, maximize bool) (dirResult, error) {
+	s.Model().SetMaximize(maximize)
+	sol, err := s.Solve(lp.Options{})
 	if err != nil {
 		return dirResult{}, err
 	}
