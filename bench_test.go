@@ -17,6 +17,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -34,7 +35,16 @@ import (
 	"repro/internal/quant"
 	"repro/internal/train"
 	"repro/internal/verify"
+	"repro/pkg/vnn"
 )
+
+// benchCtx builds a generously-bounded context for one benchmarked query.
+func benchCtx(b *testing.B) context.Context {
+	b.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	b.Cleanup(cancel)
+	return ctx
+}
 
 // benchWidths is the scaled Table II sweep (the paper's widths are
 // 10,20,25,40,50,60 at depth 4; run cmd/table2 for those).
@@ -100,9 +110,10 @@ func BenchmarkTable2(b *testing.B) {
 	for _, w := range benchWidths {
 		pred := st.preds[w]
 		b.Run(fmt.Sprintf("I%dx%d", benchDepth, w), func(b *testing.B) {
-			var last *verify.MaxResult
+			var last *vnn.Result
+			ctx := benchCtx(b)
 			for i := 0; i < b.N; i++ {
-				res, err := pred.VerifySafety(verify.Options{TimeLimit: 10 * time.Minute})
+				res, err := pred.VerifySafety(ctx, vnn.Options{})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -121,14 +132,15 @@ func BenchmarkTable2ProveBound(b *testing.B) {
 	st := setup(b)
 	pred := st.preds[benchWidths[len(benchWidths)-1]]
 	var proved float64
+	ctx := benchCtx(b)
 	for i := 0; i < b.N; i++ {
-		outcome, _, err := pred.ProveSafetyBound(3.0, verify.Options{TimeLimit: 10 * time.Minute})
+		outcome, _, err := pred.ProveSafetyBound(ctx, 3.0, vnn.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
 		// The paper itself observed that not every trained network
 		// guarantees the property; report the outcome instead of failing.
-		if outcome == verify.Proved {
+		if outcome == vnn.Proved {
 			proved = 1
 		} else {
 			proved = 0
@@ -166,10 +178,10 @@ func BenchmarkCertificationPipeline(b *testing.B) {
 	ds.Episodes = 1
 	ds.StepsPerEpisode = 60
 	for i := 0; i < b.N; i++ {
-		res, err := core.RunPipeline(core.PipelineConfig{
+		res, err := core.RunPipeline(context.Background(), core.PipelineConfig{
 			Depth: 1, Width: 6, Components: 2,
 			Seed: int64(i + 1), Dataset: ds, Epochs: 4,
-			Verify: verify.Options{TimeLimit: 10 * time.Minute},
+			VerifyTimeout: 10 * time.Minute,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -234,16 +246,18 @@ func BenchmarkQuantVerify(b *testing.B) {
 	}
 	qpred := &core.Predictor{Net: qnet, K: pred.K}
 	b.Run("float64", func(b *testing.B) {
+		ctx := benchCtx(b)
 		for i := 0; i < b.N; i++ {
-			if _, err := pred.VerifySafety(verify.Options{TimeLimit: 10 * time.Minute}); err != nil {
+			if _, err := pred.VerifySafety(ctx, vnn.Options{}); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("int8", func(b *testing.B) {
-		var last *verify.MaxResult
+		var last *vnn.Result
+		ctx := benchCtx(b)
 		for i := 0; i < b.N; i++ {
-			res, err := qpred.VerifySafety(verify.Options{TimeLimit: 10 * time.Minute})
+			res, err := qpred.VerifySafety(ctx, vnn.Options{})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -261,8 +275,9 @@ func BenchmarkHintsAblation(b *testing.B) {
 	st := setup(b)
 	run := func(b *testing.B, pred *core.Predictor) float64 {
 		var v float64
+		ctx := benchCtx(b)
 		for i := 0; i < b.N; i++ {
-			res, err := pred.VerifySafety(verify.Options{TimeLimit: 10 * time.Minute})
+			res, err := pred.VerifySafety(ctx, vnn.Options{})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -289,9 +304,10 @@ func BenchmarkEngineWorkers(b *testing.B) {
 		workers int
 	}{{"workers1", 1}, {"workersAuto", 0}} {
 		b.Run(mode.name, func(b *testing.B) {
-			var last *verify.MaxResult
+			var last *vnn.Result
+			ctx := benchCtx(b)
 			for i := 0; i < b.N; i++ {
-				res, err := pred.VerifySafety(verify.Options{TimeLimit: 10 * time.Minute, Workers: mode.workers})
+				res, err := pred.VerifySafety(ctx, vnn.Options{Workers: mode.workers})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -320,8 +336,9 @@ func BenchmarkBigMAblation(b *testing.B) {
 	}{{"interval-bigM", false}, {"lp-tightened-bigM", true}} {
 		b.Run(mode.name, func(b *testing.B) {
 			var nodes int
+			ctx := benchCtx(b)
 			for i := 0; i < b.N; i++ {
-				res, err := pred.VerifySafety(verify.Options{TimeLimit: 10 * time.Minute, Tighten: mode.tighten})
+				res, err := pred.VerifySafety(ctx, vnn.Options{Tighten: mode.tighten})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -397,8 +414,9 @@ func BenchmarkFrontProperty(b *testing.B) {
 	st := setup(b)
 	pred := st.preds[benchWidths[0]]
 	var v float64
+	ctx := benchCtx(b)
 	for i := 0; i < b.N; i++ {
-		res, err := pred.VerifyFrontSafety(verify.Options{TimeLimit: 10 * time.Minute})
+		res, err := pred.VerifyFrontSafety(ctx, vnn.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,27 +1,32 @@
 // Command annverify formally verifies a trained motion predictor against
-// the paper's safety property: with a vehicle on the ego's left, bound the
-// maximum lateral velocity the network can suggest, or prove a threshold
-// (Table II). The network must have ReLU hidden layers and a linear gmm
-// head as produced by anntrain.
+// the paper's safety properties through the public pkg/vnn API: it compiles
+// the network against the property region once, then answers max-objective
+// queries, threshold proofs, and resilience searches on the shared
+// encoding. The network must have ReLU hidden layers and a linear gmm head
+// as produced by anntrain.
+//
+// Interrupting a query (deadline or Ctrl-C would map to the same context
+// cancellation) yields an anytime answer: the best witness found and the
+// tightest proven bound so far, never a bare timeout.
 //
 // Usage:
 //
 //	annverify -net i4x10.json                 # maximum lateral velocity
 //	annverify -net i4x10.json -prove 3.0      # prove the 3 m/s bound
-//	annverify -net i4x10.json -timeout 5m     # with a time limit
+//	annverify -net i4x10.json -timeout 5m     # deadline (tightening included)
 //	annverify -net i4x10.json -workers 1      # force the sequential engine
+//	annverify -net i4x10.json -progress       # stream incumbent/bound events
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/gmm"
-	"repro/internal/nn"
-	"repro/internal/verify"
+	"repro/pkg/vnn"
 )
 
 func main() {
@@ -30,77 +35,90 @@ func main() {
 	var (
 		netPath    = flag.String("net", "", "network JSON file (required)")
 		prove      = flag.Float64("prove", 0, "prove lateral velocity <= this bound (m/s); 0 = compute maximum instead")
-		timeout    = flag.Duration("timeout", 0, "verification time limit (0 = none)")
-		tighten    = flag.Bool("tighten", false, "LP-based bound tightening before encoding")
+		timeout    = flag.Duration("timeout", 0, "verification deadline, bound tightening included (0 = none)")
+		tighten    = flag.Bool("tighten", false, "LP-based bound tightening at compile time")
 		front      = flag.Bool("front", false, "verify the front-gap acceleration property instead")
 		resilience = flag.Bool("resilience", false, "compute the resilience radius around an all-0.5 nominal input")
 		workers    = flag.Int("workers", 0, "branch-and-bound workers per MILP solve (0 = all cores, 1 = sequential)")
+		progress   = flag.Bool("progress", false, "stream incumbent/bound/node progress events")
 	)
 	flag.Parse()
 	if *netPath == "" {
 		log.Fatal("-net is required")
 	}
-	net, err := nn.Load(*netPath)
+	net, k, err := vnn.LoadGMMNetwork(*netPath)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if net.OutputDim()%gmm.RawPerComponent != 0 {
-		log.Fatalf("network output %d is not a gmm head", net.OutputDim())
+	opts := vnn.Options{Tighten: *tighten, Workers: *workers}
+	if *progress {
+		opts.Progress = func(ev vnn.Event) {
+			fmt.Printf("  [prop %d] nodes=%-7d open=%-6d bound=%.4f", ev.Property, ev.Nodes, ev.Open, ev.Bound)
+			if ev.HasIncumbent {
+				fmt.Printf("  incumbent=%.4f", ev.Incumbent)
+			}
+			fmt.Printf("  (%.1fs)\n", ev.Elapsed.Seconds())
+		}
 	}
-	pred := &core.Predictor{Net: net, K: net.OutputDim() / gmm.RawPerComponent}
-	opts := verify.Options{TimeLimit: *timeout, Tighten: *tighten, Workers: *workers}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	fmt.Printf("network %s (%s): %d hidden neurons, %d mixture components\n",
-		net.Name, net.ArchString(), net.HiddenNeurons(), pred.K)
+		net.Name, net.ArchString(), net.HiddenNeurons(), k)
 
-	if *resilience {
-		// Nominal point: every normalized feature mid-range, left occupied.
+	region := vnn.LeftOccupiedRegion()
+	outputs := vnn.MuLatOutputs(k)
+	quantity := "lateral velocity"
+	if *front {
+		region = vnn.FrontCloseRegion()
+		outputs = vnn.MuLongOutputs(k)
+		quantity = "longitudinal acceleration"
+		fmt.Println("property region: a vehicle is close ahead of the ego vehicle")
+	} else {
+		fmt.Println("property region: a vehicle exists on the ego vehicle's left")
+	}
+
+	cn, err := vnn.Compile(ctx, net, region, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	switch {
+	case *resilience:
+		// Nominal point: every normalized feature mid-range, clamped into
+		// the region box so pinned or narrowed coordinates stay inside the
+		// search domain.
 		x0 := make([]float64, net.InputDim())
-		for i := range x0 {
-			x0[i] = 0.5
-		}
-		region := core.LeftOccupiedRegion()
 		for i, iv := range region.Box {
-			if iv.Lo == iv.Hi {
-				x0[i] = iv.Lo
-			}
+			x0[i] = math.Min(iv.Hi, math.Max(iv.Lo, 0.5))
 		}
-		dom := region.Box
 		thr := 3.0
 		if *prove > 0 {
 			thr = *prove
 		}
-		out := pred.MuLatOutputs()[0]
-		res, err := verify.Resilience(net, x0, dom, out, thr, verify.ResilienceOptions{
-			MaxIterations: 10,
-			Query:         opts,
-		})
+		res, err := vnn.VerifyOne(ctx, cn, vnn.ResilienceRadius(x0, outputs[0], thr, 10))
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("resilience: component-0 mu_lat stays <= %.2f m/s for all perturbations |δ|∞ <= %.4f\n", thr, res.Epsilon)
-		if res.Breaking != nil {
-			fmt.Printf("  first violation found beyond that radius reaches %.4f m/s\n", res.BreakingValue)
+		fmt.Printf("resilience: component-0 mean stays <= %.2f for all perturbations |δ|∞ <= %.4f\n", thr, res.Radius)
+		if res.Witness != nil {
+			fmt.Printf("  first violation found beyond that radius reaches %.4f\n", res.Value)
 		}
-		fmt.Printf("  (%d MILP queries, %.1fs)\n", res.Iterations, res.Elapsed.Seconds())
-		return
-	}
+		fmt.Printf("  (%d MILP queries, %.1fs)\n", res.Iterations, res.Stats.Elapsed.Seconds())
 
-	if *front {
-		fmt.Println("property region: a vehicle is close ahead of the ego vehicle")
-		res, err := pred.VerifyFrontSafety(opts)
-		if err != nil {
-			log.Fatal(err)
+	case *prove > 0:
+		// One threshold proof per mixture component, batched on the shared
+		// encoding.
+		props := make([]vnn.Property, 0, k)
+		for _, out := range outputs {
+			props = append(props, vnn.AtMost(out, *prove))
 		}
-		fmt.Printf("%-8s max-long-accel=%8.6f  exact=%-5v  time=%8.1fs\n",
-			net.ArchString(), res.Value, res.Exact, res.Stats.Elapsed.Seconds())
-		return
-	}
-
-	fmt.Println("property region: a vehicle exists on the ego vehicle's left")
-
-	if *prove > 0 {
-		outcome, results, err := pred.ProveSafetyBound(*prove, opts)
+		results, err := vnn.Verify(ctx, cn, props...)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -108,25 +126,35 @@ func main() {
 		for _, r := range results {
 			elapsed += r.Stats.Elapsed
 		}
-		fmt.Printf("prove lateral velocity <= %.2f m/s: %v  (%.1fs)\n", *prove, outcome, elapsed.Seconds())
+		fmt.Printf("prove %s <= %.2f: %v  (%.1fs)\n", quantity, *prove, vnn.Worst(results), elapsed.Seconds())
 		for i, r := range results {
-			if r.Outcome == verify.Violated {
-				fmt.Printf("  component %d violated: value %.4f m/s\n", i, r.CounterValue)
+			switch r.Outcome {
+			case vnn.Violated:
+				fmt.Printf("  component %d violated: value %.4f\n", i, r.Value)
+			case vnn.Inconclusive:
+				fmt.Printf("  component %d inconclusive: proven <= %.4f so far (anytime bound)\n", i, r.UpperBound)
 			}
 		}
-		return
-	}
 
-	res, err := pred.VerifySafety(opts)
-	if err != nil {
-		log.Fatal(err)
+	default:
+		res, err := vnn.VerifyOne(ctx, cn, vnn.MaxOverOutputs(outputs...))
+		if err != nil {
+			log.Fatal(err)
+		}
+		// One row in the shape of the paper's Table II.
+		fmt.Printf("%-8s max-%s=%8.6f  exact=%-5v  time=%8.1fs  nodes=%d  binaries=%d/%d\n",
+			net.ArchString(), shortName(*front), res.Value, res.Exact, res.Stats.Elapsed.Seconds(),
+			res.Stats.Nodes, res.Stats.Binaries, res.Stats.HiddenNeurons)
+		if !res.Exact {
+			fmt.Printf("  (interrupted: best found %.4f, proven upper bound %.4f — the anytime answer behind the paper's \"n.a.\" row)\n",
+				res.Value, res.UpperBound)
+		}
 	}
-	// One row in the shape of the paper's Table II.
-	fmt.Printf("%-8s max-lat-vel=%8.6f  exact=%-5v  time=%8.1fs  nodes=%d  binaries=%d/%d\n",
-		net.ArchString(), res.Value, res.Exact, res.Stats.Elapsed.Seconds(),
-		res.Stats.Nodes, res.Stats.Binaries, res.Stats.HiddenNeurons)
-	if !res.Exact {
-		fmt.Printf("  (timeout: best found %.4f, proven upper bound %.4f — the paper's \"n.a.\" row)\n",
-			res.Value, res.UpperBound)
+}
+
+func shortName(front bool) string {
+	if front {
+		return "long-accel"
 	}
+	return "lat-vel"
 }

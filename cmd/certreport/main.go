@@ -15,13 +15,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/verify"
 )
 
 func main() {
@@ -35,18 +35,18 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed")
 		hints   = flag.Bool("hints", false, "property-penalty training")
 		thr     = flag.Float64("threshold", 3.0, "safety bound to prove (m/s)")
-		timeout = flag.Duration("timeout", 10*time.Minute, "verification time limit")
+		timeout = flag.Duration("timeout", 10*time.Minute, "verification deadline (compile + all queries)")
 		full    = flag.Bool("trace", false, "print the full traceability report")
 	)
 	flag.Parse()
 
-	res, err := core.RunPipeline(core.PipelineConfig{
+	res, err := core.RunPipeline(context.Background(), core.PipelineConfig{
 		Depth: *depth, Width: *width, Components: *comps,
 		Seed:            *seed,
 		Epochs:          *epochs,
 		Hints:           *hints,
 		SafetyThreshold: *thr,
-		Verify:          verify.Options{TimeLimit: *timeout},
+		VerifyTimeout:   *timeout,
 	})
 	if err != nil {
 		log.Fatal(err)

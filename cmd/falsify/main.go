@@ -1,7 +1,8 @@
 // Command falsify runs gradient-guided attacks (PGD with restarts) against
 // a trained motion predictor's safety property — the fast, incomplete
-// counterpart to cmd/annverify. A found violation is a definitive
-// counterexample; finding nothing proves nothing (use annverify for proof).
+// counterpart to cmd/annverify, driven through the same pkg/vnn query
+// surface. A found violation is a definitive counterexample; finding
+// nothing proves nothing (use annverify for proof).
 //
 // Usage:
 //
@@ -13,13 +14,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"math/rand"
 
-	"repro/internal/attack"
-	"repro/internal/core"
-	"repro/internal/gmm"
 	"repro/internal/highway"
-	"repro/internal/nn"
+	"repro/pkg/vnn"
 )
 
 func main() {
@@ -36,38 +33,24 @@ func main() {
 	if *netPath == "" {
 		log.Fatal("-net is required")
 	}
-	net, err := nn.Load(*netPath)
+	net, k, err := vnn.LoadGMMNetwork(*netPath)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if net.OutputDim()%gmm.RawPerComponent != 0 {
-		log.Fatalf("network output %d is not a gmm head", net.OutputDim())
-	}
-	pred := &core.Predictor{Net: net, K: net.OutputDim() / gmm.RawPerComponent}
-	region := core.LeftOccupiedRegion()
-	rng := rand.New(rand.NewSource(*seed))
 
-	best, bestVal := []float64(nil), -1e18
-	evals := 0
-	for _, out := range pred.MuLatOutputs() {
-		res, err := attack.Maximize(pred.Net, region, out, rng, attack.Options{
-			Restarts: *restarts, Steps: *steps,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		evals += res.Evaluations
-		if res.Value > bestVal {
-			bestVal, best = res.Value, res.Best
-		}
+	res, err := vnn.Falsify(net, vnn.LeftOccupiedRegion(), vnn.MuLatOutputs(k), vnn.FalsifyOptions{
+		Restarts: *restarts, Steps: *steps, Seed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
 	fmt.Printf("%s: strongest attack reached %.4f m/s after %d evaluations\n",
-		net.ArchString(), bestVal, evals)
-	if bestVal > *threshold {
+		net.ArchString(), res.Value, res.Evaluations)
+	if res.Value > *threshold {
 		fmt.Printf("VIOLATION: exceeds the %.2f m/s threshold\n", *threshold)
 		fmt.Println("counterexample (named features deviating from 0.5):")
 		names := highway.FeatureNames()
-		for i, v := range best {
+		for i, v := range res.Best {
 			if v < 0.25 || v > 0.75 {
 				fmt.Printf("  %-24s %.3f\n", names[i], v)
 			}

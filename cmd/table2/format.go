@@ -1,0 +1,39 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/pkg/vnn"
+)
+
+// Row formatting for the paper-table rendering. Kept as pure functions of
+// the result values so a golden test can pin the exact output shape: the
+// Table II rendering is the reproduction target and must not drift when
+// the verification plumbing changes.
+
+// headerLines renders the table header.
+func headerLines() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s | %-28s | %s\n", "ANN", "max lateral velocity (left occupied)", "verification time")
+	b.WriteString(strings.Repeat("-", 70))
+	b.WriteString("\n")
+	return b.String()
+}
+
+// maxRow renders one sweep row from a max-query result: the verified
+// maximum and its verification time, or the paper's "n.a." form with the
+// anytime bounds on interruption.
+func maxRow(arch string, res *vnn.Result) string {
+	if res.Exact {
+		return fmt.Sprintf("%-8s | %-28.6f | %.1fs\n", arch, res.Value, res.Stats.Elapsed.Seconds())
+	}
+	return fmt.Sprintf("%-8s | n.a. (unable to find maximum) | time-out (best %.4f, bound %.4f)\n",
+		arch, res.Value, res.UpperBound)
+}
+
+// proveRow renders the final prove-threshold row.
+func proveRow(arch string, threshold float64, outcome vnn.Outcome, seconds float64) string {
+	return fmt.Sprintf("%-8s | prove lat vel never > %.0f m/s: %-8v | %.1fs\n",
+		arch, threshold, outcome, seconds)
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"repro/pkg/vnn"
+)
+
+// The Table II rendering is the paper-reproduction target: these golden
+// strings pin the exact row shapes so rewiring the verification plumbing
+// can never silently change what the table looks like.
+
+func TestHeaderGolden(t *testing.T) {
+	want := "ANN      | max lateral velocity (left occupied) | verification time\n" +
+		"----------------------------------------------------------------------\n"
+	if got := headerLines(); got != want {
+		t.Fatalf("header drifted:\ngot  %q\nwant %q", got, want)
+	}
+}
+
+func TestMaxRowGolden(t *testing.T) {
+	exact := &vnn.Result{
+		Exact: true,
+		Value: 1.234567891,
+		Stats: vnn.Stats{Elapsed: 2240 * time.Millisecond},
+	}
+	if got, want := maxRow("I4x10", exact), "I4x10    | 1.234568                     | 2.2s\n"; got != want {
+		t.Fatalf("exact row drifted:\ngot  %q\nwant %q", got, want)
+	}
+
+	interrupted := &vnn.Result{
+		Exact:      false,
+		Value:      3.1234567,
+		UpperBound: 4.5678912,
+		Stats:      vnn.Stats{Elapsed: 300 * time.Second},
+	}
+	want := "I4x60    | n.a. (unable to find maximum) | time-out (best 3.1235, bound 4.5679)\n"
+	if got := maxRow("I4x60", interrupted); got != want {
+		t.Fatalf("timeout row drifted:\ngot  %q\nwant %q", got, want)
+	}
+}
+
+func TestProveRowGolden(t *testing.T) {
+	if got, want := proveRow("I4x60", 3.0, vnn.Proved, 12.34),
+		"I4x60    | prove lat vel never > 3 m/s: proved   | 12.3s\n"; got != want {
+		t.Fatalf("prove row drifted:\ngot  %q\nwant %q", got, want)
+	}
+	if got, want := proveRow("I2x10", 3.0, vnn.Violated, 0.51),
+		"I2x10    | prove lat vel never > 3 m/s: violated | 0.5s\n"; got != want {
+		t.Fatalf("violated prove row drifted:\ngot  %q\nwant %q", got, want)
+	}
+}

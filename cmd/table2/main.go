@@ -1,9 +1,14 @@
 // Command table2 regenerates the paper's Table II end to end: it trains
 // motion predictors of the I<depth>×<width> family on identical simulator
-// data, then formally verifies each one — reporting the maximum lateral
-// velocity reachable when a vehicle exists on the left, and the wall-clock
-// verification time. A final row proves (or refutes) the 3 m/s bound on the
-// largest network, mirroring the paper's last row.
+// data, then formally verifies each one through the public pkg/vnn API —
+// reporting the maximum lateral velocity reachable when a vehicle exists
+// on the left, and the wall-clock verification time. A final row proves
+// (or refutes) the 3 m/s bound on the largest network, mirroring the
+// paper's last row.
+//
+// Each network is compiled against the property region exactly once; the
+// largest network's max-query and prove-query share that single compiled
+// encoding (no re-encoding or re-tightening between them).
 //
 // Absolute times differ from the paper (pure-Go simplex vs CPLEX on a
 // 12-core VM); the shape — steep growth of verification time with width and
@@ -18,6 +23,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -30,7 +36,7 @@ import (
 	"repro/internal/dataval"
 	"repro/internal/highway"
 	"repro/internal/train"
-	"repro/internal/verify"
+	"repro/pkg/vnn"
 )
 
 func main() {
@@ -42,10 +48,10 @@ func main() {
 		comps     = flag.Int("k", 2, "mixture components")
 		epochs    = flag.Int("epochs", 15, "training epochs")
 		seed      = flag.Int64("seed", 1, "random seed")
-		timeout   = flag.Duration("timeout", 5*time.Minute, "per-network verification time limit")
+		timeout   = flag.Duration("timeout", 5*time.Minute, "per-MILP verification time limit")
 		proveThr  = flag.Float64("prove", 3.0, "bound to prove on the largest network (m/s)")
 		workers   = flag.Int("workers", 0, "branch-and-bound workers per MILP solve (0 = all cores, 1 = sequential)")
-		tighten   = flag.Bool("tighten", false, "LP-based bound tightening before encoding")
+		tighten   = flag.Bool("tighten", false, "LP-based bound tightening at compile time")
 	)
 	flag.Parse()
 
@@ -68,10 +74,12 @@ func main() {
 	}
 	clean, _ := dataval.Sanitize(data, core.SafetyRules(1e-9))
 	fmt.Printf("dataset: %d validated samples\n\n", len(clean))
-	fmt.Printf("%-8s | %-28s | %s\n", "ANN", "max lateral velocity (left occupied)", "verification time")
-	fmt.Println(strings.Repeat("-", 70))
+	fmt.Print(headerLines())
 
-	var last *core.Predictor
+	ctx := context.Background()
+	opts := vnn.Options{Parallel: true, Workers: *workers, Tighten: *tighten}
+	var lastCompiled *vnn.CompiledNetwork
+	var lastArch string
 	for _, w := range widths {
 		pred := core.NewPredictorNet(*depth, w, *comps, *seed+int64(w))
 		trainer := &train.Trainer{
@@ -83,26 +91,36 @@ func main() {
 			ClipNorm:  20,
 		}
 		trainer.Fit(clean, *epochs)
-		res, err := pred.VerifySafety(verify.Options{TimeLimit: *timeout, Parallel: true, Workers: *workers, Tighten: *tighten})
+
+		// Compile once per network; every query below (and the final prove
+		// row for the largest) runs on this one shared encoding.
+		cctx, cancel := context.WithTimeout(ctx, *timeout)
+		cn, err := vnn.Compile(cctx, pred.Net, vnn.LeftOccupiedRegion(), opts)
+		if err != nil {
+			cancel()
+			log.Fatal(err)
+		}
+		res, err := vnn.VerifyOne(cctx, cn, vnn.MaxOverOutputs(pred.MuLatOutputs()...))
+		cancel()
 		if err != nil {
 			log.Fatal(err)
 		}
-		if res.Exact {
-			fmt.Printf("%-8s | %-28.6f | %.1fs\n", pred.Net.ArchString(), res.Value, res.Stats.Elapsed.Seconds())
-		} else {
-			fmt.Printf("%-8s | n.a. (unable to find maximum) | time-out (best %.4f, bound %.4f)\n",
-				pred.Net.ArchString(), res.Value, res.UpperBound)
-		}
-		last = pred
+		fmt.Print(maxRow(pred.Net.ArchString(), res))
+		lastCompiled, lastArch = cn, pred.Net.ArchString()
 	}
 
-	if last != nil && *proveThr > 0 {
+	if lastCompiled != nil && *proveThr > 0 {
 		start := time.Now()
-		outcome, _, err := last.ProveSafetyBound(*proveThr, verify.Options{TimeLimit: *timeout, Workers: *workers, Tighten: *tighten})
+		props := make([]vnn.Property, 0, *comps)
+		for _, out := range vnn.MuLatOutputs(*comps) {
+			props = append(props, vnn.AtMost(out, *proveThr))
+		}
+		pctx, cancel := context.WithTimeout(ctx, *timeout)
+		results, err := vnn.Verify(pctx, lastCompiled, props...)
+		cancel()
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-8s | prove lat vel never > %.0f m/s: %-8v | %.1fs\n",
-			last.Net.ArchString(), *proveThr, outcome, time.Since(start).Seconds())
+		fmt.Print(proveRow(lastArch, *proveThr, vnn.Worst(results), time.Since(start).Seconds()))
 	}
 }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -15,7 +16,7 @@ import (
 	"repro/internal/dataval"
 	"repro/internal/highway"
 	"repro/internal/train"
-	"repro/internal/verify"
+	"repro/pkg/vnn"
 )
 
 func main() {
@@ -35,8 +36,10 @@ func main() {
 	}
 	trainer.Fit(clean, 15)
 
-	opts := verify.Options{TimeLimit: 5 * time.Minute, Parallel: true}
-	before, err := pred.VerifySafety(opts)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	opts := vnn.Options{Parallel: true}
+	before, err := pred.VerifySafety(ctx, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,7 +51,7 @@ func main() {
 	if err := core.HintFineTune(pred, clean, core.HintConfig{Seed: 11}); err != nil {
 		log.Fatal(err)
 	}
-	after, err := pred.VerifySafety(opts)
+	after, err := pred.VerifySafety(ctx, opts)
 	if err != nil {
 		log.Fatal(err)
 	}

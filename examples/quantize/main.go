@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -17,7 +18,7 @@ import (
 	"repro/internal/highway"
 	"repro/internal/quant"
 	"repro/internal/train"
-	"repro/internal/verify"
+	"repro/pkg/vnn"
 )
 
 func main() {
@@ -41,8 +42,10 @@ func main() {
 		probes[i] = highway.RandomFeatureVector(rng)
 	}
 
-	opts := verify.Options{TimeLimit: 5 * time.Minute, Parallel: true}
-	base, err := pred.VerifySafety(opts)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	opts := vnn.Options{Parallel: true}
+	base, err := pred.VerifySafety(ctx, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,7 +59,7 @@ func main() {
 		}
 		dev := quant.OutputDeviation(pred.Net, qnet, probes)
 		qpred := &core.Predictor{Net: qnet, K: pred.K}
-		res, err := qpred.VerifySafety(opts)
+		res, err := qpred.VerifySafety(ctx, opts)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,15 +1,15 @@
-// Quickstart: build a small ReLU network by hand, state a safety property
-// over an input region, and verify it with the MILP engine — the minimal
-// end-to-end use of the library's public surface.
+// Quickstart: build a small ReLU network by hand, compile it against an
+// input region once, and answer a batch of safety queries through the
+// public pkg/vnn API — the minimal end-to-end use of the library.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/bounds"
 	"repro/internal/nn"
-	"repro/internal/verify"
+	"repro/pkg/vnn"
 )
 
 func main() {
@@ -27,28 +27,29 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Region: both inputs in [0, 1].
-	region := &verify.InputRegion{Box: []bounds.Interval{{Lo: 0, Hi: 1}, {Lo: 0, Hi: 1}}}
-
-	// Query 1: what is the maximum output over the region?
-	mx, err := verify.MaxOutput(net, region, 0, verify.Options{})
+	// Region: both inputs in [0, 1]. Compile performs bound propagation
+	// and the MILP encoding once; every query below reuses it.
+	ctx := context.Background()
+	region := &vnn.Region{Box: []vnn.Interval{{Lo: 0, Hi: 1}, {Lo: 0, Hi: 1}}}
+	cn, err := vnn.Compile(ctx, net, region, vnn.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// One batch, three questions: the maximum output over the region, a
+	// bound that holds, and a bound that fails with a counterexample.
+	results, err := vnn.Verify(ctx, cn,
+		vnn.MaxOutput(0),
+		vnn.AtMost(0, 1.0),
+		vnn.AtMost(0, 0.5),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mx := results[0]
 	fmt.Printf("max |x0-x1| over [0,1]^2 = %.4f at witness %v\n", mx.Value, mx.Witness)
-
-	// Query 2: prove the output can never exceed 1.
-	pr, err := verify.ProveUpperBound(net, region, 0, 1.0, verify.Options{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("prove output <= 1.0: %v\n", pr.Outcome)
-
-	// Query 3: a bound that does not hold yields a counterexample.
-	pr, err = verify.ProveUpperBound(net, region, 0, 0.5, verify.Options{})
-	if err != nil {
-		log.Fatal(err)
-	}
+	fmt.Printf("prove output <= 1.0: %v\n", results[1].Outcome)
 	fmt.Printf("prove output <= 0.5: %v (counterexample %v -> %.4f)\n",
-		pr.Outcome, pr.CounterExample, pr.CounterValue)
+		results[2].Outcome, results[2].Witness, results[2].Value)
 }

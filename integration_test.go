@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -14,7 +15,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/quant"
 	"repro/internal/train"
-	"repro/internal/verify"
+	"repro/pkg/vnn"
 )
 
 // TestEndToEndCaseStudy is the cross-package contract test: simulate →
@@ -74,7 +75,7 @@ func TestEndToEndCaseStudy(t *testing.T) {
 		}
 		atkBest = math.Max(atkBest, r.Value)
 	}
-	ver, err := pred.VerifySafety(verify.Options{TimeLimit: 5 * time.Minute, Parallel: true})
+	ver, err := pred.VerifySafety(itCtx(t, 5*time.Minute), vnn.Options{Parallel: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestEndToEndCaseStudy(t *testing.T) {
 		t.Fatal(err)
 	}
 	qpred := &core.Predictor{Net: qnet, K: pred.K}
-	qver, err := qpred.VerifySafety(verify.Options{TimeLimit: 5 * time.Minute, Parallel: true})
+	qver, err := qpred.VerifySafety(itCtx(t, 5*time.Minute), vnn.Options{Parallel: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,15 +127,23 @@ func TestSerializationAcrossPipeline(t *testing.T) {
 		t.Fatal(err)
 	}
 	pred2 := &core.Predictor{Net: back, K: back.OutputDim() / gmm.RawPerComponent}
-	a, err := pred.VerifySafety(verify.Options{})
+	a, err := pred.VerifySafety(context.Background(), vnn.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := pred2.VerifySafety(verify.Options{})
+	b, err := pred2.VerifySafety(context.Background(), vnn.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if math.Abs(a.Value-b.Value) > 1e-9 {
 		t.Fatalf("serialization changed the verified bound: %g vs %g", a.Value, b.Value)
 	}
+}
+
+// itCtx builds a context with a deadline cleaned up with the test.
+func itCtx(t *testing.T, d time.Duration) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	t.Cleanup(cancel)
+	return ctx
 }

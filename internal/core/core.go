@@ -7,15 +7,15 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
-	"repro/internal/bounds"
 	"repro/internal/gmm"
 	"repro/internal/highway"
 	"repro/internal/nn"
 	"repro/internal/train"
-	"repro/internal/verify"
+	"repro/pkg/vnn"
 )
 
 // DefaultComponents is the number of mixture components in the predictor's
@@ -77,60 +77,41 @@ func (p *Predictor) SuggestAction(x []float64) (latVel, longAcc float64) {
 
 // MuLatOutputs lists the raw-output indices of all component lateral-
 // velocity means — the outputs the verifier bounds.
-func (p *Predictor) MuLatOutputs() []int {
-	out := make([]int, p.K)
-	for i := range out {
-		out[i] = gmm.MuLatIndex(i)
-	}
-	return out
-}
+func (p *Predictor) MuLatOutputs() []int { return vnn.MuLatOutputs(p.K) }
 
-// LeftOccupiedRegion is the input region of the paper's safety property:
-// every normalized feature ranges over its full domain except that the left
-// neighbor slot is occupied (presence pinned to 1, the alongside gap near
-// zero, plausible relative speed). The returned region quantifies over
-// every driving situation with a vehicle on the left.
-func LeftOccupiedRegion() *verify.InputRegion {
-	box := make([]bounds.Interval, highway.FeatureDim)
-	for i := range box {
-		box[i] = bounds.Interval{Lo: 0, Hi: 1}
-	}
-	pin := func(f int, lo, hi float64) { box[f] = bounds.Interval{Lo: lo, Hi: hi} }
-	pin(highway.NeighborFeature(highway.Left, highway.NPPresence), 1, 1)
-	// Alongside gap is ~0 by the sensor definition; allow a small band.
-	pin(highway.NeighborFeature(highway.Left, highway.NPGap), 0, 0.1)
-	// Relative speed within ±MaxRelSpeed but excluding the extremes keeps
-	// the region inside what the sensor can actually produce.
-	pin(highway.NeighborFeature(highway.Left, highway.NPRelSpeed), 0.1, 0.9)
-	return &verify.InputRegion{Box: box}
-}
+// LeftOccupiedRegion is the input region of the paper's safety property;
+// it lives in pkg/vnn together with the rest of the query surface.
+func LeftOccupiedRegion() *vnn.Region { return vnn.LeftOccupiedRegion() }
 
 // VerifySafety bounds the maximum lateral-velocity component mean over the
 // left-occupied region (the Table II "maximum lateral velocity" column).
-// Bounding every component mean soundly bounds the mixture mean.
-func (p *Predictor) VerifySafety(opts verify.Options) (*verify.MaxResult, error) {
-	return verify.MaxOverOutputs(p.Net, LeftOccupiedRegion(), p.MuLatOutputs(), opts)
+// Bounding every component mean soundly bounds the mixture mean. The
+// network is compiled for this one query; callers running several queries
+// should vnn.Compile once themselves.
+func (p *Predictor) VerifySafety(ctx context.Context, opts vnn.Options) (*vnn.Result, error) {
+	cn, err := vnn.Compile(ctx, p.Net, LeftOccupiedRegion(), opts)
+	if err != nil {
+		return nil, err
+	}
+	return vnn.VerifyOne(ctx, cn, vnn.MaxOverOutputs(p.MuLatOutputs()...))
 }
 
 // ProveSafetyBound proves that no lateral-velocity component mean exceeds
 // the threshold over the left-occupied region (Table II's last row, with
-// threshold 3 m/s in the paper).
-func (p *Predictor) ProveSafetyBound(threshold float64, opts verify.Options) (verify.Outcome, []*verify.ProveResult, error) {
-	region := LeftOccupiedRegion()
-	results := make([]*verify.ProveResult, 0, p.K)
-	worst := verify.Proved
-	for _, out := range p.MuLatOutputs() {
-		r, err := verify.ProveUpperBound(p.Net, region, out, threshold, opts)
-		if err != nil {
-			return 0, nil, err
-		}
-		results = append(results, r)
-		switch r.Outcome {
-		case verify.Violated:
-			return verify.Violated, results, nil
-		case verify.Timeout:
-			worst = verify.Timeout
-		}
+// threshold 3 m/s in the paper). It returns the aggregate verdict and the
+// per-component results, all answered on one compiled encoding.
+func (p *Predictor) ProveSafetyBound(ctx context.Context, threshold float64, opts vnn.Options) (vnn.Outcome, []*vnn.Result, error) {
+	cn, err := vnn.Compile(ctx, p.Net, LeftOccupiedRegion(), opts)
+	if err != nil {
+		return 0, nil, err
 	}
-	return worst, results, nil
+	props := make([]vnn.Property, 0, p.K)
+	for _, out := range p.MuLatOutputs() {
+		props = append(props, vnn.AtMost(out, threshold))
+	}
+	results, err := vnn.Verify(ctx, cn, props...)
+	if err != nil {
+		return 0, nil, err
+	}
+	return vnn.Worst(results), results, nil
 }

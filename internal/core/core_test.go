@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"strings"
@@ -10,8 +11,16 @@ import (
 	"repro/internal/gmm"
 	"repro/internal/highway"
 	"repro/internal/train"
-	"repro/internal/verify"
+	"repro/pkg/vnn"
 )
+
+// testCtx builds a context with a deadline that is cleaned up with the test.
+func testCtx(t *testing.T, d time.Duration) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	t.Cleanup(cancel)
+	return ctx
+}
 
 func TestNewPredictorNetShape(t *testing.T) {
 	p := NewPredictorNet(4, 10, 3, 1)
@@ -86,7 +95,7 @@ func TestLeftOccupiedRegion(t *testing.T) {
 
 func TestVerifySafetySmall(t *testing.T) {
 	p := NewPredictorNet(2, 6, 2, 5)
-	res, err := p.VerifySafety(verify.Options{TimeLimit: 30 * time.Second})
+	res, err := p.VerifySafety(testCtx(t, 30*time.Second), vnn.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,25 +123,25 @@ func TestVerifySafetySmall(t *testing.T) {
 
 func TestProveSafetyBound(t *testing.T) {
 	p := NewPredictorNet(2, 6, 2, 6)
-	mx, err := p.VerifySafety(verify.Options{})
+	mx, err := p.VerifySafety(context.Background(), vnn.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	outcome, results, err := p.ProveSafetyBound(mx.Value+0.5, verify.Options{})
+	outcome, results, err := p.ProveSafetyBound(context.Background(), mx.Value+0.5, vnn.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if outcome != verify.Proved {
+	if outcome != vnn.Proved {
 		t.Fatalf("outcome = %v above the max", outcome)
 	}
 	if len(results) != p.K {
 		t.Fatalf("results = %d, want %d", len(results), p.K)
 	}
-	outcome, _, err = p.ProveSafetyBound(mx.Value-0.5, verify.Options{})
+	outcome, _, err = p.ProveSafetyBound(context.Background(), mx.Value-0.5, vnn.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if outcome != verify.Violated {
+	if outcome != vnn.Violated {
 		t.Fatalf("outcome = %v below the max", outcome)
 	}
 }
@@ -166,12 +175,12 @@ func TestRunPipelineEndToEnd(t *testing.T) {
 	ds := highway.DefaultDatasetConfig()
 	ds.Episodes = 2
 	ds.StepsPerEpisode = 80
-	res, err := RunPipeline(PipelineConfig{
+	res, err := RunPipeline(context.Background(), PipelineConfig{
 		Depth: 2, Width: 8, Components: 2,
-		Seed:    1,
-		Dataset: ds,
-		Epochs:  8,
-		Verify:  verify.Options{TimeLimit: 60 * time.Second},
+		Seed:          1,
+		Dataset:       ds,
+		Epochs:        8,
+		VerifyTimeout: 60 * time.Second,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -211,7 +220,7 @@ func TestRunPipelineSkipVerify(t *testing.T) {
 	ds := highway.DefaultDatasetConfig()
 	ds.Episodes = 1
 	ds.StepsPerEpisode = 40
-	res, err := RunPipeline(PipelineConfig{
+	res, err := RunPipeline(context.Background(), PipelineConfig{
 		Depth: 1, Width: 4, Components: 2,
 		Seed:       2,
 		Dataset:    ds,
@@ -237,10 +246,10 @@ func TestHintsReduceVerifiedMax(t *testing.T) {
 	ds.Episodes = 2
 	ds.StepsPerEpisode = 60
 	run := func(hints bool) float64 {
-		res, err := RunPipeline(PipelineConfig{
+		res, err := RunPipeline(context.Background(), PipelineConfig{
 			Depth: 1, Width: 6, Components: 2,
 			Seed: 3, Dataset: ds, Epochs: 10, Hints: hints,
-			Verify: verify.Options{TimeLimit: 60 * time.Second},
+			VerifyTimeout: 60 * time.Second,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -276,15 +285,16 @@ func TestHintFineTuneLowersVerifiedMax(t *testing.T) {
 		BatchSize: 64, Rng: rand.New(rand.NewSource(4)), ClipNorm: 20,
 	}
 	trainer.Fit(data, 8)
-	opts := verify.Options{TimeLimit: 2 * time.Minute, Parallel: true}
-	before, err := pred.VerifySafety(opts)
+	ctx := testCtx(t, 2*time.Minute)
+	opts := vnn.Options{Parallel: true}
+	before, err := pred.VerifySafety(ctx, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := HintFineTune(pred, data, HintConfig{Seed: 9}); err != nil {
 		t.Fatal(err)
 	}
-	after, err := pred.VerifySafety(opts)
+	after, err := pred.VerifySafety(ctx, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,10 +1,9 @@
 package core
 
 import (
-	"repro/internal/bounds"
-	"repro/internal/gmm"
-	"repro/internal/highway"
-	"repro/internal/verify"
+	"context"
+
+	"repro/pkg/vnn"
 )
 
 // The paper decomposes the predictor's action into a lateral-velocity
@@ -15,60 +14,42 @@ import (
 // acceleration" — exercising the same machinery on the second indicator.
 
 // FrontGapClose is the upper end of the normalized front gap considered
-// "close ahead" (0.15 × SensorRange = 15 m).
-const FrontGapClose = 0.15
+// "close ahead"; see vnn.FrontGapClose.
+const FrontGapClose = vnn.FrontGapClose
 
-// FrontCloseRegion quantifies over every input with a vehicle close ahead:
-// front presence pinned to 1, front gap within [0, FrontGapClose], and the
-// front vehicle no faster than the ego (non-positive normalized relative
-// speed, i.e. ≤ 0.5 after normalization).
-func FrontCloseRegion() *verify.InputRegion {
-	box := make([]bounds.Interval, highway.FeatureDim)
-	for i := range box {
-		box[i] = bounds.Interval{Lo: 0, Hi: 1}
-	}
-	pin := func(f int, lo, hi float64) { box[f] = bounds.Interval{Lo: lo, Hi: hi} }
-	pin(highway.NeighborFeature(highway.Front, highway.NPPresence), 1, 1)
-	pin(highway.NeighborFeature(highway.Front, highway.NPGap), 0, FrontGapClose)
-	pin(highway.NeighborFeature(highway.Front, highway.NPRelSpeed), 0, 0.5)
-	return &verify.InputRegion{Box: box}
-}
+// FrontCloseRegion quantifies over every input with a vehicle close ahead;
+// it lives in pkg/vnn together with the rest of the query surface.
+func FrontCloseRegion() *vnn.Region { return vnn.FrontCloseRegion() }
 
 // MuLongOutputs lists the raw-output indices of all component longitudinal-
 // acceleration means.
-func (p *Predictor) MuLongOutputs() []int {
-	out := make([]int, p.K)
-	for i := range out {
-		out[i] = gmm.MuLongIndex(i)
-	}
-	return out
-}
+func (p *Predictor) MuLongOutputs() []int { return vnn.MuLongOutputs(p.K) }
 
 // VerifyFrontSafety bounds the maximum longitudinal-acceleration component
 // mean over the close-front region. A sound bound on every component mean
 // bounds the mixture's suggested acceleration.
-func (p *Predictor) VerifyFrontSafety(opts verify.Options) (*verify.MaxResult, error) {
-	return verify.MaxOverOutputs(p.Net, FrontCloseRegion(), p.MuLongOutputs(), opts)
+func (p *Predictor) VerifyFrontSafety(ctx context.Context, opts vnn.Options) (*vnn.Result, error) {
+	cn, err := vnn.Compile(ctx, p.Net, FrontCloseRegion(), opts)
+	if err != nil {
+		return nil, err
+	}
+	return vnn.VerifyOne(ctx, cn, vnn.MaxOverOutputs(p.MuLongOutputs()...))
 }
 
 // ProveFrontSafetyBound proves the acceleration suggestion stays at or
 // below threshold (m/s²) whenever a vehicle is close ahead.
-func (p *Predictor) ProveFrontSafetyBound(threshold float64, opts verify.Options) (verify.Outcome, []*verify.ProveResult, error) {
-	region := FrontCloseRegion()
-	results := make([]*verify.ProveResult, 0, p.K)
-	worst := verify.Proved
-	for _, out := range p.MuLongOutputs() {
-		r, err := verify.ProveUpperBound(p.Net, region, out, threshold, opts)
-		if err != nil {
-			return 0, nil, err
-		}
-		results = append(results, r)
-		switch r.Outcome {
-		case verify.Violated:
-			return verify.Violated, results, nil
-		case verify.Timeout:
-			worst = verify.Timeout
-		}
+func (p *Predictor) ProveFrontSafetyBound(ctx context.Context, threshold float64, opts vnn.Options) (vnn.Outcome, []*vnn.Result, error) {
+	cn, err := vnn.Compile(ctx, p.Net, FrontCloseRegion(), opts)
+	if err != nil {
+		return 0, nil, err
 	}
-	return worst, results, nil
+	props := make([]vnn.Property, 0, p.K)
+	for _, out := range p.MuLongOutputs() {
+		props = append(props, vnn.AtMost(out, threshold))
+	}
+	results, err := vnn.Verify(ctx, cn, props...)
+	if err != nil {
+		return 0, nil, err
+	}
+	return vnn.Worst(results), results, nil
 }

@@ -1,12 +1,13 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
 
 	"repro/internal/highway"
-	"repro/internal/verify"
+	"repro/pkg/vnn"
 )
 
 func TestFrontCloseRegionPins(t *testing.T) {
@@ -48,7 +49,7 @@ func TestMuLongOutputs(t *testing.T) {
 
 func TestVerifyFrontSafety(t *testing.T) {
 	p := NewPredictorNet(2, 6, 2, 17)
-	res, err := p.VerifyFrontSafety(verify.Options{TimeLimit: 30 * time.Second})
+	res, err := p.VerifyFrontSafety(testCtx(t, 30*time.Second), vnn.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,27 +72,28 @@ func TestVerifyFrontSafety(t *testing.T) {
 
 func TestProveFrontSafetyBound(t *testing.T) {
 	p := NewPredictorNet(2, 6, 2, 18)
-	mx, err := p.VerifyFrontSafety(verify.Options{})
+	mx, err := p.VerifyFrontSafety(context.Background(), vnn.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	outcome, _, err := p.ProveFrontSafetyBound(mx.Value+0.25, verify.Options{})
+	outcome, _, err := p.ProveFrontSafetyBound(context.Background(), mx.Value+0.25, vnn.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if outcome != verify.Proved {
+	if outcome != vnn.Proved {
 		t.Fatalf("outcome %v above the max", outcome)
 	}
-	outcome, results, err := p.ProveFrontSafetyBound(mx.Value-0.25, verify.Options{})
+	outcome, results, err := p.ProveFrontSafetyBound(context.Background(), mx.Value-0.25, vnn.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if outcome != verify.Violated {
+	if outcome != vnn.Violated {
 		t.Fatalf("outcome %v below the max", outcome)
 	}
 	// The violating component must carry a genuine counterexample.
-	last := results[len(results)-1]
-	if last.Outcome == verify.Violated && last.CounterValue <= mx.Value-0.25 {
-		t.Fatal("counterexample does not violate")
+	for _, r := range results {
+		if r.Outcome == vnn.Violated && r.Value <= mx.Value-0.25 {
+			t.Fatal("counterexample does not violate")
+		}
 	}
 }

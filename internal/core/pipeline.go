@@ -1,19 +1,18 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"math"
 	"math/rand"
 	"strings"
 	"time"
 
-	"repro/internal/attack"
 	"repro/internal/coverage"
 	"repro/internal/dataval"
 	"repro/internal/highway"
 	"repro/internal/trace"
 	"repro/internal/train"
-	"repro/internal/verify"
+	"repro/pkg/vnn"
 )
 
 // SafetyRules returns the data-validation rules of the case study
@@ -56,7 +55,10 @@ type PipelineConfig struct {
 	// SafetyThreshold is the verified bound (m/s); 0 means 3.0 (Table II).
 	SafetyThreshold float64
 	// Verify controls the formal verification step.
-	Verify verify.Options
+	Verify vnn.Options
+	// VerifyTimeout bounds the verification step's wall clock (compilation
+	// included); 0 means the pipeline's context alone governs it.
+	VerifyTimeout time.Duration
 	// SkipVerify omits the MILP step (for quick smoke runs).
 	SkipVerify bool
 }
@@ -89,8 +91,8 @@ type PipelineResult struct {
 	AttackLatVel float64
 
 	// Implementation correctness: formal view (Sec. II B, positive result).
-	MaxLatVel   *verify.MaxResult
-	ProveResult verify.Outcome
+	MaxLatVel   *vnn.Result
+	ProveResult vnn.Outcome
 	Threshold   float64
 
 	Predictor *Predictor
@@ -103,7 +105,7 @@ func (r *PipelineResult) Certified() bool {
 	if r.DataReport == nil || !r.DataReport.Valid() && r.DataRemoved == 0 {
 		return false
 	}
-	return r.ProveResult == verify.Proved
+	return r.ProveResult == vnn.Proved
 }
 
 // String renders the dossier.
@@ -125,8 +127,11 @@ func (r *PipelineResult) String() string {
 }
 
 // RunPipeline executes the full certification methodology on a freshly
-// generated dataset and a freshly trained predictor.
-func RunPipeline(cfg PipelineConfig) (*PipelineResult, error) {
+// generated dataset and a freshly trained predictor. The context governs
+// the whole run; its cancellation reaches into the verification step's
+// simplex iterations, and an interrupted verification still contributes
+// its anytime bounds to the dossier.
+func RunPipeline(ctx context.Context, cfg PipelineConfig) (*PipelineResult, error) {
 	start := time.Now()
 	if cfg.Components == 0 {
 		cfg.Components = DefaultComponents
@@ -217,29 +222,39 @@ func RunPipeline(cfg PipelineConfig) (*PipelineResult, error) {
 
 	// 5. Falsification pre-pass: gradient attacks give a fast lower bound
 	// on the worst case (and concrete failures when the net is badly off).
-	atkRng := rand.New(rand.NewSource(cfg.Seed + 4))
-	res.AttackLatVel = math.Inf(-1)
-	for _, out := range pred.MuLatOutputs() {
-		r, err := attack.Maximize(pred.Net, LeftOccupiedRegion(), out, atkRng, attack.Options{Restarts: 6, Steps: 40})
-		if err != nil {
-			return nil, fmt.Errorf("core: attack: %w", err)
-		}
-		if r.Value > res.AttackLatVel {
-			res.AttackLatVel = r.Value
-		}
+	atk, err := vnn.Falsify(pred.Net, LeftOccupiedRegion(), pred.MuLatOutputs(), vnn.FalsifyOptions{
+		Restarts: 6, Steps: 40, Seed: cfg.Seed + 4,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: attack: %w", err)
 	}
+	res.AttackLatVel = atk.Value
 
-	// 6. Correctness by formal analysis (Table I, row 2+).
+	// 6. Correctness by formal analysis (Table I, row 2+): the network is
+	// compiled against the property region once, then the max-objective
+	// query and every per-component threshold proof run as one batch on
+	// the shared encoding.
 	if !cfg.SkipVerify {
-		res.MaxLatVel, err = pred.VerifySafety(cfg.Verify)
+		vctx := ctx
+		if cfg.VerifyTimeout > 0 {
+			var cancel context.CancelFunc
+			vctx, cancel = context.WithTimeout(ctx, cfg.VerifyTimeout)
+			defer cancel()
+		}
+		cn, err := vnn.Compile(vctx, pred.Net, LeftOccupiedRegion(), cfg.Verify)
+		if err != nil {
+			return nil, fmt.Errorf("core: compile: %w", err)
+		}
+		props := []vnn.Property{vnn.MaxOverOutputs(pred.MuLatOutputs()...)}
+		for _, out := range pred.MuLatOutputs() {
+			props = append(props, vnn.AtMost(out, cfg.SafetyThreshold))
+		}
+		results, err := vnn.Verify(vctx, cn, props...)
 		if err != nil {
 			return nil, fmt.Errorf("core: verify: %w", err)
 		}
-		outcome, _, err := pred.ProveSafetyBound(cfg.SafetyThreshold, cfg.Verify)
-		if err != nil {
-			return nil, fmt.Errorf("core: prove: %w", err)
-		}
-		res.ProveResult = outcome
+		res.MaxLatVel = results[0]
+		res.ProveResult = vnn.Worst(results[1:])
 	}
 	res.Elapsed = time.Since(start)
 	return res, nil

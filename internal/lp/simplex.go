@@ -50,6 +50,12 @@ type Options struct {
 	MaxIterations int
 	// Tol is the feasibility/optimality tolerance; 0 means 1e-7.
 	Tol float64
+	// Cancel, when non-nil, is polled every cancelPeriod pivots; once it
+	// reports true the solve stops and returns IterationLimit. This is how
+	// context cancellation and deadlines reach into a running simplex
+	// instead of waiting for the current solve to finish. A cancelled
+	// answer is never trusted: callers treat IterationLimit as "unresolved".
+	Cancel func() bool
 }
 
 // ErrBadModel is returned for structurally unusable models
@@ -61,6 +67,7 @@ const (
 	defaultTol    = 1e-7
 	refreshPeriod = 512 // pivots between reduced-cost refreshes
 	blandTrigger  = 4   // multiples of (m+n) before Bland's rule engages
+	cancelPeriod  = 128 // pivots between Options.Cancel polls
 )
 
 type varStatus int8
@@ -95,6 +102,12 @@ type tableau struct {
 	iters              int
 	maxIters           int
 	tol                float64
+	cancel             func() bool // optional cooperative-cancellation poll
+}
+
+// cancelled polls the cancellation hook at most every cancelPeriod pivots.
+func (tb *tableau) cancelled() bool {
+	return tb.cancel != nil && tb.iters%cancelPeriod == 0 && tb.cancel()
 }
 
 // Solve optimizes the model and returns a solution.
@@ -213,7 +226,7 @@ func (tb *tableau) iterate() Status {
 	blandAfter := blandTrigger * (tb.m + tb.nTotal)
 	sinceRefresh := 0
 	for stall := 0; ; tb.iters++ {
-		if tb.iters >= tb.maxIters {
+		if tb.iters >= tb.maxIters || tb.cancelled() {
 			return IterationLimit
 		}
 		if sinceRefresh >= refreshPeriod {
@@ -477,7 +490,7 @@ func (tb *tableau) rowProvesInfeasible(r int) bool {
 func (tb *tableau) dualIterate() (st Status, ok bool) {
 	budget := 6*tb.m + 100 // dual steps, not counting flips
 	for steps := 0; ; steps++ {
-		if tb.iters >= tb.maxIters {
+		if tb.iters >= tb.maxIters || tb.cancelled() {
 			return IterationLimit, true
 		}
 		if steps > budget {

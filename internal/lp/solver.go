@@ -171,6 +171,7 @@ func (s *Solver) SolveFrom(from *Basis, opts Options) (*Solution, error) {
 	if tb.maxIters <= 0 {
 		tb.maxIters = 400*(tb.m+tb.nTotal) + 20000
 	}
+	tb.cancel = opts.Cancel
 	tb.iters = 0
 
 	if s.hasBasis || from != nil {

@@ -14,10 +14,17 @@
 // Batch-synchronous scheduling keeps the search deterministic for a fixed
 // worker count: node counts, objectives and incumbents are reproducible
 // run to run, and Workers=1 is exactly the classical sequential search.
+//
+// Solves are context-aware and anytime: SolveCtx threads cancellation and
+// deadlines from a context.Context down into every node's simplex pivot
+// loop, an interrupted search still reports its incumbent and proven
+// bound, and Options.Progress streams incumbent/bound/node events while
+// the search runs.
 package milp
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -39,11 +46,14 @@ const (
 	Infeasible
 	// Unbounded means the relaxation (and thus the MILP) is unbounded.
 	Unbounded
-	// TimeLimit means the deadline elapsed; the incumbent (if any) and the
-	// best bound are still reported.
+	// TimeLimit means the context deadline elapsed; the incumbent (if any)
+	// and the best bound are still reported — the anytime answer.
 	TimeLimit
 	// NodeLimit means the node budget was exhausted first.
 	NodeLimit
+	// Cancelled means the context was cancelled (not by deadline); like
+	// TimeLimit, the incumbent and best bound so far are still reported.
+	Cancelled
 )
 
 // String returns a readable status name.
@@ -59,14 +69,36 @@ func (s Status) String() string {
 		return "time-limit"
 	case NodeLimit:
 		return "node-limit"
+	case Cancelled:
+		return "cancelled"
 	}
 	return fmt.Sprintf("Status(%d)", int(s))
 }
 
+// Event is a progress snapshot streamed to Options.Progress from the
+// coordinator loop. Incumbent and Bound are in the model's own direction.
+// For a fixed worker count the sequence of events (minus Elapsed) is
+// deterministic: emission is keyed to node counts, not wall-clock time.
+type Event struct {
+	Nodes        int           // nodes explored so far
+	Open         int           // open nodes on the queue
+	HasIncumbent bool          // whether any integer-feasible point exists yet
+	Incumbent    float64       // best integer-feasible objective (valid when HasIncumbent)
+	Bound        float64       // best proven bound on the optimum
+	Elapsed      time.Duration // wall-clock time since the solve started
+}
+
+// progressPeriod is the node interval between periodic progress events;
+// incumbent improvements always emit immediately.
+const progressPeriod = 64
+
 // Options tune the branch-and-bound search.
+//
+// There is deliberately no TimeLimit here: deadlines and cancellation
+// arrive through the context given to SolveCtx and are polled both in the
+// coordinator loop and inside each node's simplex iterations, so a solve
+// stops promptly even mid-LP and still reports its anytime incumbent/bound.
 type Options struct {
-	// TimeLimit bounds wall-clock time; 0 means no limit.
-	TimeLimit time.Duration
 	// MaxNodes bounds explored nodes; 0 means no limit.
 	MaxNodes int
 	// IntTol is the integrality tolerance; 0 means 1e-6.
@@ -79,6 +111,11 @@ type Options struct {
 	// fixed value the search itself is deterministic (batch-synchronous
 	// scheduling), so results are reproducible run to run.
 	Workers int
+	// Progress, when non-nil, receives streamed incumbent/bound/node events
+	// from the coordinator loop: immediately on every incumbent improvement
+	// and at least every progressPeriod nodes. The callback runs on the
+	// coordinating goroutine and must not block.
+	Progress func(Event)
 	// LP forwards options to every relaxation solve.
 	LP lp.Options
 }
@@ -189,21 +226,45 @@ func (w *worker) solveNode(nd *node, rootLo, rootHi []float64, lpOpts lp.Options
 	return nodeResult{sol: sol, basis: basis}
 }
 
-// Solve runs branch-and-bound and returns the result.
+// Solve runs branch-and-bound without cancellation or deadline.
 // The problem's model is not mutated.
 func Solve(p Problem, opts Options) (*Result, error) {
+	return SolveCtx(context.Background(), p, opts)
+}
+
+// ctxStatus maps a context error to the solve status it terminates with.
+func ctxStatus(err error) Status {
+	if err == context.DeadlineExceeded {
+		return TimeLimit
+	}
+	return Cancelled
+}
+
+// SolveCtx runs branch-and-bound under a context: a deadline on ctx bounds
+// wall-clock time (the former TimeLimit option) and cancelling ctx stops
+// the search. Both are polled in the coordinator loop and inside every
+// node's simplex iterations, so even a single long LP solve is interrupted
+// promptly. An interrupted solve is not wasted: the result still carries
+// the best incumbent and the proven bound at the moment of interruption.
+// The problem's model is not mutated.
+func SolveCtx(ctx context.Context, p Problem, opts Options) (*Result, error) {
 	start := time.Now()
 	intTol := opts.IntTol
 	if intTol <= 0 {
 		intTol = 1e-6
 	}
-	deadline := time.Time{}
-	if opts.TimeLimit > 0 {
-		deadline = start.Add(opts.TimeLimit)
-	}
 	nWorkers := opts.Workers
 	if nWorkers <= 0 {
 		nWorkers = runtime.GOMAXPROCS(0)
+	}
+	lpOpts := opts.LP
+	if ctx.Done() != nil {
+		// Reach into each node's pivot loop: the solve must notice a
+		// cancelled or expired context mid-LP, not at the next batch.
+		userCancel := lpOpts.Cancel
+		lpOpts.Cancel = func() bool {
+			return ctx.Err() != nil || (userCancel != nil && userCancel())
+		}
 	}
 
 	maximize := p.Model.Maximizing()
@@ -256,15 +317,21 @@ func Solve(p Problem, opts Options) (*Result, error) {
 	// proven bound and the Optimal claim must account for them.
 	droppedBound := math.Inf(1)
 
+	// openBound is the best (minimize-direction) bound over unexplored
+	// work: open queue nodes and dropped subtrees.
+	openBound := func() float64 {
+		b := droppedBound
+		if queue.Len() > 0 {
+			b = math.Min(b, (*queue)[0].bound)
+		}
+		return b
+	}
+
 	finish := func(st Status) (*Result, error) {
 		res.Elapsed = time.Since(start)
 		res.Status = st
 		// Best bound: min over incumbent, open nodes, and dropped nodes.
-		openBest := droppedBound
-		if queue.Len() > 0 {
-			openBest = math.Min(openBest, (*queue)[0].bound)
-		}
-		b := math.Min(bestMin, openBest)
+		b := math.Min(bestMin, openBound())
 		if st == Optimal && res.HasSolution {
 			b = bestMin
 		}
@@ -276,11 +343,44 @@ func Solve(p Problem, opts Options) (*Result, error) {
 		return res, nil
 	}
 
+	// progress streams an Event to the caller: forced on incumbent
+	// improvements, otherwise at most every progressPeriod nodes. Keying
+	// emission to node counts keeps the event sequence deterministic for a
+	// fixed worker count. rest holds batch members popped but not yet
+	// processed when emitting mid-batch: their subtrees are unexplored and
+	// often carry the best open bounds, so a sound Event.Bound must cover
+	// them (mirroring the gap-termination check below).
+	lastEmit := 0
+	progress := func(force bool, rest []*node) {
+		if opts.Progress == nil || (!force && res.Nodes-lastEmit < progressPeriod) {
+			return
+		}
+		lastEmit = res.Nodes
+		ev := Event{
+			Nodes:        res.Nodes,
+			Open:         queue.Len() + len(rest),
+			HasIncumbent: res.HasSolution,
+			Elapsed:      time.Since(start),
+		}
+		if res.HasSolution {
+			ev.Incumbent = res.Objective
+		}
+		b := math.Min(bestMin, openBound())
+		for _, nd := range rest {
+			b = math.Min(b, nd.bound)
+		}
+		if maximize {
+			b = -b
+		}
+		ev.Bound = b
+		opts.Progress(ev)
+	}
+
 	batch := make([]*node, 0, nWorkers)
 	results := make([]nodeResult, nWorkers)
 	for queue.Len() > 0 {
-		if !deadline.IsZero() && time.Now().After(deadline) {
-			return finish(TimeLimit)
+		if err := ctx.Err(); err != nil {
+			return finish(ctxStatus(err))
 		}
 		batchCap := nWorkers
 		if opts.MaxNodes > 0 {
@@ -308,7 +408,7 @@ func Solve(p Problem, opts Options) (*Result, error) {
 		// Solve the batch: node i on worker i. Workers share nothing, so
 		// results are independent of goroutine scheduling.
 		if len(batch) == 1 {
-			results[0] = getWorker(0).solveNode(batch[0], rootLo, rootHi, opts.LP)
+			results[0] = getWorker(0).solveNode(batch[0], rootLo, rootHi, lpOpts)
 		} else {
 			var wg sync.WaitGroup
 			for i := range batch {
@@ -316,7 +416,7 @@ func Solve(p Problem, opts Options) (*Result, error) {
 				wg.Add(1)
 				go func(i int, w *worker) {
 					defer wg.Done()
-					results[i] = w.solveNode(batch[i], rootLo, rootHi, opts.LP)
+					results[i] = w.solveNode(batch[i], rootLo, rootHi, lpOpts)
 				}(i, w)
 			}
 			wg.Wait()
@@ -357,9 +457,16 @@ func Solve(p Problem, opts Options) (*Result, error) {
 				continue
 			case lp.IterationLimit:
 				// Cannot trust the node: its subtree stays unexplored, so
-				// its inherited bound caps what the search can claim. Stop
-				// outright if there is no incumbent yet.
+				// its inherited bound caps what the search can claim. A
+				// cancelled or expired context surfaces here too (the pivot
+				// loop stops with IterationLimit); report the interruption
+				// rather than a node-limit. Otherwise stop outright if there
+				// is no incumbent yet.
 				droppedBound = math.Min(droppedBound, nd.bound)
+				if err := ctx.Err(); err != nil {
+					requeueAfter(i)
+					return finish(ctxStatus(err))
+				}
 				if !res.HasSolution {
 					requeueAfter(i)
 					return finish(NodeLimit)
@@ -387,6 +494,7 @@ func Solve(p Problem, opts Options) (*Result, error) {
 					res.HasSolution = true
 					res.X = roundIntegers(sol.X, intSet)
 					res.Objective = sol.Objective
+					progress(true, batch[i+1:])
 					if opts.Gap > 0 {
 						// Open bound: the queue top, dropped subtrees, and
 						// any batch members still waiting to be processed.
@@ -439,6 +547,7 @@ func Solve(p Problem, opts Options) (*Result, error) {
 				depth: nd.depth + 1, seq: nextSeq(&seq), basis: childBasis,
 			})
 		}
+		progress(false, nil)
 	}
 
 	if res.HasSolution {

@@ -1,6 +1,7 @@
 package milp
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -151,7 +152,12 @@ func TestTimeLimitReported(t *testing.T) {
 	}
 	m.SetMaximize(true)
 	m.AddConstraint(terms, lp.LE, 20, "cap")
-	res := solveOK(t, Problem{Model: m, Integers: ints}, Options{TimeLimit: time.Nanosecond})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	res, err := SolveCtx(ctx, Problem{Model: m, Integers: ints}, Options{})
+	if err != nil {
+		t.Fatalf("SolveCtx: %v", err)
+	}
 	if res.Status != TimeLimit {
 		t.Fatalf("status = %v, want time-limit", res.Status)
 	}

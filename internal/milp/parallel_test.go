@@ -1,6 +1,7 @@
 package milp
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -190,5 +191,133 @@ func TestWarmStartReducesPivots(t *testing.T) {
 	if coldEstimate > 0 && res.LPPivots >= coldEstimate {
 		t.Fatalf("warm-started tree used %d pivots over %d nodes; cold estimate %d — warm start ineffective",
 			res.LPPivots, res.Nodes, coldEstimate)
+	}
+}
+
+// TestCancellationAnytime exercises the context-aware engine: a solve
+// cancelled mid-search (via a Progress callback, so the cancellation point
+// is tied to the deterministic event stream) returns promptly with status
+// Cancelled and a sound anytime bound, and re-running the same problem
+// with a fixed worker count afterwards remains deterministic.
+func TestCancellationAnytime(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	p := randomKnapsack(rng, 26)
+
+	full, err := Solve(p, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Status != Optimal {
+		t.Fatalf("reference solve status %v", full.Status)
+	}
+	if full.Nodes < 8 {
+		t.Skipf("tree too small (%d nodes) to cancel mid-search", full.Nodes)
+	}
+
+	// Cancel at the first progress event: either the first incumbent or the
+	// progressPeriod mark, both tied to node counts rather than wall clock.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	events := 0
+	res, err := SolveCtx(ctx, p, Options{
+		Workers:  2,
+		Progress: func(Event) { events++; cancel() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events == 0 {
+		t.Fatal("no progress events before completion")
+	}
+	if res.Status != Cancelled {
+		t.Fatalf("status %v, want cancelled", res.Status)
+	}
+	if res.Nodes >= full.Nodes {
+		t.Fatalf("cancellation did not stop the search early: %d vs full %d nodes", res.Nodes, full.Nodes)
+	}
+	// Anytime soundness (maximize direction): the proven bound must be at
+	// least the true optimum, any incumbent at most the true optimum.
+	if res.Bound < full.Objective-1e-6 {
+		t.Fatalf("anytime bound %g below true optimum %g", res.Bound, full.Objective)
+	}
+	if res.HasSolution && res.Objective > full.Objective+1e-6 {
+		t.Fatalf("anytime incumbent %g above true optimum %g", res.Objective, full.Objective)
+	}
+
+	// A cancelled run must not perturb later runs: the search stays a pure
+	// function of (problem, worker count).
+	again, err := Solve(p, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Nodes != full.Nodes || again.LPPivots != full.LPPivots || again.Objective != full.Objective {
+		t.Fatalf("post-cancellation re-run diverged: %d/%d/%g vs %d/%d/%g",
+			again.Nodes, again.LPPivots, again.Objective, full.Nodes, full.LPPivots, full.Objective)
+	}
+}
+
+// TestPreCancelledContext checks that an already-dead context returns
+// immediately with the correct terminal status and a sound (vacuous) bound.
+func TestPreCancelledContext(t *testing.T) {
+	rng := rand.New(rand.NewSource(36))
+	p := randomKnapsack(rng, 20)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := SolveCtx(ctx, p, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Cancelled {
+		t.Fatalf("status %v, want cancelled", res.Status)
+	}
+	if res.Nodes != 0 || res.HasSolution {
+		t.Fatalf("pre-cancelled solve did work: nodes=%d hasSolution=%v", res.Nodes, res.HasSolution)
+	}
+	if !math.IsInf(res.Bound, 1) { // maximize: no work proves nothing
+		t.Fatalf("vacuous bound should be +Inf, got %g", res.Bound)
+	}
+}
+
+// TestProgressEventStream checks the deterministic progress contract:
+// events are emitted on incumbent improvements and at the node period,
+// node counts are non-decreasing, and the final bound matches the result.
+func TestProgressEventStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	p := randomKnapsack(rng, 22)
+	var evs []Event
+	res, err := Solve(p, Options{Workers: 2, Progress: func(ev Event) { evs = append(evs, ev) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal {
+		t.Fatalf("status %v", res.Status)
+	}
+	if len(evs) == 0 {
+		t.Fatal("no progress events")
+	}
+	lastNodes := 0
+	for i, ev := range evs {
+		if ev.Nodes < lastNodes {
+			t.Fatalf("event %d: nodes went backwards (%d -> %d)", i, lastNodes, ev.Nodes)
+		}
+		lastNodes = ev.Nodes
+		if ev.HasIncumbent && ev.Incumbent > ev.Bound+1e-6 {
+			t.Fatalf("event %d: incumbent %g above bound %g (maximize)", i, ev.Incumbent, ev.Bound)
+		}
+	}
+	// Determinism of the stream itself (minus wall-clock fields).
+	var evs2 []Event
+	if _, err := Solve(p, Options{Workers: 2, Progress: func(ev Event) { evs2 = append(evs2, ev) }}); err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != len(evs2) {
+		t.Fatalf("event stream length differs across runs: %d vs %d", len(evs), len(evs2))
+	}
+	for i := range evs {
+		a, b := evs[i], evs2[i]
+		if a.Nodes != b.Nodes || a.Open != b.Open || a.HasIncumbent != b.HasIncumbent ||
+			a.Incumbent != b.Incumbent || a.Bound != b.Bound {
+			t.Fatalf("event %d differs across runs: %+v vs %+v", i, a, b)
+		}
 	}
 }

@@ -32,7 +32,9 @@ func MaxOverOutputsSingleMILP(net *nn.Network, region *InputRegion, outIndices [
 		}
 	}
 	start := time.Now()
-	nb, err := prepareBounds(net, region, opts)
+	ctx, cancel := opts.queryContext()
+	defer cancel()
+	nb, err := prepareBounds(ctx, net, region, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -68,10 +70,10 @@ func MaxOverOutputsSingleMILP(net *nn.Network, region *InputRegion, outIndices [
 	enc.model.SetObjective(t, 1)
 	enc.model.SetMaximize(true)
 
-	res, err := milp.Solve(milp.Problem{
+	res, err := milp.SolveCtx(ctx, milp.Problem{
 		Model:    enc.model,
 		Integers: append(append([]int(nil), enc.binaries...), selectors...),
-	}, opts.milpOptions(start))
+	}, opts.milpOptions())
 	if err != nil {
 		return nil, err
 	}

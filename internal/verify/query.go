@@ -1,13 +1,11 @@
 package verify
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 	"time"
 
-	"repro/internal/bounds"
 	"repro/internal/milp"
 	"repro/internal/nn"
 )
@@ -22,7 +20,8 @@ const (
 	// Violated means a concrete counterexample input was found.
 	Violated
 	// Timeout means resources ran out before a conclusion — the paper's
-	// "n.a. (unable to find maximum)" row.
+	// "n.a. (unable to find maximum)" row. The result still carries the
+	// anytime bounds proven up to the interruption.
 	Timeout
 )
 
@@ -41,7 +40,11 @@ func (o Outcome) String() string {
 
 // Options tune a verification run.
 type Options struct {
-	// TimeLimit bounds the MILP solve; 0 means unlimited.
+	// TimeLimit bounds each MILP solve in the free query functions (and
+	// each per-output MILP in MaxOverOutputs); 0 means unlimited. The
+	// compiled API (Compile / Compiled methods, pkg/vnn) uses context
+	// deadlines instead, which also cover bound tightening; TimeLimit is
+	// kept for the convenience wrappers.
 	TimeLimit time.Duration
 	// MaxNodes bounds branch-and-bound nodes; 0 means unlimited.
 	MaxNodes int
@@ -56,15 +59,25 @@ type Options struct {
 	// GOMAXPROCS, 1 forces the sequential engine. For any fixed value the
 	// underlying search is deterministic.
 	Workers int
+	// Progress, when non-nil, streams incumbent/bound/node events from
+	// every MILP solve the query runs (see milp.Options.Progress).
+	Progress func(milp.Event)
 }
 
 // milpOptions assembles the branch-and-bound options for one solve.
-func (o Options) milpOptions(start time.Time) milp.Options {
+// Deadlines and cancellation travel via context, not options.
+func (o Options) milpOptions() milp.Options {
 	return milp.Options{
-		TimeLimit: remaining(o.TimeLimit, start),
-		MaxNodes:  o.MaxNodes,
-		Workers:   o.Workers,
+		MaxNodes: o.MaxNodes,
+		Workers:  o.Workers,
+		Progress: o.Progress,
 	}
+}
+
+// queryContext converts the legacy TimeLimit into a context deadline for
+// the free query functions.
+func (o Options) queryContext() (context.Context, context.CancelFunc) {
+	return perQueryContext(context.Background(), o.TimeLimit)
 }
 
 // Stats describes the effort a query took.
@@ -94,30 +107,41 @@ type MaxResult struct {
 
 // MaxOutput computes the maximum of output neuron outIndex over the region.
 // This is the paper's "maximum lateral velocity when a vehicle exists on
-// the left" query.
+// the left" query. It is a convenience wrapper that compiles the network
+// for one query; to run several queries, Compile once and use the
+// Compiled methods (or the public pkg/vnn API).
 func MaxOutput(net *nn.Network, region *InputRegion, outIndex int, opts Options) (*MaxResult, error) {
-	if outIndex < 0 || outIndex >= net.OutputDim() {
-		return nil, fmt.Errorf("verify: output index %d of %d", outIndex, net.OutputDim())
-	}
 	start := time.Now()
-	nb, err := prepareBounds(net, region, opts)
+	ctx, cancel := opts.queryContext()
+	defer cancel()
+	c, err := Compile(ctx, net, region, opts)
 	if err != nil {
 		return nil, err
 	}
-	enc, err := encode(net, region, nb, encodeOptions{prefixLayers: -1})
+	res, err := c.MaxOutput(ctx, outIndex, opts)
 	if err != nil {
 		return nil, err
 	}
-	return maxWithEncoding(enc, outIndex, opts, start)
+	res.Stats.Elapsed = time.Since(start) // include compilation, as before
+	return res, nil
 }
 
-// maxWithEncoding runs the MaxOutput MILP on an already-built encoding.
-// The encoding's model is mutated (objective + direction) and solved.
-func maxWithEncoding(enc *encoding, outIndex int, opts Options, start time.Time) (*MaxResult, error) {
-	enc.model.SetObjective(enc.outputs[outIndex], 1)
+// solveObjective sets Σ coeffs[k]·output[k] as the (maximized) objective on
+// the encoding's model and runs the MILP under ctx. The encoding's model is
+// mutated; callers pass a clone when the encoding is shared.
+func solveObjective(ctx context.Context, enc *encoding, coeffs map[int]float64, opts Options) (*milp.Result, error) {
+	for oi, cf := range coeffs {
+		enc.model.SetObjective(enc.outputs[oi], cf)
+	}
 	enc.model.SetMaximize(true)
+	return milp.SolveCtx(ctx, milp.Problem{Model: enc.model, Integers: enc.binaries}, opts.milpOptions())
+}
 
-	res, err := milp.Solve(milp.Problem{Model: enc.model, Integers: enc.binaries}, opts.milpOptions(start))
+// maxWithEncoding runs a max-objective MILP on an already-built encoding
+// and shapes the result, including the anytime bounds on interruption.
+func maxWithEncoding(ctx context.Context, enc *encoding, coeffs map[int]float64, opts Options) (*MaxResult, error) {
+	start := time.Now()
+	res, err := solveObjective(ctx, enc, coeffs, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -130,8 +154,14 @@ func maxWithEncoding(enc *encoding, outIndex int, opts Options, start time.Time)
 		out.Witness = extractWitness(enc, res.X)
 	case milp.Infeasible:
 		return nil, fmt.Errorf("verify: region is empty (MILP infeasible)")
-	default: // time/node limits
+	default: // deadline, cancellation, or node limits — the anytime answer
 		out.UpperBound = res.Bound
+		// The interval bound from compilation is always proven; a solve
+		// interrupted before establishing anything better falls back to it
+		// instead of reporting a vacuous +Inf.
+		if ivb := enc.intervalBound(coeffs); ivb < out.UpperBound {
+			out.UpperBound = ivb
+		}
 		if res.HasSolution {
 			out.Value = res.Objective
 			out.Witness = extractWitness(enc, res.X)
@@ -151,68 +181,33 @@ type ProveResult struct {
 	CounterExample []float64
 	// CounterValue is the network output at the counterexample.
 	CounterValue float64
-	Stats        Stats
+	// BestBound is the tightest proven upper bound on the queried output
+	// (or functional) over the region when the query ended, whatever the
+	// outcome — the anytime answer a Timeout still carries. When Proved,
+	// BestBound ≤ Threshold.
+	BestBound float64
+	Stats     Stats
 }
 
 // ProveUpperBound proves output[outIndex] ≤ threshold over the region, or
 // returns a counterexample. This is Table II's last row: "prove that the
-// lateral velocity can never be larger than 3 m/s".
-//
-// The query is encoded as a feasibility problem: the output is constrained
-// to exceed the threshold and branch-and-bound searches for any integer-
-// feasible point; infeasibility proves the bound.
+// lateral velocity can never be larger than 3 m/s". It is a convenience
+// wrapper that compiles the network for one query; to run several queries,
+// Compile once and use the Compiled methods (or the public pkg/vnn API).
 func ProveUpperBound(net *nn.Network, region *InputRegion, outIndex int, threshold float64, opts Options) (*ProveResult, error) {
-	if outIndex < 0 || outIndex >= net.OutputDim() {
-		return nil, fmt.Errorf("verify: output index %d of %d", outIndex, net.OutputDim())
-	}
 	start := time.Now()
-	nb, err := prepareBounds(net, region, opts)
+	ctx, cancel := opts.queryContext()
+	defer cancel()
+	c, err := Compile(ctx, net, region, opts)
 	if err != nil {
 		return nil, err
 	}
-
-	pr := &ProveResult{Threshold: threshold}
-	// Fast path: interval analysis alone may already prove the bound.
-	if nb.Output()[outIndex].Hi <= threshold {
-		pr.Outcome = Proved
-		stable, total := nb.StableNeurons()
-		pr.Stats = Stats{Elapsed: time.Since(start), StableNeurons: stable, HiddenNeurons: total}
-		return pr, nil
-	}
-
-	enc, err := encode(net, region, nb, encodeOptions{prefixLayers: -1})
+	res, err := c.ProveUpperBound(ctx, outIndex, threshold, opts)
 	if err != nil {
 		return nil, err
 	}
-	// Feasibility of "output strictly above threshold": maximize the output
-	// subject to output ≥ threshold; any feasible point is a counterexample,
-	// infeasibility is a proof.
-	y := enc.outputs[outIndex]
-	lo, hi := enc.model.Bounds(y)
-	enc.model.SetBounds(y, math.Max(lo, threshold), math.Max(hi, threshold))
-	enc.model.SetObjective(y, 1)
-	enc.model.SetMaximize(true)
-
-	res, err := milp.Solve(milp.Problem{Model: enc.model, Integers: enc.binaries}, opts.milpOptions(start))
-	if err != nil {
-		return nil, err
-	}
-	pr.Stats = enc.stats(res, start)
-	switch {
-	case res.Status == milp.Infeasible:
-		pr.Outcome = Proved
-	case res.HasSolution && res.Objective > threshold+1e-7:
-		pr.Outcome = Violated
-		pr.CounterExample = extractWitness(enc, res.X)
-		pr.CounterValue = net.Forward(pr.CounterExample)[outIndex]
-	case res.Status == milp.Optimal:
-		// Optimum exists but does not exceed the threshold: the region
-		// touches the threshold at most; that still proves ≤.
-		pr.Outcome = Proved
-	default:
-		pr.Outcome = Timeout
-	}
-	return pr, nil
+	res.Stats.Elapsed = time.Since(start) // include compilation, as before
+	return res, nil
 }
 
 // MaxOverOutputs returns the maximum over several output neurons (one MILP
@@ -223,118 +218,27 @@ func ProveUpperBound(net *nn.Network, region *InputRegion, outIndex int, thresho
 // wall-clock time.
 //
 // Bound preparation (interval propagation plus optional LP tightening) and
-// the MILP encoding are shared across the outputs: the network is encoded
+// the MILP encoding are shared across the outputs: the network is compiled
 // once and each per-output solve only swaps the objective on a clone,
 // instead of re-encoding the whole network per output.
 func MaxOverOutputs(net *nn.Network, region *InputRegion, outIndices []int, opts Options) (*MaxResult, error) {
-	if len(outIndices) == 0 {
-		return nil, fmt.Errorf("verify: MaxOverOutputs needs at least one output index")
-	}
-	for _, oi := range outIndices {
-		if oi < 0 || oi >= net.OutputDim() {
-			return nil, fmt.Errorf("verify: output index %d of %d", oi, net.OutputDim())
-		}
-	}
 	start := time.Now()
-	nb, err := prepareBounds(net, region, opts)
-	if err != nil {
-		return nil, err
-	}
-	shared, err := encode(net, region, nb, encodeOptions{prefixLayers: -1})
+	// The outer context is unlimited: as documented on Options.TimeLimit,
+	// the per-query budget applies to every per-output MILP on its own
+	// clock (handled inside Compiled.MaxOverOutputs), not to the batch.
+	ctx := context.Background()
+	c, err := Compile(ctx, net, region, opts)
 	if err != nil {
 		return nil, err
 	}
 	prepElapsed := time.Since(start)
-
-	// Each per-output query runs against its own clock: the full TimeLimit
-	// applies to every MILP (as it did when each output re-encoded from
-	// scratch) and per-query Elapsed stats stay disjoint, so their sum
-	// remains meaningful in sequential mode.
-	//
-	// With Parallel and the auto worker count, the core budget is divided
-	// across the concurrent queries instead of letting each MILP claim all
-	// of GOMAXPROCS (K queries × P workers would oversubscribe the CPU and
-	// hold K×P dense tableaus). An explicit Workers value is honored as-is.
-	innerOpts := opts
-	if opts.Parallel && opts.Workers == 0 {
-		innerOpts.Workers = runtime.GOMAXPROCS(0) / len(outIndices)
-		if innerOpts.Workers < 1 {
-			innerOpts.Workers = 1
-		}
-	}
-	solveOne := func(out int) (*MaxResult, error) {
-		enc := shared.withModelClone()
-		return maxWithEncoding(enc, out, innerOpts, time.Now())
-	}
-
-	results := make([]*MaxResult, len(outIndices))
-	errs := make([]error, len(outIndices))
-	if opts.Parallel {
-		var wg sync.WaitGroup
-		for i, oi := range outIndices {
-			wg.Add(1)
-			go func(slot, out int) {
-				defer wg.Done()
-				results[slot], errs[slot] = solveOne(out)
-			}(i, oi)
-		}
-		wg.Wait()
-	} else {
-		for i, oi := range outIndices {
-			results[i], errs[i] = solveOne(oi)
-		}
-	}
-	best := &MaxResult{Exact: true, Value: math.Inf(-1), UpperBound: math.Inf(-1)}
-	best.Stats.Elapsed = prepElapsed // shared bound preparation + encoding, counted once
-	for i, r := range results {
-		if errs[i] != nil {
-			return nil, errs[i]
-		}
-		best.Stats.Elapsed += r.Stats.Elapsed
-		best.Stats.Nodes += r.Stats.Nodes
-		best.Stats.LPPivots += r.Stats.LPPivots
-		best.Stats.Binaries = r.Stats.Binaries
-		best.Stats.StableNeurons = r.Stats.StableNeurons
-		best.Stats.HiddenNeurons = r.Stats.HiddenNeurons
-		if r.Value > best.Value {
-			best.Value = r.Value
-			best.Witness = r.Witness
-		}
-		if r.UpperBound > best.UpperBound {
-			best.UpperBound = r.UpperBound
-		}
-		if !r.Exact {
-			best.Exact = false
-		}
-	}
-	return best, nil
-}
-
-// prepareBounds runs interval propagation (plus optional LP tightening)
-// over the region box.
-func prepareBounds(net *nn.Network, region *InputRegion, opts Options) (*bounds.NetworkBounds, error) {
-	if err := region.Validate(net); err != nil {
-		return nil, err
-	}
-	nb, err := bounds.Propagate(net, region.Box)
+	res, err := c.MaxOverOutputs(ctx, outIndices, opts)
 	if err != nil {
 		return nil, err
 	}
-	if opts.Tighten {
-		return TightenLPWorkers(net, region, nb, opts.Workers)
-	}
-	return nb, nil
-}
-
-func remaining(limit time.Duration, start time.Time) time.Duration {
-	if limit <= 0 {
-		return 0
-	}
-	rem := limit - time.Since(start)
-	if rem <= 0 {
-		return time.Nanosecond // already exhausted; force immediate timeout
-	}
-	return rem
+	// Shared bound preparation + encoding, counted once.
+	res.Stats.Elapsed += prepElapsed
+	return res, nil
 }
 
 func extractWitness(e *encoding, x []float64) []float64 {

@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -36,7 +37,9 @@ func RelaxationBound(net *nn.Network, region *InputRegion, outIndex int, opts Op
 	if outIndex < 0 || outIndex >= net.OutputDim() {
 		return 0, fmt.Errorf("verify: output index %d of %d", outIndex, net.OutputDim())
 	}
-	nb, err := prepareBounds(net, region, opts)
+	ctx, cancel := opts.queryContext()
+	defer cancel()
+	nb, err := prepareBounds(ctx, net, region, opts)
 	if err != nil {
 		return 0, err
 	}
@@ -61,7 +64,7 @@ func Ladder(net *nn.Network, region *InputRegion, outIndex int, opts Options) (*
 	out := &BoundLadder{}
 
 	start := time.Now()
-	nb, err := prepareBounds(net, region, Options{}) // plain intervals
+	nb, err := prepareBounds(context.Background(), net, region, Options{}) // plain intervals
 	if err != nil {
 		return nil, err
 	}

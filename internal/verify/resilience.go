@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -42,6 +43,15 @@ type ResilienceOptions struct {
 // verification methodology builds on. The search space is clipped to the
 // given domain box. The nominal point itself must satisfy the property.
 func Resilience(net *nn.Network, x0 []float64, domain []bounds.Interval, outIndex int, threshold float64, opts ResilienceOptions) (*ResilienceResult, error) {
+	return ResilienceCtx(context.Background(), net, x0, domain, outIndex, threshold, opts)
+}
+
+// ResilienceCtx is Resilience under a context. Each probe re-compiles the
+// shrunken ball region (the region changes every binary-search step, so
+// the encoding cannot be shared) under the context; cancellation or an
+// expired deadline ends the search early and returns the largest radius
+// certified so far — the anytime answer — with no error.
+func ResilienceCtx(ctx context.Context, net *nn.Network, x0 []float64, domain []bounds.Interval, outIndex int, threshold float64, opts ResilienceOptions) (*ResilienceResult, error) {
 	start := time.Now()
 	if len(x0) != net.InputDim() {
 		return nil, fmt.Errorf("verify: nominal point dim %d, network input %d", len(x0), net.InputDim())
@@ -83,8 +93,18 @@ func Resilience(net *nn.Network, x0 []float64, domain []bounds.Interval, outInde
 	res := &ResilienceResult{}
 	lo, hi := 0.0, hiEps // lo = certified, hi = not certified (or untested)
 
+	probe := func(eps float64) (*ProveResult, error) {
+		pctx, cancel := perQueryContext(ctx, opts.Query.TimeLimit)
+		defer cancel()
+		c, err := Compile(pctx, net, ballRegion(eps), opts.Query)
+		if err != nil {
+			return nil, err
+		}
+		return c.ProveUpperBound(pctx, outIndex, threshold, opts.Query)
+	}
+
 	// First probe the full radius: everything may already be safe.
-	pr, err := ProveUpperBound(net, ballRegion(hiEps), outIndex, threshold, opts.Query)
+	pr, err := probe(hiEps)
 	if err != nil {
 		return nil, err
 	}
@@ -101,8 +121,11 @@ func Resilience(net *nn.Network, x0 []float64, domain []bounds.Interval, outInde
 	}
 
 	for res.Iterations < maxIter {
+		if ctx.Err() != nil {
+			break // anytime: report the largest radius certified so far
+		}
 		mid := (lo + hi) / 2
-		pr, err := ProveUpperBound(net, ballRegion(mid), outIndex, threshold, opts.Query)
+		pr, err := probe(mid)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -21,9 +22,10 @@ import (
 // The result is always sound: LP bounds are intersected with the interval
 // bounds, never widened. This is the preprocessing ablation benchmarked in
 // BenchmarkBigMAblation. TightenLP runs sequentially; TightenLPWorkers
-// fans the per-neuron LPs out across workers.
+// fans the per-neuron LPs out across workers; TightenLPCtx additionally
+// honors a context deadline.
 func TightenLP(net *nn.Network, region *InputRegion, nb *bounds.NetworkBounds) (*bounds.NetworkBounds, error) {
-	return TightenLPWorkers(net, region, nb, 1)
+	return TightenLPCtx(context.Background(), net, region, nb, 1)
 }
 
 // neuronBounds is the LP answer for one neuron's pre-activation.
@@ -39,14 +41,32 @@ type neuronBounds struct {
 // Neurons are assigned to workers statically (round-robin by index), which
 // keeps the result deterministic for a fixed worker count.
 func TightenLPWorkers(net *nn.Network, region *InputRegion, nb *bounds.NetworkBounds, workers int) (*bounds.NetworkBounds, error) {
+	return TightenLPCtx(context.Background(), net, region, nb, workers)
+}
+
+// TightenLPCtx is TightenLPWorkers under a context: the ctx deadline (or
+// cancellation) bounds preprocessing too, not only the later MILP solve,
+// so a user budget can no longer be consumed entirely by tightening. The
+// poll reaches into each bound LP's pivot loop. Interruption is graceful
+// and sound: tightening stops where it is and the bounds computed so far
+// are returned (interval analysis alone is already sound; every completed
+// LP only shrank it), with no error. Note an interrupted pass makes the
+// resulting bounds depend on where the deadline fell — deterministic runs
+// need either no deadline or one generous enough not to fire.
+func TightenLPCtx(ctx context.Context, net *nn.Network, region *InputRegion, nb *bounds.NetworkBounds, workers int) (*bounds.NetworkBounds, error) {
+	tightenPasses.Add(1)
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	cancelled := func() bool { return ctx.Err() != nil }
 	hints := make([][]bounds.Interval, len(net.Layers))
 	cur := nb
 	for li := 0; li+1 < len(net.Layers); li++ {
 		if net.Layers[li].Act != nn.ReLU {
 			return nil, fmt.Errorf("verify: TightenLP hidden layer %d is %v, need relu", li, net.Layers[li].Act)
+		}
+		if cancelled() {
+			return cur, nil // sound: every completed layer only tightened
 		}
 		enc, err := encode(net, region, cur, encodeOptions{relaxBinaries: true, prefixLayers: li})
 		if err != nil {
@@ -86,17 +106,20 @@ func TightenLPWorkers(net *nn.Network, region *InputRegion, nb *bounds.NetworkBo
 		run := func(slot int, model *lp.Model) {
 			solver := lp.NewSolver(model)
 			for idx := slot; idx < len(jobs); idx += nw {
+				if cancelled() {
+					return // remaining neurons keep their interval bounds
+				}
 				j := jobs[idx]
 				row := layer.W[j]
 				for k, w := range row {
 					model.SetObjective(prevVars[k], w)
 				}
-				hi, err := solveDirection(solver, true)
+				hi, err := solveDirection(solver, true, cancelled)
 				if err != nil {
 					errs[slot] = err
 					return
 				}
-				lo, err := solveDirection(solver, false)
+				lo, err := solveDirection(solver, false, cancelled)
 				if err != nil {
 					errs[slot] = err
 					return
@@ -164,17 +187,18 @@ type dirResult struct {
 
 // solveDirection re-solves the worker's persistent model for one objective
 // direction. Flipping the direction only changes costs, so every solve
-// after the first warm-starts from the previous basis.
-func solveDirection(s *lp.Solver, maximize bool) (dirResult, error) {
+// after the first warm-starts from the previous basis. A cancellation mid-
+// solve surfaces as IterationLimit and leaves the interval untouched.
+func solveDirection(s *lp.Solver, maximize bool, cancel func() bool) (dirResult, error) {
 	s.Model().SetMaximize(maximize)
-	sol, err := s.Solve(lp.Options{})
+	sol, err := s.Solve(lp.Options{Cancel: cancel})
 	if err != nil {
 		return dirResult{}, err
 	}
 	if sol.Status != lp.Optimal {
-		// Unbounded or iteration-limited directions simply do not improve
-		// the interval; infeasible regions are caught by the caller's later
-		// full solve.
+		// Unbounded, cancelled, or iteration-limited directions simply do
+		// not improve the interval; infeasible regions are caught by the
+		// caller's later full solve.
 		return dirResult{}, nil
 	}
 	return dirResult{ok: true, val: sol.Objective}, nil

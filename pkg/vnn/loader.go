@@ -1,0 +1,57 @@
+package vnn
+
+import (
+	"fmt"
+
+	"repro/internal/gmm"
+	"repro/internal/nn"
+)
+
+// GMMComponents validates that net's output layer is a well-formed
+// Gaussian-mixture head (a multiple of gmm.RawPerComponent raw outputs)
+// and returns the mixture component count. This is the single home of the
+// head-shape check that the cmd tools used to repeat individually.
+func GMMComponents(net *Network) (int, error) {
+	if net.OutputDim() <= 0 || net.OutputDim()%gmm.RawPerComponent != 0 {
+		return 0, fmt.Errorf("vnn: network output dim %d is not a gmm head (need a positive multiple of %d)",
+			net.OutputDim(), gmm.RawPerComponent)
+	}
+	return net.OutputDim() / gmm.RawPerComponent, nil
+}
+
+// LoadGMMNetwork loads a network from its JSON file and validates the
+// gmm head, returning the network and its mixture component count. This
+// is the loader path every verification CLI goes through.
+func LoadGMMNetwork(path string) (*Network, int, error) {
+	net, err := nn.Load(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	k, err := GMMComponents(net)
+	if err != nil {
+		return nil, 0, err
+	}
+	return net, k, nil
+}
+
+// MuLatOutputs lists the raw-output indices of all component lateral-
+// velocity means of a k-component head — the outputs the lateral safety
+// property bounds.
+func MuLatOutputs(k int) []int {
+	out := make([]int, k)
+	for i := range out {
+		out[i] = gmm.MuLatIndex(i)
+	}
+	return out
+}
+
+// MuLongOutputs lists the raw-output indices of all component
+// longitudinal-acceleration means — the outputs the front-gap property
+// bounds.
+func MuLongOutputs(k int) []int {
+	out := make([]int, k)
+	for i := range out {
+		out[i] = gmm.MuLongIndex(i)
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package vnn
+
+import (
+	"repro/internal/bounds"
+	"repro/internal/highway"
+)
+
+// The case-study regions of the paper's two safety properties. They live
+// here (rather than in internal/core) because a region is half of a
+// verification query: callers compile a network against a region and then
+// ask properties about it.
+
+// FrontGapClose is the upper end of the normalized front gap considered
+// "close ahead" (0.15 × SensorRange = 15 m).
+const FrontGapClose = 0.15
+
+// fullFeatureBox returns every normalized feature ranging over [0, 1].
+func fullFeatureBox() []Interval {
+	box := make([]bounds.Interval, highway.FeatureDim)
+	for i := range box {
+		box[i] = bounds.Interval{Lo: 0, Hi: 1}
+	}
+	return box
+}
+
+// LeftOccupiedRegion is the input region of the paper's lateral safety
+// property: every normalized feature ranges over its full domain except
+// that the left neighbor slot is occupied (presence pinned to 1, the
+// alongside gap near zero, plausible relative speed). The returned region
+// quantifies over every driving situation with a vehicle on the left.
+func LeftOccupiedRegion() *Region {
+	box := fullFeatureBox()
+	pin := func(f int, lo, hi float64) { box[f] = bounds.Interval{Lo: lo, Hi: hi} }
+	pin(highway.NeighborFeature(highway.Left, highway.NPPresence), 1, 1)
+	// Alongside gap is ~0 by the sensor definition; allow a small band.
+	pin(highway.NeighborFeature(highway.Left, highway.NPGap), 0, 0.1)
+	// Relative speed within ±MaxRelSpeed but excluding the extremes keeps
+	// the region inside what the sensor can actually produce.
+	pin(highway.NeighborFeature(highway.Left, highway.NPRelSpeed), 0.1, 0.9)
+	return &Region{Box: box}
+}
+
+// FrontCloseRegion quantifies over every input with a vehicle close
+// ahead: front presence pinned to 1, front gap within [0, FrontGapClose],
+// and the front vehicle no faster than the ego (non-positive normalized
+// relative speed, i.e. ≤ 0.5 after normalization). This is the region of
+// the symmetric longitudinal property "if a vehicle is close ahead, the
+// predictor never suggests strong acceleration".
+func FrontCloseRegion() *Region {
+	box := fullFeatureBox()
+	pin := func(f int, lo, hi float64) { box[f] = bounds.Interval{Lo: lo, Hi: hi} }
+	pin(highway.NeighborFeature(highway.Front, highway.NPPresence), 1, 1)
+	pin(highway.NeighborFeature(highway.Front, highway.NPGap), 0, FrontGapClose)
+	pin(highway.NeighborFeature(highway.Front, highway.NPRelSpeed), 0, 0.5)
+	return &Region{Box: box}
+}
