@@ -16,14 +16,21 @@
 //	annverify -net i4x10.json -timeout 5m     # deadline (tightening included)
 //	annverify -net i4x10.json -workers 1      # force the sequential engine
 //	annverify -net i4x10.json -progress       # stream incumbent/bound events
+//	annverify -net i4x10.json -json           # machine-readable results
+//
+// With -json the output is the wire Report document (vnn.Report) — the
+// same schema the vnnd verification service returns over HTTP, so scripts
+// parse CLI runs and service responses with one decoder.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"math"
+	"os"
 	"time"
 
 	"repro/pkg/vnn"
@@ -41,6 +48,7 @@ func main() {
 		resilience = flag.Bool("resilience", false, "compute the resilience radius around an all-0.5 nominal input")
 		workers    = flag.Int("workers", 0, "branch-and-bound workers per MILP solve (0 = all cores, 1 = sequential)")
 		progress   = flag.Bool("progress", false, "stream incumbent/bound/node progress events")
+		jsonOut    = flag.Bool("json", false, "emit the machine-readable Report document (shared with the vnnd service) on stdout")
 	)
 	flag.Parse()
 	if *netPath == "" {
@@ -50,8 +58,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	human := !*jsonOut
 	opts := vnn.Options{Tighten: *tighten, Workers: *workers}
-	if *progress {
+	if *progress && human {
 		opts.Progress = func(ev vnn.Event) {
 			fmt.Printf("  [prop %d] nodes=%-7d open=%-6d bound=%.4f", ev.Property, ev.Nodes, ev.Open, ev.Bound)
 			if ev.HasIncumbent {
@@ -68,8 +77,10 @@ func main() {
 		defer cancel()
 	}
 
-	fmt.Printf("network %s (%s): %d hidden neurons, %d mixture components\n",
-		net.Name, net.ArchString(), net.HiddenNeurons(), k)
+	if human {
+		fmt.Printf("network %s (%s): %d hidden neurons, %d mixture components\n",
+			net.Name, net.ArchString(), net.HiddenNeurons(), k)
+	}
 
 	region := vnn.LeftOccupiedRegion()
 	outputs := vnn.MuLatOutputs(k)
@@ -78,15 +89,23 @@ func main() {
 		region = vnn.FrontCloseRegion()
 		outputs = vnn.MuLongOutputs(k)
 		quantity = "longitudinal acceleration"
-		fmt.Println("property region: a vehicle is close ahead of the ego vehicle")
-	} else {
-		fmt.Println("property region: a vehicle exists on the ego vehicle's left")
+	}
+	if human {
+		if *front {
+			fmt.Println("property region: a vehicle is close ahead of the ego vehicle")
+		} else {
+			fmt.Println("property region: a vehicle exists on the ego vehicle's left")
+		}
 	}
 
 	cn, err := vnn.Compile(ctx, net, region, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// Every mode collects its results here; -json renders them through the
+	// shared wire schema instead of the human text.
+	var results []*vnn.Result
 
 	switch {
 	case *resilience:
@@ -105,11 +124,14 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("resilience: component-0 mean stays <= %.2f for all perturbations |δ|∞ <= %.4f\n", thr, res.Radius)
-		if res.Witness != nil {
-			fmt.Printf("  first violation found beyond that radius reaches %.4f\n", res.Value)
+		results = []*vnn.Result{res}
+		if human {
+			fmt.Printf("resilience: component-0 mean stays <= %.2f for all perturbations |δ|∞ <= %.4f\n", thr, res.Radius)
+			if res.Witness != nil {
+				fmt.Printf("  first violation found beyond that radius reaches %.4f\n", res.Value)
+			}
+			fmt.Printf("  (%d MILP queries, %.1fs)\n", res.Iterations, res.Stats.Elapsed.Seconds())
 		}
-		fmt.Printf("  (%d MILP queries, %.1fs)\n", res.Iterations, res.Stats.Elapsed.Seconds())
 
 	case *prove > 0:
 		// One threshold proof per mixture component, batched on the shared
@@ -118,21 +140,23 @@ func main() {
 		for _, out := range outputs {
 			props = append(props, vnn.AtMost(out, *prove))
 		}
-		results, err := vnn.Verify(ctx, cn, props...)
+		results, err = vnn.Verify(ctx, cn, props...)
 		if err != nil {
 			log.Fatal(err)
 		}
-		var elapsed time.Duration
-		for _, r := range results {
-			elapsed += r.Stats.Elapsed
-		}
-		fmt.Printf("prove %s <= %.2f: %v  (%.1fs)\n", quantity, *prove, vnn.Worst(results), elapsed.Seconds())
-		for i, r := range results {
-			switch r.Outcome {
-			case vnn.Violated:
-				fmt.Printf("  component %d violated: value %.4f\n", i, r.Value)
-			case vnn.Inconclusive:
-				fmt.Printf("  component %d inconclusive: proven <= %.4f so far (anytime bound)\n", i, r.UpperBound)
+		if human {
+			var elapsed time.Duration
+			for _, r := range results {
+				elapsed += r.Stats.Elapsed
+			}
+			fmt.Printf("prove %s <= %.2f: %v  (%.1fs)\n", quantity, *prove, vnn.Worst(results), elapsed.Seconds())
+			for i, r := range results {
+				switch r.Outcome {
+				case vnn.Violated:
+					fmt.Printf("  component %d violated: value %.4f\n", i, r.Value)
+				case vnn.Inconclusive:
+					fmt.Printf("  component %d inconclusive: proven <= %.4f so far (anytime bound)\n", i, r.UpperBound)
+				}
 			}
 		}
 
@@ -141,13 +165,24 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		// One row in the shape of the paper's Table II.
-		fmt.Printf("%-8s max-%s=%8.6f  exact=%-5v  time=%8.1fs  nodes=%d  binaries=%d/%d\n",
-			net.ArchString(), shortName(*front), res.Value, res.Exact, res.Stats.Elapsed.Seconds(),
-			res.Stats.Nodes, res.Stats.Binaries, res.Stats.HiddenNeurons)
-		if !res.Exact {
-			fmt.Printf("  (interrupted: best found %.4f, proven upper bound %.4f — the anytime answer behind the paper's \"n.a.\" row)\n",
-				res.Value, res.UpperBound)
+		results = []*vnn.Result{res}
+		if human {
+			// One row in the shape of the paper's Table II.
+			fmt.Printf("%-8s max-%s=%8.6f  exact=%-5v  time=%8.1fs  nodes=%d  binaries=%d/%d\n",
+				net.ArchString(), shortName(*front), res.Value, res.Exact, res.Stats.Elapsed.Seconds(),
+				res.Stats.Nodes, res.Stats.Binaries, res.Stats.HiddenNeurons)
+			if !res.Exact {
+				fmt.Printf("  (interrupted: best found %.4f, proven upper bound %.4f — the anytime answer behind the paper's \"n.a.\" row)\n",
+					res.Value, res.UpperBound)
+			}
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(vnn.NewReport(net, results)); err != nil {
+			log.Fatal(err)
 		}
 	}
 }

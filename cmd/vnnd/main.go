@@ -1,0 +1,122 @@
+// Command vnnd is the verification daemon: a long-running HTTP service
+// (package vnnserver) that keeps compiled networks warm across requests.
+// Where every annverify invocation recompiles its workload, vnnd
+// fingerprints (network, region, compile options), caches the compiled
+// artifact in an LRU, collapses concurrent identical requests into one
+// compile (singleflight), and schedules queries under a global worker
+// budget with bounded queueing and backpressure.
+//
+// # Usage
+//
+//	vnnd                           # serve on :8419
+//	vnnd -addr 127.0.0.1:9000      # explicit listen address
+//	vnnd -cache 128 -queue 512     # bigger cache and admission queue
+//	vnnd -timeout 5m               # default per-query budget
+//	vnnd -drain-grace 10s          # patience before interrupting on SIGTERM
+//
+// # Verify round trip
+//
+//	curl -s localhost:8419/v1/verify -d '{
+//	  "network": '"$(cat i4x10.json)"',
+//	  "region": {"name": "left_occupied"},
+//	  "properties": [{"kind": "max", "outputs": [1]},
+//	                 {"kind": "at_most", "output": 1, "threshold": 3.0}],
+//	  "options": {"tighten": true, "workers": 1}
+//	}'
+//
+// The response embeds the same Report document `annverify -json` prints,
+// plus the workload fingerprint, whether the compile was a cache hit, and
+// the compile cost. Repeat the call: the second answer arrives without
+// recompiling (cache_hit true, encode/tighten pass counters in /metrics
+// unchanged).
+//
+// # Async queries and progress streaming
+//
+// Add "wait": false to get 202 + a job id immediately, then stream
+// branch-and-bound progress as server-sent events:
+//
+//	curl -s localhost:8419/v1/verify/q00000001/events
+//	event: progress
+//	data: {"property":0,"nodes":64,"open":12,"bound":3.41,...}
+//	...
+//	event: result
+//	data: {"id":"q00000001","cache_hit":true,...,"results":[...]}
+//
+// GET /v1/verify/{id} fetches the result after the fact.
+//
+// # Shutdown semantics
+//
+// On SIGTERM/SIGINT the daemon drains: new queries are rejected with 503,
+// running ones get -drain-grace to finish, the rest are interrupted via
+// context cancellation and answer with their anytime results (best
+// witness + tightest proven bound so far) before the process exits 0.
+//
+// /healthz reports liveness and drain state; /metrics reports cache
+// hits/misses/evictions, queue depth, nodes, pivots and the process-wide
+// encode/tighten pass counters; /debug/vars exposes the same counters as
+// standard expvars.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/pkg/vnnserver"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vnnd: ")
+	var (
+		addr          = flag.String("addr", ":8419", "listen address")
+		cacheEntries  = flag.Int("cache", 0, "compile cache capacity in entries (0 = 64)")
+		maxConcurrent = flag.Int("max-concurrent", 0, "queries running at once (0 = GOMAXPROCS)")
+		queueDepth    = flag.Int("queue", 0, "queries allowed to wait for a slot (0 = 256, negative = none)")
+		timeout       = flag.Duration("timeout", 0, "default per-query budget when the request sets none (0 = unlimited)")
+		drainGrace    = flag.Duration("drain-grace", 5*time.Second, "how long a drain lets running queries finish before interrupting them")
+		maxBody       = flag.Int64("max-body", 0, "request body cap in bytes (0 = 32 MiB)")
+	)
+	flag.Parse()
+
+	srv := vnnserver.New(vnnserver.Config{
+		CacheEntries:   *cacheEntries,
+		MaxConcurrent:  *maxConcurrent,
+		QueueDepth:     *queueDepth,
+		DefaultTimeout: *timeout,
+		MaxBodyBytes:   *maxBody,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case sig := <-sigc:
+		log.Printf("%v: draining (grace %v)", sig, *drainGrace)
+	}
+
+	// Drain first so interrupted queries hand their anytime results to
+	// their handlers, then shut the listener down and wait for those
+	// handlers to finish writing.
+	srv.Drain(*drainGrace)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("shutdown: %v", err)
+	}
+	log.Printf("drained cleanly")
+}

@@ -25,6 +25,10 @@ type Options struct {
 	Steps int
 	// StepSize as a fraction of each coordinate's box width; 0 means 0.05.
 	StepSize float64
+	// Cancel, when non-nil, is polled at every restart boundary; returning
+	// true stops the attack early with the best input found so far (the
+	// anytime counterpart of the verifier's context cancellation).
+	Cancel func() bool
 }
 
 // Result reports the strongest input found.
@@ -67,7 +71,12 @@ func Maximize(net *nn.Network, region *verify.InputRegion, outIndex int, rng *ra
 
 	res := &Result{Value: math.Inf(-1)}
 	dRaw := make([]float64, net.OutputDim())
+	cancelled := false
 	for r := 0; r < restarts; r++ {
+		if opts.Cancel != nil && opts.Cancel() {
+			cancelled = true
+			break
+		}
 		x := samplePoint(region, rng)
 		if x == nil {
 			continue
@@ -113,6 +122,9 @@ func Maximize(net *nn.Network, region *verify.InputRegion, outIndex int, rng *ra
 		}
 	}
 	if res.Best == nil {
+		if cancelled {
+			return res, nil // stopped before any evaluation: empty anytime answer
+		}
 		return nil, fmt.Errorf("attack: no starting point satisfied the region's linear constraints")
 	}
 	return res, nil

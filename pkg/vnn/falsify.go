@@ -1,6 +1,7 @@
 package vnn
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -40,15 +41,28 @@ type FalsifyResult struct {
 // paper's portfolio — formal bounds, threshold proofs, resilience, and
 // falsification — behind the one public API.
 func Falsify(net *Network, region *Region, outputs []int, opts FalsifyOptions) (*FalsifyResult, error) {
+	return FalsifyCtx(context.Background(), net, region, outputs, opts)
+}
+
+// FalsifyCtx is Falsify under a context: cancellation is polled at every
+// PGD restart boundary, and an interrupted attack returns the strongest
+// violating input found so far instead of an error — the same anytime
+// contract Verify has. This is the entry point the vnnd service uses, so
+// a drain or client disconnect stops falsification work too.
+func FalsifyCtx(ctx context.Context, net *Network, region *Region, outputs []int, opts FalsifyOptions) (*FalsifyResult, error) {
 	if len(outputs) == 0 {
 		return nil, fmt.Errorf("vnn: Falsify needs at least one output index")
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	best := &FalsifyResult{Value: math.Inf(-1), Output: outputs[0]}
 	for _, out := range outputs {
+		if ctx.Err() != nil {
+			break
+		}
 		res, err := attack.Maximize(net, region, out, rng, attack.Options{
 			Restarts: opts.Restarts,
 			Steps:    opts.Steps,
+			Cancel:   func() bool { return ctx.Err() != nil },
 		})
 		if err != nil {
 			return nil, err

@@ -1,0 +1,136 @@
+package vnn
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash"
+	"math"
+	"sort"
+
+	"repro/internal/nn"
+)
+
+// fingerprintVersion tags the canonical byte layout hashed by Fingerprint.
+// Bump it whenever the layout changes so persisted or remote caches never
+// confuse hashes computed under different layouts.
+const fingerprintVersion = 1
+
+// MarshalNetwork renders net as compact canonical JSON: the wire form the
+// vnnd service accepts in requests and the byte-stable encoding scripts
+// can store alongside results. The network is validated first, so the
+// bytes always describe a structurally sound network. For a fixed network
+// the output is deterministic (struct fields in declaration order, no
+// maps), making the bytes themselves safe to hash or diff.
+func MarshalNetwork(net *Network) ([]byte, error) {
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	data, err := json.Marshal(net)
+	if err != nil {
+		return nil, fmt.Errorf("vnn: marshal network %q: %w", net.Name, err)
+	}
+	return data, nil
+}
+
+// UnmarshalNetwork parses a network from its JSON form and validates it —
+// the inverse of MarshalNetwork and the single decode path requests into
+// the verification service go through.
+func UnmarshalNetwork(data []byte) (*Network, error) {
+	var n nn.Network
+	if err := json.Unmarshal(data, &n); err != nil {
+		return nil, fmt.Errorf("vnn: unmarshal network: %w", err)
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return &n, nil
+}
+
+// Fingerprint returns a content hash identifying the compiled artifact
+// that (net, region, opts) would produce: two workloads share a hash
+// exactly when they share every layer's activation, shape, weights and
+// biases bit-for-bit, the same region box and linear constraints, and the
+// same compile-relevant options. The hash is what the vnnd compile cache
+// keys on, so identical workloads from different clients deduplicate to
+// one vnn.Compile.
+//
+// Metadata that cannot influence a verification answer is deliberately
+// excluded: network, input, output and constraint names. Query-time
+// options (Parallel, MaxNodes, Progress) are excluded too; of the
+// remaining options only Tighten changes what Compile builds. Workers is
+// excluded because tightened bounds are engine-invariant across worker
+// counts (see DESIGN.md's determinism notes) — it changes how fast the
+// artifact is built, not what it is.
+//
+// Floats are hashed as their IEEE-754 bit patterns, so any perturbation a
+// float64 can represent — one ulp on one weight — changes the hash.
+func Fingerprint(net *Network, region *Region, opts Options) (string, error) {
+	if err := net.Validate(); err != nil {
+		return "", err
+	}
+	if err := region.Validate(net); err != nil {
+		return "", err
+	}
+	w := fpWriter{h: sha256.New()}
+	w.u64(fingerprintVersion)
+
+	w.u64(uint64(len(net.Layers)))
+	for _, l := range net.Layers {
+		w.u64(uint64(l.Act))
+		w.u64(uint64(l.OutDim()))
+		w.u64(uint64(l.InDim()))
+		for _, row := range l.W {
+			for _, v := range row {
+				w.f64(v)
+			}
+		}
+		for _, b := range l.B {
+			w.f64(b)
+		}
+	}
+
+	w.u64(uint64(len(region.Box)))
+	for _, iv := range region.Box {
+		w.f64(iv.Lo)
+		w.f64(iv.Hi)
+	}
+	// Constraint order is part of the canonical form (it is also the order
+	// the encoder ingests rows in); coefficients within a constraint are
+	// canonicalized by sorting on the input index.
+	w.u64(uint64(len(region.Linear)))
+	for _, lc := range region.Linear {
+		w.u64(uint64(lc.Sense))
+		w.f64(lc.RHS)
+		idxs := make([]int, 0, len(lc.Coeffs))
+		for i := range lc.Coeffs {
+			idxs = append(idxs, i)
+		}
+		sort.Ints(idxs)
+		w.u64(uint64(len(idxs)))
+		for _, i := range idxs {
+			w.u64(uint64(i))
+			w.f64(lc.Coeffs[i])
+		}
+	}
+
+	if opts.Tighten {
+		w.u64(1)
+	} else {
+		w.u64(0)
+	}
+	return "vnn1-" + hex.EncodeToString(w.h.Sum(nil)), nil
+}
+
+// fpWriter streams fixed-width little-endian values into a hash.
+type fpWriter struct{ h hash.Hash }
+
+func (w fpWriter) u64(v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	w.h.Write(buf[:])
+}
+
+func (w fpWriter) f64(v float64) { w.u64(math.Float64bits(v)) }

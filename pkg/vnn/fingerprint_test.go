@@ -1,0 +1,149 @@
+package vnn_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lp"
+	"repro/pkg/vnn"
+)
+
+// TestMarshalNetworkRoundTrip pins the canonical serialization: bytes are
+// deterministic for a fixed network, decode inverts encode, and invalid
+// payloads are rejected by validation.
+func TestMarshalNetworkRoundTrip(t *testing.T) {
+	pred := core.NewPredictorNet(2, 6, 2, 11)
+	a, err := vnn.MarshalNetwork(pred.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := vnn.MarshalNetwork(pred.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("MarshalNetwork is not deterministic")
+	}
+	back, err := vnn.UnmarshalNetwork(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := vnn.MarshalNetwork(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(c) {
+		t.Fatal("round trip changed the canonical bytes")
+	}
+
+	if _, err := vnn.UnmarshalNetwork([]byte("{")); err == nil {
+		t.Fatal("truncated JSON accepted")
+	}
+	// Structurally broken (bias length mismatch) must fail validation.
+	if _, err := vnn.UnmarshalNetwork([]byte(
+		`{"name":"bad","layers":[{"w":[[1,2]],"b":[0,0],"act":1}]}`)); err == nil {
+		t.Fatal("invalid network accepted")
+	}
+}
+
+// TestFingerprintSensitivity is the cache-keying contract: identical
+// workloads hash identically, and ANY perturbation of a weight, a bias,
+// the region, or a compile-relevant option changes the hash.
+func TestFingerprintSensitivity(t *testing.T) {
+	base := func() (*vnn.Network, *vnn.Region) {
+		return core.NewPredictorNet(2, 6, 2, 3).Net, vnn.LeftOccupiedRegion()
+	}
+	net, region := base()
+	opts := vnn.Options{Tighten: true}
+	fp, err := vnn.Fingerprint(net, region, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Identical workload, separately constructed: identical hash.
+	net2, region2 := base()
+	fp2, err := vnn.Fingerprint(net2, region2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp != fp2 {
+		t.Fatalf("identical workloads hash differently:\n%s\n%s", fp, fp2)
+	}
+
+	seen := map[string]string{fp: "base"}
+	check := func(label string, n *vnn.Network, r *vnn.Region, o vnn.Options) {
+		t.Helper()
+		got, err := vnn.Fingerprint(n, r, o)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if prev, dup := seen[got]; dup {
+			t.Fatalf("%s collides with %s: %s", label, prev, got)
+		}
+		seen[got] = label
+	}
+
+	// One-ulp weight perturbation.
+	n, r := base()
+	n.Layers[0].W[3][2] = math.Nextafter(n.Layers[0].W[3][2], math.Inf(1))
+	check("weight ulp", n, r, opts)
+
+	// Bias perturbation.
+	n, r = base()
+	n.Layers[1].B[0] += 1e-12
+	check("bias", n, r, opts)
+
+	// Region box perturbation.
+	n, r = base()
+	r.Box[4].Hi = math.Nextafter(r.Box[4].Hi, 2)
+	check("region box", n, r, opts)
+
+	// Added linear constraint.
+	n, r = base()
+	r.Linear = append(r.Linear, vnn.LinearConstraint{
+		Coeffs: map[int]float64{0: 1, 1: 1}, Sense: lp.LE, RHS: 1.5,
+	})
+	check("linear constraint", n, r, opts)
+
+	// Same constraint, different RHS.
+	n, r = base()
+	r.Linear = append(r.Linear, vnn.LinearConstraint{
+		Coeffs: map[int]float64{0: 1, 1: 1}, Sense: lp.LE, RHS: 1.25,
+	})
+	check("linear constraint rhs", n, r, opts)
+
+	// Compile-relevant option toggled.
+	n, r = base()
+	check("tighten off", n, r, vnn.Options{Tighten: false})
+
+	// Names are metadata, not content: renaming must NOT change the hash.
+	n, r = base()
+	n.Name = "renamed"
+	n.OutputNames[0] = "other"
+	got, err := vnn.Fingerprint(n, r, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != fp {
+		t.Fatal("renaming the network changed the fingerprint")
+	}
+	// Query-time options are not part of the compiled artifact either.
+	n, r = base()
+	got, err = vnn.Fingerprint(n, r, vnn.Options{Tighten: true, Workers: 7, Parallel: true, MaxNodes: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != fp {
+		t.Fatal("query-time options changed the fingerprint")
+	}
+}
+
+// TestFingerprintValidates rejects malformed workloads instead of hashing
+// garbage.
+func TestFingerprintValidates(t *testing.T) {
+	pred := core.NewPredictorNet(1, 4, 1, 1)
+	if _, err := vnn.Fingerprint(pred.Net, &vnn.Region{Box: []vnn.Interval{{Lo: 0, Hi: 1}}}, vnn.Options{}); err == nil {
+		t.Fatal("region/network dimension mismatch accepted")
+	}
+}

@@ -147,6 +147,16 @@ func (cn *CompiledNetwork) OutputBounds() []Interval { return cn.c.OutputBounds(
 // CompileTime reports the wall-clock cost of the one-time analysis.
 func (cn *CompiledNetwork) CompileTime() time.Duration { return cn.c.CompileTime }
 
+// WithOptions returns a view of the compiled network whose queries run
+// under opts. The expensive compiled state is shared, not copied —
+// compile-time effects of the original options (tightened bounds) are
+// whatever Compile produced — so one cached compilation can serve callers
+// that want different worker budgets or progress sinks. This is how the
+// verification service attaches per-request options to a cache hit.
+func (cn *CompiledNetwork) WithOptions(opts Options) *CompiledNetwork {
+	return &CompiledNetwork{c: cn.c, opts: opts}
+}
+
 // verifyOptions maps the public options onto the internal engine's,
 // wiring the progress stream to a property index. Under Parallel a single
 // property runs several MILP coordinators concurrently, so the public

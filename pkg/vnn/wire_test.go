@@ -1,0 +1,159 @@
+package vnn_test
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/pkg/vnn"
+)
+
+// TestReportEncoding pins the shared wire schema on the hand-made
+// |x0-x1| network: outcomes as strings, bit-exact finite values, and
+// non-finite bounds encoded by omission.
+func TestReportEncoding(t *testing.T) {
+	ctx := context.Background()
+	cn, err := vnn.Compile(ctx, absNet(t), unitSquare(), vnn.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := vnn.Verify(ctx, cn,
+		vnn.MaxOutput(0),   // proved, value 1
+		vnn.AtMost(0, 2.0), // proved with no witness: no value field
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := vnn.NewReport(cn.Net(), results)
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back vnn.Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Worst != "proved" || back.Network != "absdiff" || len(back.Results) != 2 {
+		t.Fatalf("report round trip: %+v", back)
+	}
+	r0 := back.Results[0]
+	if r0.Outcome != "proved" || !r0.Exact || r0.Property == "" {
+		t.Fatalf("max result: %+v", r0)
+	}
+	if r0.Value == nil || *r0.Value != results[0].Value {
+		t.Fatalf("value did not survive JSON bit-exactly: %v vs %v", r0.Value, results[0].Value)
+	}
+	if r0.UpperBound == nil || *r0.UpperBound != results[0].UpperBound {
+		t.Fatalf("upper bound mismatch: %v", r0.UpperBound)
+	}
+	if len(r0.Witness) != 2 {
+		t.Fatalf("witness lost: %v", r0.Witness)
+	}
+	r1 := back.Results[1]
+	if r1.Outcome != "proved" {
+		t.Fatalf("prove result: %+v", r1)
+	}
+	// The prove query has LowerBound = -Inf and no witness: both must be
+	// absent rather than mangled.
+	if r1.LowerBound != nil || r1.Value != nil {
+		t.Fatalf("non-finite fields not omitted: %+v", r1)
+	}
+	if r1.Stats.HiddenNeurons == 0 {
+		t.Fatal("stats lost in translation")
+	}
+}
+
+// TestPropertySpecs pins the wire->Property constructors, including error
+// cases a service must reject rather than run.
+func TestPropertySpecs(t *testing.T) {
+	one := 1
+	zero := 0
+	thr := 0.5
+	good := []vnn.PropertySpec{
+		{Kind: "max", Outputs: []int{0}},
+		{Kind: "max", Output: &zero},
+		{Kind: "min", Output: &zero},
+		{Kind: "max_linear", Coeffs: map[string]float64{"0": 2}},
+		{Kind: "at_most", Output: &zero, Threshold: &thr},
+		{Kind: "linear_at_most", Coeffs: map[string]float64{"0": 1}, Threshold: &thr},
+		{Kind: "resilience", X0: []float64{0.5, 0.5}, Output: &zero, Threshold: &thr},
+	}
+	for i, spec := range good {
+		if _, err := spec.Property(); err != nil {
+			t.Fatalf("spec %d (%s): %v", i, spec.Kind, err)
+		}
+	}
+	bad := []vnn.PropertySpec{
+		{},
+		{Kind: "nonsense"},
+		{Kind: "max"},
+		{Kind: "min"},
+		{Kind: "at_most", Output: &one},
+		{Kind: "linear_at_most", Threshold: &thr},
+		{Kind: "max_linear", Coeffs: map[string]float64{"x": 1}},
+		{Kind: "resilience", Output: &one, Threshold: &thr},
+	}
+	for i, spec := range bad {
+		if _, err := spec.Property(); err == nil {
+			t.Fatalf("bad spec %d (%q) accepted", i, spec.Kind)
+		}
+	}
+
+	// The spec answers the same question as the hand-built property.
+	ctx := context.Background()
+	cn, err := vnn.Compile(ctx, absNet(t), unitSquare(), vnn.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := vnn.PropertySpec{Kind: "max", Outputs: []int{0}}
+	p, err := spec.Property()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := vnn.VerifyOne(ctx, cn, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Value-1) > 1e-7 {
+		t.Fatalf("spec-built property answered %g, want 1", res.Value)
+	}
+}
+
+// TestRegionSpecs pins the wire->Region constructors.
+func TestRegionSpecs(t *testing.T) {
+	named := vnn.RegionSpec{Name: "left_occupied"}
+	r, err := named.Region()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := vnn.LeftOccupiedRegion()
+	if len(r.Box) != len(want.Box) || r.Box[0] != want.Box[0] {
+		t.Fatalf("named region differs: %+v", r.Box[:3])
+	}
+
+	explicit := vnn.RegionSpec{
+		Box: [][2]float64{{0, 1}, {0, 1}},
+		Linear: []vnn.LinearConstraintSpec{
+			{Coeffs: map[string]float64{"0": 1, "1": 1}, Sense: "<=", RHS: 1.5},
+		},
+	}
+	r, err = explicit.Region()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Box) != 2 || len(r.Linear) != 1 || r.Linear[0].RHS != 1.5 {
+		t.Fatalf("explicit region: %+v", r)
+	}
+
+	for i, bad := range []vnn.RegionSpec{
+		{},
+		{Name: "atlantis"},
+		{Name: "left_occupied", Box: [][2]float64{{0, 1}}},
+		{Box: [][2]float64{{0, 1}}, Linear: []vnn.LinearConstraintSpec{{Coeffs: map[string]float64{"0": 1}, Sense: "<>", RHS: 0}}},
+	} {
+		if _, err := bad.Region(); err == nil {
+			t.Fatalf("bad region spec %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package vnnserver
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"repro/pkg/vnn"
+)
+
+// defaultCacheEntries is the compile-cache capacity when the config
+// leaves it zero. Compiled networks are a few MB for the paper's
+// predictors; 64 of them fit comfortably while covering many retrain
+// iterations of several networks × regions × option sets.
+const defaultCacheEntries = 64
+
+// Cache is the fingerprint-keyed LRU cache of compiled networks with
+// singleflight semantics: N concurrent requests for the same fingerprint
+// trigger exactly one vnn.Compile — the first requester compiles, the
+// rest wait on the same entry and share the resulting CompiledNetwork
+// (which is immutable and safe for concurrent queries). Failed compiles
+// are not cached; the next request retries.
+//
+// Eviction is strict LRU over completed entries. An entry still being
+// compiled is never evicted (it is by construction near the front — just
+// inserted or just hit), so a capacity-1 cache still deduplicates a burst
+// of identical requests.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*list.Element
+	order    *list.List // front = most recently used
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+// cacheEntry is one cached (or in-flight) compilation.
+type cacheEntry struct {
+	key   string
+	ready chan struct{} // closed once cn/err are set
+	cn    *vnn.CompiledNetwork
+	err   error
+}
+
+// NewCache builds a cache holding at most capacity compiled networks
+// (<= 0 means defaultCacheEntries).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = defaultCacheEntries
+	}
+	return &Cache{
+		capacity: capacity,
+		entries:  make(map[string]*list.Element),
+		order:    list.New(),
+	}
+}
+
+// GetOrCompile returns the compiled network cached under key, compiling
+// it via compile on a miss. The bool reports whether the call was a cache
+// hit (true for every waiter that joined an in-flight compile — the
+// compile they did NOT perform is exactly the point). ctx bounds only
+// this caller's wait: a waiter whose context fires stops waiting, but the
+// in-flight compile continues for everyone else — the caller owning the
+// compile runs it to completion under whatever context compile itself
+// uses (the server passes its lifetime context, so only drain interrupts
+// a shared compile, never one impatient client).
+func (c *Cache) GetOrCompile(ctx context.Context, key string, compile func() (*vnn.CompiledNetwork, error)) (*vnn.CompiledNetwork, bool, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*cacheEntry)
+		c.order.MoveToFront(el)
+		c.hits.Add(1)
+		xCacheHits.Add(1)
+		c.mu.Unlock()
+		select {
+		case <-e.ready:
+			return e.cn, true, e.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	e := &cacheEntry{key: key, ready: make(chan struct{})}
+	el := c.order.PushFront(e)
+	c.entries[key] = el
+	c.misses.Add(1)
+	xCacheMisses.Add(1)
+	c.evictLocked()
+	c.mu.Unlock()
+
+	e.cn, e.err = compile()
+	close(e.ready)
+	if e.err != nil {
+		// Do not cache failures: drop the entry (unless it was already
+		// evicted or replaced) so the next request retries.
+		c.mu.Lock()
+		if cur, ok := c.entries[key]; ok && cur == el {
+			c.order.Remove(el)
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+	}
+	return e.cn, false, e.err
+}
+
+// evictLocked drops least-recently-used completed entries until the cache
+// fits its capacity. Callers hold c.mu.
+func (c *Cache) evictLocked() {
+	for el := c.order.Back(); el != nil && c.order.Len() > c.capacity; {
+		prev := el.Prev()
+		e := el.Value.(*cacheEntry)
+		select {
+		case <-e.ready:
+			c.order.Remove(el)
+			delete(c.entries, e.key)
+			c.evictions.Add(1)
+			xCacheEvictions.Add(1)
+		default:
+			// Still compiling: skip. See the type comment.
+		}
+		el = prev
+	}
+}
+
+// Contains reports whether key is cached, without touching LRU order.
+func (c *Cache) Contains(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[key]
+	return ok
+}
+
+// Len returns the number of cached (including in-flight) entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Size      int   `json:"size"`
+	Capacity  int   `json:"capacity"`
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Size:      c.Len(),
+		Capacity:  c.capacity,
+	}
+}

@@ -1,0 +1,199 @@
+package vnnserver_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/verify"
+	"repro/pkg/vnn"
+	"repro/pkg/vnnserver"
+)
+
+// fakeCompile returns a distinct (empty) compiled-network pointer; cache
+// mechanics tests don't need a real compilation.
+func fakeCompile() (*vnn.CompiledNetwork, error) {
+	return &vnn.CompiledNetwork{}, nil
+}
+
+// TestCacheLRUEvictionOrder pins strict LRU semantics: touching an entry
+// protects it, the least recently used one goes first.
+func TestCacheLRUEvictionOrder(t *testing.T) {
+	ctx := context.Background()
+	c := vnnserver.NewCache(2)
+	mustGet := func(key string) bool {
+		t.Helper()
+		_, hit, err := c.GetOrCompile(ctx, key, fakeCompile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hit
+	}
+
+	if hit := mustGet("A"); hit {
+		t.Fatal("first A was a hit")
+	}
+	mustGet("B")
+	if hit := mustGet("A"); !hit {
+		t.Fatal("second A was not a hit")
+	}
+	mustGet("C") // evicts B: A was touched more recently
+
+	if !c.Contains("A") || !c.Contains("C") {
+		t.Fatal("A and C should have survived")
+	}
+	if c.Contains("B") {
+		t.Fatal("B should have been evicted (LRU)")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Size != 2 || st.Hits != 1 || st.Misses != 3 {
+		t.Fatalf("stats %+v, want 1 eviction, size 2, 1 hit, 3 misses", st)
+	}
+
+	// B misses again after eviction.
+	if hit := mustGet("B"); hit {
+		t.Fatal("evicted B reported a hit")
+	}
+}
+
+// TestCacheSingleflight64 is the satellite contract: 64 goroutines
+// requesting the same fingerprint perform EXACTLY one compile —
+// established not by the cache's own accounting alone but by the
+// process-wide EncodePasses/TightenPasses instrumentation counters, which
+// must advance by precisely one compilation's worth of passes across the
+// whole stampede.
+func TestCacheSingleflight64(t *testing.T) {
+	pred := core.NewPredictorNet(1, 10, 1, 1)
+	region := vnn.LeftOccupiedRegion()
+	opts := vnn.Options{Tighten: true, Workers: 1}
+	fp, err := vnn.Fingerprint(pred.Net, region, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: the passes one solo compile performs.
+	encBefore, tightBefore := verify.EncodePasses(), verify.TightenPasses()
+	if _, err := vnn.Compile(context.Background(), pred.Net, region, opts); err != nil {
+		t.Fatal(err)
+	}
+	encPerCompile := verify.EncodePasses() - encBefore
+	tightPerCompile := verify.TightenPasses() - tightBefore
+	if encPerCompile == 0 || tightPerCompile != 1 {
+		t.Fatalf("reference compile: %d encode, %d tighten passes", encPerCompile, tightPerCompile)
+	}
+
+	c := vnnserver.NewCache(4)
+	encBefore, tightBefore = verify.EncodePasses(), verify.TightenPasses()
+
+	const clients = 64
+	var wg sync.WaitGroup
+	cns := make([]*vnn.CompiledNetwork, clients)
+	hits := make([]bool, clients)
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			cns[slot], hits[slot], errs[slot] = c.GetOrCompile(context.Background(), fp,
+				func() (*vnn.CompiledNetwork, error) {
+					return vnn.Compile(context.Background(), pred.Net, region, opts)
+				})
+		}(i)
+	}
+	wg.Wait()
+
+	if d := verify.EncodePasses() - encBefore; d != encPerCompile {
+		t.Fatalf("64 concurrent requests performed %d encode passes, want %d (one compile)", d, encPerCompile)
+	}
+	if d := verify.TightenPasses() - tightBefore; d != tightPerCompile {
+		t.Fatalf("64 concurrent requests performed %d tighten passes, want %d (one compile)", d, tightPerCompile)
+	}
+	misses := 0
+	for i := 0; i < clients; i++ {
+		if errs[i] != nil {
+			t.Fatalf("client %d: %v", i, errs[i])
+		}
+		if cns[i] == nil || cns[i] != cns[0] {
+			t.Fatalf("client %d got a different compiled network", i)
+		}
+		if !hits[i] {
+			misses++
+		}
+	}
+	if misses != 1 {
+		t.Fatalf("%d cache misses across the stampede, want exactly 1", misses)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != clients-1 {
+		t.Fatalf("cache stats %+v, want 1 miss / %d hits", st, clients-1)
+	}
+}
+
+// TestCacheErrorNotCached pins that failed compiles are retried, not
+// poisoned into the cache.
+func TestCacheErrorNotCached(t *testing.T) {
+	ctx := context.Background()
+	c := vnnserver.NewCache(4)
+	boom := errors.New("boom")
+	calls := 0
+	compile := func() (*vnn.CompiledNetwork, error) {
+		calls++
+		if calls == 1 {
+			return nil, boom
+		}
+		return fakeCompile()
+	}
+	if _, _, err := c.GetOrCompile(ctx, "K", compile); !errors.Is(err, boom) {
+		t.Fatalf("first call err = %v, want boom", err)
+	}
+	if c.Contains("K") {
+		t.Fatal("failed compile was cached")
+	}
+	cn, hit, err := c.GetOrCompile(ctx, "K", compile)
+	if err != nil || hit || cn == nil {
+		t.Fatalf("retry: cn=%v hit=%v err=%v", cn, hit, err)
+	}
+	if calls != 2 {
+		t.Fatalf("compile ran %d times, want 2", calls)
+	}
+}
+
+// TestCacheWaiterContext pins that a waiter's dead context stops its wait
+// without killing the in-flight compile for everyone else.
+func TestCacheWaiterContext(t *testing.T) {
+	c := vnnserver.NewCache(4)
+	gate := make(chan struct{})
+	started := make(chan struct{})
+
+	ownerDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.GetOrCompile(context.Background(), "K", func() (*vnn.CompiledNetwork, error) {
+			close(started)
+			<-gate
+			return fakeCompile()
+		})
+		ownerDone <- err
+	}()
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := c.GetOrCompile(ctx, "K", fakeCompile); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter err = %v", err)
+	}
+
+	close(gate)
+	if err := <-ownerDone; err != nil {
+		t.Fatalf("owner: %v", err)
+	}
+	// The entry completed and is served from cache afterwards.
+	cn, hit, err := c.GetOrCompile(context.Background(), "K", func() (*vnn.CompiledNetwork, error) {
+		return nil, fmt.Errorf("must not recompile")
+	})
+	if err != nil || !hit || cn == nil {
+		t.Fatalf("post-stampede get: cn=%v hit=%v err=%v", cn, hit, err)
+	}
+}

@@ -1,0 +1,147 @@
+package vnnserver
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/pkg/vnn"
+)
+
+// maxReplayEvents bounds the per-job progress buffer replayed to late
+// event subscribers; older events are dropped (progress events are
+// monotone snapshots, so the latest ones carry the state).
+const maxReplayEvents = 256
+
+// maxRetainedJobs bounds how many finished jobs the registry remembers
+// for result/event retrieval before the oldest are forgotten.
+const maxRetainedJobs = 256
+
+// job is one verification query's lifecycle: progress events buffered for
+// replay and fanned out to live subscribers, then a terminal response.
+type job struct {
+	id          string
+	fingerprint string
+	created     time.Time
+
+	mu      sync.Mutex
+	events  []vnn.Event
+	dropped int
+	subs    map[chan vnn.Event]struct{}
+
+	done chan struct{} // closed by finish
+	resp *VerifyResponse
+	err  error
+}
+
+// publish buffers one progress event and forwards it to every live
+// subscriber without blocking (a slow subscriber skips events rather than
+// stalling the solver's progress callback).
+func (j *job) publish(ev vnn.Event) {
+	j.mu.Lock()
+	if len(j.events) >= maxReplayEvents {
+		j.events = j.events[1:]
+		j.dropped++
+	}
+	j.events = append(j.events, ev)
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+	j.mu.Unlock()
+}
+
+// subscribe returns the buffered events so far plus a channel of live
+// ones; the returned cancel detaches the subscription.
+func (j *job) subscribe() (replay []vnn.Event, live chan vnn.Event, cancel func()) {
+	ch := make(chan vnn.Event, 64)
+	j.mu.Lock()
+	replay = append([]vnn.Event(nil), j.events...)
+	j.subs[ch] = struct{}{}
+	j.mu.Unlock()
+	return replay, ch, func() {
+		j.mu.Lock()
+		delete(j.subs, ch)
+		j.mu.Unlock()
+	}
+}
+
+// finish records the terminal answer and wakes everyone waiting on done.
+func (j *job) finish(resp *VerifyResponse, err error) {
+	j.mu.Lock()
+	j.resp, j.err = resp, err
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// result returns the terminal answer; valid only after done is closed.
+func (j *job) result() (*VerifyResponse, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.resp, j.err
+}
+
+// finished reports whether the job has a terminal answer.
+func (j *job) finished() bool {
+	select {
+	case <-j.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// registry tracks jobs by id, retiring the oldest finished ones once more
+// than maxRetainedJobs have accumulated.
+type registry struct {
+	mu    sync.Mutex
+	jobs  map[string]*job
+	order []string // creation order, for pruning
+	seq   int64
+}
+
+func newRegistry() *registry {
+	return &registry{jobs: make(map[string]*job)}
+}
+
+// create registers a fresh job for a query with the given fingerprint.
+func (r *registry) create(fingerprint string) *job {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	j := &job{
+		id:          fmt.Sprintf("q%08d", r.seq),
+		fingerprint: fingerprint,
+		created:     time.Now(),
+		subs:        make(map[chan vnn.Event]struct{}),
+		done:        make(chan struct{}),
+	}
+	r.jobs[j.id] = j
+	r.order = append(r.order, j.id)
+	r.pruneLocked()
+	return j
+}
+
+// get returns the job with the given id, or nil.
+func (r *registry) get(id string) *job {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.jobs[id]
+}
+
+// pruneLocked forgets the oldest finished jobs beyond the retention cap.
+// Callers hold r.mu.
+func (r *registry) pruneLocked() {
+	for i := 0; len(r.jobs) > maxRetainedJobs && i < len(r.order); {
+		id := r.order[i]
+		j, ok := r.jobs[id]
+		if ok && !j.finished() {
+			i++ // still running: keep, try the next-oldest
+			continue
+		}
+		delete(r.jobs, id)
+		r.order = append(r.order[:i], r.order[i+1:]...)
+	}
+}

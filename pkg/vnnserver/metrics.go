@@ -1,0 +1,57 @@
+package vnnserver
+
+import (
+	"expvar"
+
+	"repro/internal/verify"
+)
+
+// Process-wide expvar counters, published once under the vnnd.*
+// namespace. Like internal/verify's EncodePasses/TightenPasses they
+// aggregate across every Server in the process, so they are visible both
+// through each server's /metrics snapshot and through the standard
+// /debug/vars endpoint wherever the caller mounts expvar.Handler().
+var (
+	xCacheHits      = expvar.NewInt("vnnd.cache.hits")
+	xCacheMisses    = expvar.NewInt("vnnd.cache.misses")
+	xCacheEvictions = expvar.NewInt("vnnd.cache.evictions")
+	xQueries        = expvar.NewInt("vnnd.queries")
+	xFalsifications = expvar.NewInt("vnnd.falsifications")
+	xRejected       = expvar.NewInt("vnnd.rejected")
+	xNodes          = expvar.NewInt("vnnd.nodes")
+	xLPPivots       = expvar.NewInt("vnnd.lp_pivots")
+)
+
+// Metrics is the /metrics snapshot: cache effectiveness, admission state,
+// and cumulative solver effort. EncodePasses/TightenPasses are the
+// process-wide instrumentation counters from internal/verify — the ground
+// truth that cached compilations are actually reused (cache hits add
+// zero passes).
+type Metrics struct {
+	UptimeMS       float64        `json:"uptime_ms"`
+	Draining       bool           `json:"draining"`
+	Cache          CacheStats     `json:"cache"`
+	Scheduler      SchedulerStats `json:"scheduler"`
+	Queries        int64          `json:"queries"`
+	Falsifications int64          `json:"falsifications"`
+	Nodes          int64          `json:"nodes"`
+	LPPivots       int64          `json:"lp_pivots"`
+	EncodePasses   int64          `json:"encode_passes"`
+	TightenPasses  int64          `json:"tighten_passes"`
+}
+
+// Metrics snapshots the server's observable state.
+func (s *Server) Metrics() Metrics {
+	return Metrics{
+		UptimeMS:       msSince(s.start),
+		Draining:       s.draining.Load(),
+		Cache:          s.cache.Stats(),
+		Scheduler:      s.sched.Stats(),
+		Queries:        s.queries.Load(),
+		Falsifications: s.falsifications.Load(),
+		Nodes:          s.nodes.Load(),
+		LPPivots:       s.pivots.Load(),
+		EncodePasses:   verify.EncodePasses(),
+		TightenPasses:  verify.TightenPasses(),
+	}
+}

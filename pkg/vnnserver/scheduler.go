@@ -1,0 +1,145 @@
+package vnnserver
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+)
+
+// ErrQueueFull is returned by Scheduler.Run when the bounded admission
+// queue is full — the backpressure signal the HTTP layer maps to 429.
+var ErrQueueFull = errors.New("vnnserver: admission queue full")
+
+// defaultQueueDepth is the number of queries allowed to wait behind the
+// running ones when the config leaves it zero.
+const defaultQueueDepth = 256
+
+// Scheduler admits queries under a global worker budget. At most
+// maxConcurrent queries run at once; up to queueDepth more wait in FIFO
+// order; anything beyond that is rejected immediately with ErrQueueFull
+// so overload surfaces as fast backpressure instead of unbounded latency.
+//
+// Each admitted query receives a fair share of the core budget:
+// GOMAXPROCS divided by the number of queries in flight at its admission
+// (floored at 1). A lone query gets the whole machine — the same worker
+// count the CLI would use — while a loaded server divides cores instead
+// of oversubscribing them with maxConcurrent × GOMAXPROCS branch-and-
+// bound workers. The share is advisory: requests pinning an explicit
+// worker count bypass it (determinism across runs needs a fixed count;
+// see DESIGN.md).
+type Scheduler struct {
+	queue chan struct{} // admission tokens: maxConcurrent + queueDepth
+	slots chan struct{} // run tokens: maxConcurrent
+	cores int
+
+	active    atomic.Int64
+	queued    atomic.Int64
+	rejected  atomic.Int64
+	completed atomic.Int64
+}
+
+// NewScheduler builds a scheduler running at most maxConcurrent queries
+// (<= 0 means GOMAXPROCS) with queueDepth waiting slots (0 means
+// defaultQueueDepth; negative means no queue).
+func NewScheduler(maxConcurrent, queueDepth int) *Scheduler {
+	if maxConcurrent <= 0 {
+		maxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case queueDepth == 0:
+		queueDepth = defaultQueueDepth
+	case queueDepth < 0:
+		queueDepth = 0
+	}
+	return &Scheduler{
+		queue: make(chan struct{}, maxConcurrent+queueDepth),
+		slots: make(chan struct{}, maxConcurrent),
+		cores: runtime.GOMAXPROCS(0),
+	}
+}
+
+// Admit reserves an admission token without blocking, returning
+// ErrQueueFull when the queue is saturated. Every successful Admit must
+// be balanced by exactly one RunAdmitted call, which releases the token.
+// Splitting admission from execution lets the HTTP layer reject an
+// overloaded async submission with 429 up front instead of accepting a
+// job doomed to bounce.
+func (s *Scheduler) Admit() error {
+	select {
+	case s.queue <- struct{}{}:
+		return nil
+	default:
+		s.rejected.Add(1)
+		xRejected.Add(1)
+		return ErrQueueFull
+	}
+}
+
+// Run admits fn under the budget and executes it on the calling
+// goroutine. It returns ErrQueueFull when the queue is saturated, the
+// context error if ctx fires while waiting for a run slot, and otherwise
+// whatever fn returns. fn receives the derived fair-share worker count.
+func (s *Scheduler) Run(ctx context.Context, fn func(ctx context.Context, workers int) error) error {
+	if err := s.Admit(); err != nil {
+		return err
+	}
+	return s.RunAdmitted(ctx, fn)
+}
+
+// RunAdmitted executes fn for a query that already holds an admission
+// token (see Admit), waiting for a run slot and releasing the token when
+// done.
+func (s *Scheduler) RunAdmitted(ctx context.Context, fn func(ctx context.Context, workers int) error) error {
+	defer func() { <-s.queue }()
+
+	s.queued.Add(1)
+	select {
+	case s.slots <- struct{}{}:
+		s.queued.Add(-1)
+	case <-ctx.Done():
+		s.queued.Add(-1)
+		return ctx.Err()
+	}
+	inFlight := s.active.Add(1)
+	defer func() {
+		s.active.Add(-1)
+		s.completed.Add(1)
+		<-s.slots
+	}()
+
+	workers := s.cores / int(inFlight)
+	if workers < 1 {
+		workers = 1
+	}
+	return fn(ctx, workers)
+}
+
+// SchedulerStats is a point-in-time snapshot of admission state.
+type SchedulerStats struct {
+	// Admitted counts outstanding admission tokens: queued plus running
+	// plus queries between Admit and RunAdmitted. Zero means truly idle —
+	// the signal Drain's grace loop waits on.
+	Admitted      int64 `json:"admitted"`
+	Active        int64 `json:"active"`
+	Queued        int64 `json:"queued"`
+	Rejected      int64 `json:"rejected"`
+	Completed     int64 `json:"completed"`
+	MaxConcurrent int   `json:"max_concurrent"`
+	QueueDepth    int   `json:"queue_depth"`
+	Cores         int   `json:"cores"`
+}
+
+// Stats snapshots the scheduler counters.
+func (s *Scheduler) Stats() SchedulerStats {
+	return SchedulerStats{
+		Admitted:      int64(len(s.queue)),
+		Active:        s.active.Load(),
+		Queued:        s.queued.Load(),
+		Rejected:      s.rejected.Load(),
+		Completed:     s.completed.Load(),
+		MaxConcurrent: cap(s.slots),
+		QueueDepth:    cap(s.queue) - cap(s.slots),
+		Cores:         s.cores,
+	}
+}

@@ -1,0 +1,644 @@
+// Package vnnserver is the verification service layer above pkg/vnn: a
+// long-running HTTP server (see cmd/vnnd) through which a fleet of
+// clients shares one warm verification engine.
+//
+// Three pieces turn the library API into a service:
+//
+//   - A fingerprint-keyed LRU compile cache with singleflight (Cache):
+//     vnn.Compile — the expensive, reusable part of every query — runs at
+//     most once per distinct (network, region, compile options) workload,
+//     no matter how many clients ask concurrently.
+//
+//   - An admission scheduler (Scheduler): a bounded FIFO queue with
+//     immediate backpressure when full, a cap on concurrently running
+//     queries, and fair-share division of GOMAXPROCS across whatever is
+//     in flight.
+//
+//   - A job registry streaming vnn.Event progress over SSE while a query
+//     runs, and retaining finished results for later retrieval.
+//
+// Every budget is a context: per-request deadlines, client disconnects
+// and server drain all reach the simplex pivot loops the same way, and an
+// interrupted query answers with its anytime Result (best witness plus
+// tightest proven bound at interruption) instead of an error.
+//
+// Endpoints:
+//
+//	POST /v1/verify             batch of properties over one network+region
+//	GET  /v1/verify/{id}        result of a (possibly async) query
+//	GET  /v1/verify/{id}/events SSE progress stream, terminated by the result
+//	POST /v1/falsify            PGD falsification pre-pass
+//	GET  /healthz               liveness and drain state
+//	GET  /metrics               JSON metrics snapshot (see Metrics)
+//	GET  /debug/vars            standard expvar dump (vnnd.* counters)
+package vnnserver
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/pkg/vnn"
+)
+
+// Config tunes a Server. The zero value serves with sane defaults.
+type Config struct {
+	// CacheEntries caps the compile cache (<= 0 means 64).
+	CacheEntries int
+	// MaxConcurrent caps queries running at once (<= 0 means GOMAXPROCS).
+	MaxConcurrent int
+	// QueueDepth caps queries waiting for a run slot (0 means 256,
+	// negative means reject as soon as every run slot is busy).
+	QueueDepth int
+	// DefaultTimeout applies to requests that set no timeout_ms of their
+	// own; 0 means no deadline.
+	DefaultTimeout time.Duration
+	// MaxBodyBytes caps request bodies (<= 0 means 32 MiB).
+	MaxBodyBytes int64
+}
+
+// Server is the verification service. Create with New, mount as an
+// http.Handler, and call Drain before process exit so in-flight queries
+// deliver their anytime results.
+type Server struct {
+	cfg   Config
+	cache *Cache
+	sched *Scheduler
+	jobs  *registry
+	mux   *http.ServeMux
+	start time.Time
+
+	// queryCtx parents every query; cancelQueries is the drain switch.
+	queryCtx      context.Context
+	cancelQueries context.CancelFunc
+	draining      atomic.Bool
+	// drainMu serializes admission against Drain: a request is either
+	// admitted (and then always waited for) or sees the draining flag —
+	// never admitted after Drain stopped waiting. It also keeps wg.Add
+	// strictly before Drain's wg.Wait.
+	drainMu sync.Mutex
+	wg      sync.WaitGroup // async (wait:false) queries in flight
+
+	queries        atomic.Int64
+	falsifications atomic.Int64
+	nodes          atomic.Int64
+	pivots         atomic.Int64
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 32 << 20
+	}
+	qctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:           cfg,
+		cache:         NewCache(cfg.CacheEntries),
+		sched:         NewScheduler(cfg.MaxConcurrent, cfg.QueueDepth),
+		jobs:          newRegistry(),
+		start:         time.Now(),
+		queryCtx:      qctx,
+		cancelQueries: cancel,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/verify", s.handleVerify)
+	mux.HandleFunc("GET /v1/verify/{id}", s.handleGetVerify)
+	mux.HandleFunc("GET /v1/verify/{id}/events", s.handleEvents)
+	mux.HandleFunc("POST /v1/falsify", s.handleFalsify)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Cache exposes the compile cache (read-mostly: stats and tests).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Drain moves the server into drain mode: new queries are rejected with
+// 503 while everything already admitted keeps running. Queries get grace
+// to finish on their own; whatever is still running afterwards is
+// interrupted through context cancellation, which makes each query
+// deliver its anytime Result (best witness and tightest proven bound at
+// the moment of interruption) through its normal response path — never a
+// dropped connection or a bare error. Drain returns once every async
+// query has finished; synchronous responses are written by their HTTP
+// handlers, which the caller's http.Server.Shutdown awaits (see
+// cmd/vnnd). Safe to call repeatedly.
+func (s *Server) Drain(grace time.Duration) {
+	s.drainMu.Lock()
+	s.draining.Store(true)
+	s.drainMu.Unlock()
+	if grace > 0 {
+		deadline := time.Now().Add(grace)
+		for time.Now().Before(deadline) {
+			// Admitted covers the whole admission-token lifetime, so a
+			// query between Admit and its first scheduler counter still
+			// gets its grace.
+			if s.sched.Stats().Admitted == 0 {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	s.cancelQueries()
+	s.wg.Wait()
+}
+
+// Draining reports whether Drain has been initiated.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// QueryOptions is the request-level slice of vnn.Options. Workers left at
+// 0 receives the scheduler's fair share; an explicit value is honored
+// as-is (fixed worker counts are what make answers bitwise reproducible
+// across runs and against the CLI).
+type QueryOptions struct {
+	Tighten  bool `json:"tighten,omitempty"`
+	Workers  int  `json:"workers,omitempty"`
+	Parallel bool `json:"parallel,omitempty"`
+	MaxNodes int  `json:"max_nodes,omitempty"`
+}
+
+// VerifyRequest is the POST /v1/verify body.
+type VerifyRequest struct {
+	// Network is the canonical network JSON (see vnn.MarshalNetwork).
+	Network json.RawMessage `json:"network"`
+	// Region selects a named case-study region or gives an explicit box.
+	Region vnn.RegionSpec `json:"region"`
+	// Properties is the batch to answer on the shared compilation.
+	Properties []vnn.PropertySpec `json:"properties"`
+	Options    QueryOptions       `json:"options"`
+	// TimeoutMS bounds the whole query including any compile it triggers;
+	// 0 falls back to the server's default. An expired budget yields
+	// anytime results, not an error.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Wait false turns the call asynchronous: the response is 202 with
+	// the job id for /v1/verify/{id} and its /events stream.
+	Wait *bool `json:"wait,omitempty"`
+}
+
+// VerifyResponse is the verify answer: the shared wire Report plus
+// service metadata. CompileMS is the build cost of the compiled artifact
+// the query used, whether or not this request paid it (CacheHit says).
+type VerifyResponse struct {
+	ID          string  `json:"id"`
+	Fingerprint string  `json:"fingerprint"`
+	CacheHit    bool    `json:"cache_hit"`
+	CompileMS   float64 `json:"compile_ms"`
+	vnn.Report
+}
+
+// AcceptedResponse acknowledges an async query.
+type AcceptedResponse struct {
+	ID          string `json:"id"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+	Status      string `json:"status"`
+}
+
+// FalsifyRequest is the POST /v1/falsify body.
+type FalsifyRequest struct {
+	Network  json.RawMessage `json:"network"`
+	Region   vnn.RegionSpec  `json:"region"`
+	Outputs  []int           `json:"outputs"`
+	Restarts int             `json:"restarts,omitempty"`
+	Steps    int             `json:"steps,omitempty"`
+	Seed     int64           `json:"seed,omitempty"`
+}
+
+// FalsifyResponse reports the strongest violating input found.
+type FalsifyResponse struct {
+	Value       float64   `json:"value"`
+	Best        []float64 `json:"best,omitempty"`
+	Output      int       `json:"output"`
+	Evaluations int       `json:"evaluations"`
+}
+
+// errorResponse is the JSON error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// preparedQuery is a parsed, validated verify request.
+type preparedQuery struct {
+	net         *vnn.Network
+	region      *vnn.Region
+	props       []vnn.Property
+	fingerprint string
+	compileOpts vnn.Options
+}
+
+// prepare parses the request into engine values and fingerprints the
+// compile workload.
+func (s *Server) prepare(req *VerifyRequest) (*preparedQuery, error) {
+	if len(req.Network) == 0 {
+		return nil, fmt.Errorf("request needs a network")
+	}
+	net, err := vnn.UnmarshalNetwork(req.Network)
+	if err != nil {
+		return nil, err
+	}
+	region, err := req.Region.Region()
+	if err != nil {
+		return nil, err
+	}
+	if len(req.Properties) == 0 {
+		return nil, fmt.Errorf("request needs at least one property")
+	}
+	props := make([]vnn.Property, len(req.Properties))
+	for i := range req.Properties {
+		if props[i], err = req.Properties[i].Property(); err != nil {
+			return nil, fmt.Errorf("property %d: %w", i, err)
+		}
+		if err := req.Properties[i].ValidateFor(net); err != nil {
+			return nil, fmt.Errorf("property %d: %w", i, err)
+		}
+	}
+	compileOpts := vnn.Options{Tighten: req.Options.Tighten, Workers: req.Options.Workers}
+	fp, err := vnn.Fingerprint(net, region, compileOpts)
+	if err != nil {
+		return nil, err
+	}
+	return &preparedQuery{
+		net:         net,
+		region:      region,
+		props:       props,
+		fingerprint: fp,
+		compileOpts: compileOpts,
+	}, nil
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var req VerifyRequest
+	if err := decodeJSON(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	q, err := s.prepare(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// Admission happens at submit time so overload surfaces as immediate
+	// backpressure for sync and async clients alike; runVerify releases
+	// the token. Held under drainMu so a request is never admitted after
+	// Drain stopped waiting (and wg.Add always precedes Drain's wg.Wait).
+	async := req.Wait != nil && !*req.Wait
+	s.drainMu.Lock()
+	if s.draining.Load() {
+		s.drainMu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	if err := s.sched.Admit(); err != nil {
+		s.drainMu.Unlock()
+		writeError(w, statusFor(err), err.Error())
+		return
+	}
+	if async {
+		s.wg.Add(1)
+	}
+	s.drainMu.Unlock()
+	jb := s.jobs.create(q.fingerprint)
+
+	if !async {
+		resp, err := s.runVerify(r.Context(), jb, q, &req)
+		if err != nil {
+			writeError(w, statusFor(err), err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	go func() {
+		defer s.wg.Done()
+		// Async queries outlive their HTTP request; only the per-request
+		// deadline and server drain bound them.
+		s.runVerify(s.queryCtx, jb, q, &req)
+	}()
+	writeJSON(w, http.StatusAccepted, AcceptedResponse{
+		ID: jb.id, Fingerprint: q.fingerprint, Status: "running",
+	})
+}
+
+// runVerify executes one prepared query under admission control and
+// records the outcome on its job. The compile, if this query has to
+// perform it, runs under the server's lifetime context rather than the
+// request's: a compile is shared work (other requests may be waiting on
+// the same fingerprint), so one impatient client must not abort it —
+// only server drain can.
+func (s *Server) runVerify(parent context.Context, jb *job, q *preparedQuery, req *VerifyRequest) (*VerifyResponse, error) {
+	timeout := time.Duration(req.TimeoutMS) * time.Millisecond
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	var qctx context.Context
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		qctx, cancel = context.WithTimeout(parent, timeout)
+	} else {
+		qctx, cancel = context.WithCancel(parent)
+	}
+	defer cancel()
+	stop := context.AfterFunc(s.queryCtx, cancel) // drain interrupts the query
+	defer stop()
+
+	var resp *VerifyResponse
+	err := s.sched.RunAdmitted(qctx, func(ctx context.Context, fairWorkers int) error {
+		opts := q.compileOpts
+		if opts.Workers == 0 {
+			opts.Workers = fairWorkers
+		}
+		cn, hit, err := s.cache.GetOrCompile(ctx, q.fingerprint, func() (*vnn.CompiledNetwork, error) {
+			return vnn.Compile(s.queryCtx, q.net, q.region, opts)
+		})
+		if err != nil {
+			return err
+		}
+		qopts := opts
+		qopts.Parallel = req.Options.Parallel
+		qopts.MaxNodes = req.Options.MaxNodes
+		qopts.Progress = jb.publish
+		results, err := vnn.Verify(ctx, cn.WithOptions(qopts), q.props...)
+		if err != nil {
+			return err
+		}
+		var nodes, pivots int64
+		for _, res := range results {
+			nodes += int64(res.Stats.Nodes)
+			pivots += int64(res.Stats.LPPivots)
+		}
+		s.nodes.Add(nodes)
+		s.pivots.Add(pivots)
+		xNodes.Add(nodes)
+		xLPPivots.Add(pivots)
+		resp = &VerifyResponse{
+			ID:          jb.id,
+			Fingerprint: q.fingerprint,
+			CacheHit:    hit,
+			CompileMS:   float64(cn.CompileTime().Microseconds()) / 1e3,
+			Report:      vnn.NewReport(q.net, results),
+		}
+		return nil
+	})
+	s.queries.Add(1)
+	xQueries.Add(1)
+	jb.finish(resp, err)
+	return resp, err
+}
+
+func (s *Server) handleGetVerify(w http.ResponseWriter, r *http.Request) {
+	jb := s.jobs.get(r.PathValue("id"))
+	if jb == nil {
+		writeError(w, http.StatusNotFound, "unknown query id")
+		return
+	}
+	if !jb.finished() {
+		writeJSON(w, http.StatusAccepted, AcceptedResponse{
+			ID: jb.id, Fingerprint: jb.fingerprint, Status: "running",
+		})
+		return
+	}
+	resp, err := jb.result()
+	if err != nil {
+		writeError(w, statusFor(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// progressEvent is the SSE wire form of one vnn.Event.
+type progressEvent struct {
+	Property  int      `json:"property"`
+	Nodes     int      `json:"nodes"`
+	Open      int      `json:"open"`
+	Incumbent *float64 `json:"incumbent,omitempty"`
+	Bound     float64  `json:"bound"`
+	ElapsedMS float64  `json:"elapsed_ms"`
+}
+
+func toProgressEvent(ev vnn.Event) progressEvent {
+	pe := progressEvent{
+		Property:  ev.Property,
+		Nodes:     ev.Nodes,
+		Open:      ev.Open,
+		Bound:     ev.Bound,
+		ElapsedMS: float64(ev.Elapsed.Microseconds()) / 1e3,
+	}
+	if ev.HasIncumbent {
+		inc := ev.Incumbent
+		pe.Incumbent = &inc
+	}
+	return pe
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	jb := s.jobs.get(r.PathValue("id"))
+	if jb == nil {
+		writeError(w, http.StatusNotFound, "unknown query id")
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "response writer cannot stream")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	replay, live, unsubscribe := jb.subscribe()
+	defer unsubscribe()
+
+	status := "running"
+	if jb.finished() {
+		status = "done"
+	}
+	writeSSE(w, "job", AcceptedResponse{ID: jb.id, Fingerprint: jb.fingerprint, Status: status})
+	for _, ev := range replay {
+		writeSSE(w, "progress", toProgressEvent(ev))
+	}
+	fl.Flush()
+
+	finish := func() {
+		resp, err := jb.result()
+		if err != nil {
+			writeSSE(w, "error", errorResponse{Error: err.Error()})
+		} else {
+			writeSSE(w, "result", resp)
+		}
+		fl.Flush()
+	}
+	for {
+		select {
+		case ev := <-live:
+			writeSSE(w, "progress", toProgressEvent(ev))
+			fl.Flush()
+		case <-jb.done:
+			// Flush any events that raced with completion, then close
+			// with the terminal result.
+			for {
+				select {
+				case ev := <-live:
+					writeSSE(w, "progress", toProgressEvent(ev))
+				default:
+					finish()
+					return
+				}
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleFalsify(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var req FalsifyRequest
+	if err := decodeJSON(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	net, err := vnn.UnmarshalNetwork(req.Network)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	region, err := req.Region.Region()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// Bound the work a single request can demand; the endpoint is a cheap
+	// pre-pass, not an open-ended compute API.
+	const maxRestarts, maxSteps = 1024, 10000
+	if req.Restarts < 0 || req.Restarts > maxRestarts || req.Steps < 0 || req.Steps > maxSteps {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("restarts must be in [0, %d] and steps in [0, %d]", maxRestarts, maxSteps))
+		return
+	}
+	for _, o := range req.Outputs {
+		if o < 0 || o >= net.OutputDim() {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("output %d of %d", o, net.OutputDim()))
+			return
+		}
+	}
+
+	qctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stop := context.AfterFunc(s.queryCtx, cancel)
+	defer stop()
+
+	var resp *FalsifyResponse
+	err = s.sched.Run(qctx, func(ctx context.Context, _ int) error {
+		fr, err := vnn.FalsifyCtx(ctx, net, region, req.Outputs, vnn.FalsifyOptions{
+			Restarts: req.Restarts,
+			Steps:    req.Steps,
+			Seed:     req.Seed,
+		})
+		if err != nil {
+			return err
+		}
+		resp = &FalsifyResponse{
+			Value:       fr.Value,
+			Best:        fr.Best,
+			Output:      fr.Output,
+			Evaluations: fr.Evaluations,
+		}
+		return nil
+	})
+	if err != nil {
+		writeError(w, statusFor(err), err.Error())
+		return
+	}
+	s.falsifications.Add(1)
+	xFalsifications.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    status,
+		"uptime_ms": msSince(s.start),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+// statusFor maps a run-stage error to its HTTP status: saturation to 429,
+// an expired budget that never got to run to 504, drain/disconnect to
+// 503, and anything else to 500 — by this point the request has passed
+// validation (prepare rejects malformed inputs with 400 directly), so a
+// failure here is the server's inability to answer, not the client's
+// fault.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// decodeJSON strictly decodes a bounded request body into v.
+func decodeJSON(w http.ResponseWriter, r *http.Request, maxBytes int64, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decode request: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}
+
+// writeSSE emits one server-sent event with a JSON payload.
+func writeSSE(w io.Writer, event string, payload any) {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+}
+
+func msSince(t time.Time) float64 {
+	return float64(time.Since(t).Microseconds()) / 1e3
+}
