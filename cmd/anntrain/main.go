@@ -14,9 +14,9 @@ import (
 	"math/rand"
 
 	"repro/internal/core"
-	"repro/internal/dataval"
 	"repro/internal/highway"
 	"repro/internal/train"
+	"repro/pkg/vnn"
 )
 
 func main() {
@@ -51,9 +51,9 @@ func main() {
 
 	// Data is specification: validate before training (Sec. II (C)).
 	rules := core.SafetyRules(1e-9)
-	report := dataval.Validate(data, rules)
+	report := vnn.ValidateData(data, rules)
 	fmt.Print(report)
-	clean, removed := dataval.Sanitize(data, rules)
+	clean, removed := vnn.SanitizeData(data, rules)
 	if removed > 0 {
 		fmt.Printf("sanitized: removed %d risky samples\n", removed)
 	}

@@ -1,19 +1,25 @@
 // Command falsify runs gradient-guided attacks (PGD with restarts) against
 // a trained motion predictor's safety property — the fast, incomplete
 // counterpart to cmd/annverify, driven through the same pkg/vnn query
-// surface. A found violation is a definitive counterexample; finding
-// nothing proves nothing (use annverify for proof).
+// surface and emitting the same wire Report (-json) the vnnd service
+// returns for a falsify-kind analysis. A found violation is a definitive
+// counterexample; finding nothing proves nothing (use annverify for
+// proof).
 //
 // Usage:
 //
 //	falsify -net i4x10.json                  # attack the left-lane property
 //	falsify -net i4x10.json -threshold 1.0   # report only if > 1 m/s found
+//	falsify -net i4x10.json -json            # machine-readable wire Report
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"repro/internal/highway"
 	"repro/pkg/vnn"
@@ -28,6 +34,7 @@ func main() {
 		restarts  = flag.Int("restarts", 16, "attack restarts per mixture component")
 		steps     = flag.Int("steps", 80, "PGD steps per restart")
 		seed      = flag.Int64("seed", 1, "random seed")
+		jsonOut   = flag.Bool("json", false, "emit the finding as the machine-readable wire Report (shared with the vnnd service)")
 	)
 	flag.Parse()
 	if *netPath == "" {
@@ -38,11 +45,23 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res, err := vnn.Falsify(net, vnn.LeftOccupiedRegion(), vnn.MuLatOutputs(k), vnn.FalsifyOptions{
+	// The attack is gradient-only: no compile, no MILP — that is the
+	// point of the pre-pass (and it works on activations the verifier
+	// cannot encode). The finding still speaks the shared wire schema.
+	res, err := vnn.FalsifyCtx(context.Background(), net, vnn.LeftOccupiedRegion(), vnn.MuLatOutputs(k), vnn.FalsifyOptions{
 		Restarts: *restarts, Steps: *steps, Seed: *seed,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *jsonOut {
+		finding := &vnn.Finding{Kind: vnn.KindFalsify, Falsification: res}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(vnn.NewAnalysisReport(net, []*vnn.Finding{finding})); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 	fmt.Printf("%s: strongest attack reached %.4f m/s after %d evaluations\n",
 		net.ArchString(), res.Value, res.Evaluations)

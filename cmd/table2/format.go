@@ -37,3 +37,17 @@ func proveRow(arch string, threshold float64, outcome vnn.Outcome, seconds float
 	return fmt.Sprintf("%-8s | prove lat vel never > %.0f m/s: %-8v | %.1fs\n",
 		arch, threshold, outcome, seconds)
 }
+
+// quantRow renders one bit-width rung of a quantization sweep: the
+// verified maximum on the quantized model and its drift from the float
+// baseline (the paper's concluding remark (ii), made measurable).
+func quantRow(arch string, pt *vnn.QuantPoint) string {
+	res := pt.Results[0]
+	label := fmt.Sprintf("%s-int%d", arch, pt.Bits)
+	if res.Exact {
+		return fmt.Sprintf("%-8s | %-28.6f | %.1fs  (weight err %.4f)\n",
+			label, res.Value, res.Stats.Elapsed.Seconds(), pt.Info.MaxWeightError)
+	}
+	return fmt.Sprintf("%-8s | n.a. (unable to find maximum) | time-out (best %.4f, bound %.4f)\n",
+		label, res.Value, res.UpperBound)
+}

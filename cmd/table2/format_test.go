@@ -41,6 +41,28 @@ func TestMaxRowGolden(t *testing.T) {
 	}
 }
 
+func TestQuantRowGolden(t *testing.T) {
+	pt := &vnn.QuantPoint{
+		Bits: 8,
+		Info: &vnn.QuantInfo{Bits: 8, MaxWeightError: 0.01234},
+		Results: []*vnn.Result{{
+			Exact: true,
+			Value: 1.234567891,
+			Stats: vnn.Stats{Elapsed: 1500 * time.Millisecond},
+		}},
+	}
+	want := "I4x10-int8 | 1.234568                     | 1.5s  (weight err 0.0123)\n"
+	if got := quantRow("I4x10", pt); got != want {
+		t.Fatalf("quant row drifted:\ngot  %q\nwant %q", got, want)
+	}
+
+	pt.Results[0] = &vnn.Result{Exact: false, Value: 3.1234567, UpperBound: 4.5678912}
+	want = "I4x10-int8 | n.a. (unable to find maximum) | time-out (best 3.1235, bound 4.5679)\n"
+	if got := quantRow("I4x10", pt); got != want {
+		t.Fatalf("quant timeout row drifted:\ngot  %q\nwant %q", got, want)
+	}
+}
+
 func TestProveRowGolden(t *testing.T) {
 	if got, want := proveRow("I4x60", 3.0, vnn.Proved, 12.34),
 		"I4x60    | prove lat vel never > 3 m/s: proved   | 12.3s\n"; got != want {

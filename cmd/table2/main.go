@@ -20,6 +20,8 @@
 //	table2                                 # scaled default sweep
 //	table2 -widths 10,20,25,40,50,60 -depth 4 -timeout 30m   # paper scale
 //	table2 -workers 1                      # sequential branch-and-bound
+//	table2 -quant 8,6,4                    # re-verify the largest network
+//	                                       # quantized at each bit-width
 package main
 
 import (
@@ -33,7 +35,6 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/dataval"
 	"repro/internal/highway"
 	"repro/internal/train"
 	"repro/pkg/vnn"
@@ -52,6 +53,7 @@ func main() {
 		proveThr  = flag.Float64("prove", 3.0, "bound to prove on the largest network (m/s)")
 		workers   = flag.Int("workers", 0, "branch-and-bound workers per MILP solve (0 = all cores, 1 = sequential)")
 		tighten   = flag.Bool("tighten", false, "LP-based bound tightening at compile time")
+		quantArg  = flag.String("quant", "", "comma-separated bit-widths: quantize the largest network, re-verify at each width (e.g. \"8,6,4\")")
 	)
 	flag.Parse()
 
@@ -72,7 +74,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	clean, _ := dataval.Sanitize(data, core.SafetyRules(1e-9))
+	clean, _ := vnn.SanitizeData(data, core.SafetyRules(1e-9))
 	fmt.Printf("dataset: %d validated samples\n\n", len(clean))
 	fmt.Print(headerLines())
 
@@ -80,6 +82,7 @@ func main() {
 	opts := vnn.Options{Parallel: true, Workers: *workers, Tighten: *tighten}
 	var lastCompiled *vnn.CompiledNetwork
 	var lastArch string
+	var lastMax *vnn.Result
 	for _, w := range widths {
 		pred := core.NewPredictorNet(*depth, w, *comps, *seed+int64(w))
 		trainer := &train.Trainer{
@@ -106,7 +109,7 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Print(maxRow(pred.Net.ArchString(), res))
-		lastCompiled, lastArch = cn, pred.Net.ArchString()
+		lastCompiled, lastArch, lastMax = cn, pred.Net.ArchString(), res
 	}
 
 	if lastCompiled != nil && *proveThr > 0 {
@@ -122,5 +125,35 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Print(proveRow(lastArch, *proveThr, vnn.Worst(results), time.Since(start).Seconds()))
+	}
+
+	// Optional quantization sweep over the largest network: the same
+	// max-query re-verified at every bit-width through the QuantSweep
+	// analysis (one recompile per width on the shared region).
+	if lastCompiled != nil && *quantArg != "" {
+		var bits []int
+		for _, tok := range strings.Split(*quantArg, ",") {
+			b, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || b < 2 || b > 16 {
+				log.Fatalf("bad bit-width %q (want integers in [2, 16])", tok)
+			}
+			bits = append(bits, b)
+		}
+		// The width loop just solved this exact max query on this exact
+		// compiled network — hand it to the sweep as the baseline so the
+		// most expensive solve is not repeated.
+		qctx, cancel := context.WithTimeout(ctx, *timeout)
+		finding, err := vnn.AnalyzeOne(qctx, lastCompiled, &vnn.QuantSweep{
+			Bits:       bits,
+			Properties: []vnn.Property{vnn.MaxOverOutputs(vnn.MuLatOutputs(*comps)...)},
+			Base:       []*vnn.Result{lastMax},
+		})
+		cancel()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := range finding.QuantSweep.Points {
+			fmt.Print(quantRow(lastArch, &finding.QuantSweep.Points[i]))
+		}
 	}
 }

@@ -44,6 +44,52 @@
 //
 // GET /v1/verify/{id} fetches the result after the fact.
 //
+// # The dependability portfolio: /v1/analyze
+//
+// Verification is one pillar of the paper's certification portfolio;
+// POST /v1/analyze serves them all over one compiled artifact. The body
+// names a batch of analyses; each returns a typed finding under
+// "analyses" in the same Report document. Structural coverage with a
+// seeded (reproducible) generator:
+//
+//	curl -s localhost:8419/v1/analyze -d '{
+//	  "network": '"$(cat i4x10.json)"',
+//	  "region": {"name": "left_occupied"},
+//	  "analyses": [{"kind": "coverage", "max_tests": 2000, "seed": 1}]
+//	}'
+//
+// A quantization sweep — per bit-width the network is quantized,
+// recompiled (through the same fingerprint cache, so concurrent
+// identical sweeps compile each width once) and re-verified against the
+// same properties, reporting verified bounds and drift vs. float:
+//
+//	curl -s localhost:8419/v1/analyze -d '{
+//	  "network": '"$(cat i4x10.json)"',
+//	  "region": {"name": "left_occupied"},
+//	  "analyses": [{"kind": "quant_sweep", "bits": [8, 6, 4],
+//	                "properties": [{"kind": "max", "outputs": [1, 6]}]}],
+//	  "options": {"workers": 1}
+//	}'
+//
+// Traceability (neuron-to-feature attribution over a dataset, with
+// activation conditions read from the compiled bounds — no second
+// propagation pass) and data validation:
+//
+//	curl -s localhost:8419/v1/analyze -d '{
+//	  "network": '"$(cat i4x10.json)"',
+//	  "region": {"name": "left_occupied"},
+//	  "analyses": [
+//	    {"kind": "traceability", "data": [[0.5, 0.5, ...], ...], "top_k": 3},
+//	    {"kind": "data_validation", "data": [[...]], "labels": [[...]],
+//	     "rules": [{"kind": "finite"}, {"kind": "range", "lo": 0, "hi": 1}]}
+//	  ]
+//	}'
+//
+// "verify" and "falsify" analysis kinds complete the portfolio; "wait":
+// false and GET /v1/analyze/{id}[/events] work exactly as for verify
+// (progress events carry the emitting analysis's index). /metrics
+// reports served analyses by kind under "analyses".
+//
 // # Shutdown semantics
 //
 // On SIGTERM/SIGINT the daemon drains: new queries are rejected with 503,

@@ -1,50 +1,69 @@
-// Coverage demonstrates the paper's Sec. II testing argument concretely:
-// MC/DC-style condition coverage is trivially satisfiable for tanh networks
-// (no branches → one test) and intractable for ReLU networks (2^n branch
-// patterns), while practical coverage metrics saturate long before covering
-// the behaviour space — the motivation for formal verification.
+// Coverage demonstrates the paper's Sec. II testing argument concretely,
+// entirely through the public pkg/vnn dependability API: MC/DC-style
+// condition coverage is trivially satisfiable for tanh networks (no
+// branches → one test) and intractable for ReLU networks (2^n branch
+// patterns), while practical coverage metrics saturate long before
+// covering the behaviour space — the motivation for formal verification.
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 	"math/rand"
 
-	"repro/internal/coverage"
-	"repro/internal/nn"
+	"repro/pkg/vnn"
 )
 
-func build(act nn.Activation, hidden []int, seed int64) *nn.Network {
+func build(act vnn.Activation, hidden []int, seed int64) *vnn.Network {
 	rng := rand.New(rand.NewSource(seed))
-	return nn.New(nn.Config{
+	return vnn.NewNetwork(vnn.NetworkConfig{
 		Name: "demo", InputDim: 6, Hidden: hidden, OutputDim: 2,
-		HiddenAct: act, OutputAct: nn.Identity,
+		HiddenAct: act, OutputAct: vnn.Identity,
 	}, rng)
 }
 
 func main() {
-	tanh := build(nn.Tanh, []int{20, 20}, 1)
-	relu := build(nn.ReLU, []int{20, 20}, 1)
-	paper := build(nn.ReLU, []int{60, 60, 60, 60}, 1) // the paper's I4×60
+	log.SetFlags(0)
+	tanh := build(vnn.Tanh, []int{20, 20}, 1)
+	relu := build(vnn.ReLU, []int{20, 20}, 1)
+	paper := build(vnn.ReLU, []int{60, 60, 60, 60}, 1) // the paper's I4×60
 
 	fmt.Println("== the MC/DC dichotomy (paper Sec. II) ==")
 	fmt.Printf("tanh %v hidden: conditions=%d, MC/DC needs %d test case(s)\n",
-		[]int{20, 20}, coverage.ReLUConditions(tanh), coverage.RequiredTests(tanh))
+		[]int{20, 20}, vnn.ReLUConditions(tanh), vnn.RequiredMCDCTests(tanh))
 	fmt.Printf("relu %v hidden: conditions=%d, MC/DC lower bound %d tests,\n",
-		[]int{20, 20}, coverage.ReLUConditions(relu), coverage.RequiredTests(relu))
-	fmt.Printf("  exhaustive branch combinations: %s\n", coverage.BranchCombinations(relu))
+		[]int{20, 20}, vnn.ReLUConditions(relu), vnn.RequiredMCDCTests(relu))
+	fmt.Printf("  exhaustive branch combinations: %s\n", vnn.BranchCombinations(relu))
 	fmt.Printf("paper-scale I4x60: 2^%d = %d-digit number of branch patterns\n",
-		coverage.ReLUConditions(paper), len(coverage.BranchCombinations(paper).String()))
+		vnn.ReLUConditions(paper), len(vnn.BranchCombinations(paper).String()))
 
 	fmt.Println("\n== practical coverage saturates ==")
-	lo := make([]float64, 6)
-	hi := make([]float64, 6)
-	for i := range lo {
-		lo[i], hi[i] = -1, 1
+	// The ReLU net is compiled against its input region once; the
+	// coverage analysis then samples that region — the same call a
+	// `{"kind":"coverage"}` request to the vnnd service performs.
+	box := make([]vnn.Interval, 6)
+	for i := range box {
+		box[i] = vnn.Interval{Lo: -1, Hi: 1}
 	}
-	suite, kept := coverage.Generate(relu, lo, hi, rand.New(rand.NewSource(2)),
-		coverage.GenerateOptions{MaxTests: 3000})
-	fmt.Println(suite)
-	fmt.Printf("kept %d informative tests out of %d sampled\n", len(kept), suite.Tests())
+	cn, err := vnn.Compile(context.Background(), relu, &vnn.Region{Box: box}, vnn.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	finding, err := vnn.AnalyzeOne(context.Background(), cn, &vnn.Coverage{MaxTests: 3000, Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cov := finding.Coverage
+	fmt.Println(cov.Suite)
+	fmt.Printf("kept %d informative tests out of %d sampled\n", len(cov.Generated), cov.Suite.Tests())
 	fmt.Printf("patterns exercised: %d of %s possible — the gap formal methods close\n",
-		suite.Patterns(), coverage.BranchCombinations(relu))
+		cov.Suite.Patterns(), cov.BranchCombinations)
+
+	// The same generator on the branch-free tanh net, via the standalone
+	// helper (tanh cannot be MILP-compiled — and does not need to be:
+	// one test satisfies its condition coverage).
+	suite, _ := vnn.GenerateCoverage(tanh, box, rand.NewSource(2), vnn.CoverageGenOptions{MaxTests: 100})
+	fmt.Printf("\ntanh control: %s (MC/DC already satisfied by %d test)\n",
+		suite, vnn.RequiredMCDCTests(tanh))
 }

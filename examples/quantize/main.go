@@ -1,10 +1,12 @@
-// Quantize demonstrates the paper's concluding remark (ii): quantized
-// neural networks as a route to more scalable verification. A predictor is
-// post-training quantized to 8 and 4 bits; the example measures the weight
-// and output perturbation, then formally verifies the float and quantized
-// models against the same safety property — showing the quantized models
-// remain verifiable with the identical MILP machinery (the in-repo analogue
-// of the bitvector-SMT encoding the paper cites).
+// Quantize demonstrates the paper's concluding remark (ii) — quantized
+// neural networks as a route to more scalable verification — entirely
+// through the public pkg/vnn dependability API. A network is compiled
+// against its input region once; a QuantSweep analysis then walks a
+// bit-width ladder (8 → 6 → 4 bits), recompiling and re-verifying the
+// same safety properties at each width and reporting the verified-bound
+// drift against the float baseline. This is the same analysis a
+// `{"kind":"quant_sweep"}` request to the vnnd service performs, with the
+// service additionally caching each width's compile by fingerprint.
 package main
 
 import (
@@ -14,58 +16,63 @@ import (
 	"math/rand"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/highway"
-	"repro/internal/quant"
-	"repro/internal/train"
 	"repro/pkg/vnn"
 )
 
 func main() {
 	log.SetFlags(0)
-	cfg := highway.DefaultDatasetConfig()
-	cfg.Episodes = 3
-	data, err := highway.GenerateDataset(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	pred := core.NewPredictorNet(2, 8, 2, 21)
-	trainer := &train.Trainer{
-		Net: pred.Net, Loss: train.MDN{K: 2}, Opt: train.NewAdam(0.003),
-		BatchSize: 64, Rng: rand.New(rand.NewSource(21)), ClipNorm: 20,
-	}
-	trainer.Fit(data, 10)
+	rng := rand.New(rand.NewSource(21))
+	net := vnn.NewNetwork(vnn.NetworkConfig{
+		Name: "demo", InputDim: 6, Hidden: []int{12, 12}, OutputDim: 2,
+		HiddenAct: vnn.ReLU, OutputAct: vnn.Identity,
+	}, rng)
 
-	probes := make([][]float64, 200)
-	rng := rand.New(rand.NewSource(22))
-	for i := range probes {
-		probes[i] = highway.RandomFeatureVector(rng)
+	box := make([]vnn.Interval, 6)
+	for i := range box {
+		box[i] = vnn.Interval{Lo: 0, Hi: 1}
 	}
+	region := &vnn.Region{Box: box}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 	defer cancel()
-	opts := vnn.Options{Parallel: true}
-	base, err := pred.VerifySafety(ctx, opts)
+	cn, err := vnn.Compile(ctx, net, region, vnn.Options{Parallel: true})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%-10s verified max lat vel %8.4f m/s  (%.1fs)\n",
-		"float64", base.Value, base.Stats.Elapsed.Seconds())
 
-	for _, bits := range []int{8, 4} {
-		qnet, info, err := quant.Quantize(pred.Net, bits)
+	finding, err := vnn.AnalyzeOne(ctx, cn, &vnn.QuantSweep{
+		Bits:       []int{8, 6, 4},
+		Properties: []vnn.Property{vnn.MaxOutput(0)},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sweep := finding.QuantSweep
+
+	// Empirical output deviation on random probes, for comparison with
+	// the formally verified drift.
+	probes := make([][]float64, 200)
+	prng := rand.New(rand.NewSource(22))
+	for i := range probes {
+		probes[i] = make([]float64, 6)
+		for j := range probes[i] {
+			probes[i][j] = prng.Float64()
+		}
+	}
+
+	base := sweep.Base[0]
+	fmt.Printf("%-10s verified max y[0] %8.4f  (%.1fs)\n",
+		"float64", base.Value, base.Stats.Elapsed.Seconds())
+	for _, pt := range sweep.Points {
+		qnet, _, err := vnn.Quantize(net, pt.Bits)
 		if err != nil {
 			log.Fatal(err)
 		}
-		dev := quant.OutputDeviation(pred.Net, qnet, probes)
-		qpred := &core.Predictor{Net: qnet, K: pred.K}
-		res, err := qpred.VerifySafety(ctx, opts)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%-10s verified max lat vel %8.4f m/s  (%.1fs)  weight err %.4f  output dev %.4f  distinct weights %d\n",
-			fmt.Sprintf("int%d", bits), res.Value, res.Stats.Elapsed.Seconds(),
-			info.MaxWeightError, dev, info.DistinctWeights)
+		res := pt.Results[0]
+		fmt.Printf("%-10s verified max y[0] %8.4f  (%.1fs)  weight err %.4f  output dev %.4f  distinct weights %d  bound drift %.4f\n",
+			fmt.Sprintf("int%d", pt.Bits), res.Value, res.Stats.Elapsed.Seconds(),
+			pt.Info.MaxWeightError, vnn.OutputDeviation(net, qnet, probes),
+			pt.Info.DistinctWeights, pt.MaxBoundDelta)
 	}
 	fmt.Println("\nquantization perturbs the verified bound by roughly the output deviation —")
 	fmt.Println("certifying the quantized model directly (as deployed) avoids that gap entirely.")

@@ -6,14 +6,15 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
 	"repro/internal/core"
 	"repro/internal/highway"
-	"repro/internal/trace"
 	"repro/internal/train"
+	"repro/pkg/vnn"
 )
 
 func main() {
@@ -32,19 +33,25 @@ func main() {
 	}
 	trainer.Fit(data, 10)
 
-	// Analyze over the dataset, with activation conditions on the
-	// left-occupied region the verifier uses.
+	// Analyze over the dataset through the public dependability API: the
+	// network is compiled against the left-occupied region once, and the
+	// traceability analysis reads its activation conditions straight from
+	// the compiled pre-activation bounds — no second propagation pass.
 	inputs := make([][]float64, 0, 400)
 	for i := 0; i < len(data) && i < 400; i++ {
 		inputs = append(inputs, data[i].X)
 	}
-	rep, err := trace.Analyze(pred.Net, inputs, highway.FeatureNames(), trace.Options{
-		TopK:   3,
-		Region: core.LeftOccupiedRegion().Box,
+	cn, err := vnn.Compile(context.Background(), pred.Net, core.LeftOccupiedRegion(), vnn.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	finding, err := vnn.AnalyzeOne(context.Background(), cn, &vnn.Traceability{
+		Data: inputs, FeatureNames: highway.FeatureNames(), TopK: 3,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	rep := finding.Traceability
 	fmt.Print(rep)
 
 	fmt.Printf("\ndead neurons on this dataset: %d\n", len(rep.DeadNeurons()))

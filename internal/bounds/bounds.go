@@ -15,9 +15,21 @@ package bounds
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/nn"
 )
+
+// propagatePasses counts full interval-propagation passes performed by this
+// process. Like internal/verify's EncodePasses/TightenPasses it exists so
+// tests can assert that an analysis consuming a CompiledNetwork's
+// already-computed bounds (e.g. traceability interval conditions) performs
+// zero additional propagation passes.
+var propagatePasses atomic.Int64
+
+// Passes returns the total number of interval-propagation passes performed
+// by this process.
+func Passes() int64 { return propagatePasses.Load() }
 
 // Interval is a closed interval [Lo, Hi].
 type Interval struct {
@@ -80,6 +92,7 @@ func Propagate(net *nn.Network, input []Interval) (*NetworkBounds, error) {
 // layer count, or contain nil rows; present entries must match layer widths
 // and be valid bounds or the result is undefined.
 func PropagateWithHints(net *nn.Network, input []Interval, hints [][]Interval) (*NetworkBounds, error) {
+	propagatePasses.Add(1)
 	if len(input) != net.InputDim() {
 		return nil, fmt.Errorf("bounds: box dim %d, network input %d", len(input), net.InputDim())
 	}

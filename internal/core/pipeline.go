@@ -7,10 +7,7 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/coverage"
-	"repro/internal/dataval"
 	"repro/internal/highway"
-	"repro/internal/trace"
 	"repro/internal/train"
 	"repro/pkg/vnn"
 )
@@ -18,14 +15,17 @@ import (
 // SafetyRules returns the data-validation rules of the case study
 // (Sec. II (C)): structural sanity plus the property that no training
 // sample exhibits a left move with the left slot occupied beyond latTol.
-func SafetyRules(latTol float64) []dataval.Rule {
-	rules := []dataval.Rule{
-		dataval.DimensionRule(highway.FeatureDim, 2),
-		dataval.FiniteRule(),
-		dataval.RangeRule(0, 1),
-		dataval.NewRule("no-left-move-when-left-occupied",
+// The rules are built through the public vnn rule machinery, so the same
+// values feed both the pre-training sanitization here and DataValidation
+// analyses served over the wire.
+func SafetyRules(latTol float64) []vnn.DataRule {
+	rules := []vnn.DataRule{
+		vnn.DimensionRule(highway.FeatureDim, 2),
+		vnn.FiniteRule(),
+		vnn.RangeRule(0, 1),
+		vnn.NewDataRule("no-left-move-when-left-occupied",
 			"no sample commands positive lateral velocity while the left slot is occupied",
-			func(s train.Sample) string {
+			func(s vnn.Sample) string {
 				if highway.LeftOccupiedInFeatures(s.X) && s.Y[0] > latTol {
 					return fmt.Sprintf("lat_vel %.3f with left occupied", s.Y[0])
 				}
@@ -59,16 +59,22 @@ type PipelineConfig struct {
 	// VerifyTimeout bounds the verification step's wall clock (compilation
 	// included); 0 means the pipeline's context alone governs it.
 	VerifyTimeout time.Duration
-	// SkipVerify omits the MILP step (for quick smoke runs).
+	// SkipVerify omits the formal MILP queries (for quick smoke runs).
+	// The network is still compiled once — bound propagation plus the
+	// MILP encoding, cheap relative to any search — because traceability
+	// and coverage read the compiled artifact; only the branch-and-bound
+	// verification work is skipped.
 	SkipVerify bool
 }
 
-// PipelineResult is the certification dossier: one artifact per Table I row.
+// PipelineResult is the certification dossier: one artifact per Table I
+// row, each produced by a public vnn.Analysis running against one
+// compiled network (see Findings).
 type PipelineResult struct {
 	Arch string
 
 	// Specification validity (Sec. II C).
-	DataReport  *dataval.Report
+	DataReport  *vnn.DataReport
 	DataRemoved int
 	Samples     int
 
@@ -77,10 +83,10 @@ type PipelineResult struct {
 	ValLoss   float64
 
 	// Implementation understandability (Sec. II A).
-	Traceability *trace.Report
+	Traceability *vnn.TraceabilityReport
 
 	// Implementation correctness: testing view (Sec. II B, negative result).
-	Coverage          *coverage.Suite
+	Coverage          *vnn.CoverageSuite
 	BranchCount       string // 2^n as a decimal string
 	RequiredMCDCTests int
 
@@ -94,6 +100,11 @@ type PipelineResult struct {
 	MaxLatVel   *vnn.Result
 	ProveResult vnn.Outcome
 	Threshold   float64
+
+	// Findings are the raw analysis results the dossier was assembled
+	// from, in execution order — feed them to vnn.NewAnalysisReport for
+	// the machine-readable document the vnnd service also speaks.
+	Findings []*vnn.Finding
 
 	Predictor *Predictor
 	Elapsed   time.Duration
@@ -156,8 +167,8 @@ func RunPipeline(ctx context.Context, cfg PipelineConfig) (*PipelineResult, erro
 		return nil, fmt.Errorf("core: dataset: %w", err)
 	}
 	rules := SafetyRules(1e-9)
-	report := dataval.Validate(data, rules)
-	clean, removed := dataval.Sanitize(data, rules)
+	report := vnn.ValidateData(data, rules)
+	clean, removed := vnn.SanitizeData(data, rules)
 	if len(clean) == 0 {
 		return nil, fmt.Errorf("core: no samples survived validation")
 	}
@@ -199,62 +210,70 @@ func RunPipeline(ctx context.Context, cfg PipelineConfig) (*PipelineResult, erro
 		res.ValLoss = trainer.MeanLoss(valSet)
 	}
 
-	// 3. Understandability: neuron-to-feature traceability (Table I, row 1).
+	// 3–6. The rest of the dossier runs through the public dependability
+	// API: the network is compiled against the property region exactly
+	// once, then traceability (Table I, row 1 — interval conditions read
+	// the compiled bounds), coverage (row 2−), the falsification pre-pass,
+	// and the formal queries (row 2+) all execute as vnn analyses over
+	// that one shared artifact. As before the redesign, the VerifyTimeout
+	// budget covers the compile plus the formal batch only: the compile
+	// deadline is taken now, and the formal batch below receives whatever
+	// the compile left over — the analyses in between run outside the
+	// budget and cannot starve the proof.
+	compileStart := time.Now()
+	cctx := ctx
+	if cfg.VerifyTimeout > 0 {
+		var cancel context.CancelFunc
+		cctx, cancel = context.WithTimeout(ctx, cfg.VerifyTimeout)
+		defer cancel()
+	}
+	cn, err := vnn.Compile(cctx, pred.Net, LeftOccupiedRegion(), cfg.Verify)
+	if err != nil {
+		return nil, fmt.Errorf("core: compile: %w", err)
+	}
+	compileElapsed := time.Since(compileStart)
 	inputs := make([][]float64, 0, 512)
 	for i := 0; i < len(clean) && i < 512; i++ {
 		inputs = append(inputs, clean[i].X)
 	}
-	res.Traceability, err = trace.Analyze(pred.Net, inputs, highway.FeatureNames(), trace.Options{
-		Region: LeftOccupiedRegion().Box,
-	})
+	findings, err := vnn.Analyze(ctx, cn,
+		&vnn.Traceability{Data: inputs, FeatureNames: highway.FeatureNames()},
+		&vnn.Coverage{Data: inputs},
+		&vnn.Falsification{Outputs: pred.MuLatOutputs(), Restarts: 6, Steps: 40, Seed: cfg.Seed + 4},
+	)
 	if err != nil {
-		return nil, fmt.Errorf("core: trace: %w", err)
+		return nil, fmt.Errorf("core: analyze: %w", err)
 	}
+	res.Findings = findings
+	res.Traceability = findings[0].Traceability
+	cov := findings[1].Coverage
+	res.Coverage = cov.Suite
+	res.BranchCount = cov.BranchCombinations
+	res.RequiredMCDCTests = cov.RequiredMCDCTests
+	res.AttackLatVel = findings[2].Falsification.Value
 
-	// 4. Correctness by testing: coverage and its limits (Table I, row 2−).
-	suite := coverage.NewSuite(pred.Net)
-	for _, x := range inputs {
-		suite.Add(x)
-	}
-	res.Coverage = suite
-	res.BranchCount = coverage.BranchCombinations(pred.Net).String()
-	res.RequiredMCDCTests = coverage.RequiredTests(pred.Net)
-
-	// 5. Falsification pre-pass: gradient attacks give a fast lower bound
-	// on the worst case (and concrete failures when the net is badly off).
-	atk, err := vnn.Falsify(pred.Net, LeftOccupiedRegion(), pred.MuLatOutputs(), vnn.FalsifyOptions{
-		Restarts: 6, Steps: 40, Seed: cfg.Seed + 4,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: attack: %w", err)
-	}
-	res.AttackLatVel = atk.Value
-
-	// 6. Correctness by formal analysis (Table I, row 2+): the network is
-	// compiled against the property region once, then the max-objective
-	// query and every per-component threshold proof run as one batch on
-	// the shared encoding.
 	if !cfg.SkipVerify {
 		vctx := ctx
 		if cfg.VerifyTimeout > 0 {
+			remaining := cfg.VerifyTimeout - compileElapsed
+			if remaining <= 0 {
+				remaining = time.Nanosecond // budget spent: formal queries answer with anytime bounds
+			}
 			var cancel context.CancelFunc
-			vctx, cancel = context.WithTimeout(ctx, cfg.VerifyTimeout)
+			vctx, cancel = context.WithTimeout(ctx, remaining)
 			defer cancel()
-		}
-		cn, err := vnn.Compile(vctx, pred.Net, LeftOccupiedRegion(), cfg.Verify)
-		if err != nil {
-			return nil, fmt.Errorf("core: compile: %w", err)
 		}
 		props := []vnn.Property{vnn.MaxOverOutputs(pred.MuLatOutputs()...)}
 		for _, out := range pred.MuLatOutputs() {
 			props = append(props, vnn.AtMost(out, cfg.SafetyThreshold))
 		}
-		results, err := vnn.Verify(vctx, cn, props...)
+		formal, err := vnn.AnalyzeOne(vctx, cn, &vnn.Verification{Properties: props})
 		if err != nil {
 			return nil, fmt.Errorf("core: verify: %w", err)
 		}
-		res.MaxLatVel = results[0]
-		res.ProveResult = vnn.Worst(results[1:])
+		res.Findings = append(res.Findings, formal)
+		res.MaxLatVel = formal.Verification[0]
+		res.ProveResult = vnn.Worst(formal.Verification[1:])
 	}
 	res.Elapsed = time.Since(start)
 	return res, nil

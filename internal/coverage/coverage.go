@@ -172,16 +172,38 @@ func (s *Suite) String() string {
 
 // GenerateOptions tune coverage-guided generation.
 type GenerateOptions struct {
-	// MaxTests bounds the suite size; 0 means 1000.
+	// MaxTests bounds the sampling budget; 0 means 1000.
 	MaxTests int
 	// TargetSign stops once sign coverage reaches this fraction; 0 means 1.0.
 	TargetSign float64
+	// Accept, when non-nil, filters sampled inputs: only accepted inputs
+	// are scored (e.g. membership in a linearly constrained region).
+	// Rejected draws still consume the MaxTests budget, so generation
+	// stays bounded even for thin regions.
+	Accept func(x []float64) bool
+	// Cancel, when non-nil, is polled once per draw; generation stops
+	// early when it returns true (the hook contexts and server drain
+	// reach the sampling loop through).
+	Cancel func() bool
 }
 
-// Generate grows a test suite by rejection: random inputs from the box are
-// kept only when they improve coverage. It returns the suite and the kept
-// inputs. Boxes are given as parallel lo/hi slices.
-func Generate(net *nn.Network, lo, hi []float64, rng *rand.Rand, opts GenerateOptions) (*Suite, [][]float64) {
+// Generate grows a fresh test suite by rejection: random inputs from the
+// box are kept only when they improve coverage. It returns the suite and
+// the kept inputs. Boxes are given as parallel lo/hi slices. The explicit
+// rand.Source makes generated suites reproducible across runs and across
+// processes (the verification service and the CLI draw the same inputs for
+// the same seed); callers own their randomness.
+func Generate(net *nn.Network, lo, hi []float64, src rand.Source, opts GenerateOptions) (*Suite, [][]float64) {
+	suite := NewSuite(net)
+	kept := suite.Generate(lo, hi, src, opts)
+	return suite, kept
+}
+
+// Generate grows this suite by coverage-guided rejection sampling from the
+// box, on top of whatever tests it already holds (so dataset-derived
+// coverage can be topped up by generated inputs). It returns the kept
+// (coverage-improving) inputs.
+func (s *Suite) Generate(lo, hi []float64, src rand.Source, opts GenerateOptions) [][]float64 {
 	maxTests := opts.MaxTests
 	if maxTests <= 0 {
 		maxTests = 1000
@@ -190,19 +212,25 @@ func Generate(net *nn.Network, lo, hi []float64, rng *rand.Rand, opts GenerateOp
 	if target <= 0 {
 		target = 1
 	}
-	suite := NewSuite(net)
+	rng := rand.New(src)
 	var kept [][]float64
 	for i := 0; i < maxTests; i++ {
+		if s.SignCoverage() >= target {
+			break
+		}
+		if opts.Cancel != nil && opts.Cancel() {
+			break
+		}
 		x := make([]float64, len(lo))
 		for j := range x {
 			x[j] = lo[j] + rng.Float64()*(hi[j]-lo[j])
 		}
-		if suite.Add(x) {
+		if opts.Accept != nil && !opts.Accept(x) {
+			continue
+		}
+		if s.Add(x) {
 			kept = append(kept, x)
 		}
-		if suite.SignCoverage() >= target {
-			break
-		}
 	}
-	return suite, kept
+	return kept
 }

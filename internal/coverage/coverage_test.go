@@ -118,7 +118,7 @@ func TestGenerateReachesFullSignCoverage(t *testing.T) {
 	net := reluNet(7, []int{6})
 	lo := []float64{-2, -2, -2}
 	hi := []float64{2, 2, 2}
-	suite, kept := Generate(net, lo, hi, rand.New(rand.NewSource(3)), GenerateOptions{MaxTests: 4000})
+	suite, kept := Generate(net, lo, hi, rand.NewSource(3), GenerateOptions{MaxTests: 4000})
 	if suite.SignCoverage() < 0.99 {
 		t.Fatalf("sign coverage only %.2f after generation", suite.SignCoverage())
 	}
@@ -131,9 +131,77 @@ func TestGenerateRespectsTarget(t *testing.T) {
 	net := reluNet(8, []int{8})
 	lo := []float64{-1, -1, -1}
 	hi := []float64{1, 1, 1}
-	suite, _ := Generate(net, lo, hi, rand.New(rand.NewSource(4)), GenerateOptions{MaxTests: 5000, TargetSign: 0.5})
+	suite, _ := Generate(net, lo, hi, rand.NewSource(4), GenerateOptions{MaxTests: 5000, TargetSign: 0.5})
 	if suite.SignCoverage() < 0.5 {
 		t.Fatalf("target sign coverage not reached: %g", suite.SignCoverage())
+	}
+}
+
+func TestGenerateReproducibleAcrossRuns(t *testing.T) {
+	// The same explicit source must reproduce the generated suite exactly:
+	// same inputs kept, in the same order, bit for bit.
+	net := reluNet(7, []int{6})
+	lo := []float64{-2, -2, -2}
+	hi := []float64{2, 2, 2}
+	opts := GenerateOptions{MaxTests: 500}
+	s1, k1 := Generate(net, lo, hi, rand.NewSource(9), opts)
+	s2, k2 := Generate(net, lo, hi, rand.NewSource(9), opts)
+	if s1.Tests() != s2.Tests() || s1.Patterns() != s2.Patterns() {
+		t.Fatalf("suites diverge: %v vs %v", s1, s2)
+	}
+	if len(k1) != len(k2) {
+		t.Fatalf("kept %d vs %d inputs", len(k1), len(k2))
+	}
+	for i := range k1 {
+		for j := range k1[i] {
+			if k1[i][j] != k2[i][j] {
+				t.Fatalf("kept[%d][%d] = %v vs %v", i, j, k1[i][j], k2[i][j])
+			}
+		}
+	}
+}
+
+// TestGenerateGoldenSuite pins the generated suite for a fixed network and
+// source so any change to the sampling or rejection logic is caught: the
+// suite shape and the first kept input are part of the contract the
+// service's seeded coverage analyses rely on.
+func TestGenerateGoldenSuite(t *testing.T) {
+	net := reluNet(7, []int{6})
+	lo := []float64{-2, -2, -2}
+	hi := []float64{2, 2, 2}
+	suite, kept := Generate(net, lo, hi, rand.NewSource(9), GenerateOptions{MaxTests: 500})
+	if len(kept) == 0 {
+		t.Fatal("nothing kept")
+	}
+	// Golden values recorded from the pinned generator (Go 1.22 math/rand
+	// top-level stream for source seed 9 is stable by Go 1 compatibility).
+	want := make([]float64, 3)
+	rng := rand.New(rand.NewSource(9))
+	for j := range want {
+		want[j] = lo[j] + rng.Float64()*(hi[j]-lo[j])
+	}
+	for j := range want {
+		if kept[0][j] != want[j] {
+			t.Fatalf("kept[0][%d] = %v, want %v", j, kept[0][j], want[j])
+		}
+	}
+	if suite.Tests() != 500 && suite.SignCoverage() < 1 {
+		t.Fatalf("suite stopped early without reaching target: %v", suite)
+	}
+}
+
+func TestSuiteGenerateTopsUpExistingCoverage(t *testing.T) {
+	// Dataset-derived coverage first, then generation on top: the suite
+	// keeps the dataset tests and only generation-kept inputs return.
+	net := reluNet(7, []int{6})
+	s := NewSuite(net)
+	s.Add([]float64{0.5, 0.5, 0.5})
+	kept := s.Generate([]float64{-2, -2, -2}, []float64{2, 2, 2}, rand.NewSource(9), GenerateOptions{MaxTests: 300})
+	if s.Tests() < 1+len(kept) {
+		t.Fatalf("tests %d < 1 + kept %d", s.Tests(), len(kept))
+	}
+	if s.SignCoverage() == 0 {
+		t.Fatal("no coverage accumulated")
 	}
 }
 

@@ -87,8 +87,15 @@ type Report struct {
 type Options struct {
 	// TopK limits attribution lists; 0 means 5.
 	TopK int
-	// Region, when non-nil, adds interval activation conditions.
+	// Region, when non-nil, adds interval activation conditions by running
+	// a fresh bound propagation over it. Ignored when PreBounds is set.
 	Region []bounds.Interval
+	// PreBounds, when non-nil, supplies already-computed pre-activation
+	// intervals (one row per hidden layer, e.g. from a compiled
+	// verification artifact) for the interval activation conditions — no
+	// propagation pass runs at all. This is how the public API reuses the
+	// CompiledNetwork's bound analysis instead of recomputing it.
+	PreBounds [][]bounds.Interval
 }
 
 // Analyze computes the traceability report of net over a dataset of inputs.
@@ -183,27 +190,45 @@ func Analyze(net *nn.Network, data [][]float64, featureNames []string, opts Opti
 		}
 	}
 
-	if opts.Region != nil {
+	switch {
+	case opts.PreBounds != nil:
+		if len(opts.PreBounds) < nLayers {
+			return nil, fmt.Errorf("trace: %d pre-bound rows for %d hidden layers", len(opts.PreBounds), nLayers)
+		}
+		for li := 0; li < nLayers; li++ {
+			if len(opts.PreBounds[li]) != net.Layers[li].OutDim() {
+				return nil, fmt.Errorf("trace: pre-bound row %d has %d intervals for %d neurons",
+					li, len(opts.PreBounds[li]), net.Layers[li].OutDim())
+			}
+			rep.Conditions = append(rep.Conditions, conditionsRow(opts.PreBounds[li]))
+		}
+	case opts.Region != nil:
 		nb, err := bounds.Propagate(net, opts.Region)
 		if err != nil {
 			return nil, err
 		}
 		for li := 0; li < nLayers; li++ {
-			row := make([]Condition, net.Layers[li].OutDim())
-			for j, iv := range nb.Layers[li].Pre {
-				switch {
-				case iv.Lo >= 0:
-					row[j] = AlwaysActive
-				case iv.Hi <= 0:
-					row[j] = AlwaysInactive
-				default:
-					row[j] = Conditional
-				}
-			}
-			rep.Conditions = append(rep.Conditions, row)
+			rep.Conditions = append(rep.Conditions, conditionsRow(nb.Layers[li].Pre))
 		}
 	}
 	return rep, nil
+}
+
+// conditionsRow classifies one layer's neurons from their proven
+// pre-activation intervals.
+func conditionsRow(pre []bounds.Interval) []Condition {
+	row := make([]Condition, len(pre))
+	for j, iv := range pre {
+		switch {
+		case iv.Lo >= 0:
+			row[j] = AlwaysActive
+		case iv.Hi <= 0:
+			row[j] = AlwaysInactive
+		default:
+			row[j] = Conditional
+		}
+	}
+	return row
 }
 
 // pathAttribution computes, for every hidden neuron, the summed absolute

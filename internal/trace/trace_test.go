@@ -102,6 +102,58 @@ func TestRegionConditions(t *testing.T) {
 	}
 }
 
+func TestPreBoundsConditionsWithoutPropagation(t *testing.T) {
+	// Conditions supplied through PreBounds must match what a fresh
+	// propagation over the region would prove — without performing any
+	// propagation pass at all (the counter is the proof).
+	region := []bounds.Interval{{Lo: 0.1, Hi: 1}, {Lo: -1, Hi: -0.1}}
+	nb, err := bounds.Propagate(testNet(), region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := [][]bounds.Interval{nb.Layers[0].Pre}
+
+	before := bounds.Passes()
+	rep, err := Analyze(testNet(), gridData(10), nil, Options{PreBounds: pre})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bounds.Passes() - before; got != 0 {
+		t.Fatalf("Analyze with PreBounds performed %d propagation passes, want 0", got)
+	}
+	if rep.Conditions[0][0] != AlwaysActive || rep.Conditions[0][1] != AlwaysInactive {
+		t.Fatalf("conditions from PreBounds = %v", rep.Conditions[0])
+	}
+
+	// A region-driven run costs exactly one pass and agrees.
+	before = bounds.Passes()
+	viaRegion, err := Analyze(testNet(), gridData(10), nil, Options{Region: region})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bounds.Passes() - before; got != 1 {
+		t.Fatalf("Analyze with Region performed %d propagation passes, want 1", got)
+	}
+	for j := range rep.Conditions[0] {
+		if rep.Conditions[0][j] != viaRegion.Conditions[0][j] {
+			t.Fatalf("condition %d: PreBounds %v vs Region %v", j, rep.Conditions[0][j], viaRegion.Conditions[0][j])
+		}
+	}
+}
+
+func TestPreBoundsShapeValidation(t *testing.T) {
+	if _, err := Analyze(testNet(), gridData(3), nil, Options{
+		PreBounds: [][]bounds.Interval{},
+	}); err == nil {
+		t.Fatal("too few pre-bound rows accepted")
+	}
+	if _, err := Analyze(testNet(), gridData(3), nil, Options{
+		PreBounds: [][]bounds.Interval{{{Lo: 0, Hi: 1}}},
+	}); err == nil {
+		t.Fatal("short pre-bound row accepted")
+	}
+}
+
 func TestDeadNeurons(t *testing.T) {
 	net := &nn.Network{Layers: []*nn.Layer{
 		{W: [][]float64{{1}, {1}}, B: []float64{0, -100}, Act: nn.ReLU},

@@ -86,6 +86,20 @@ func (c *Compiled) Region() *InputRegion { return c.region }
 // region — the zero-cost anytime answer available before any MILP runs.
 func (c *Compiled) OutputBounds() []bounds.Interval { return c.nb.Output() }
 
+// PreActivationBounds returns the proven pre-activation intervals of every
+// hidden layer (one row per hidden layer), as computed — and, under
+// opts.Tighten, LP-tightened — during compilation. The rows are views into
+// the compiled state and must be treated as read-only. Analyses that need
+// activation-phase information over the region (e.g. traceability interval
+// conditions) consume these instead of re-running propagation.
+func (c *Compiled) PreActivationBounds() [][]bounds.Interval {
+	out := make([][]bounds.Interval, 0, len(c.nb.Layers)-1)
+	for li := 0; li+1 < len(c.nb.Layers); li++ {
+		out = append(out, c.nb.Layers[li].Pre)
+	}
+	return out
+}
+
 // checkOutputs validates output indices against the network.
 func (c *Compiled) checkOutputs(outs ...int) error {
 	for _, oi := range outs {

@@ -71,6 +71,33 @@ func ResilienceRadius(x0 []float64, output int, threshold float64, maxIterations
 	}
 }
 
+// propertyOutputs reports the output indices a property references, so
+// analysis validation can reject out-of-range queries before any work
+// runs (the engine re-checks at query time either way).
+func propertyOutputs(p Property) []int {
+	switch q := p.(type) {
+	case maxProp:
+		return q.outs
+	case minProp:
+		return []int{q.out}
+	case linMaxProp:
+		return coeffKeys(q.coeffs)
+	case proveProp:
+		return coeffKeys(q.coeffs)
+	case resilienceProp:
+		return []int{q.out}
+	}
+	return nil
+}
+
+func coeffKeys(coeffs map[int]float64) []int {
+	out := make([]int, 0, len(coeffs))
+	for k := range coeffs {
+		out = append(out, k)
+	}
+	return out
+}
+
 func copyCoeffs(coeffs map[int]float64) map[int]float64 {
 	out := make(map[int]float64, len(coeffs))
 	for k, v := range coeffs {

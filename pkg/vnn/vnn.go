@@ -101,6 +101,9 @@ type Event struct {
 	// Property is the index into the Verify props list this event belongs
 	// to (0 for single-property calls).
 	Property int
+	// Analysis is the index into the Analyze batch of the analysis that
+	// produced this event (0 for plain Verify calls).
+	Analysis int
 	// Nodes explored and Open nodes on the queue of the emitting solve.
 	Nodes, Open int
 	// HasIncumbent reports whether any feasible witness exists yet.
@@ -143,6 +146,14 @@ func (cn *CompiledNetwork) Region() *Region { return cn.c.Region() }
 // OutputBounds returns the proven interval bounds on every output over the
 // region — the zero-cost anytime answer available before any MILP runs.
 func (cn *CompiledNetwork) OutputBounds() []Interval { return cn.c.OutputBounds() }
+
+// PreActivationBounds returns the proven pre-activation intervals of every
+// hidden layer (one row per hidden layer) computed during compilation —
+// LP-tightened when the network was compiled with Options.Tighten. The
+// rows are read-only views into the compiled state; analyses (e.g.
+// traceability interval conditions) consume them instead of re-running
+// bound propagation.
+func (cn *CompiledNetwork) PreActivationBounds() [][]Interval { return cn.c.PreActivationBounds() }
 
 // CompileTime reports the wall-clock cost of the one-time analysis.
 func (cn *CompiledNetwork) CompileTime() time.Duration { return cn.c.CompileTime }

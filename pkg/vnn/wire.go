@@ -101,6 +101,10 @@ type Report struct {
 	// Worst aggregates the batch verdict (see Worst).
 	Worst   string       `json:"worst"`
 	Results []ResultJSON `json:"results"`
+	// Analyses carries the typed findings of an Analyze batch (one entry
+	// per analysis, in request order); nil for plain verify reports. See
+	// NewAnalysisReport.
+	Analyses []FindingJSON `json:"analyses,omitempty"`
 }
 
 // NewReport assembles the shared report document from a Verify batch.

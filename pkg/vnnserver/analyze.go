@@ -1,0 +1,301 @@
+// POST /v1/analyze: the dependability portfolio served over HTTP. One
+// request compiles (or cache-hits) a network against a region and runs
+// any mix of analyses — property verification, structural coverage,
+// traceability, quantization sweeps, data validation, falsification —
+// through vnn.Analyze on the shared compiled artifact. Quantization
+// sweeps route their per-width recompiles through the same
+// fingerprint-keyed compile cache as everything else, so N concurrent
+// identical sweeps still perform exactly one compile per bit-width.
+
+package vnnserver
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/pkg/vnn"
+)
+
+// Per-request work caps. Unlike property verification — whose budget is
+// the request timeout and whose anytime contract makes interruption
+// useful — these analyses do open-ended iteration work, so the service
+// bounds what one request can demand up front (the same hardening the
+// falsify endpoint has always had).
+const (
+	// maxFalsifyRestarts and maxFalsifySteps bound PGD work per request,
+	// for /v1/falsify and falsify-kind analyses alike.
+	maxFalsifyRestarts = 1024
+	maxFalsifySteps    = 10000
+	// maxCoverageTests bounds one coverage analysis's sampling budget.
+	maxCoverageTests = 1 << 20
+	// maxSweepWidths bounds one quant sweep's ladder length (the full
+	// supported range is only [2, 16] wide).
+	maxSweepWidths = 32
+)
+
+// AnalyzeRequest is the POST /v1/analyze body.
+type AnalyzeRequest struct {
+	// Network is the canonical network JSON (see vnn.MarshalNetwork).
+	Network json.RawMessage `json:"network"`
+	// Region selects a named case-study region or gives an explicit box.
+	Region vnn.RegionSpec `json:"region"`
+	// Analyses is the portfolio batch to run on the shared compilation.
+	Analyses []vnn.AnalysisSpec `json:"analyses"`
+	Options  QueryOptions       `json:"options"`
+	// TimeoutMS bounds the whole batch including any compiles it
+	// triggers; 0 falls back to the server's default. An expired budget
+	// yields anytime findings where the analysis supports them.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Wait false turns the call asynchronous: 202 plus a job id for
+	// GET /v1/analyze/{id} and its /events stream.
+	Wait *bool `json:"wait,omitempty"`
+}
+
+// AnalyzeResponse is the analyze answer: the shared wire Report (findings
+// under "analyses", verification results also flattened into "results")
+// plus service metadata about the base compile.
+type AnalyzeResponse struct {
+	ID          string  `json:"id"`
+	Fingerprint string  `json:"fingerprint"`
+	CacheHit    bool    `json:"cache_hit"`
+	CompileMS   float64 `json:"compile_ms"`
+	vnn.Report
+}
+
+// preparedAnalysis is a parsed, validated analyze request.
+type preparedAnalysis struct {
+	net         *vnn.Network
+	region      *vnn.Region
+	analyses    []vnn.Analysis
+	kinds       []string
+	fingerprint string
+	compileOpts vnn.Options
+}
+
+// prepareAnalyze parses the request into engine values, validates every
+// analysis against the network, and fingerprints the base compile
+// workload. Everything that can be the client's fault is rejected here.
+func (s *Server) prepareAnalyze(req *AnalyzeRequest) (*preparedAnalysis, error) {
+	if len(req.Network) == 0 {
+		return nil, fmt.Errorf("request needs a network")
+	}
+	net, err := vnn.UnmarshalNetwork(req.Network)
+	if err != nil {
+		return nil, err
+	}
+	region, err := req.Region.Region()
+	if err != nil {
+		return nil, err
+	}
+	if len(req.Analyses) == 0 {
+		return nil, fmt.Errorf("request needs at least one analysis")
+	}
+	analyses := make([]vnn.Analysis, len(req.Analyses))
+	kinds := make([]string, len(req.Analyses))
+	for i := range req.Analyses {
+		if analyses[i], err = req.Analyses[i].Analysis(); err != nil {
+			return nil, fmt.Errorf("analysis %d: %w", i, err)
+		}
+		if err := req.Analyses[i].ValidateFor(net); err != nil {
+			return nil, fmt.Errorf("analysis %d: %w", i, err)
+		}
+		if err := capAnalysisWork(&req.Analyses[i]); err != nil {
+			return nil, fmt.Errorf("analysis %d: %w", i, err)
+		}
+		kinds[i] = analyses[i].Kind()
+	}
+	compileOpts := vnn.Options{Tighten: req.Options.Tighten, Workers: req.Options.Workers}
+	fp, err := vnn.Fingerprint(net, region, compileOpts)
+	if err != nil {
+		return nil, err
+	}
+	return &preparedAnalysis{
+		net:         net,
+		region:      region,
+		analyses:    analyses,
+		kinds:       kinds,
+		fingerprint: fp,
+		compileOpts: compileOpts,
+	}, nil
+}
+
+// capAnalysisWork enforces the service's per-request work bounds on one
+// analysis spec (see the max* constants).
+func capAnalysisWork(spec *vnn.AnalysisSpec) error {
+	switch spec.Kind {
+	case vnn.KindFalsify:
+		if spec.Restarts > maxFalsifyRestarts || spec.Steps > maxFalsifySteps {
+			return fmt.Errorf("restarts must be in [0, %d] and steps in [0, %d]",
+				maxFalsifyRestarts, maxFalsifySteps)
+		}
+	case vnn.KindCoverage:
+		if spec.MaxTests > maxCoverageTests {
+			return fmt.Errorf("max_tests must be at most %d", maxCoverageTests)
+		}
+	case vnn.KindQuantSweep:
+		if len(spec.Bits) > maxSweepWidths {
+			return fmt.Errorf("a sweep may request at most %d bit-widths", maxSweepWidths)
+		}
+	}
+	return nil
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var req AnalyzeRequest
+	if err := decodeJSON(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	q, err := s.prepareAnalyze(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// Same admission discipline as /v1/verify: the token is taken at
+	// submit time under drainMu, so overload is immediate backpressure
+	// and a request is never admitted after Drain stopped waiting.
+	async := req.Wait != nil && !*req.Wait
+	s.drainMu.Lock()
+	if s.draining.Load() {
+		s.drainMu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	if err := s.sched.Admit(); err != nil {
+		s.drainMu.Unlock()
+		writeError(w, statusFor(err), err.Error())
+		return
+	}
+	if async {
+		s.wg.Add(1)
+	}
+	s.drainMu.Unlock()
+	jb := s.jobs.create(q.fingerprint)
+
+	if !async {
+		resp, err := s.runAnalyze(r.Context(), jb, q, &req)
+		if err != nil {
+			writeError(w, statusFor(err), err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	go func() {
+		defer s.wg.Done()
+		s.runAnalyze(s.queryCtx, jb, q, &req)
+	}()
+	writeJSON(w, http.StatusAccepted, AcceptedResponse{
+		ID: jb.id, Fingerprint: q.fingerprint, Status: "running",
+	})
+}
+
+// runAnalyze executes one prepared portfolio batch under admission
+// control. The base compile — and every quantized recompile a QuantSweep
+// performs — goes through the fingerprint-keyed cache under the server's
+// lifetime context: compiles are shared work that only drain interrupts,
+// never one impatient client.
+func (s *Server) runAnalyze(parent context.Context, jb *job, q *preparedAnalysis, req *AnalyzeRequest) (*AnalyzeResponse, error) {
+	timeout := time.Duration(req.TimeoutMS) * time.Millisecond
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	var qctx context.Context
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		qctx, cancel = context.WithTimeout(parent, timeout)
+	} else {
+		qctx, cancel = context.WithCancel(parent)
+	}
+	defer cancel()
+	stop := context.AfterFunc(s.queryCtx, cancel) // drain interrupts the batch
+	defer stop()
+
+	var resp *AnalyzeResponse
+	err := s.sched.RunAdmitted(qctx, func(ctx context.Context, fairWorkers int) error {
+		opts := q.compileOpts
+		if opts.Workers == 0 {
+			opts.Workers = fairWorkers
+		}
+		cn, hit, err := s.cache.GetOrCompile(ctx, q.fingerprint, func() (*vnn.CompiledNetwork, error) {
+			return vnn.Compile(s.queryCtx, q.net, q.region, opts)
+		})
+		if err != nil {
+			return err
+		}
+		qopts := opts
+		qopts.Parallel = req.Options.Parallel
+		qopts.MaxNodes = req.Options.MaxNodes
+		qopts.Progress = jb.publish
+		for _, a := range q.analyses {
+			if qs, ok := a.(*vnn.QuantSweep); ok {
+				qs.Compile = s.cachedCompile
+			}
+		}
+		findings, err := vnn.Analyze(ctx, cn.WithOptions(qopts), q.analyses...)
+		if err != nil {
+			return err
+		}
+		var nodes, pivots int64
+		for _, f := range findings {
+			for _, res := range f.Verification {
+				nodes += int64(res.Stats.Nodes)
+				pivots += int64(res.Stats.LPPivots)
+			}
+			if f.QuantSweep != nil {
+				for _, res := range f.QuantSweep.Base {
+					nodes += int64(res.Stats.Nodes)
+					pivots += int64(res.Stats.LPPivots)
+				}
+				for _, pt := range f.QuantSweep.Points {
+					for _, res := range pt.Results {
+						nodes += int64(res.Stats.Nodes)
+						pivots += int64(res.Stats.LPPivots)
+					}
+				}
+			}
+		}
+		s.nodes.Add(nodes)
+		s.pivots.Add(pivots)
+		xNodes.Add(nodes)
+		xLPPivots.Add(pivots)
+		resp = &AnalyzeResponse{
+			ID:          jb.id,
+			Fingerprint: q.fingerprint,
+			CacheHit:    hit,
+			CompileMS:   float64(cn.CompileTime().Microseconds()) / 1e3,
+			Report:      vnn.NewAnalysisReport(q.net, findings),
+		}
+		return nil
+	})
+	s.analyzes.Add(1)
+	xAnalyzes.Add(1)
+	if err == nil {
+		// Per-kind accounting happens once per completed batch so the
+		// counters mean "analyses served", not "analyses attempted".
+		for _, kind := range q.kinds {
+			s.countAnalysis(kind)
+		}
+	}
+	jb.finish(resp, err)
+	return resp, err
+}
+
+// cachedCompile is the CompileFunc the server injects into quantization
+// sweeps: share one compile per distinct quantized model through the
+// LRU/singleflight cache, keyed on the fingerprint the sweep already
+// computed for its finding.
+func (s *Server) cachedCompile(ctx context.Context, fp string, net *vnn.Network, region *vnn.Region, opts vnn.Options) (*vnn.CompiledNetwork, error) {
+	copts := vnn.Options{Tighten: opts.Tighten, Workers: opts.Workers}
+	cn, _, err := s.cache.GetOrCompile(ctx, fp, func() (*vnn.CompiledNetwork, error) {
+		return vnn.Compile(s.queryCtx, net, region, copts)
+	})
+	return cn, err
+}

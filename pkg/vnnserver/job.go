@@ -17,8 +17,10 @@ const maxReplayEvents = 256
 // for result/event retrieval before the oldest are forgotten.
 const maxRetainedJobs = 256
 
-// job is one verification query's lifecycle: progress events buffered for
-// replay and fanned out to live subscribers, then a terminal response.
+// job is one query's lifecycle — verification or analysis batch alike:
+// progress events buffered for replay and fanned out to live subscribers,
+// then a terminal response (a *VerifyResponse or *AnalyzeResponse,
+// whichever endpoint created the job).
 type job struct {
 	id          string
 	fingerprint string
@@ -30,7 +32,7 @@ type job struct {
 	subs    map[chan vnn.Event]struct{}
 
 	done chan struct{} // closed by finish
-	resp *VerifyResponse
+	resp any
 	err  error
 }
 
@@ -69,7 +71,7 @@ func (j *job) subscribe() (replay []vnn.Event, live chan vnn.Event, cancel func(
 }
 
 // finish records the terminal answer and wakes everyone waiting on done.
-func (j *job) finish(resp *VerifyResponse, err error) {
+func (j *job) finish(resp any, err error) {
 	j.mu.Lock()
 	j.resp, j.err = resp, err
 	j.mu.Unlock()
@@ -77,7 +79,7 @@ func (j *job) finish(resp *VerifyResponse, err error) {
 }
 
 // result returns the terminal answer; valid only after done is closed.
-func (j *job) result() (*VerifyResponse, error) {
+func (j *job) result() (any, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.resp, j.err

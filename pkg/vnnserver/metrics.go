@@ -16,10 +16,14 @@ var (
 	xCacheMisses    = expvar.NewInt("vnnd.cache.misses")
 	xCacheEvictions = expvar.NewInt("vnnd.cache.evictions")
 	xQueries        = expvar.NewInt("vnnd.queries")
+	xAnalyzes       = expvar.NewInt("vnnd.analyzes")
 	xFalsifications = expvar.NewInt("vnnd.falsifications")
 	xRejected       = expvar.NewInt("vnnd.rejected")
 	xNodes          = expvar.NewInt("vnnd.nodes")
 	xLPPivots       = expvar.NewInt("vnnd.lp_pivots")
+	// xAnalysisKinds counts analyses served through /v1/analyze by kind
+	// (vnnd.analyses.coverage, vnnd.analyses.quant_sweep, ...).
+	xAnalysisKinds = expvar.NewMap("vnnd.analyses")
 )
 
 // Metrics is the /metrics snapshot: cache effectiveness, admission state,
@@ -28,30 +32,36 @@ var (
 // truth that cached compilations are actually reused (cache hits add
 // zero passes).
 type Metrics struct {
-	UptimeMS       float64        `json:"uptime_ms"`
-	Draining       bool           `json:"draining"`
-	Cache          CacheStats     `json:"cache"`
-	Scheduler      SchedulerStats `json:"scheduler"`
-	Queries        int64          `json:"queries"`
-	Falsifications int64          `json:"falsifications"`
-	Nodes          int64          `json:"nodes"`
-	LPPivots       int64          `json:"lp_pivots"`
-	EncodePasses   int64          `json:"encode_passes"`
-	TightenPasses  int64          `json:"tighten_passes"`
+	UptimeMS  float64        `json:"uptime_ms"`
+	Draining  bool           `json:"draining"`
+	Cache     CacheStats     `json:"cache"`
+	Scheduler SchedulerStats `json:"scheduler"`
+	Queries   int64          `json:"queries"`
+	// AnalyzeRequests counts /v1/analyze batches; Analyses breaks the
+	// served analyses down by kind (coverage, quant_sweep, ...).
+	AnalyzeRequests int64            `json:"analyze_requests"`
+	Analyses        map[string]int64 `json:"analyses"`
+	Falsifications  int64            `json:"falsifications"`
+	Nodes           int64            `json:"nodes"`
+	LPPivots        int64            `json:"lp_pivots"`
+	EncodePasses    int64            `json:"encode_passes"`
+	TightenPasses   int64            `json:"tighten_passes"`
 }
 
 // Metrics snapshots the server's observable state.
 func (s *Server) Metrics() Metrics {
 	return Metrics{
-		UptimeMS:       msSince(s.start),
-		Draining:       s.draining.Load(),
-		Cache:          s.cache.Stats(),
-		Scheduler:      s.sched.Stats(),
-		Queries:        s.queries.Load(),
-		Falsifications: s.falsifications.Load(),
-		Nodes:          s.nodes.Load(),
-		LPPivots:       s.pivots.Load(),
-		EncodePasses:   verify.EncodePasses(),
-		TightenPasses:  verify.TightenPasses(),
+		UptimeMS:        msSince(s.start),
+		Draining:        s.draining.Load(),
+		Cache:           s.cache.Stats(),
+		Scheduler:       s.sched.Stats(),
+		Queries:         s.queries.Load(),
+		AnalyzeRequests: s.analyzes.Load(),
+		Analyses:        s.analysisCounts(),
+		Falsifications:  s.falsifications.Load(),
+		Nodes:           s.nodes.Load(),
+		LPPivots:        s.pivots.Load(),
+		EncodePasses:    verify.EncodePasses(),
+		TightenPasses:   verify.TightenPasses(),
 	}
 }

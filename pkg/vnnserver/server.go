@@ -24,13 +24,20 @@
 //
 // Endpoints:
 //
-//	POST /v1/verify             batch of properties over one network+region
-//	GET  /v1/verify/{id}        result of a (possibly async) query
-//	GET  /v1/verify/{id}/events SSE progress stream, terminated by the result
-//	POST /v1/falsify            PGD falsification pre-pass
-//	GET  /healthz               liveness and drain state
-//	GET  /metrics               JSON metrics snapshot (see Metrics)
-//	GET  /debug/vars            standard expvar dump (vnnd.* counters)
+//	POST /v1/verify              batch of properties over one network+region
+//	GET  /v1/verify/{id}         result of a (possibly async) query
+//	GET  /v1/verify/{id}/events  SSE progress stream, terminated by the result
+//	POST /v1/analyze             dependability portfolio batch (coverage,
+//	                             traceability, quant sweeps, data validation,
+//	                             verification, falsification) over one
+//	                             compiled network — see AnalyzeRequest
+//	GET  /v1/analyze/{id}        result of a (possibly async) analyze batch
+//	GET  /v1/analyze/{id}/events SSE per-analysis progress stream
+//	POST /v1/falsify             PGD falsification pre-pass
+//	GET  /healthz                liveness and drain state
+//	GET  /metrics                JSON metrics snapshot (see Metrics),
+//	                             including per-kind analysis counters
+//	GET  /debug/vars             standard expvar dump (vnnd.* counters)
 package vnnserver
 
 import (
@@ -87,9 +94,35 @@ type Server struct {
 	wg      sync.WaitGroup // async (wait:false) queries in flight
 
 	queries        atomic.Int64
+	analyzes       atomic.Int64
 	falsifications atomic.Int64
 	nodes          atomic.Int64
 	pivots         atomic.Int64
+
+	// analysisMu guards analysisKinds, the per-kind count of analyses
+	// served through /v1/analyze.
+	analysisMu    sync.Mutex
+	analysisKinds map[string]int64
+}
+
+// countAnalysis bumps the per-kind analysis counters (server snapshot and
+// process-wide expvar map).
+func (s *Server) countAnalysis(kind string) {
+	s.analysisMu.Lock()
+	s.analysisKinds[kind]++
+	s.analysisMu.Unlock()
+	xAnalysisKinds.Add(kind, 1)
+}
+
+// analysisCounts snapshots the per-kind analysis counters.
+func (s *Server) analysisCounts() map[string]int64 {
+	s.analysisMu.Lock()
+	defer s.analysisMu.Unlock()
+	out := make(map[string]int64, len(s.analysisKinds))
+	for k, v := range s.analysisKinds {
+		out[k] = v
+	}
+	return out
 }
 
 // New builds a Server from cfg.
@@ -106,11 +139,15 @@ func New(cfg Config) *Server {
 		start:         time.Now(),
 		queryCtx:      qctx,
 		cancelQueries: cancel,
+		analysisKinds: make(map[string]int64),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/verify", s.handleVerify)
 	mux.HandleFunc("GET /v1/verify/{id}", s.handleGetVerify)
 	mux.HandleFunc("GET /v1/verify/{id}/events", s.handleEvents)
+	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("GET /v1/analyze/{id}", s.handleGetVerify)
+	mux.HandleFunc("GET /v1/analyze/{id}/events", s.handleEvents)
 	mux.HandleFunc("POST /v1/falsify", s.handleFalsify)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -422,8 +459,11 @@ func (s *Server) handleGetVerify(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// progressEvent is the SSE wire form of one vnn.Event.
+// progressEvent is the SSE wire form of one vnn.Event. Analysis is the
+// index of the emitting analysis within an /v1/analyze batch (always 0
+// for /v1/verify jobs).
 type progressEvent struct {
+	Analysis  int      `json:"analysis"`
 	Property  int      `json:"property"`
 	Nodes     int      `json:"nodes"`
 	Open      int      `json:"open"`
@@ -434,6 +474,7 @@ type progressEvent struct {
 
 func toProgressEvent(ev vnn.Event) progressEvent {
 	pe := progressEvent{
+		Analysis:  ev.Analysis,
 		Property:  ev.Property,
 		Nodes:     ev.Nodes,
 		Open:      ev.Open,
@@ -529,10 +570,9 @@ func (s *Server) handleFalsify(w http.ResponseWriter, r *http.Request) {
 	}
 	// Bound the work a single request can demand; the endpoint is a cheap
 	// pre-pass, not an open-ended compute API.
-	const maxRestarts, maxSteps = 1024, 10000
-	if req.Restarts < 0 || req.Restarts > maxRestarts || req.Steps < 0 || req.Steps > maxSteps {
+	if req.Restarts < 0 || req.Restarts > maxFalsifyRestarts || req.Steps < 0 || req.Steps > maxFalsifySteps {
 		writeError(w, http.StatusBadRequest,
-			fmt.Sprintf("restarts must be in [0, %d] and steps in [0, %d]", maxRestarts, maxSteps))
+			fmt.Sprintf("restarts must be in [0, %d] and steps in [0, %d]", maxFalsifyRestarts, maxFalsifySteps))
 		return
 	}
 	for _, o := range req.Outputs {
