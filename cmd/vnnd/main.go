@@ -85,10 +85,44 @@
 //	  ]
 //	}'
 //
-// "verify" and "falsify" analysis kinds complete the portfolio; "wait":
-// false and GET /v1/analyze/{id}[/events] work exactly as for verify
-// (progress events carry the emitting analysis's index). /metrics
-// reports served analyses by kind under "analyses".
+// "verify", "falsify" and "monitor_audit" analysis kinds complete the
+// portfolio; "wait": false and GET /v1/analyze/{id}[/events] work exactly
+// as for verify (progress events carry the emitting analysis's index).
+// /metrics reports served analyses by kind under "analyses".
+//
+// # Online inference with runtime monitoring: /v1/infer
+//
+// The service does not only certify networks — it runs them. POST
+// /v1/infer evaluates a batch of inputs, returning predictions that are
+// bit-identical to nn.Forward plus, when "monitor" is present, a
+// per-input runtime verdict: an activation-pattern monitor is built from
+// the given dataset against the compiled network's proven pre-activation
+// bounds (patterns the bounds prove unreachable over the region are
+// rejected at build time — see "monitor_rejected"), cached under its own
+// workload fingerprint, and every input whose pattern is farther than
+// "gamma" (Hamming distance, per monitored layer) from anything the
+// dataset exercised is flagged before its prediction is trusted:
+//
+//	curl -s localhost:8419/v1/infer -d '{
+//	  "network": '"$(cat i4x10.json)"',
+//	  "region": {"name": "left_occupied"},
+//	  "inputs": [[0.5, 0.5, ...], ...],
+//	  "monitor": {"data": [[0.5, 0.5, ...], ...], "gamma": 2}
+//	}'
+//	{"fingerprint":"vnn1-...","cache_hit":true,
+//	 "monitor_fingerprint":"vnnm1-...","monitor_cache_hit":true,
+//	 "monitor_patterns":412,"monitor_rejected":3,
+//	 "outputs":[[...], ...],
+//	 "verdicts":[{"ok":true,"layer":3,"distance":1},
+//	             {"ok":false,"layer":1,"distance":7}, ...],
+//	 "flagged":1}
+//
+// The endpoint is the service's low-latency plane: no admission queue, no
+// SSE jobs, allocation-free forward passes over pooled scratch. Omit
+// "monitor" for plain (unsupervised) inference — that path never compiles
+// anything. Repeated monitored requests hit both the compile cache and
+// the monitor cache; /metrics reports the plane under "infer" and the
+// vnnd.infer.* expvars (requests, inputs, flagged, monitor hits/misses).
 //
 // # Shutdown semantics
 //

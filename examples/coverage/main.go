@@ -61,9 +61,11 @@ func main() {
 		cov.Suite.Patterns(), cov.BranchCombinations)
 
 	// The same generator on the branch-free tanh net, via the standalone
-	// helper (tanh cannot be MILP-compiled — and does not need to be:
-	// one test satisfies its condition coverage).
+	// helper (tanh cannot be MILP-compiled — and does not need to be): a
+	// network without ReLU branches carries no sign-coverage obligations
+	// at all, so the suite is vacuously complete and generation stops
+	// before sampling a single input.
 	suite, _ := vnn.GenerateCoverage(tanh, box, rand.NewSource(2), vnn.CoverageGenOptions{MaxTests: 100})
-	fmt.Printf("\ntanh control: %s (MC/DC already satisfied by %d test)\n",
+	fmt.Printf("\ntanh control: %s (no branches: MC/DC already satisfied by %d test)\n",
 		suite, vnn.RequiredMCDCTests(tanh))
 }

@@ -3,6 +3,9 @@
 // same data; one adds the property penalty ("hints") that punishes left
 // lateral-velocity suggestions in left-occupied states. Formal verification
 // then shows the hinted network attains a smaller provable maximum.
+//
+// The whole run — data generation, validation, training, hint fine-tuning
+// and verification — uses only the public packages (pkg/highway, pkg/vnn).
 package main
 
 import (
@@ -12,26 +15,22 @@ import (
 	"math/rand"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/dataval"
-	"repro/internal/highway"
-	"repro/internal/train"
+	"repro/pkg/highway"
 	"repro/pkg/vnn"
 )
 
 func main() {
 	log.SetFlags(0)
-	cfg := highway.DefaultDatasetConfig()
-	data, err := highway.GenerateDataset(cfg)
+	data, err := highway.GenerateDataset(highway.DefaultDatasetConfig())
 	if err != nil {
 		log.Fatal(err)
 	}
-	clean, _ := dataval.Sanitize(data, core.SafetyRules(1e-9))
+	clean, _ := vnn.SanitizeData(data, vnn.SafetyRules(1e-9))
 	fmt.Printf("training a predictor on %d validated samples\n\n", len(clean))
 
-	pred := core.NewPredictorNet(2, 8, 2, 11)
-	trainer := &train.Trainer{
-		Net: pred.Net, Loss: train.MDN{K: 2}, Opt: train.NewAdam(0.003),
+	pred := vnn.NewPredictor(2, 8, 2, 11)
+	trainer := &vnn.Trainer{
+		Net: pred.Net, Loss: vnn.MDN{K: 2}, Opt: vnn.NewAdam(0.003),
 		BatchSize: 64, Rng: rand.New(rand.NewSource(11)), ClipNorm: 20,
 	}
 	trainer.Fit(clean, 15)
@@ -48,7 +47,7 @@ func main() {
 
 	// Fine-tune the same network under the known property: penalty loss,
 	// property-derived samples, and counterexample-guided rounds.
-	if err := core.HintFineTune(pred, clean, core.HintConfig{Seed: 11}); err != nil {
+	if err := vnn.HintFineTune(pred, clean, vnn.HintConfig{Seed: 11}); err != nil {
 		log.Fatal(err)
 	}
 	after, err := pred.VerifySafety(ctx, opts)

@@ -2,7 +2,8 @@
 // simulate highway traffic, validate the generated data against safety
 // rules, train an ANN-based motion predictor with a Gaussian-mixture head,
 // render the scene and the predicted action distribution (Fig. 1), and
-// formally verify the left-lane safety property (Table II, one row).
+// formally verify the left-lane safety property (Table II, one row) —
+// entirely through the public packages (pkg/highway, pkg/vnn).
 package main
 
 import (
@@ -12,11 +13,7 @@ import (
 	"math/rand"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/dataval"
-	"repro/internal/gmm"
-	"repro/internal/highway"
-	"repro/internal/train"
+	"repro/pkg/highway"
 	"repro/pkg/vnn"
 )
 
@@ -25,8 +22,7 @@ func main() {
 
 	// 1. Simulate and label (the substitute for the proprietary data).
 	fmt.Println("== 1. data generation ==")
-	cfg := highway.DefaultDatasetConfig()
-	data, err := highway.GenerateDataset(cfg)
+	data, err := highway.GenerateDataset(highway.DefaultDatasetConfig())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -34,19 +30,19 @@ func main() {
 
 	// 2. Validate the data as specification (Sec. II C).
 	fmt.Println("\n== 2. data validation ==")
-	rules := core.SafetyRules(1e-9)
-	report := dataval.Validate(data, rules)
+	rules := vnn.SafetyRules(1e-9)
+	report := vnn.ValidateData(data, rules)
 	fmt.Print(report)
-	clean, removed := dataval.Sanitize(data, rules)
+	clean, removed := vnn.SanitizeData(data, rules)
 	fmt.Printf("removed %d, kept %d\n", removed, len(clean))
 
 	// 3. Train the predictor (scaled-down I2×10 for a fast demo).
 	fmt.Println("\n== 3. training ==")
-	pred := core.NewPredictorNet(2, 10, 2, 7)
-	trainer := &train.Trainer{
+	pred := vnn.NewPredictor(2, 10, 2, 7)
+	trainer := &vnn.Trainer{
 		Net:       pred.Net,
-		Loss:      train.MDN{K: 2},
-		Opt:       train.NewAdam(0.003),
+		Loss:      vnn.MDN{K: 2},
+		Opt:       vnn.NewAdam(0.003),
 		BatchSize: 64,
 		Rng:       rand.New(rand.NewSource(7)),
 		ClipNorm:  20,
@@ -71,7 +67,7 @@ func main() {
 	mix := pred.Predict(obs.Encode())
 	mean := mix.Mean()
 	fmt.Printf("\npredicted action: lateral velocity %.2f m/s, longitudinal accel %.2f m/s²\n",
-		mean[gmm.LatVel], mean[gmm.LongAcc])
+		mean[vnn.GMMLatVel], mean[vnn.GMMLongAcc])
 	fmt.Println("action distribution over (lateral velocity ←→, longitudinal accel ↑↓):")
 	for _, row := range mix.Grid(-3, 3, -3, 3, 48, 12) {
 		fmt.Println(" ", row)

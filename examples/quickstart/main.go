@@ -8,7 +8,6 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/nn"
 	"repro/pkg/vnn"
 )
 
@@ -16,11 +15,11 @@ func main() {
 	log.SetFlags(0)
 	// A hand-built network computing y = relu(x0 - x1) + relu(x1 - x0),
 	// i.e. |x0 - x1|.
-	net := &nn.Network{
+	net := &vnn.Network{
 		Name: "absdiff",
-		Layers: []*nn.Layer{
-			{W: [][]float64{{1, -1}, {-1, 1}}, B: []float64{0, 0}, Act: nn.ReLU},
-			{W: [][]float64{{1, 1}}, B: []float64{0}, Act: nn.Identity},
+		Layers: []*vnn.Layer{
+			{W: [][]float64{{1, -1}, {-1, 1}}, B: []float64{0, 0}, Act: vnn.ReLU},
+			{W: [][]float64{{1, 1}}, B: []float64{0}, Act: vnn.Identity},
 		},
 	}
 	if err := net.Validate(); err != nil {

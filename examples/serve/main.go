@@ -16,8 +16,6 @@ import (
 	"net/http"
 	"sync"
 
-	"repro/internal/core"
-	"repro/internal/verify"
 	"repro/pkg/vnn"
 	"repro/pkg/vnnserver"
 )
@@ -49,7 +47,7 @@ func main() {
 		distinct[i] = requestBody(int64(100 + i))
 	}
 
-	encBefore, tightBefore := verify.EncodePasses(), verify.TightenPasses()
+	encBefore, tightBefore := vnn.EncodePasses(), vnn.TightenPasses()
 
 	var wg sync.WaitGroup
 	var mu sync.Mutex
@@ -92,7 +90,7 @@ func main() {
 		identicalClients+distinctClients, identicalClients, distinctClients)
 	fmt.Printf("  cache hits   %d\n  cache misses %d (one compile per distinct workload)\n", hits, misses)
 	fmt.Printf("  encode passes  +%d\n  tighten passes +%d\n",
-		verify.EncodePasses()-encBefore, verify.TightenPasses()-tightBefore)
+		vnn.EncodePasses()-encBefore, vnn.TightenPasses()-tightBefore)
 
 	// The service's own view of the same numbers.
 	var m vnnserver.Metrics
@@ -114,7 +112,7 @@ func main() {
 // requestBody builds a verify request for a small width-10 predictor
 // seeded by seed: same seed, same canonical bytes, same fingerprint.
 func requestBody(seed int64) []byte {
-	pred := core.NewPredictorNet(1, 10, 1, seed)
+	pred := vnn.NewPredictor(1, 10, 1, seed)
 	netJSON, err := vnn.MarshalNetwork(pred.Net)
 	if err != nil {
 		log.Fatal(err)

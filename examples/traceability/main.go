@@ -11,9 +11,7 @@ import (
 	"log"
 	"math/rand"
 
-	"repro/internal/core"
-	"repro/internal/highway"
-	"repro/internal/train"
+	"repro/pkg/highway"
 	"repro/pkg/vnn"
 )
 
@@ -26,9 +24,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	pred := core.NewPredictorNet(2, 8, 2, 5)
-	trainer := &train.Trainer{
-		Net: pred.Net, Loss: train.MDN{K: 2}, Opt: train.NewAdam(0.003),
+	pred := vnn.NewPredictor(2, 8, 2, 5)
+	trainer := &vnn.Trainer{
+		Net: pred.Net, Loss: vnn.MDN{K: 2}, Opt: vnn.NewAdam(0.003),
 		BatchSize: 64, Rng: rand.New(rand.NewSource(5)), ClipNorm: 20,
 	}
 	trainer.Fit(data, 10)
@@ -41,7 +39,7 @@ func main() {
 	for i := 0; i < len(data) && i < 400; i++ {
 		inputs = append(inputs, data[i].X)
 	}
-	cn, err := vnn.Compile(context.Background(), pred.Net, core.LeftOccupiedRegion(), vnn.Options{})
+	cn, err := vnn.Compile(context.Background(), pred.Net, vnn.LeftOccupiedRegion(), vnn.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

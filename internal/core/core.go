@@ -1,20 +1,21 @@
 // Package core assembles the paper's case study: an ANN-based highway
 // motion predictor (84 inputs → Gaussian-mixture action distribution) and
 // the certification pipeline of Table I — data validation, training,
-// neuron-to-feature traceability, coverage analysis and formal verification
-// of the safety property "if a vehicle exists on the left of the ego
-// vehicle, the predictor never suggests a large left lateral velocity".
+// neuron-to-feature traceability, coverage analysis, runtime monitoring
+// and formal verification of the safety property "if a vehicle exists on
+// the left of the ego vehicle, the predictor never suggests a large left
+// lateral velocity".
+//
+// The predictor itself — construction, decoding, safety queries, hints
+// fine-tuning, safety rules — is public API now (pkg/vnn, where the
+// examples use it without internal imports); this package keeps thin
+// aliases for its internal callers and owns the end-to-end certification
+// pipeline (RunPipeline).
 package core
 
 import (
-	"context"
-	"fmt"
 	"math/rand"
 
-	"repro/internal/gmm"
-	"repro/internal/highway"
-	"repro/internal/nn"
-	"repro/internal/train"
 	"repro/pkg/vnn"
 )
 
@@ -22,96 +23,39 @@ import (
 // Gaussian-mixture head.
 const DefaultComponents = 3
 
-// Predictor wraps a trained network with its mixture-head decoding.
-type Predictor struct {
-	Net *nn.Network
-	K   int // mixture components
-}
+// Predictor wraps a trained network with its mixture-head decoding; it is
+// the public vnn.Predictor.
+type Predictor = vnn.Predictor
+
+// HintConfig tunes HintFineTune; it is the public vnn.HintConfig.
+type HintConfig = vnn.HintConfig
 
 // NewPredictorNet constructs an untrained predictor network in the paper's
-// I<depth>×<width> family: 84 inputs, `depth` hidden ReLU layers of
-// `width` neurons, and a linear gmm head with k components.
+// I<depth>×<width> family (see vnn.NewPredictor).
 func NewPredictorNet(depth, width, k int, seed int64) *Predictor {
-	if depth < 1 || width < 1 || k < 1 {
-		panic(fmt.Sprintf("core: bad predictor shape depth=%d width=%d k=%d", depth, width, k))
-	}
-	hidden := make([]int, depth)
-	for i := range hidden {
-		hidden[i] = width
-	}
-	rng := rand.New(rand.NewSource(seed))
-	outNames := make([]string, k*gmm.RawPerComponent)
-	for i := 0; i < k; i++ {
-		base := i * gmm.RawPerComponent
-		outNames[base+gmm.RawLogit] = fmt.Sprintf("c%d.logit", i)
-		outNames[base+gmm.RawMuLat] = fmt.Sprintf("c%d.mu_lat", i)
-		outNames[base+gmm.RawMuLong] = fmt.Sprintf("c%d.mu_long", i)
-		outNames[base+gmm.RawLogSigLat] = fmt.Sprintf("c%d.logsig_lat", i)
-		outNames[base+gmm.RawLogSigLong] = fmt.Sprintf("c%d.logsig_long", i)
-	}
-	net := nn.New(nn.Config{
-		Name:        fmt.Sprintf("predictor-I%dx%d", depth, width),
-		InputDim:    highway.FeatureDim,
-		Hidden:      hidden,
-		OutputDim:   k * gmm.RawPerComponent,
-		HiddenAct:   nn.ReLU,
-		OutputAct:   nn.Identity,
-		InputNames:  highway.FeatureNames(),
-		OutputNames: outNames,
-	}, rng)
-	train.InitMDNHead(net, k, 1.0, -1, rng)
-	return &Predictor{Net: net, K: k}
+	return vnn.NewPredictor(depth, width, k, seed)
 }
-
-// Predict decodes the network output at x into an action distribution.
-func (p *Predictor) Predict(x []float64) gmm.Mixture {
-	return gmm.Decode(p.Net.Forward(x))
-}
-
-// SuggestAction returns the dominant-component action suggestion
-// (lateral velocity, longitudinal acceleration).
-func (p *Predictor) SuggestAction(x []float64) (latVel, longAcc float64) {
-	c := p.Predict(x).Dominant()
-	return c.Mean[gmm.LatVel], c.Mean[gmm.LongAcc]
-}
-
-// MuLatOutputs lists the raw-output indices of all component lateral-
-// velocity means — the outputs the verifier bounds.
-func (p *Predictor) MuLatOutputs() []int { return vnn.MuLatOutputs(p.K) }
 
 // LeftOccupiedRegion is the input region of the paper's safety property;
 // it lives in pkg/vnn together with the rest of the query surface.
 func LeftOccupiedRegion() *vnn.Region { return vnn.LeftOccupiedRegion() }
 
-// VerifySafety bounds the maximum lateral-velocity component mean over the
-// left-occupied region (the Table II "maximum lateral velocity" column).
-// Bounding every component mean soundly bounds the mixture mean. The
-// network is compiled for this one query; callers running several queries
-// should vnn.Compile once themselves.
-func (p *Predictor) VerifySafety(ctx context.Context, opts vnn.Options) (*vnn.Result, error) {
-	cn, err := vnn.Compile(ctx, p.Net, LeftOccupiedRegion(), opts)
-	if err != nil {
-		return nil, err
-	}
-	return vnn.VerifyOne(ctx, cn, vnn.MaxOverOutputs(p.MuLatOutputs()...))
+// SafetyRules returns the data-validation rules of the case study (see
+// vnn.SafetyRules).
+func SafetyRules(latTol float64) []vnn.DataRule { return vnn.SafetyRules(latTol) }
+
+// HintAugment manufactures property-derived training samples (see
+// vnn.HintAugment).
+func HintAugment(n int, rng *rand.Rand) []vnn.Sample { return vnn.HintAugment(n, rng) }
+
+// HintFineTune fine-tunes a trained predictor under the known safety
+// property (see vnn.HintFineTune).
+func HintFineTune(pred *Predictor, data []vnn.Sample, cfg HintConfig) error {
+	return vnn.HintFineTune(pred, data, cfg)
 }
 
-// ProveSafetyBound proves that no lateral-velocity component mean exceeds
-// the threshold over the left-occupied region (Table II's last row, with
-// threshold 3 m/s in the paper). It returns the aggregate verdict and the
-// per-component results, all answered on one compiled encoding.
-func (p *Predictor) ProveSafetyBound(ctx context.Context, threshold float64, opts vnn.Options) (vnn.Outcome, []*vnn.Result, error) {
-	cn, err := vnn.Compile(ctx, p.Net, LeftOccupiedRegion(), opts)
-	if err != nil {
-		return 0, nil, err
-	}
-	props := make([]vnn.Property, 0, p.K)
-	for _, out := range p.MuLatOutputs() {
-		props = append(props, vnn.AtMost(out, threshold))
-	}
-	results, err := vnn.Verify(ctx, cn, props...)
-	if err != nil {
-		return 0, nil, err
-	}
-	return vnn.Worst(results), results, nil
+// AdversarialHintRounds runs counterexample-guided hint training rounds
+// (see vnn.AdversarialHintRounds).
+func AdversarialHintRounds(pred *Predictor, trainer *vnn.Trainer, data []vnn.Sample, rounds, epochsPerRound, samplesPerRound int, rng *rand.Rand) ([]vnn.Sample, error) {
+	return vnn.AdversarialHintRounds(pred, trainer, data, rounds, epochsPerRound, samplesPerRound, rng)
 }

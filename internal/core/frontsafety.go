@@ -1,17 +1,15 @@
 package core
 
 import (
-	"context"
-
 	"repro/pkg/vnn"
 )
 
 // The paper decomposes the predictor's action into a lateral-velocity
 // indicator ("is it feasible to switch lanes") and a longitudinal-
-// acceleration indicator ("is it feasible to accelerate"). The case study
-// verifies the lateral property; this file adds the symmetric longitudinal
-// one — "if a vehicle is close ahead, the predictor never suggests strong
-// acceleration" — exercising the same machinery on the second indicator.
+// acceleration indicator ("is it feasible to accelerate"). The symmetric
+// longitudinal property — "if a vehicle is close ahead, the predictor
+// never suggests strong acceleration" — lives on vnn.Predictor next to
+// the lateral one; these aliases remain for internal callers.
 
 // FrontGapClose is the upper end of the normalized front gap considered
 // "close ahead"; see vnn.FrontGapClose.
@@ -20,36 +18,3 @@ const FrontGapClose = vnn.FrontGapClose
 // FrontCloseRegion quantifies over every input with a vehicle close ahead;
 // it lives in pkg/vnn together with the rest of the query surface.
 func FrontCloseRegion() *vnn.Region { return vnn.FrontCloseRegion() }
-
-// MuLongOutputs lists the raw-output indices of all component longitudinal-
-// acceleration means.
-func (p *Predictor) MuLongOutputs() []int { return vnn.MuLongOutputs(p.K) }
-
-// VerifyFrontSafety bounds the maximum longitudinal-acceleration component
-// mean over the close-front region. A sound bound on every component mean
-// bounds the mixture's suggested acceleration.
-func (p *Predictor) VerifyFrontSafety(ctx context.Context, opts vnn.Options) (*vnn.Result, error) {
-	cn, err := vnn.Compile(ctx, p.Net, FrontCloseRegion(), opts)
-	if err != nil {
-		return nil, err
-	}
-	return vnn.VerifyOne(ctx, cn, vnn.MaxOverOutputs(p.MuLongOutputs()...))
-}
-
-// ProveFrontSafetyBound proves the acceleration suggestion stays at or
-// below threshold (m/s²) whenever a vehicle is close ahead.
-func (p *Predictor) ProveFrontSafetyBound(ctx context.Context, threshold float64, opts vnn.Options) (vnn.Outcome, []*vnn.Result, error) {
-	cn, err := vnn.Compile(ctx, p.Net, FrontCloseRegion(), opts)
-	if err != nil {
-		return 0, nil, err
-	}
-	props := make([]vnn.Property, 0, p.K)
-	for _, out := range p.MuLongOutputs() {
-		props = append(props, vnn.AtMost(out, threshold))
-	}
-	results, err := vnn.Verify(ctx, cn, props...)
-	if err != nil {
-		return 0, nil, err
-	}
-	return vnn.Worst(results), results, nil
-}

@@ -12,29 +12,6 @@ import (
 	"repro/pkg/vnn"
 )
 
-// SafetyRules returns the data-validation rules of the case study
-// (Sec. II (C)): structural sanity plus the property that no training
-// sample exhibits a left move with the left slot occupied beyond latTol.
-// The rules are built through the public vnn rule machinery, so the same
-// values feed both the pre-training sanitization here and DataValidation
-// analyses served over the wire.
-func SafetyRules(latTol float64) []vnn.DataRule {
-	rules := []vnn.DataRule{
-		vnn.DimensionRule(highway.FeatureDim, 2),
-		vnn.FiniteRule(),
-		vnn.RangeRule(0, 1),
-		vnn.NewDataRule("no-left-move-when-left-occupied",
-			"no sample commands positive lateral velocity while the left slot is occupied",
-			func(s vnn.Sample) string {
-				if highway.LeftOccupiedInFeatures(s.X) && s.Y[0] > latTol {
-					return fmt.Sprintf("lat_vel %.3f with left occupied", s.Y[0])
-				}
-				return ""
-			}),
-	}
-	return rules
-}
-
 // PipelineConfig configures a full certification run.
 type PipelineConfig struct {
 	// Depth and Width give the I<Depth>×<Width> architecture.
@@ -96,6 +73,11 @@ type PipelineResult struct {
 	// analysis can close).
 	AttackLatVel float64
 
+	// Operation-time dependability: the runtime activation-pattern
+	// monitor built from the training data against the compiled bounds,
+	// audited with coverage-generated region inputs.
+	Monitor *vnn.MonitorFinding
+
 	// Implementation correctness: formal view (Sec. II B, positive result).
 	MaxLatVel   *vnn.Result
 	ProveResult vnn.Outcome
@@ -127,6 +109,11 @@ func (r *PipelineResult) String() string {
 	fmt.Fprintf(&b, "  training: final loss %.4f (val %.4f)\n", r.FinalLoss, r.ValLoss)
 	fmt.Fprintf(&b, "  traceability: %d neurons analyzed, %d dead\n", len(r.Traceability.Neurons), len(r.Traceability.DeadNeurons()))
 	fmt.Fprintf(&b, "  testing: %s; exhaustive branches=%s, MC/DC lower bound=%d tests\n", r.Coverage, r.BranchCount, r.RequiredMCDCTests)
+	if r.Monitor != nil {
+		fmt.Fprintf(&b, "  runtime monitor: %d patterns from %d inputs (%d rejected as unreachable), audit flagged %d/%d (%.1f%%)\n",
+			r.Monitor.Patterns, r.Monitor.BuildInputs, r.Monitor.RejectedUnreachable,
+			r.Monitor.Flagged, r.Monitor.Audited, 100*r.Monitor.FlaggedFraction)
+	}
 	if r.MaxLatVel != nil {
 		fmt.Fprintf(&b, "  falsification: best attack reached %.4f m/s\n", r.AttackLatVel)
 		fmt.Fprintf(&b, "  verification: max lateral velocity %.4f m/s (exact=%v, %.1fs)\n",
@@ -240,6 +227,7 @@ func RunPipeline(ctx context.Context, cfg PipelineConfig) (*PipelineResult, erro
 		&vnn.Traceability{Data: inputs, FeatureNames: highway.FeatureNames()},
 		&vnn.Coverage{Data: inputs},
 		&vnn.Falsification{Outputs: pred.MuLatOutputs(), Restarts: 6, Steps: 40, Seed: cfg.Seed + 4},
+		&vnn.MonitorAudit{Data: inputs, AuditTests: 400, Seed: cfg.Seed + 5},
 	)
 	if err != nil {
 		return nil, fmt.Errorf("core: analyze: %w", err)
@@ -251,6 +239,7 @@ func RunPipeline(ctx context.Context, cfg PipelineConfig) (*PipelineResult, erro
 	res.BranchCount = cov.BranchCombinations
 	res.RequiredMCDCTests = cov.RequiredMCDCTests
 	res.AttackLatVel = findings[2].Falsification.Value
+	res.Monitor = findings[3].Monitor
 
 	if !cfg.SkipVerify {
 		vctx := ctx

@@ -57,7 +57,11 @@ func RequiredTests(net *nn.Network) int {
 // Suite accumulates coverage over a set of test inputs.
 type Suite struct {
 	net *nn.Network
-	// seenActive/seenInactive per hidden layer per neuron.
+	// layers maps each pattern row to its network layer index (the hidden
+	// ReLU layers, per nn.ReLULayers — non-ReLU layers do not branch and
+	// carry no coverage obligation).
+	layers []int
+	// seenActive/seenInactive per monitored layer per neuron.
 	seenActive   [][]bool
 	seenInactive [][]bool
 	patterns     map[string]struct{}
@@ -66,9 +70,9 @@ type Suite struct {
 
 // NewSuite creates an empty coverage suite for the network.
 func NewSuite(net *nn.Network) *Suite {
-	s := &Suite{net: net, patterns: make(map[string]struct{})}
-	for i := 0; i+1 < len(net.Layers); i++ {
-		n := net.Layers[i].OutDim()
+	s := &Suite{net: net, layers: net.ReLULayers(), patterns: make(map[string]struct{})}
+	for _, li := range s.layers {
+		n := net.Layers[li].OutDim()
 		s.seenActive = append(s.seenActive, make([]bool, n))
 		s.seenInactive = append(s.seenInactive, make([]bool, n))
 	}
@@ -151,13 +155,14 @@ func (s *Suite) SignCoverage() float64 {
 	return float64(cov) / float64(total)
 }
 
-// UncoveredNeurons lists (layer, neuron) pairs missing a phase.
+// UncoveredNeurons lists (layer, neuron) pairs missing a phase; the layer
+// is the network layer index, not the pattern row.
 func (s *Suite) UncoveredNeurons() [][2]int {
 	var out [][2]int
 	for li := range s.seenActive {
 		for j := range s.seenActive[li] {
 			if !s.seenActive[li][j] || !s.seenInactive[li][j] {
-				out = append(out, [2]int{li, j})
+				out = append(out, [2]int{s.layers[li], j})
 			}
 		}
 	}

@@ -19,9 +19,14 @@ import (
 // quantitative form of the paper's intractability argument.
 type PairSuite struct {
 	net *nn.Network
-	// patterns seen so far, as per-layer sign strings.
+	// patterns seen so far, as per-ReLU-layer sign rows (nn.ActivationPattern).
 	seen []snapshot
-	// covered[l][alpha][beta] for layers l -> l+1.
+	// rows[p] is the pattern-row index of the condition layer of pair
+	// group p; the decision layer is pattern row rows[p]+1 (adjacent ReLU
+	// layers — a non-ReLU layer in between breaks the condition→decision
+	// adjacency MC/DC pairs are defined over).
+	rows []int
+	// covered[p][alpha][beta] for pair group p.
 	covered [][][]bool
 	pairs   int
 	tests   int
@@ -36,13 +41,18 @@ type snapshot struct {
 // layer's conditions is the output and has no phase).
 func NewPairSuite(net *nn.Network) *PairSuite {
 	ps := &PairSuite{net: net}
-	for li := 0; li+2 < len(net.Layers); li++ {
-		nA := net.Layers[li].OutDim()
-		nB := net.Layers[li+1].OutDim()
+	relu := net.ReLULayers()
+	for r := 0; r+1 < len(relu); r++ {
+		if relu[r+1] != relu[r]+1 {
+			continue // not adjacent layers: no condition→decision edge
+		}
+		nA := net.Layers[relu[r]].OutDim()
+		nB := net.Layers[relu[r+1]].OutDim()
 		layer := make([][]bool, nA)
 		for a := range layer {
 			layer[a] = make([]bool, nB)
 		}
+		ps.rows = append(ps.rows, r)
 		ps.covered = append(ps.covered, layer)
 		ps.pairs += nA * nB
 	}
@@ -71,9 +81,10 @@ func (ps *PairSuite) Add(x []float64) int {
 // matchPair marks pairs covered by the (old, cur) test pair.
 func (ps *PairSuite) matchPair(a, b snapshot) int {
 	newly := 0
-	for li := range ps.covered {
-		// Count condition flips in layer li; SS coverage requires exactly
-		// one (the candidate α), so all other conditions keep their phase.
+	for p, li := range ps.rows {
+		// Count condition flips in the condition row; SS coverage requires
+		// exactly one (the candidate α), so all other conditions keep
+		// their phase.
 		flips := make([]int, 0, 2)
 		for j := range a.signs[li] {
 			if a.signs[li][j] != b.signs[li][j] {
@@ -88,8 +99,8 @@ func (ps *PairSuite) matchPair(a, b snapshot) int {
 		}
 		alpha := flips[0]
 		for beta := range a.signs[li+1] {
-			if a.signs[li+1][beta] != b.signs[li+1][beta] && !ps.covered[li][alpha][beta] {
-				ps.covered[li][alpha][beta] = true
+			if a.signs[li+1][beta] != b.signs[li+1][beta] && !ps.covered[p][alpha][beta] {
+				ps.covered[p][alpha][beta] = true
 				newly++
 			}
 		}

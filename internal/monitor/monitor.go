@@ -1,0 +1,499 @@
+// Package monitor implements runtime monitoring of neural networks via
+// activation patterns — the paper's operation-time pillar: certification
+// does not end when a property is proved, because a proof quantifies over
+// the design domain while operation feeds the network whatever the world
+// produces. The monitor closes that gap by remembering, per hidden ReLU
+// layer, the set of activation patterns the training/coverage dataset
+// exercised; at inference time an input whose pattern is farther than a
+// Hamming relaxation γ from every remembered pattern is flagged as
+// out-of-pattern before its prediction is trusted.
+//
+// Two properties make the monitor a certification artifact rather than a
+// heuristic:
+//
+//   - Static cross-check: building against the verifier's proven
+//     pre-activation bounds rejects any dataset pattern that interval
+//     analysis proves unreachable over the certified input region (a
+//     neuron recorded active although its pre-activation provably stays
+//     ≤ 0, or vice versa). Such patterns come from inputs outside the
+//     region — admitting them would teach the monitor behaviour the
+//     certificate never covered.
+//
+//   - Bit-determinism: pattern sets are ordered by first insertion,
+//     distances are exact integer Hamming distances, and verdicts depend
+//     only on (network, dataset order, options) — the same build on two
+//     machines yields byte-identical marshals and fingerprints, and the
+//     same input always yields the same verdict.
+//
+// The hot path is allocation-free: CheckInto fuses the monitored forward
+// pass with nn.ForwardObserved, so one pass produces both the prediction
+// and the verdict using only caller-provided (poolable) scratch.
+package monitor
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/bounds"
+	"repro/internal/nn"
+)
+
+// Version tags the canonical marshal layout and fingerprint preimage.
+const Version = 1
+
+// Options tune a monitor build.
+type Options struct {
+	// Gamma is the Hamming relaxation: a pattern within distance Gamma of
+	// any remembered pattern (per monitored layer) is accepted. 0 means
+	// exact-match monitoring.
+	Gamma int
+	// Layers selects which hidden ReLU layers to monitor, by network
+	// layer index; nil or empty means all of them (the two must behave
+	// identically — wire decoders produce empty non-nil slices).
+	Layers []int
+}
+
+// Verdict is the outcome of one runtime check. It is bit-deterministic:
+// the same monitor and input always produce the same verdict.
+type Verdict struct {
+	// OK reports whether every monitored layer's pattern lies within the
+	// monitor's Hamming relaxation of a remembered pattern.
+	OK bool
+	// Layer is the network layer index the Distance refers to: on
+	// rejection, the first monitored layer whose distance exceeded γ; on
+	// acceptance, the layer with the largest (still admissible) distance.
+	Layer int
+	// Distance is the Hamming distance from the observed pattern to the
+	// nearest remembered pattern of Layer.
+	Distance int
+}
+
+// String renders the verdict ("ok" or "out-of-pattern(layer=2, distance=5)").
+func (v Verdict) String() string {
+	if v.OK {
+		return "ok"
+	}
+	return fmt.Sprintf("out-of-pattern(layer=%d, distance=%d)", v.Layer, v.Distance)
+}
+
+// BuildStats reports what a build did.
+type BuildStats struct {
+	// Inputs is the number of dataset rows scored.
+	Inputs int
+	// Rejected counts inputs whose activation pattern the static
+	// cross-check proved unreachable over the compiled region.
+	Rejected int
+	// Patterns is the number of distinct stored patterns per monitored
+	// layer, in Layers order.
+	Patterns []int
+}
+
+// patternSet is the remembered pattern collection of one monitored layer.
+type patternSet struct {
+	neurons int
+	nbytes  int
+	index   map[string]int // exact-match lookup; value = insertion position
+	pats    [][]byte       // insertion order (determinism + marshal)
+}
+
+func newPatternSet(neurons int) *patternSet {
+	return &patternSet{
+		neurons: neurons,
+		nbytes:  (neurons + 7) / 8,
+		index:   make(map[string]int),
+	}
+}
+
+// add inserts the pattern unless present. The bytes are copied.
+func (ps *patternSet) add(pat []byte) bool {
+	if _, ok := ps.index[string(pat)]; ok {
+		return false
+	}
+	cp := append([]byte(nil), pat...)
+	ps.index[string(cp)] = len(ps.pats)
+	ps.pats = append(ps.pats, cp)
+	return true
+}
+
+// distance returns the Hamming distance from pat to the nearest stored
+// pattern, or neurons+1 when the set is empty. Exact matches short-circuit
+// through the index (the common case on in-distribution traffic) without
+// allocating: a map lookup keyed by string(pat) does not copy.
+func (ps *patternSet) distance(pat []byte) int {
+	if _, ok := ps.index[string(pat)]; ok {
+		return 0
+	}
+	best := ps.neurons + 1
+	for _, stored := range ps.pats {
+		d := 0
+		for i, b := range stored {
+			d += bits.OnesCount8(b ^ pat[i])
+			if d >= best {
+				break
+			}
+		}
+		if d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// Monitor is an immutable activation-pattern monitor bound to one
+// network. It is safe for concurrent use: Check and CheckInto only read
+// the pattern sets (per-call state lives in the caller's Scratch).
+type Monitor struct {
+	net    *nn.Network
+	gamma  int
+	layers []int // monitored network layer indices, ascending
+	slot   []int // layer index -> position in layers, -1 when unmonitored
+	sets   []*patternSet
+	stats  BuildStats
+}
+
+// Build constructs a monitor for net from the activation patterns the
+// dataset exercises. preBounds, when non-nil, are the proven
+// pre-activation intervals of every hidden layer (one row per hidden
+// layer, e.g. a compiled network's PreActivationBounds); patterns they
+// prove unreachable are rejected. A nil preBounds skips the static
+// cross-check (no certificate to be consistent with).
+//
+// The build is deterministic: the same (net, data order, opts) produces
+// identical pattern sets, marshals and fingerprints.
+func Build(net *nn.Network, data [][]float64, preBounds [][]bounds.Interval, opts Options) (*Monitor, error) {
+	if opts.Gamma < 0 {
+		return nil, fmt.Errorf("monitor: gamma %d is negative", opts.Gamma)
+	}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("monitor: build needs at least one dataset input")
+	}
+	relu := net.ReLULayers()
+	layers := opts.Layers
+	if len(layers) == 0 {
+		layers = relu
+	}
+	if len(layers) == 0 {
+		return nil, fmt.Errorf("monitor: network %q has no hidden ReLU layer to monitor", net.Name)
+	}
+	isReLU := make(map[int]bool, len(relu))
+	for _, li := range relu {
+		isReLU[li] = true
+	}
+	m := &Monitor{
+		net:    net,
+		gamma:  opts.Gamma,
+		layers: append([]int(nil), layers...),
+		slot:   make([]int, len(net.Layers)),
+	}
+	for i := range m.slot {
+		m.slot[i] = -1
+	}
+	prev := -1
+	for s, li := range m.layers {
+		if !isReLU[li] {
+			return nil, fmt.Errorf("monitor: layer %d is not a hidden ReLU layer", li)
+		}
+		if li <= prev {
+			return nil, fmt.Errorf("monitor: layers must be strictly ascending, got %v", m.layers)
+		}
+		prev = li
+		m.slot[li] = s
+		m.sets = append(m.sets, newPatternSet(net.Layers[li].OutDim()))
+	}
+	if preBounds != nil {
+		for _, li := range m.layers {
+			if li >= len(preBounds) || len(preBounds[li]) != net.Layers[li].OutDim() {
+				return nil, fmt.Errorf("monitor: pre-activation bounds missing layer %d", li)
+			}
+		}
+	}
+
+	sc := m.NewScratch()
+	dst := make([]float64, net.OutputDim())
+	dim := net.InputDim()
+	for i, x := range data {
+		if len(x) != dim {
+			return nil, fmt.Errorf("monitor: data row %d has dimension %d, network input %d", i, len(x), dim)
+		}
+		m.observeInto(sc, dst, x)
+		m.stats.Inputs++
+		if preBounds != nil && m.unreachable(sc, preBounds) {
+			m.stats.Rejected++
+			continue
+		}
+		for s := range m.sets {
+			m.sets[s].add(sc.pat[s])
+		}
+	}
+	m.stats.Patterns = make([]int, len(m.sets))
+	total := 0
+	for s, set := range m.sets {
+		m.stats.Patterns[s] = len(set.pats)
+		total += len(set.pats)
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("monitor: every dataset pattern was rejected as statically unreachable (%d inputs)", m.stats.Inputs)
+	}
+	return m, nil
+}
+
+// unreachable reports whether the pattern currently held in sc contradicts
+// the proven pre-activation bounds: a neuron recorded active although its
+// interval proves z ≤ 0 everywhere in the region, or recorded inactive
+// although the interval proves z > 0.
+func (m *Monitor) unreachable(sc *Scratch, preBounds [][]bounds.Interval) bool {
+	for s, li := range m.layers {
+		for j, iv := range preBounds[li] {
+			active := sc.pat[s][j/8]&(1<<(j%8)) != 0
+			if active && iv.Hi <= 0 {
+				return true
+			}
+			if !active && iv.Lo > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Net returns the monitored network.
+func (m *Monitor) Net() *nn.Network { return m.net }
+
+// Gamma returns the Hamming relaxation.
+func (m *Monitor) Gamma() int { return m.gamma }
+
+// Layers returns the monitored network layer indices.
+func (m *Monitor) Layers() []int { return append([]int(nil), m.layers...) }
+
+// Stats returns the build statistics.
+func (m *Monitor) Stats() BuildStats {
+	st := m.stats
+	st.Patterns = append([]int(nil), m.stats.Patterns...)
+	return st
+}
+
+// PatternCount returns the total number of stored patterns across layers.
+func (m *Monitor) PatternCount() int {
+	n := 0
+	for _, set := range m.sets {
+		n += len(set.pats)
+	}
+	return n
+}
+
+// Scratch is the per-call state of one checking goroutine: the forward
+// scratch, the observed pattern buffers, and the prebuilt observation
+// hook. A Scratch must not be shared between concurrent calls; servers
+// pool them.
+type Scratch struct {
+	m       *Monitor
+	fwd     []float64
+	pat     [][]byte
+	observe func(layer int, pre []float64)
+}
+
+// NewScratch allocates check state for this monitor.
+func (m *Monitor) NewScratch() *Scratch {
+	sc := &Scratch{m: m, fwd: m.net.NewScratch(), pat: make([][]byte, len(m.sets))}
+	for s, set := range m.sets {
+		sc.pat[s] = make([]byte, set.nbytes)
+	}
+	sc.observe = func(layer int, pre []float64) {
+		s := sc.m.slot[layer]
+		if s < 0 {
+			return
+		}
+		buf := sc.pat[s]
+		for i := range buf {
+			buf[i] = 0
+		}
+		for j, z := range pre {
+			if z > 0 {
+				buf[j/8] |= 1 << (j % 8)
+			}
+		}
+	}
+	return sc
+}
+
+// observeInto runs the fused forward pass, leaving the prediction in dst
+// and the per-layer pattern in sc.pat. Zero allocations.
+func (m *Monitor) observeInto(sc *Scratch, dst []float64, x []float64) {
+	m.net.ForwardObserved(dst, sc.fwd, x, sc.observe)
+}
+
+// verdict classifies the pattern currently held in sc.
+func (m *Monitor) verdict(sc *Scratch) Verdict {
+	maxDist, maxLayer := 0, m.layers[0]
+	for s, set := range m.sets {
+		d := set.distance(sc.pat[s])
+		if d > m.gamma {
+			return Verdict{OK: false, Layer: m.layers[s], Distance: d}
+		}
+		if d > maxDist {
+			maxDist, maxLayer = d, m.layers[s]
+		}
+	}
+	return Verdict{OK: true, Layer: maxLayer, Distance: maxDist}
+}
+
+// CheckInto is the allocation-free serving path: one fused forward pass
+// writes the prediction into dst (length OutputDim) and returns the
+// monitoring verdict, using only the state in sc. The prediction is
+// bit-identical to nn.Forward. sc must come from this monitor's
+// NewScratch and must not be used concurrently.
+func (m *Monitor) CheckInto(dst []float64, sc *Scratch, x []float64) Verdict {
+	if sc.m != m {
+		panic("monitor: CheckInto called with a Scratch from a different monitor")
+	}
+	m.observeInto(sc, dst, x)
+	return m.verdict(sc)
+}
+
+// Check classifies one input, allocating its own transient state — the
+// convenience form for tests and offline audits. Servers use CheckInto.
+func (m *Monitor) Check(x []float64) Verdict {
+	dst := make([]float64, m.net.OutputDim())
+	return m.CheckInto(dst, m.NewScratch(), x)
+}
+
+// layerJSON is the wire form of one monitored layer's pattern set.
+type layerJSON struct {
+	Layer    int      `json:"layer"`
+	Neurons  int      `json:"neurons"`
+	Patterns []string `json:"patterns"` // hex bitsets, insertion order
+}
+
+// monitorJSON is the canonical wire form of a monitor.
+type monitorJSON struct {
+	Version  int         `json:"version"`
+	Gamma    int         `json:"gamma"`
+	Inputs   int         `json:"inputs"`
+	Rejected int         `json:"rejected"`
+	Layers   []layerJSON `json:"layers"`
+}
+
+// Marshal renders the monitor in its canonical JSON form: struct fields in
+// declaration order, patterns hex-encoded in insertion order. Two builds
+// from the same network, dataset order and options produce byte-identical
+// marshals.
+func (m *Monitor) Marshal() ([]byte, error) {
+	doc := monitorJSON{
+		Version:  Version,
+		Gamma:    m.gamma,
+		Inputs:   m.stats.Inputs,
+		Rejected: m.stats.Rejected,
+	}
+	for s, li := range m.layers {
+		lj := layerJSON{Layer: li, Neurons: m.sets[s].neurons, Patterns: make([]string, 0, len(m.sets[s].pats))}
+		for _, pat := range m.sets[s].pats {
+			lj.Patterns = append(lj.Patterns, hex.EncodeToString(pat))
+		}
+		doc.Layers = append(doc.Layers, lj)
+	}
+	return json.Marshal(doc)
+}
+
+// Unmarshal reconstructs a monitor from its canonical JSON form, bound to
+// net (the marshal does not embed the network; callers pair it with the
+// network fingerprint, as the vnn wire layer does).
+func Unmarshal(data []byte, net *nn.Network) (*Monitor, error) {
+	var doc monitorJSON
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("monitor: unmarshal: %w", err)
+	}
+	if doc.Version != Version {
+		return nil, fmt.Errorf("monitor: unsupported version %d", doc.Version)
+	}
+	if doc.Gamma < 0 {
+		return nil, fmt.Errorf("monitor: gamma %d is negative", doc.Gamma)
+	}
+	if len(doc.Layers) == 0 {
+		return nil, fmt.Errorf("monitor: document monitors no layers")
+	}
+	m := &Monitor{
+		net:   net,
+		gamma: doc.Gamma,
+		slot:  make([]int, len(net.Layers)),
+		stats: BuildStats{Inputs: doc.Inputs, Rejected: doc.Rejected},
+	}
+	for i := range m.slot {
+		m.slot[i] = -1
+	}
+	relu := make(map[int]bool)
+	for _, li := range net.ReLULayers() {
+		relu[li] = true
+	}
+	prev := -1
+	for _, lj := range doc.Layers {
+		if !relu[lj.Layer] {
+			return nil, fmt.Errorf("monitor: layer %d is not a hidden ReLU layer of %q", lj.Layer, net.Name)
+		}
+		if lj.Layer <= prev {
+			return nil, fmt.Errorf("monitor: layers out of order at %d", lj.Layer)
+		}
+		prev = lj.Layer
+		if want := net.Layers[lj.Layer].OutDim(); lj.Neurons != want {
+			return nil, fmt.Errorf("monitor: layer %d has %d neurons, network %d", lj.Layer, lj.Neurons, want)
+		}
+		set := newPatternSet(lj.Neurons)
+		// Bits beyond the neuron count must be zero: whole-byte XOR/popcount
+		// distance scans would otherwise count phantom padding bits, and
+		// padded variants of one pattern would dedup as distinct entries.
+		var padMask byte
+		if r := lj.Neurons % 8; r != 0 {
+			padMask = ^byte(0) << r
+		}
+		for _, h := range lj.Patterns {
+			pat, err := hex.DecodeString(h)
+			if err != nil {
+				return nil, fmt.Errorf("monitor: layer %d pattern %q: %w", lj.Layer, h, err)
+			}
+			if len(pat) != set.nbytes {
+				return nil, fmt.Errorf("monitor: layer %d pattern has %d bytes, want %d", lj.Layer, len(pat), set.nbytes)
+			}
+			if padMask != 0 && pat[len(pat)-1]&padMask != 0 {
+				return nil, fmt.Errorf("monitor: layer %d pattern %q sets bits beyond its %d neurons", lj.Layer, h, lj.Neurons)
+			}
+			set.add(pat)
+		}
+		m.slot[lj.Layer] = len(m.layers)
+		m.layers = append(m.layers, lj.Layer)
+		m.sets = append(m.sets, set)
+		m.stats.Patterns = append(m.stats.Patterns, len(set.pats))
+	}
+	if m.PatternCount() == 0 {
+		return nil, fmt.Errorf("monitor: document holds no patterns")
+	}
+	return m, nil
+}
+
+// Fingerprint returns a content hash of the monitor artifact: version,
+// gamma, monitored layers, widths and every stored pattern in insertion
+// order. Builds that differ in any admitted pattern — one extra dataset
+// input, one γ change — hash differently; identical builds hash
+// identically on every machine.
+func (m *Monitor) Fingerprint() string {
+	h := sha256.New()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	u64(Version)
+	u64(uint64(m.gamma))
+	u64(uint64(len(m.layers)))
+	for s, li := range m.layers {
+		u64(uint64(li))
+		u64(uint64(m.sets[s].neurons))
+		u64(uint64(len(m.sets[s].pats)))
+		for _, pat := range m.sets[s].pats {
+			h.Write(pat)
+		}
+	}
+	return "vnnm1-" + hex.EncodeToString(h.Sum(nil))
+}

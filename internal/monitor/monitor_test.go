@@ -1,0 +1,290 @@
+package monitor
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/bounds"
+	"repro/internal/nn"
+)
+
+// signNet is the canonical two-pattern toy: input 1 → hidden ReLU pair
+// computing (x, −x) → sum output. Positive inputs exercise pattern 10,
+// negative inputs 01, zero 00; 11 is unrealizable.
+func signNet() *nn.Network {
+	return &nn.Network{Name: "sign", Layers: []*nn.Layer{
+		{W: [][]float64{{1}, {-1}}, B: []float64{0, 0}, Act: nn.ReLU},
+		{W: [][]float64{{1, 1}}, B: []float64{0}, Act: nn.Identity},
+	}}
+}
+
+func mustBuild(t *testing.T, net *nn.Network, data [][]float64, pre [][]bounds.Interval, opts Options) *Monitor {
+	t.Helper()
+	m, err := Build(net, data, pre, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestExactMatchAndGammaRelaxation(t *testing.T) {
+	net := signNet()
+	m := mustBuild(t, net, [][]float64{{2}}, nil, Options{}) // remembers 10 only
+	if v := m.Check([]float64{3}); !v.OK || v.Distance != 0 {
+		t.Fatalf("in-pattern input: %v", v)
+	}
+	// x = 0 has pattern 00: distance 1 from 10.
+	if v := m.Check([]float64{0}); v.OK || v.Distance != 1 || v.Layer != 0 {
+		t.Fatalf("gamma 0 must flag distance-1 pattern: %v", v)
+	}
+	// x = -2 has pattern 01: distance 2 from 10.
+	if v := m.Check([]float64{-2}); v.OK || v.Distance != 2 {
+		t.Fatalf("distance-2 pattern: %v", v)
+	}
+	relaxed := mustBuild(t, net, [][]float64{{2}}, nil, Options{Gamma: 1})
+	if v := relaxed.Check([]float64{0}); !v.OK || v.Distance != 1 {
+		t.Fatalf("gamma 1 must accept distance-1 pattern: %v", v)
+	}
+	if v := relaxed.Check([]float64{-2}); v.OK {
+		t.Fatalf("gamma 1 must still flag distance-2 pattern: %v", v)
+	}
+}
+
+func TestStaticCrossCheckRejectsUnreachablePattern(t *testing.T) {
+	net := signNet()
+	// Proven bounds for the region x ∈ [1, 3]: neuron 0 stably active
+	// (pre ∈ [1, 3]), neuron 1 stably inactive (pre ∈ [−3, −1]).
+	pre := [][]bounds.Interval{{{Lo: 1, Hi: 3}, {Lo: -3, Hi: -1}}}
+	// The dataset smuggles in x = −2, an input outside the region whose
+	// pattern 01 activates the provably-inactive neuron.
+	m := mustBuild(t, net, [][]float64{{2}, {-2}, {2.5}}, pre, Options{})
+	st := m.Stats()
+	if st.Rejected != 1 {
+		t.Fatalf("Rejected = %d, want 1 (the statically-unreachable 01 pattern)", st.Rejected)
+	}
+	if st.Inputs != 3 || m.PatternCount() != 1 {
+		t.Fatalf("stats %+v, patterns %d; want 3 inputs, 1 stored pattern", st, m.PatternCount())
+	}
+	// The rejected pattern must not have been learned: x = −2 stays flagged.
+	if v := m.Check([]float64{-2}); v.OK {
+		t.Fatalf("monitor accepted the rejected pattern: %v", v)
+	}
+	// An all-rejected build fails loudly instead of yielding a monitor
+	// that flags everything.
+	if _, err := Build(net, [][]float64{{-2}}, pre, Options{}); err == nil {
+		t.Fatal("build with every pattern rejected must error")
+	}
+}
+
+func TestBuildDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	net := nn.New(nn.Config{Name: "d", InputDim: 4, Hidden: []int{9, 7}, OutputDim: 2, HiddenAct: nn.ReLU, OutputAct: nn.Identity}, rng)
+	data := make([][]float64, 64)
+	for i := range data {
+		row := make([]float64, 4)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		data[i] = row
+	}
+	a := mustBuild(t, net, data, nil, Options{Gamma: 1})
+	b := mustBuild(t, net, data, nil, Options{Gamma: 1})
+	am, err := a.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, err := b.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(am, bm) {
+		t.Fatal("same dataset produced different marshals")
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("same dataset produced different fingerprints")
+	}
+	// Any content difference must change the fingerprint.
+	c := mustBuild(t, net, data[:63], nil, Options{Gamma: 1})
+	if c.PatternCount() != a.PatternCount() && c.Fingerprint() == a.Fingerprint() {
+		t.Fatal("different pattern sets share a fingerprint")
+	}
+	g := mustBuild(t, net, data, nil, Options{Gamma: 2})
+	if g.Fingerprint() == a.Fingerprint() {
+		t.Fatal("gamma change did not change the fingerprint")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	net := nn.New(nn.Config{Name: "r", InputDim: 3, Hidden: []int{8, 5}, OutputDim: 1, HiddenAct: nn.ReLU, OutputAct: nn.Identity}, rng)
+	data := make([][]float64, 40)
+	for i := range data {
+		data[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+	}
+	m := mustBuild(t, net, data, nil, Options{Gamma: 1})
+	doc, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(doc, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Fingerprint() != m.Fingerprint() {
+		t.Fatal("round trip changed the fingerprint")
+	}
+	if back.Gamma() != m.Gamma() || back.PatternCount() != m.PatternCount() {
+		t.Fatal("round trip changed gamma or pattern count")
+	}
+	for i := 0; i < 20; i++ {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		if m.Check(x) != back.Check(x) {
+			t.Fatalf("round-trip monitor disagrees at %v", x)
+		}
+	}
+	if _, err := Unmarshal([]byte(`{"version":99}`), net); err == nil {
+		t.Fatal("unknown version must be rejected")
+	}
+	if _, err := Unmarshal([]byte(`not json`), net); err == nil {
+		t.Fatal("garbage must be rejected")
+	}
+}
+
+func TestUnmarshalRejectsPaddingBits(t *testing.T) {
+	// Layer 0 of signNet has 2 neurons (1 byte, 6 padding bits). "f0"
+	// sets bits 4-7 — phantom bits that would inflate every whole-byte
+	// Hamming scan.
+	net := signNet()
+	doc := []byte(`{"version":1,"gamma":0,"inputs":1,"rejected":0,` +
+		`"layers":[{"layer":0,"neurons":2,"patterns":["f0"]}]}`)
+	if _, err := Unmarshal(doc, net); err == nil {
+		t.Fatal("pattern with bits beyond its neuron count must be rejected")
+	}
+	ok := []byte(`{"version":1,"gamma":0,"inputs":1,"rejected":0,` +
+		`"layers":[{"layer":0,"neurons":2,"patterns":["01"]}]}`)
+	if _, err := Unmarshal(ok, net); err != nil {
+		t.Fatalf("clean pattern rejected: %v", err)
+	}
+}
+
+func TestEmptyLayersMeansAllLayers(t *testing.T) {
+	// Wire decoders produce empty non-nil slices for "layers": []; the
+	// build must treat them exactly like nil (monitor everything), so a
+	// request's behaviour never depends on which form the client sent.
+	net := signNet()
+	a := mustBuild(t, net, [][]float64{{2}}, nil, Options{Layers: nil})
+	b := mustBuild(t, net, [][]float64{{2}}, nil, Options{Layers: []int{}})
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("nil and empty Layers built different monitors")
+	}
+}
+
+func TestCheckIntoZeroAllocsAndBitIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	net := nn.New(nn.Config{Name: "z", InputDim: 6, Hidden: []int{16, 16}, OutputDim: 3, HiddenAct: nn.ReLU, OutputAct: nn.Identity}, rng)
+	data := make([][]float64, 32)
+	for i := range data {
+		row := make([]float64, 6)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		data[i] = row
+	}
+	m := mustBuild(t, net, data, nil, Options{Gamma: 2})
+	sc := m.NewScratch()
+	dst := make([]float64, net.OutputDim())
+	x := data[0]
+	allocs := testing.AllocsPerRun(200, func() {
+		m.CheckInto(dst, sc, x)
+	})
+	if allocs != 0 {
+		t.Fatalf("CheckInto allocates %v per op, want 0", allocs)
+	}
+	for _, x := range data {
+		m.CheckInto(dst, sc, x)
+		want := net.Forward(x)
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Fatal("CheckInto prediction differs from nn.Forward")
+			}
+		}
+	}
+}
+
+func TestConcurrentChecksAreDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	net := nn.New(nn.Config{Name: "c", InputDim: 5, Hidden: []int{12, 12}, OutputDim: 2, HiddenAct: nn.ReLU, OutputAct: nn.Identity}, rng)
+	data := make([][]float64, 48)
+	for i := range data {
+		row := make([]float64, 5)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		data[i] = row
+	}
+	m := mustBuild(t, net, data, nil, Options{Gamma: 1})
+	probes := make([][]float64, 64)
+	for i := range probes {
+		row := make([]float64, 5)
+		for j := range row {
+			row[j] = rng.NormFloat64() * 2
+		}
+		probes[i] = row
+	}
+	want := make([]Verdict, len(probes))
+	for i, x := range probes {
+		want[i] = m.Check(x)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := m.NewScratch()
+			dst := make([]float64, net.OutputDim())
+			for i, x := range probes {
+				if got := m.CheckInto(dst, sc, x); got != want[i] {
+					t.Errorf("probe %d: concurrent verdict %v, want %v", i, got, want[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestBuildValidation(t *testing.T) {
+	net := signNet()
+	if _, err := Build(net, nil, nil, Options{}); err == nil {
+		t.Fatal("empty dataset must error")
+	}
+	if _, err := Build(net, [][]float64{{1}}, nil, Options{Gamma: -1}); err == nil {
+		t.Fatal("negative gamma must error")
+	}
+	if _, err := Build(net, [][]float64{{1, 2}}, nil, Options{}); err == nil {
+		t.Fatal("wrong input dimension must error")
+	}
+	if _, err := Build(net, [][]float64{{1}}, nil, Options{Layers: []int{1}}); err == nil {
+		t.Fatal("monitoring the output layer must error")
+	}
+	tanh := nn.New(nn.Config{Name: "t", InputDim: 2, Hidden: []int{4}, OutputDim: 1, HiddenAct: nn.Tanh, OutputAct: nn.Identity},
+		rand.New(rand.NewSource(1)))
+	if _, err := Build(tanh, [][]float64{{0, 0}}, nil, Options{}); err == nil {
+		t.Fatal("network without hidden ReLU layers must error")
+	}
+}
+
+func TestLayerSubsetMonitoring(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	net := nn.New(nn.Config{Name: "s", InputDim: 3, Hidden: []int{6, 6}, OutputDim: 1, HiddenAct: nn.ReLU, OutputAct: nn.Identity}, rng)
+	data := [][]float64{{0.1, 0.2, 0.3}, {-0.4, 0.5, -0.6}}
+	m := mustBuild(t, net, data, nil, Options{Layers: []int{1}})
+	if got := m.Layers(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Layers = %v, want [1]", got)
+	}
+	if v := m.Check(data[0]); !v.OK || v.Layer != 1 {
+		t.Fatalf("subset monitor verdict %v, want ok on layer 1", v)
+	}
+}

@@ -1,0 +1,194 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+// forwardReference is the pre-ForwardInto implementation of Forward (one
+// fresh slice per layer). ForwardInto must stay bit-identical to it.
+func forwardReference(n *Network, x []float64) []float64 {
+	cur := x
+	for _, l := range n.Layers {
+		next := make([]float64, l.OutDim())
+		for i, row := range l.W {
+			next[i] = l.Act.Apply(linalg.Dot(row, cur) + l.B[i])
+		}
+		cur = next
+	}
+	return cur
+}
+
+func randInput(rng *rand.Rand, dim int) []float64 {
+	x := make([]float64, dim)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+func TestForwardIntoBitIdenticalToReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cases := []Config{
+		{Name: "deep", InputDim: 5, Hidden: []int{9, 3, 7}, OutputDim: 2, HiddenAct: ReLU, OutputAct: Identity},
+		{Name: "tanh", InputDim: 4, Hidden: []int{6, 6}, OutputDim: 3, HiddenAct: Tanh, OutputAct: Tanh},
+		{Name: "wide", InputDim: 2, Hidden: []int{31}, OutputDim: 1, HiddenAct: ReLU, OutputAct: Identity},
+		{Name: "shallow", InputDim: 3, Hidden: nil, OutputDim: 4, HiddenAct: ReLU, OutputAct: Identity},
+	}
+	for _, cfg := range cases {
+		net := New(cfg, rng)
+		dst := make([]float64, net.OutputDim())
+		scratch := net.NewScratch()
+		for trial := 0; trial < 50; trial++ {
+			x := randInput(rng, net.InputDim())
+			want := forwardReference(net, x)
+			net.ForwardInto(dst, scratch, x)
+			for i := range want {
+				if dst[i] != want[i] { // bit-identical, no tolerance
+					t.Fatalf("%s: ForwardInto[%d] = %v, reference %v", cfg.Name, i, dst[i], want[i])
+				}
+			}
+			got := net.Forward(x)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s: Forward[%d] = %v, reference %v", cfg.Name, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestForwardIntoDoesNotWriteInput(t *testing.T) {
+	net := testNet(t, []int{6, 6})
+	x := []float64{0.3, -0.7, 1.1}
+	orig := append([]float64(nil), x...)
+	net.ForwardInto(make([]float64, net.OutputDim()), net.NewScratch(), x)
+	for i := range x {
+		if x[i] != orig[i] {
+			t.Fatalf("ForwardInto mutated its input: %v -> %v", orig, x)
+		}
+	}
+}
+
+func TestForwardIntoZeroAllocs(t *testing.T) {
+	net := testNet(t, []int{16, 16, 16})
+	x := []float64{0.1, 0.2, 0.3}
+	dst := make([]float64, net.OutputDim())
+	scratch := net.NewScratch()
+	allocs := testing.AllocsPerRun(200, func() {
+		net.ForwardInto(dst, scratch, x)
+	})
+	if allocs != 0 {
+		t.Fatalf("ForwardInto allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestForwardBatchIntoZeroAllocs(t *testing.T) {
+	net := testNet(t, []int{12, 12})
+	xs := make([][]float64, 32)
+	out := make([][]float64, 32)
+	rng := rand.New(rand.NewSource(3))
+	for i := range xs {
+		xs[i] = randInput(rng, net.InputDim())
+		out[i] = make([]float64, net.OutputDim())
+	}
+	scratch := net.NewScratch()
+	allocs := testing.AllocsPerRun(50, func() {
+		net.ForwardBatchInto(out, scratch, xs)
+	})
+	if allocs != 0 {
+		t.Fatalf("ForwardBatchInto allocates %v per batch, want 0", allocs)
+	}
+	for i, x := range xs {
+		want := net.Forward(x)
+		for j := range want {
+			if out[i][j] != want[j] {
+				t.Fatalf("batch row %d differs from Forward", i)
+			}
+		}
+	}
+}
+
+func TestForwardIntoPanicsOnBadShapes(t *testing.T) {
+	net := testNet(t, []int{4})
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("short dst", func() {
+		net.ForwardInto(make([]float64, 1), net.NewScratch(), []float64{1, 2, 3})
+	})
+	expectPanic("short scratch", func() {
+		net.ForwardInto(make([]float64, net.OutputDim()), make([]float64, 1), []float64{1, 2, 3})
+	})
+	expectPanic("bad input", func() {
+		net.ForwardInto(make([]float64, net.OutputDim()), net.NewScratch(), []float64{1})
+	})
+	expectPanic("batch shape", func() {
+		net.ForwardBatchInto(make([][]float64, 2), net.NewScratch(), make([][]float64, 3))
+	})
+}
+
+func TestForwardObservedSeesPreActivations(t *testing.T) {
+	net := testNet(t, []int{5, 4})
+	x := []float64{0.4, -0.2, 0.8}
+	tr := net.ForwardTrace(x)
+	dst := make([]float64, net.OutputDim())
+	seen := 0
+	net.ForwardObserved(dst, net.NewScratch(), x, func(layer int, pre []float64) {
+		for j, z := range pre {
+			if z != tr.Pre[layer][j] {
+				t.Fatalf("layer %d neuron %d: observed pre %v, trace %v", layer, j, z, tr.Pre[layer][j])
+			}
+		}
+		seen++
+	})
+	if seen != len(net.Layers) {
+		t.Fatalf("observed %d layers, want %d", seen, len(net.Layers))
+	}
+	for i := range dst {
+		if dst[i] != tr.Output()[i] {
+			t.Fatal("ForwardObserved output differs from trace")
+		}
+	}
+}
+
+// BenchmarkForwardInto is the hot-path benchmark the CI bench job records:
+// steady-state inference must report 0 allocs/op.
+func BenchmarkForwardInto(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	net := New(Config{
+		Name: "bench", InputDim: 84, Hidden: []int{40, 40, 40, 40}, OutputDim: 15,
+		HiddenAct: ReLU, OutputAct: Identity,
+	}, rng)
+	x := randInput(rng, net.InputDim())
+	dst := make([]float64, net.OutputDim())
+	scratch := net.NewScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ForwardInto(dst, scratch, x)
+	}
+}
+
+// BenchmarkForward measures the allocating wrapper for comparison.
+func BenchmarkForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	net := New(Config{
+		Name: "bench", InputDim: 84, Hidden: []int{40, 40, 40, 40}, OutputDim: 15,
+		HiddenAct: ReLU, OutputAct: Identity,
+	}, rng)
+	x := randInput(rng, net.InputDim())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(x)
+	}
+}

@@ -207,18 +207,94 @@ func (n *Network) Validate() error {
 // Forward evaluates the network at x and returns the raw output vector.
 // It panics if len(x) != InputDim().
 func (n *Network) Forward(x []float64) []float64 {
-	if len(x) != n.InputDim() {
-		panic(fmt.Sprintf("nn: Forward input dim %d, want %d", len(x), n.InputDim()))
-	}
-	cur := x
-	for _, l := range n.Layers {
-		next := make([]float64, l.OutDim())
-		for i, row := range l.W {
-			next[i] = l.Act.Apply(linalg.Dot(row, cur) + l.B[i])
+	dst := make([]float64, n.OutputDim())
+	n.ForwardInto(dst, n.NewScratch(), x)
+	return dst
+}
+
+// ScratchLen returns the scratch length ForwardInto requires: two
+// ping-pong buffers of the widest non-output layer. Networks with a
+// single layer need no scratch at all.
+func (n *Network) ScratchLen() int {
+	m := 0
+	for i := 0; i+1 < len(n.Layers); i++ {
+		if d := n.Layers[i].OutDim(); d > m {
+			m = d
 		}
-		cur = next
 	}
-	return cur
+	return 2 * m
+}
+
+// NewScratch allocates a scratch buffer sized for ForwardInto.
+func (n *Network) NewScratch() []float64 { return make([]float64, n.ScratchLen()) }
+
+// ForwardInto evaluates the network at x, writing the raw output vector
+// into dst. All intermediate layer values live in the caller-provided
+// scratch (see ScratchLen), so a steady-state caller — the inference
+// server's hot path — performs zero allocations per evaluation. The
+// result is bit-identical to Forward: the arithmetic is the same
+// dot-then-bias-then-activation sequence in the same order.
+//
+// It panics when dst is not OutputDim() long, scratch is shorter than
+// ScratchLen(), or x is not InputDim() long. x is never written.
+func (n *Network) ForwardInto(dst, scratch, x []float64) {
+	n.ForwardObserved(dst, scratch, x, nil)
+}
+
+// ForwardObserved is ForwardInto with a per-layer hook: when observe is
+// non-nil it is called once per layer, after that layer's pre-activation
+// values are computed and before the activation overwrites them in place.
+// The slice passed to observe is only valid for the duration of the call
+// and must not be written. The runtime monitor uses this to read
+// activation signs during the same pass that produces the prediction
+// instead of paying a second forward.
+func (n *Network) ForwardObserved(dst, scratch, x []float64, observe func(layer int, pre []float64)) {
+	if len(x) != n.InputDim() {
+		panic(fmt.Sprintf("nn: ForwardInto input dim %d, want %d", len(x), n.InputDim()))
+	}
+	if len(dst) != n.OutputDim() {
+		panic(fmt.Sprintf("nn: ForwardInto dst dim %d, want %d", len(dst), n.OutputDim()))
+	}
+	if len(scratch) < n.ScratchLen() {
+		panic(fmt.Sprintf("nn: ForwardInto scratch len %d, want >= %d", len(scratch), n.ScratchLen()))
+	}
+	half := len(scratch) / 2
+	last := len(n.Layers) - 1
+	cur := x
+	for li, l := range n.Layers {
+		var out []float64
+		switch {
+		case li == last:
+			out = dst
+		case li%2 == 0:
+			out = scratch[:l.OutDim()]
+		default:
+			out = scratch[half : half+l.OutDim()]
+		}
+		for i, row := range l.W {
+			out[i] = linalg.Dot(row, cur) + l.B[i]
+		}
+		if observe != nil {
+			observe(li, out)
+		}
+		for i, z := range out {
+			out[i] = l.Act.Apply(z)
+		}
+		cur = out
+	}
+}
+
+// ForwardBatchInto evaluates the network at every row of xs, writing row
+// i's output into out[i]. The single scratch buffer is reused across rows,
+// so the whole batch performs zero allocations. Each out row must be
+// OutputDim() long; shape mismatches panic as in ForwardInto.
+func (n *Network) ForwardBatchInto(out [][]float64, scratch []float64, xs [][]float64) {
+	if len(out) != len(xs) {
+		panic(fmt.Sprintf("nn: ForwardBatchInto %d output rows for %d inputs", len(out), len(xs)))
+	}
+	for i, x := range xs {
+		n.ForwardInto(out[i], scratch, x)
+	}
 }
 
 // Trace records every layer's pre- and post-activation values for one input.
@@ -261,12 +337,31 @@ func (n *Network) ForwardTrace(x []float64) *Trace {
 	return tr
 }
 
-// ActivationPattern returns, for every hidden ReLU layer, which neurons are
-// active (pre-activation > 0) at input x. Output layers are excluded.
+// ReLULayers lists the indices of the hidden ReLU layers — the layers
+// that branch, and therefore the layers activation patterns, structural
+// coverage and the runtime monitor are defined over. The output layer is
+// excluded even when it is ReLU (it does not feed a later decision).
+func (n *Network) ReLULayers() []int {
+	var out []int
+	for i := 0; i+1 < len(n.Layers); i++ {
+		if n.Layers[i].Act == ReLU {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ActivationPattern returns, for every hidden ReLU layer (in ReLULayers
+// order), which neurons are active (pre-activation strictly > 0) at input
+// x. Non-ReLU hidden layers do not branch and are excluded; a network
+// with no hidden ReLU layer (e.g. single-layer or all-tanh) returns no
+// rows. A pre-activation of exactly zero counts as inactive, matching the
+// verifier's encoding of the ReLU's flat branch.
 func (n *Network) ActivationPattern(x []float64) [][]bool {
 	tr := n.ForwardTrace(x)
-	out := make([][]bool, 0, len(n.Layers)-1)
-	for li := 0; li+1 < len(n.Layers); li++ {
+	layers := n.ReLULayers()
+	out := make([][]bool, 0, len(layers))
+	for _, li := range layers {
 		row := make([]bool, len(tr.Pre[li]))
 		for j, z := range tr.Pre[li] {
 			row[j] = z > 0

@@ -118,6 +118,65 @@ func TestActivationPattern(t *testing.T) {
 	}
 }
 
+func TestActivationPatternExcludesNonReLULayers(t *testing.T) {
+	// tanh, ReLU, tanh hidden layers + linear output: only the ReLU layer
+	// branches, so the pattern has exactly one row, mapped by ReLULayers.
+	rng := rand.New(rand.NewSource(5))
+	net := New(Config{Name: "mixed", InputDim: 2, Hidden: []int{3, 4, 3}, OutputDim: 1, HiddenAct: Tanh, OutputAct: Identity}, rng)
+	net.Layers[1].Act = ReLU
+	pat := net.ActivationPattern([]float64{0.5, -0.5})
+	if len(pat) != 1 || len(pat[0]) != 4 {
+		t.Fatalf("mixed net pattern shape %v, want one row of 4", pat)
+	}
+	if got := net.ReLULayers(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("ReLULayers = %v, want [1]", got)
+	}
+	// All-tanh: no branching layers, no rows.
+	tanh := New(Config{Name: "tanh", InputDim: 2, Hidden: []int{3}, OutputDim: 1, HiddenAct: Tanh, OutputAct: Identity}, rng)
+	if pat := tanh.ActivationPattern([]float64{1, 1}); len(pat) != 0 {
+		t.Fatalf("tanh net pattern = %v, want empty", pat)
+	}
+	// A ReLU output layer does not branch a later decision: excluded.
+	outOnly := &Network{Layers: []*Layer{
+		{W: [][]float64{{1}}, B: []float64{0}, Act: ReLU},
+	}}
+	if pat := outOnly.ActivationPattern([]float64{3}); len(pat) != 0 {
+		t.Fatalf("single-layer net pattern = %v, want empty", pat)
+	}
+}
+
+func TestActivationPatternZeroBoundary(t *testing.T) {
+	// A pre-activation of exactly 0 counts as inactive (z > 0 is strict).
+	net := &Network{Layers: []*Layer{
+		{W: [][]float64{{1}}, B: []float64{0}, Act: ReLU},
+		{W: [][]float64{{1}}, B: []float64{0}, Act: Identity},
+	}}
+	if pat := net.ActivationPattern([]float64{0}); pat[0][0] {
+		t.Fatal("zero pre-activation classified active, want inactive")
+	}
+	if pat := net.ActivationPattern([]float64{math.SmallestNonzeroFloat64}); !pat[0][0] {
+		t.Fatal("smallest positive pre-activation classified inactive, want active")
+	}
+}
+
+func TestActivationPatternSingleLayerNet(t *testing.T) {
+	net := &Network{Layers: []*Layer{
+		{W: [][]float64{{2, 1}}, B: []float64{1}, Act: Identity},
+	}}
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if pat := net.ActivationPattern([]float64{1, 1}); len(pat) != 0 {
+		t.Fatalf("single-layer pattern = %v, want empty", pat)
+	}
+	if net.ScratchLen() != 0 {
+		t.Fatalf("single-layer ScratchLen = %d, want 0", net.ScratchLen())
+	}
+	if got := net.Forward([]float64{1, 1})[0]; got != 4 {
+		t.Fatalf("single-layer Forward = %g, want 4", got)
+	}
+}
+
 func TestCloneIsDeep(t *testing.T) {
 	net := testNet(t, []int{4})
 	cl := net.Clone()

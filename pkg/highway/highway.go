@@ -1,0 +1,100 @@
+// Package highway is the public surface of the case study's traffic
+// simulator and dataset generator (see internal/highway for the engine):
+// IDM/MOBIL highway traffic, the paper's 84-dimensional feature encoding,
+// and the synthetic (features, action) dataset the motion predictor is
+// trained on. Everything is a type alias or a thin delegate, so values
+// flow freely between this package, pkg/vnn (whose Sample, regions and
+// safety rules speak the same feature encoding) and the examples — which
+// import no internal packages.
+package highway
+
+import (
+	"math/rand"
+
+	ih "repro/internal/highway"
+	"repro/pkg/vnn"
+)
+
+// Re-exported simulator and encoding types. Aliases, not wrappers.
+type (
+	// Sim is a running highway traffic simulation.
+	Sim = ih.Sim
+	// Config tunes a simulation (lanes, vehicles, seed, road).
+	Config = ih.Config
+	// Vehicle is one simulated vehicle.
+	Vehicle = ih.Vehicle
+	// RoadCondition describes the road the simulation runs on.
+	RoadCondition = ih.RoadCondition
+	// Observation is the full sensor picture around an ego vehicle;
+	// Encode turns it into the 84-dimensional feature vector.
+	Observation = ih.Observation
+	// Orientation identifies one sensed neighbor slot around the ego.
+	Orientation = ih.Orientation
+	// NeighborParam identifies one feature within a neighbor slot.
+	NeighborParam = ih.NeighborParam
+	// DatasetConfig controls synthetic dataset generation.
+	DatasetConfig = ih.DatasetConfig
+)
+
+// FeatureDim is the predictor input dimension (84, as in the paper).
+const FeatureDim = ih.FeatureDim
+
+// Orientations, counted clockwise from the left neighbor — the slot the
+// lateral safety property quantifies over.
+const (
+	Left       = ih.Left
+	FrontLeft  = ih.FrontLeft
+	Front      = ih.Front
+	FrontRight = ih.FrontRight
+	Right      = ih.Right
+	RearRight  = ih.RearRight
+	Rear       = ih.Rear
+	RearLeft   = ih.RearLeft
+)
+
+// Neighbor slot parameters (see the feature-encoding contract in
+// internal/highway/features.go).
+const (
+	NPPresence  = ih.NPPresence
+	NPGap       = ih.NPGap
+	NPClosing   = ih.NPClosing
+	NPRelSpeed  = ih.NPRelSpeed
+	NPLatOffset = ih.NPLatOffset
+	NPLength    = ih.NPLength
+	NPSpeed     = ih.NPSpeed
+	NPHeadway   = ih.NPHeadway
+)
+
+// DefaultConfig returns a plausible three-lane highway configuration.
+func DefaultConfig() Config { return ih.DefaultConfig() }
+
+// NewSim builds a simulation from cfg.
+func NewSim(cfg Config) (*Sim, error) { return ih.NewSim(cfg) }
+
+// DefaultDatasetConfig returns a configuration producing a few thousand
+// samples in well under a second.
+func DefaultDatasetConfig() DatasetConfig { return ih.DefaultDatasetConfig() }
+
+// GenerateDataset simulates traffic and records (features, action)
+// samples for every vehicle acting as ego in turn; the data satisfies the
+// lateral safety property by construction (the safe driver never moves
+// left while the left slot is occupied).
+func GenerateDataset(cfg DatasetConfig) ([]vnn.Sample, error) { return ih.GenerateDataset(cfg) }
+
+// NeighborFeature returns the feature index of parameter p in the slot of
+// orientation o.
+func NeighborFeature(o Orientation, p NeighborParam) int { return ih.NeighborFeature(o, p) }
+
+// FeatureNames lists the names of all 84 features in encoding order.
+func FeatureNames() []string { return ih.FeatureNames() }
+
+// LeftOccupiedInFeatures reports whether a feature vector describes a
+// state with the left slot occupied — the premise of the safety property.
+func LeftOccupiedInFeatures(x []float64) bool { return ih.LeftOccupiedInFeatures(x) }
+
+// RandomFeatureVector draws a feature vector uniformly from the valid
+// normalized space (coverage testing and fuzzing helper).
+func RandomFeatureVector(rng *rand.Rand) []float64 { return ih.RandomFeatureVector(rng) }
+
+// DescribeObservation renders an observation as readable text.
+func DescribeObservation(obs *Observation) string { return ih.DescribeObservation(obs) }

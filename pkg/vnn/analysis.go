@@ -43,6 +43,7 @@ const (
 	KindQuantSweep     = "quant_sweep"
 	KindDataValidation = "data_validation"
 	KindFalsify        = "falsify"
+	KindMonitorAudit   = "monitor_audit"
 )
 
 // Analysis is one element of the dependability portfolio: a self-contained
@@ -83,6 +84,8 @@ type Finding struct {
 	DataValidation *DataValidationFinding
 	// Falsification holds the attack finding (KindFalsify).
 	Falsification *FalsifyResult
+	// Monitor holds the runtime-monitoring finding (KindMonitorAudit).
+	Monitor *MonitorFinding
 }
 
 // Analyze runs a batch of analyses against one compiled network. Every
@@ -249,29 +252,31 @@ func (c *Coverage) Run(ctx context.Context, cn *CompiledNetwork) (*Finding, erro
 		RequiredMCDCTests:  coverage.RequiredTests(net),
 	}
 	if c.MaxTests > 0 && ctx.Err() == nil {
-		region := cn.Region()
-		lo := make([]float64, len(region.Box))
-		hi := make([]float64, len(region.Box))
-		for i, iv := range region.Box {
-			lo[i], hi[i] = iv.Lo, iv.Hi
-		}
-		genOpts := coverage.GenerateOptions{
-			MaxTests:   c.MaxTests,
-			TargetSign: c.TargetSign,
-			// Cancellation (request deadline, server drain) reaches the
-			// sampling loop; the coverage accumulated so far is the
-			// anytime answer.
-			Cancel: func() bool { return ctx.Err() != nil },
-		}
-		if len(region.Linear) > 0 {
-			// The region is a box intersected with linear constraints:
-			// sample the box but only score members of the region, so
-			// coverage is never overstated by out-of-region inputs.
-			genOpts.Accept = func(x []float64) bool { return region.Contains(x, 1e-9) }
-		}
+		lo, hi, genOpts := regionSampling(ctx, cn.Region())
+		genOpts.MaxTests = c.MaxTests
+		genOpts.TargetSign = c.TargetSign
 		f.Generated = suite.Generate(lo, hi, coverageSource(c.Seed), genOpts)
 	}
 	return &Finding{Coverage: f}, nil
+}
+
+// regionSampling builds the shared setup of every region-sampling
+// analysis: the region box as parallel lo/hi slices, cancellation
+// (request deadline, server drain) wired into the sampling loop — what
+// was scored so far is the anytime answer — and, when the region is a
+// box intersected with linear constraints, an Accept filter so results
+// are never overstated by out-of-region inputs.
+func regionSampling(ctx context.Context, region *Region) (lo, hi []float64, opts coverage.GenerateOptions) {
+	lo = make([]float64, len(region.Box))
+	hi = make([]float64, len(region.Box))
+	for i, iv := range region.Box {
+		lo[i], hi[i] = iv.Lo, iv.Hi
+	}
+	opts.Cancel = func() bool { return ctx.Err() != nil }
+	if len(region.Linear) > 0 {
+		opts.Accept = func(x []float64) bool { return region.Contains(x, 1e-9) }
+	}
+	return lo, hi, opts
 }
 
 // Traceability computes the neuron-to-feature traceability report over a

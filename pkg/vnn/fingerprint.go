@@ -124,6 +124,32 @@ func Fingerprint(net *Network, region *Region, opts Options) (string, error) {
 	return "vnn1-" + hex.EncodeToString(w.h.Sum(nil)), nil
 }
 
+// MonitorWorkloadFingerprint identifies a monitor-build workload before
+// the build runs: the compile workload the monitor attaches to (its
+// Fingerprint), the build dataset (floats hashed as IEEE-754 bits, order
+// included — pattern sets are insertion-ordered) and the monitor options.
+// It is the key the vnnd monitor cache deduplicates builds under, the
+// same way Fingerprint keys the compile cache. The content hash of the
+// *built* artifact is Monitor.Fingerprint.
+func MonitorWorkloadFingerprint(networkFingerprint string, data [][]float64, opts MonitorOptions) string {
+	w := fpWriter{h: sha256.New()}
+	w.u64(fingerprintVersion)
+	w.h.Write([]byte(networkFingerprint))
+	w.u64(uint64(opts.Gamma))
+	w.u64(uint64(len(opts.Layers)))
+	for _, li := range opts.Layers {
+		w.u64(uint64(li))
+	}
+	w.u64(uint64(len(data)))
+	for _, row := range data {
+		w.u64(uint64(len(row)))
+		for _, v := range row {
+			w.f64(v)
+		}
+	}
+	return "vnnmw1-" + hex.EncodeToString(w.h.Sum(nil))
+}
+
 // fpWriter streams fixed-width little-endian values into a hash.
 type fpWriter struct{ h hash.Hash }
 

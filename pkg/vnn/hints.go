@@ -1,4 +1,9 @@
-package core
+// Hints training (the paper's future-work item (iii)), public: fine-tune
+// a predictor under a known property so the verified worst case shrinks.
+// Moved from internal/core so the hints example runs entirely on the
+// public API; internal/core delegates.
+
+package vnn
 
 import (
 	"math/rand"
@@ -7,6 +12,46 @@ import (
 	"repro/internal/highway"
 	"repro/internal/train"
 )
+
+// HintAugment implements the data-generation half of "hints" training
+// (Abu-Mostafa 1995, the paper's concluding remark iii): since the safety
+// property is known analytically — "left occupied ⇒ no positive lateral
+// velocity" — we can manufacture unlimited training examples of it across
+// the *whole* property region, not just the on-policy distribution the
+// simulator visits. Combined with the hint penalty loss this pulls the
+// network's worst case (what the verifier bounds) down, not merely its
+// average case.
+//
+// Each sample is a uniformly random feature vector constrained to the
+// left-occupied region, labeled with a safe action: lateral velocity drawn
+// from [-1, 0] and a mild longitudinal acceleration.
+func HintAugment(n int, rng *rand.Rand) []Sample {
+	region := LeftOccupiedRegion()
+	out := make([]Sample, n)
+	for i := range out {
+		x := make([]float64, highway.FeatureDim)
+		for j, iv := range region.Box {
+			x[j] = iv.Lo + rng.Float64()*(iv.Hi-iv.Lo)
+		}
+		// Honest booleans for all presence flags except the pinned left one.
+		for o := highway.Orientation(0); o < highway.NumOrientations; o++ {
+			p := highway.NeighborFeature(o, highway.NPPresence)
+			if region.Box[p].Lo == region.Box[p].Hi {
+				continue // pinned by the region (the left slot)
+			}
+			if rng.Intn(2) == 0 {
+				x[p] = 0
+			} else {
+				x[p] = 1
+			}
+		}
+		out[i] = Sample{
+			X: x,
+			Y: []float64{-rng.Float64(), rng.NormFloat64() * 0.3},
+		}
+	}
+	return out
+}
 
 // HintConfig tunes HintFineTune.
 type HintConfig struct {
@@ -33,7 +78,7 @@ type HintConfig struct {
 // (HintAugment) and counterexample-guided rounds (AdversarialHintRounds).
 // Across seeds this reliably lowers the *verified* maximum lateral velocity
 // relative to the network's own starting point.
-func HintFineTune(pred *Predictor, data []train.Sample, cfg HintConfig) error {
+func HintFineTune(pred *Predictor, data []Sample, cfg HintConfig) error {
 	if cfg.Threshold == 0 {
 		cfg.Threshold = 0.2
 	}
@@ -63,7 +108,7 @@ func HintFineTune(pred *Predictor, data []train.Sample, cfg HintConfig) error {
 		Net: pred.Net, Loss: loss, Opt: train.NewAdam(cfg.LR),
 		BatchSize: 64, Rng: rand.New(rand.NewSource(cfg.Seed + 1)), ClipNorm: 20,
 	}
-	aug := append(append([]train.Sample(nil), data...),
+	aug := append(append([]Sample(nil), data...),
 		HintAugment(len(data)/2, rand.New(rand.NewSource(cfg.Seed+2)))...)
 	_, err := AdversarialHintRounds(pred, trainer, aug, cfg.Rounds, cfg.EpochsPerRound, cfg.SamplesPerRound, rand.New(rand.NewSource(cfg.Seed+3)))
 	return err
@@ -80,9 +125,9 @@ func HintFineTune(pred *Predictor, data []train.Sample, cfg HintConfig) error {
 // The trainer must already be configured (loss, optimizer, rng); data is
 // the base dataset, which is not mutated. The augmented dataset is
 // returned so callers can keep training or inspect the added samples.
-func AdversarialHintRounds(pred *Predictor, trainer *train.Trainer, data []train.Sample, rounds, epochsPerRound, samplesPerRound int, rng *rand.Rand) ([]train.Sample, error) {
+func AdversarialHintRounds(pred *Predictor, trainer *Trainer, data []Sample, rounds, epochsPerRound, samplesPerRound int, rng *rand.Rand) ([]Sample, error) {
 	region := LeftOccupiedRegion()
-	augmented := append([]train.Sample(nil), data...)
+	augmented := append([]Sample(nil), data...)
 	for r := 0; r < rounds; r++ {
 		for _, out := range pred.MuLatOutputs() {
 			res, err := attack.Maximize(pred.Net, region, out, rng, attack.Options{
@@ -111,7 +156,7 @@ func AdversarialHintRounds(pred *Predictor, trainer *train.Trainer, data []train
 					}
 					x[i] = jit
 				}
-				augmented = append(augmented, train.Sample{
+				augmented = append(augmented, Sample{
 					X: x,
 					Y: []float64{-0.2 - 0.6*rng.Float64(), rng.NormFloat64() * 0.2},
 				})

@@ -1,0 +1,212 @@
+package vnn
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn"
+)
+
+// signNet is a hand-built predictor: hidden ReLU pair computing (x, −x).
+// Over the region x ∈ [1, 3] interval analysis proves neuron 0 stably
+// active and neuron 1 stably inactive.
+func signNet() *nn.Network {
+	return &nn.Network{Name: "sign", Layers: []*nn.Layer{
+		{W: [][]float64{{1}, {-1}}, B: []float64{0, 0}, Act: nn.ReLU},
+		{W: [][]float64{{1, 1}}, B: []float64{0}, Act: nn.Identity},
+	}}
+}
+
+func compileSign(t *testing.T) *CompiledNetwork {
+	t.Helper()
+	cn, err := Compile(context.Background(), signNet(),
+		&Region{Box: []Interval{{Lo: 1, Hi: 3}}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cn
+}
+
+func TestBuildMonitorRejectsStaticallyUnreachablePattern(t *testing.T) {
+	cn := compileSign(t)
+	// x = −2 lies outside the compiled region; its pattern activates the
+	// neuron the compiled bounds prove stably inactive, so the build must
+	// reject it rather than teach the monitor uncertified behaviour.
+	mon, err := BuildMonitor(cn, [][]float64{{2}, {-2}}, MonitorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := mon.Stats(); st.Rejected != 1 || st.Inputs != 2 {
+		t.Fatalf("stats %+v, want 1 of 2 inputs rejected as unreachable", st)
+	}
+	if v := mon.Check([]float64{2.5}); !v.OK {
+		t.Fatalf("in-region, in-pattern input flagged: %v", v)
+	}
+	if v := mon.Check([]float64{-2}); v.OK {
+		t.Fatalf("rejected pattern accepted at runtime: %v", v)
+	}
+}
+
+func TestMonitorMarshalRoundTripAndWorkloadBinding(t *testing.T) {
+	cn := compileSign(t)
+	mon, err := BuildMonitor(cn, [][]float64{{1.5}, {2.5}}, MonitorOptions{Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := MarshalMonitor(mon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalMonitor(doc, cn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Fingerprint() != mon.Fingerprint() || back.Gamma() != 1 {
+		t.Fatal("round trip changed the monitor")
+	}
+	if back.NetworkFingerprint() != mon.NetworkFingerprint() {
+		t.Fatal("round trip changed the workload binding")
+	}
+	// A monitor must not attach to a different compile workload.
+	other, err := Compile(context.Background(), signNet(),
+		&Region{Box: []Interval{{Lo: 0, Hi: 5}}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalMonitor(doc, other); err == nil {
+		t.Fatal("monitor attached to a workload with a different fingerprint")
+	}
+}
+
+func TestMonitorBuildDeterministicAcrossBuilds(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	net := NewNetwork(NetworkConfig{
+		Name: "det", InputDim: 4, Hidden: []int{10, 8}, OutputDim: 2,
+		HiddenAct: ReLU, OutputAct: Identity,
+	}, rng)
+	box := make([]Interval, 4)
+	for i := range box {
+		box[i] = Interval{Lo: -1, Hi: 1}
+	}
+	cn, err := Compile(context.Background(), net, &Region{Box: box}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([][]float64, 50)
+	dataRng := rand.New(rand.NewSource(5))
+	for i := range data {
+		row := make([]float64, 4)
+		for j := range row {
+			row[j] = dataRng.Float64()*2 - 1
+		}
+		data[i] = row
+	}
+	a, err := BuildMonitor(cn, data, MonitorOptions{Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildMonitor(cn, data, MonitorOptions{Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("same dataset produced different monitor fingerprints")
+	}
+	am, _ := MarshalMonitor(a)
+	bm, _ := MarshalMonitor(b)
+	if !bytes.Equal(am, bm) {
+		t.Fatal("same dataset produced different monitor marshals")
+	}
+}
+
+func TestMonitorAuditAnalysis(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	net := NewNetwork(NetworkConfig{
+		Name: "audit", InputDim: 3, Hidden: []int{8, 8}, OutputDim: 1,
+		HiddenAct: ReLU, OutputAct: Identity,
+	}, rng)
+	box := make([]Interval, 3)
+	for i := range box {
+		box[i] = Interval{Lo: -1, Hi: 1}
+	}
+	cn, err := Compile(context.Background(), net, &Region{Box: box}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A deliberately thin dataset: one corner of the region. Fresh
+	// coverage-generated probes should flag plenty of novelty.
+	data := [][]float64{{0.9, 0.9, 0.9}, {0.8, 0.9, 0.85}}
+	finding, err := AnalyzeOne(context.Background(), cn, &MonitorAudit{
+		Data: data, AuditTests: 400, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf := finding.Monitor
+	if mf == nil || finding.Kind != KindMonitorAudit {
+		t.Fatalf("finding %+v, want a monitor_audit payload", finding)
+	}
+	if mf.Audited == 0 {
+		t.Fatal("audit checked no generated inputs")
+	}
+	if mf.Flagged == 0 || mf.FlaggedFraction <= 0 {
+		t.Fatalf("thin dataset audit flagged nothing: %+v", mf)
+	}
+	if mf.Monitor == nil || mf.Fingerprint != mf.Monitor.Fingerprint() {
+		t.Fatal("finding does not carry its built monitor")
+	}
+	// Reproducibility: the same seed audits the same probes.
+	again, err := AnalyzeOne(context.Background(), cn, &MonitorAudit{
+		Data: data, AuditTests: 400, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Monitor.Audited != mf.Audited || again.Monitor.Flagged != mf.Flagged {
+		t.Fatalf("same seed, different audit: %+v vs %+v", again.Monitor, mf)
+	}
+	// Wire form round trip.
+	fj := finding.JSON()
+	if fj.Monitor == nil || fj.Monitor.Flagged != mf.Flagged || fj.Kind != KindMonitorAudit {
+		t.Fatalf("wire finding %+v", fj)
+	}
+	rep := NewAnalysisReport(net, []*Finding{finding})
+	if rep.Worst != Inconclusive.String() {
+		t.Fatalf("monitor-only report worst = %q, want inconclusive (nothing proved)", rep.Worst)
+	}
+}
+
+func TestMonitorAuditSpecDecoding(t *testing.T) {
+	spec := AnalysisSpec{Kind: KindMonitorAudit, Data: [][]float64{{0.5}}, Gamma: 2, AuditTests: 10, Seed: 1}
+	a, err := spec.Analysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma, ok := a.(*MonitorAudit)
+	if !ok || ma.Gamma != 2 || ma.AuditTests != 10 {
+		t.Fatalf("decoded %+v", a)
+	}
+	if err := spec.ValidateFor(signNet()); err != nil {
+		t.Fatalf("ValidateFor: %v", err)
+	}
+	bad := AnalysisSpec{Kind: KindMonitorAudit}
+	if _, err := bad.Analysis(); err == nil {
+		t.Fatal("spec without data must fail")
+	}
+	wrongDim := AnalysisSpec{Kind: KindMonitorAudit, Data: [][]float64{{1, 2}}}
+	if err := wrongDim.ValidateFor(signNet()); err == nil {
+		t.Fatal("wrong data dimension must fail validation")
+	}
+	badLayer := AnalysisSpec{Kind: KindMonitorAudit, Data: [][]float64{{1}}, Layers: []int{1}}
+	if err := badLayer.ValidateFor(signNet()); err == nil {
+		t.Fatal("non-ReLU monitored layer must fail validation")
+	}
+	// Duplicate/descending layer lists must be a client error (400), not a
+	// late Build failure the service maps to 500.
+	dupLayer := AnalysisSpec{Kind: KindMonitorAudit, Data: [][]float64{{1}}, Layers: []int{0, 0}}
+	if err := dupLayer.ValidateFor(signNet()); err == nil {
+		t.Fatal("duplicate monitored layers must fail validation")
+	}
+}

@@ -22,6 +22,8 @@ import (
 type (
 	// NetworkConfig describes a network to construct with NewNetwork.
 	NetworkConfig = nn.Config
+	// Layer is one dense layer of a Network (for hand-built networks).
+	Layer = nn.Layer
 	// Activation selects a layer's nonlinearity.
 	Activation = nn.Activation
 	// CoverageSuite accumulates structural coverage over test inputs.

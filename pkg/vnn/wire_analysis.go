@@ -90,6 +90,11 @@ type AnalysisSpec struct {
 	Outputs  []int `json:"outputs,omitempty"`
 	Restarts int   `json:"restarts,omitempty"`
 	Steps    int   `json:"steps,omitempty"`
+	// Gamma, Layers and AuditTests tune monitor_audit analyses (which
+	// build from Data and seed probe generation with Seed).
+	Gamma      int   `json:"gamma,omitempty"`
+	Layers     []int `json:"layers,omitempty"`
+	AuditTests int   `json:"audit_tests,omitempty"`
 }
 
 // Analysis builds the analysis the spec describes. Shape errors (missing
@@ -153,6 +158,17 @@ func (s *AnalysisSpec) Analysis() (Analysis, error) {
 			return nil, fmt.Errorf("vnn: analysis %q needs outputs", s.Kind)
 		}
 		return &Falsification{Outputs: s.Outputs, Restarts: s.Restarts, Steps: s.Steps, Seed: s.Seed}, nil
+	case KindMonitorAudit:
+		if len(s.Data) == 0 {
+			return nil, fmt.Errorf("vnn: analysis %q needs a build dataset", s.Kind)
+		}
+		return &MonitorAudit{
+			Data:       s.Data,
+			Gamma:      s.Gamma,
+			Layers:     s.Layers,
+			AuditTests: s.AuditTests,
+			Seed:       s.Seed,
+		}, nil
 	case "":
 		return nil, fmt.Errorf("vnn: analysis spec has no kind")
 	default:
@@ -282,6 +298,19 @@ type FalsificationJSON struct {
 	Evaluations int       `json:"evaluations"`
 }
 
+// MonitorAuditJSON is the wire form of a runtime-monitoring finding.
+type MonitorAuditJSON struct {
+	Fingerprint         string  `json:"fingerprint"`
+	Gamma               int     `json:"gamma"`
+	Layers              []int   `json:"layers"`
+	BuildInputs         int     `json:"build_inputs"`
+	RejectedUnreachable int     `json:"rejected_unreachable"`
+	Patterns            int     `json:"patterns"`
+	Audited             int     `json:"audited"`
+	Flagged             int     `json:"flagged"`
+	FlaggedFraction     float64 `json:"flagged_fraction"`
+}
+
 // FindingJSON is the wire form of one Finding: the kind plus exactly one
 // populated payload.
 type FindingJSON struct {
@@ -293,6 +322,7 @@ type FindingJSON struct {
 	QuantSweep     *QuantSweepJSON     `json:"quant_sweep,omitempty"`
 	DataValidation *DataValidationJSON `json:"data_validation,omitempty"`
 	Falsification  *FalsificationJSON  `json:"falsification,omitempty"`
+	Monitor        *MonitorAuditJSON   `json:"monitor,omitempty"`
 }
 
 // JSON renders the finding in the shared wire schema.
@@ -361,6 +391,20 @@ func (f *Finding) JSON() FindingJSON {
 		fr := f.Falsification
 		out.Falsification = &FalsificationJSON{
 			Value: fr.Value, Best: fr.Best, Output: fr.Output, Evaluations: fr.Evaluations,
+		}
+	}
+	if f.Monitor != nil {
+		mf := f.Monitor
+		out.Monitor = &MonitorAuditJSON{
+			Fingerprint:         mf.Fingerprint,
+			Gamma:               mf.Gamma,
+			Layers:              mf.Layers,
+			BuildInputs:         mf.BuildInputs,
+			RejectedUnreachable: mf.RejectedUnreachable,
+			Patterns:            mf.Patterns,
+			Audited:             mf.Audited,
+			Flagged:             mf.Flagged,
+			FlaggedFraction:     mf.FlaggedFraction,
 		}
 	}
 	return out

@@ -1,0 +1,424 @@
+// POST /v1/infer: the online inference plane. Where /v1/verify asks
+// questions about a network, /v1/infer *runs* it under supervision: a
+// batch of inputs comes back as predictions plus, when requested, a
+// per-input runtime-monitor verdict flagging out-of-pattern inputs before
+// their predictions are trusted (the paper's operation-time pillar).
+//
+// The endpoint is built for latency, not search:
+//
+//   - No scheduler queue and no SSE jobs — a forward pass is microseconds,
+//     so requests run inline on their handler goroutine; only Drain and
+//     the request context interrupt them.
+//   - The hot path is allocation-free: forwards run through
+//     nn.ForwardInto-style scratch owned by a sync.Pool, and monitored
+//     forwards fuse prediction and pattern check into one pass
+//     (vnn.Monitor.CheckInto). Predictions are bit-identical to
+//     nn.Forward.
+//   - Artifacts are cached and deduplicated exactly like compiles: the
+//     monitor's bounds cross-check needs the compiled network, which
+//     routes through the fingerprint-keyed compile cache (singleflight),
+//     and built monitors live in their own fingerprint-keyed LRU, so N
+//     concurrent identical monitored-infer requests build one monitor
+//     over one compile.
+
+package vnnserver
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/pkg/vnn"
+)
+
+const (
+	// maxInferBatch bounds the inputs one request may carry.
+	maxInferBatch = 4096
+	// maxMonitorData bounds the monitor-build dataset one request may
+	// carry (builds are cached, so this is paid once per distinct
+	// monitor workload).
+	maxMonitorData = 1 << 16
+	// inferCancelStride is how many inputs are evaluated between
+	// context checks (one ForwardBatchInto chunk on the unmonitored
+	// path): batches notice drain promptly without paying a per-input
+	// atomic load.
+	inferCancelStride = 256
+)
+
+// InferMonitorSpec asks for runtime monitoring of an infer batch: a
+// monitor is built (or fetched from the monitor cache) from Data over the
+// request's compiled network and checks every input.
+type InferMonitorSpec struct {
+	// Data is the build dataset (e.g. the training set).
+	Data [][]float64 `json:"data"`
+	// Gamma is the Hamming relaxation; 0 means exact-match monitoring.
+	Gamma int `json:"gamma,omitempty"`
+	// Layers selects monitored hidden ReLU layers; nil means all.
+	Layers []int `json:"layers,omitempty"`
+}
+
+// InferRequest is the POST /v1/infer body.
+type InferRequest struct {
+	// Network is the canonical network JSON (see vnn.MarshalNetwork).
+	Network json.RawMessage `json:"network"`
+	// Region is the operational design domain the network was certified
+	// over; the monitor's static cross-check runs against its compiled
+	// bounds.
+	Region vnn.RegionSpec `json:"region"`
+	// Inputs is the batch to evaluate.
+	Inputs [][]float64 `json:"inputs"`
+	// Monitor, when present, requests per-input runtime verdicts.
+	Monitor *InferMonitorSpec `json:"monitor,omitempty"`
+	// Options affect only the compile the monitor cross-checks against
+	// (Tighten tightens the bounds patterns are validated by); they are
+	// part of the fingerprint exactly as for /v1/verify.
+	Options QueryOptions `json:"options"`
+	// TimeoutMS bounds the whole request including any compile or
+	// monitor build it triggers; 0 falls back to the server's default.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// VerdictJSON is the wire form of one monitor verdict.
+type VerdictJSON struct {
+	OK bool `json:"ok"`
+	// Layer and Distance locate the verdict: on rejection, the first
+	// monitored layer whose Hamming distance exceeded gamma; on
+	// acceptance, the layer with the largest admissible distance.
+	Layer    int `json:"layer"`
+	Distance int `json:"distance"`
+}
+
+// InferResponse is the infer answer: predictions in input order, plus
+// monitor verdicts when monitoring was requested.
+type InferResponse struct {
+	// Fingerprint identifies the (network, region, options) workload;
+	// CacheHit reports whether the monitored path reused a cached compile.
+	Fingerprint string `json:"fingerprint"`
+	CacheHit    bool   `json:"cache_hit"`
+	// MonitorFingerprint is the content hash of the monitor that checked
+	// this batch; MonitorCacheHit reports whether it was reused.
+	MonitorFingerprint string `json:"monitor_fingerprint,omitempty"`
+	MonitorCacheHit    bool   `json:"monitor_cache_hit,omitempty"`
+	// MonitorPatterns and MonitorRejected echo the monitor build: stored
+	// patterns, and dataset patterns rejected as statically unreachable.
+	MonitorPatterns int `json:"monitor_patterns,omitempty"`
+	MonitorRejected int `json:"monitor_rejected,omitempty"`
+	// Outputs[i] is the raw network output for Inputs[i], bit-identical
+	// to nn.Forward.
+	Outputs [][]float64 `json:"outputs"`
+	// Verdicts[i] classifies Inputs[i]; nil without a monitor.
+	Verdicts []VerdictJSON `json:"verdicts,omitempty"`
+	// Flagged counts out-of-pattern inputs in this batch.
+	Flagged int `json:"flagged"`
+}
+
+// preparedInfer is a parsed, validated infer request.
+type preparedInfer struct {
+	net         *vnn.Network
+	region      *vnn.Region
+	fingerprint string
+	compileOpts vnn.Options
+	monitorFP   string
+	monitorOpts vnn.MonitorOptions
+}
+
+// prepareInfer validates everything that can be the client's fault.
+func (s *Server) prepareInfer(req *InferRequest) (*preparedInfer, error) {
+	if len(req.Network) == 0 {
+		return nil, fmt.Errorf("request needs a network")
+	}
+	net, err := vnn.UnmarshalNetwork(req.Network)
+	if err != nil {
+		return nil, err
+	}
+	region, err := req.Region.Region()
+	if err != nil {
+		return nil, err
+	}
+	if len(req.Inputs) == 0 {
+		return nil, fmt.Errorf("request needs at least one input")
+	}
+	if len(req.Inputs) > maxInferBatch {
+		return nil, fmt.Errorf("batch of %d inputs exceeds the %d cap", len(req.Inputs), maxInferBatch)
+	}
+	dim := net.InputDim()
+	for i, x := range req.Inputs {
+		if len(x) != dim {
+			return nil, fmt.Errorf("input %d has dimension %d, network input %d", i, len(x), dim)
+		}
+	}
+	compileOpts := vnn.Options{Tighten: req.Options.Tighten, Workers: req.Options.Workers}
+	fp, err := vnn.Fingerprint(net, region, compileOpts)
+	if err != nil {
+		return nil, err
+	}
+	q := &preparedInfer{
+		net:         net,
+		region:      region,
+		fingerprint: fp,
+		compileOpts: compileOpts,
+	}
+	if req.Monitor != nil {
+		m := req.Monitor
+		if len(m.Data) == 0 {
+			return nil, fmt.Errorf("monitor needs a build dataset")
+		}
+		if len(m.Data) > maxMonitorData {
+			return nil, fmt.Errorf("monitor dataset of %d rows exceeds the %d cap", len(m.Data), maxMonitorData)
+		}
+		q.monitorOpts = vnn.MonitorOptions{Gamma: m.Gamma, Layers: m.Layers}
+		// Network-dependent monitor validation (dims, gamma, layers) is
+		// one copy of the rules: the MonitorAudit analysis owns it.
+		audit := vnn.MonitorAudit{Data: m.Data, Gamma: m.Gamma, Layers: m.Layers}
+		if err := audit.Validate(net); err != nil {
+			return nil, err
+		}
+		q.monitorFP = vnn.MonitorWorkloadFingerprint(fp, m.Data, q.monitorOpts)
+	}
+	return q, nil
+}
+
+// inferScratch is the pooled per-request hot-path state: the forward
+// scratch, and — when the previous user served the same monitor — that
+// monitor's fused check scratch, so a steady-state single-model server
+// performs zero scratch allocations per request.
+type inferScratch struct {
+	fwd []float64
+	sc  *vnn.MonitorScratch
+	// mon is the monitor instance sc belongs to. Identity, not
+	// fingerprint: two cache entries can hold content-identical monitors
+	// (equal fingerprints) that are still distinct instances, and a
+	// MonitorScratch is only valid for the instance that created it.
+	mon *vnn.Monitor
+}
+
+func (s *Server) getInferScratch(need int) *inferScratch {
+	is, _ := s.inferPool.Get().(*inferScratch)
+	if is == nil {
+		is = &inferScratch{}
+	}
+	if cap(is.fwd) < need {
+		is.fwd = make([]float64, need)
+	}
+	is.fwd = is.fwd[:need]
+	return is
+}
+
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var req InferRequest
+	if err := decodeJSON(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	q, err := s.prepareInfer(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	timeout := time.Duration(req.TimeoutMS) * time.Millisecond
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(r.Context(), timeout)
+	} else {
+		ctx, cancel = context.WithCancel(r.Context())
+	}
+	defer cancel()
+	stop := context.AfterFunc(s.queryCtx, cancel) // drain interrupts the batch
+	defer stop()
+
+	resp := &InferResponse{Fingerprint: q.fingerprint}
+
+	var mon *vnn.Monitor
+	if req.Monitor != nil {
+		// The monitor's static cross-check needs the compiled bounds: the
+		// compile routes through the same fingerprint-keyed singleflight
+		// cache as /v1/verify, under the server's lifetime context (shared
+		// work only drain may interrupt). The built monitor is then cached
+		// under its own workload fingerprint.
+		cn, hit, err := s.cache.GetOrCompile(ctx, q.fingerprint, func() (*vnn.CompiledNetwork, error) {
+			return vnn.Compile(s.queryCtx, q.net, q.region, q.compileOpts)
+		})
+		if err != nil {
+			writeError(w, statusFor(err), err.Error())
+			return
+		}
+		resp.CacheHit = hit
+		mon, hit, err = s.monitors.getOrBuild(ctx, q.monitorFP, func() (*vnn.Monitor, error) {
+			return vnn.BuildMonitor(cn, req.Monitor.Data, q.monitorOpts)
+		})
+		if err != nil {
+			writeError(w, statusFor(err), err.Error())
+			return
+		}
+		resp.MonitorCacheHit = hit
+		resp.MonitorFingerprint = mon.Fingerprint()
+		resp.MonitorPatterns = mon.PatternCount()
+		resp.MonitorRejected = mon.Stats().Rejected
+	}
+
+	net := q.net
+	outputs := make([][]float64, len(req.Inputs))
+	outDim := net.OutputDim()
+	flat := make([]float64, len(req.Inputs)*outDim) // one backing array, one alloc
+	for i := range outputs {
+		outputs[i], flat = flat[:outDim:outDim], flat[outDim:]
+	}
+
+	is := s.getInferScratch(net.ScratchLen())
+	defer s.inferPool.Put(is)
+
+	interrupted := false
+	if mon != nil {
+		if is.mon != mon {
+			is.sc, is.mon = mon.NewScratch(), mon
+		}
+		resp.Verdicts = make([]VerdictJSON, len(req.Inputs))
+		for i, x := range req.Inputs {
+			if i%inferCancelStride == 0 && ctx.Err() != nil {
+				interrupted = true
+				break
+			}
+			v := mon.CheckInto(outputs[i], is.sc, x)
+			resp.Verdicts[i] = VerdictJSON{OK: v.OK, Layer: v.Layer, Distance: v.Distance}
+			if !v.OK {
+				resp.Flagged++
+			}
+		}
+	} else {
+		for i := 0; i < len(req.Inputs); i += inferCancelStride {
+			if ctx.Err() != nil {
+				interrupted = true
+				break
+			}
+			j := min(i+inferCancelStride, len(req.Inputs))
+			net.ForwardBatchInto(outputs[i:j], is.fwd, req.Inputs[i:j])
+		}
+	}
+	if interrupted {
+		// Unlike verification there is no anytime value in half a batch:
+		// predictions are cheap to re-request, so an interrupted batch is
+		// an error (503 on drain/disconnect, 504 on budget).
+		writeError(w, statusFor(ctx.Err()), ctx.Err().Error())
+		return
+	}
+
+	s.inferRequests.Add(1)
+	s.inferInputs.Add(int64(len(req.Inputs)))
+	s.inferFlagged.Add(int64(resp.Flagged))
+	xInferRequests.Add(1)
+	xInferInputs.Add(int64(len(req.Inputs)))
+	xInferFlagged.Add(int64(resp.Flagged))
+
+	resp.Outputs = outputs
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// monitorCache is the fingerprint-keyed LRU of built monitors with the
+// same singleflight semantics as the compile Cache: N concurrent
+// identical monitored-infer requests build exactly one monitor; failures
+// are not cached. Monitors are immutable and safe to share.
+type monitorCache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*monitorEntry
+	order    []string // LRU order, most recent last
+}
+
+type monitorEntry struct {
+	ready chan struct{} // closed once mon/err are set
+	mon   *vnn.Monitor
+	err   error
+}
+
+func newMonitorCache(capacity int) *monitorCache {
+	if capacity <= 0 {
+		capacity = defaultCacheEntries
+	}
+	return &monitorCache{capacity: capacity, entries: make(map[string]*monitorEntry)}
+}
+
+// getOrBuild returns the monitor cached under key, building it on a miss.
+// The bool reports a cache hit (true for waiters that joined an in-flight
+// build). ctx bounds only this caller's wait, exactly like the compile
+// cache.
+func (c *monitorCache) getOrBuild(ctx context.Context, key string, build func() (*vnn.Monitor, error)) (*vnn.Monitor, bool, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.touchLocked(key)
+		c.mu.Unlock()
+		xInferMonitorHits.Add(1)
+		select {
+		case <-e.ready:
+			return e.mon, true, e.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	e := &monitorEntry{ready: make(chan struct{})}
+	c.entries[key] = e
+	c.order = append(c.order, key)
+	c.evictLocked()
+	c.mu.Unlock()
+	xInferMonitorMisses.Add(1)
+
+	e.mon, e.err = build()
+	close(e.ready)
+	if e.err != nil {
+		c.mu.Lock()
+		if cur, ok := c.entries[key]; ok && cur == e {
+			delete(c.entries, key)
+			c.removeOrderLocked(key)
+		}
+		c.mu.Unlock()
+	}
+	return e.mon, false, e.err
+}
+
+// touchLocked moves key to the most-recently-used position.
+func (c *monitorCache) touchLocked(key string) {
+	c.removeOrderLocked(key)
+	c.order = append(c.order, key)
+}
+
+func (c *monitorCache) removeOrderLocked(key string) {
+	for i, k := range c.order {
+		if k == key {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// evictLocked drops least-recently-used completed entries over capacity.
+func (c *monitorCache) evictLocked() {
+	for i := 0; len(c.entries) > c.capacity && i < len(c.order); {
+		key := c.order[i]
+		e := c.entries[key]
+		select {
+		case <-e.ready:
+			delete(c.entries, key)
+			c.order = append(c.order[:i], c.order[i+1:]...)
+		default:
+			i++ // still building: never evicted (it is brand new anyway)
+		}
+	}
+}
+
+// Len returns the number of cached (including in-flight) monitors.
+func (c *monitorCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

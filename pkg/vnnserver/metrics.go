@@ -24,6 +24,14 @@ var (
 	// xAnalysisKinds counts analyses served through /v1/analyze by kind
 	// (vnnd.analyses.coverage, vnnd.analyses.quant_sweep, ...).
 	xAnalysisKinds = expvar.NewMap("vnnd.analyses")
+	// vnnd.infer.* instruments the online inference plane: requests and
+	// inputs served, inputs the runtime monitor flagged out-of-pattern,
+	// and monitor-cache effectiveness (misses = monitor builds).
+	xInferRequests      = expvar.NewInt("vnnd.infer.requests")
+	xInferInputs        = expvar.NewInt("vnnd.infer.inputs")
+	xInferFlagged       = expvar.NewInt("vnnd.infer.flagged")
+	xInferMonitorHits   = expvar.NewInt("vnnd.infer.monitor.hits")
+	xInferMonitorMisses = expvar.NewInt("vnnd.infer.monitor.misses")
 )
 
 // Metrics is the /metrics snapshot: cache effectiveness, admission state,
@@ -42,10 +50,24 @@ type Metrics struct {
 	AnalyzeRequests int64            `json:"analyze_requests"`
 	Analyses        map[string]int64 `json:"analyses"`
 	Falsifications  int64            `json:"falsifications"`
-	Nodes           int64            `json:"nodes"`
-	LPPivots        int64            `json:"lp_pivots"`
-	EncodePasses    int64            `json:"encode_passes"`
-	TightenPasses   int64            `json:"tighten_passes"`
+	// Infer snapshots the online inference plane.
+	Infer         InferStats `json:"infer"`
+	Nodes         int64      `json:"nodes"`
+	LPPivots      int64      `json:"lp_pivots"`
+	EncodePasses  int64      `json:"encode_passes"`
+	TightenPasses int64      `json:"tighten_passes"`
+}
+
+// InferStats is the /metrics view of the inference plane.
+type InferStats struct {
+	// Requests and Inputs count served batches and individual inputs.
+	Requests int64 `json:"requests"`
+	Inputs   int64 `json:"inputs"`
+	// Flagged counts inputs the runtime monitor rejected as
+	// out-of-pattern.
+	Flagged int64 `json:"flagged"`
+	// Monitors is the number of cached monitor artifacts.
+	Monitors int `json:"monitors"`
 }
 
 // Metrics snapshots the server's observable state.
@@ -59,9 +81,15 @@ func (s *Server) Metrics() Metrics {
 		AnalyzeRequests: s.analyzes.Load(),
 		Analyses:        s.analysisCounts(),
 		Falsifications:  s.falsifications.Load(),
-		Nodes:           s.nodes.Load(),
-		LPPivots:        s.pivots.Load(),
-		EncodePasses:    verify.EncodePasses(),
-		TightenPasses:   verify.TightenPasses(),
+		Infer: InferStats{
+			Requests: s.inferRequests.Load(),
+			Inputs:   s.inferInputs.Load(),
+			Flagged:  s.inferFlagged.Load(),
+			Monitors: s.monitors.Len(),
+		},
+		Nodes:         s.nodes.Load(),
+		LPPivots:      s.pivots.Load(),
+		EncodePasses:  verify.EncodePasses(),
+		TightenPasses: verify.TightenPasses(),
 	}
 }

@@ -33,6 +33,11 @@
 //	                             compiled network — see AnalyzeRequest
 //	GET  /v1/analyze/{id}        result of a (possibly async) analyze batch
 //	GET  /v1/analyze/{id}/events SSE per-analysis progress stream
+//	POST /v1/infer               online inference plane: batch of inputs →
+//	                             predictions (bit-identical to nn.Forward)
+//	                             + per-input runtime-monitor verdicts,
+//	                             low-latency (no queue, no SSE) — see
+//	                             InferRequest
 //	POST /v1/falsify             PGD falsification pre-pass
 //	GET  /healthz                liveness and drain state
 //	GET  /metrics                JSON metrics snapshot (see Metrics),
@@ -75,12 +80,17 @@ type Config struct {
 // http.Handler, and call Drain before process exit so in-flight queries
 // deliver their anytime results.
 type Server struct {
-	cfg   Config
-	cache *Cache
-	sched *Scheduler
-	jobs  *registry
-	mux   *http.ServeMux
-	start time.Time
+	cfg      Config
+	cache    *Cache
+	monitors *monitorCache
+	sched    *Scheduler
+	jobs     *registry
+	mux      *http.ServeMux
+	start    time.Time
+
+	// inferPool recycles the inference plane's hot-path scratch (see
+	// inferScratch); forwards themselves are allocation-free.
+	inferPool sync.Pool
 
 	// queryCtx parents every query; cancelQueries is the drain switch.
 	queryCtx      context.Context
@@ -98,6 +108,9 @@ type Server struct {
 	falsifications atomic.Int64
 	nodes          atomic.Int64
 	pivots         atomic.Int64
+	inferRequests  atomic.Int64
+	inferInputs    atomic.Int64
+	inferFlagged   atomic.Int64
 
 	// analysisMu guards analysisKinds, the per-kind count of analyses
 	// served through /v1/analyze.
@@ -134,6 +147,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:           cfg,
 		cache:         NewCache(cfg.CacheEntries),
+		monitors:      newMonitorCache(cfg.CacheEntries),
 		sched:         NewScheduler(cfg.MaxConcurrent, cfg.QueueDepth),
 		jobs:          newRegistry(),
 		start:         time.Now(),
@@ -143,6 +157,7 @@ func New(cfg Config) *Server {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/verify", s.handleVerify)
+	mux.HandleFunc("POST /v1/infer", s.handleInfer)
 	mux.HandleFunc("GET /v1/verify/{id}", s.handleGetVerify)
 	mux.HandleFunc("GET /v1/verify/{id}/events", s.handleEvents)
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
