@@ -13,6 +13,7 @@
 //	vnnd -cache 128 -queue 512     # bigger cache and admission queue
 //	vnnd -timeout 5m               # default per-query budget
 //	vnnd -drain-grace 10s          # patience before interrupting on SIGTERM
+//	vnnd -infer-workers 4          # /v1/infer serving lanes (default GOMAXPROCS)
 //
 // # Verify round trip
 //
@@ -93,15 +94,17 @@
 // # Online inference with runtime monitoring: /v1/infer
 //
 // The service does not only certify networks — it runs them. POST
-// /v1/infer evaluates a batch of inputs, returning predictions that are
-// bit-identical to nn.Forward plus, when "monitor" is present, a
-// per-input runtime verdict: an activation-pattern monitor is built from
-// the given dataset against the compiled network's proven pre-activation
-// bounds (patterns the bounds prove unreachable over the region are
-// rejected at build time — see "monitor_rejected"), cached under its own
-// workload fingerprint, and every input whose pattern is farther than
-// "gamma" (Hamming distance, per monitored layer) from anything the
-// dataset exercised is flagged before its prediction is trusted:
+// /v1/infer evaluates a batch of inputs on the blocked serving kernels
+// (predictions bit-identical to nn.ForwardInto, deterministic across
+// runs and worker counts; see DESIGN.md "Kernel layer") plus, when
+// "monitor" is present, a per-input runtime verdict: an
+// activation-pattern monitor is built from the given dataset against the
+// compiled network's proven pre-activation bounds (patterns the bounds
+// prove unreachable over the region are rejected at build time — see
+// "monitor_rejected"), cached under its own workload fingerprint, and
+// every input whose pattern is farther than "gamma" (Hamming distance,
+// per monitored layer) from anything the dataset exercised is flagged
+// before its prediction is trusted:
 //
 //	curl -s localhost:8419/v1/infer -d '{
 //	  "network": '"$(cat i4x10.json)"',
@@ -117,11 +120,27 @@
 //	             {"ok":false,"layer":1,"distance":7}, ...],
 //	 "flagged":1}
 //
-// The endpoint is the service's low-latency plane: no admission queue, no
-// SSE jobs, allocation-free forward passes over pooled scratch. Omit
-// "monitor" for plain (unsupervised) inference — that path never compiles
-// anything. Repeated monitored requests hit both the compile cache and
-// the monitor cache; /metrics reports the plane under "infer" and the
+// The endpoint is the service's low-latency plane: no admission queue,
+// no SSE jobs, allocation-free batched forward passes. Large batches are
+// sharded across per-core serving lanes (-infer-workers, default
+// GOMAXPROCS) each owning its scratch — worker count changes throughput,
+// never output bits. Omit "monitor" for plain (unsupervised) inference —
+// that path never compiles anything.
+//
+// Warm clients drop the network from the wire entirely: every response
+// echoes "fingerprint" (and "monitor_fingerprint"), and a follow-up
+// request may send just those plus the inputs —
+//
+//	curl -s localhost:8419/v1/infer -d '{
+//	  "fingerprint": "vnn1-...",
+//	  "monitor_fingerprint": "vnnm1-...",
+//	  "inputs": [[0.5, 0.5, ...], ...]
+//	}'
+//
+// — cutting a request from megabytes to kilobytes (unknown fingerprints
+// answer 404; re-send the full request). Repeated monitored requests hit
+// both the compile cache and the monitor cache; /metrics reports the
+// plane under "infer" (including per-lane shard throughput) and the
 // vnnd.infer.* expvars (requests, inputs, flagged, monitor hits/misses).
 //
 // # Shutdown semantics
@@ -162,6 +181,7 @@ func main() {
 		timeout       = flag.Duration("timeout", 0, "default per-query budget when the request sets none (0 = unlimited)")
 		drainGrace    = flag.Duration("drain-grace", 5*time.Second, "how long a drain lets running queries finish before interrupting them")
 		maxBody       = flag.Int64("max-body", 0, "request body cap in bytes (0 = 32 MiB)")
+		inferWorkers  = flag.Int("infer-workers", 0, "inference serving lanes for /v1/infer batch sharding (0 = GOMAXPROCS; never affects output bits)")
 	)
 	flag.Parse()
 
@@ -171,6 +191,7 @@ func main() {
 		QueueDepth:     *queueDepth,
 		DefaultTimeout: *timeout,
 		MaxBodyBytes:   *maxBody,
+		InferWorkers:   *inferWorkers,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 

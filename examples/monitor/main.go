@@ -12,8 +12,15 @@
 // flagged fractions grade cleanly with the distribution shift — the
 // monitor knows what the training data looked like.
 //
-// Everything runs on the public packages (pkg/highway, pkg/vnn); the vnnd
-// service serves the same monitor online through POST /v1/infer.
+// The ladder is checked through the batched path
+// (vnn.Monitor.CheckBatchInto): one fused forward+check pass over the
+// whole batch on the blocked serving kernels, allocation-free in steady
+// state and bit-identical to checking each input alone — batching (and,
+// in vnnd, sharding batches across serving lanes) changes throughput,
+// never verdicts. Everything runs on the public packages (pkg/highway,
+// pkg/vnn); the vnnd service serves the same monitor online through
+// POST /v1/infer, where warm clients can address it purely by
+// fingerprint.
 package main
 
 import (
@@ -70,11 +77,20 @@ func main() {
 	fmt.Printf("fingerprint: %s\n\n", mon.Fingerprint())
 
 	// 4. A ladder of operation traffic, from nominal to nothing-like-it.
+	// One batched forward+check pass per rung: the scratch is reused
+	// across rungs, so after the first call the check never allocates.
 	rng := rand.New(rand.NewSource(2))
+	bsc := mon.NewBatchScratch()
+	preds := make([][]float64, 512)
+	for i := range preds {
+		preds[i] = make([]float64, pred.Net.OutputDim())
+	}
+	verdicts := make([]vnn.MonitorVerdict, 512)
 	flagged := func(inputs [][]float64) (int, int) {
+		mon.CheckBatchInto(preds[:len(inputs)], bsc, inputs, verdicts[:len(inputs)])
 		n := 0
-		for _, x := range inputs {
-			if v := mon.Check(x); !v.OK {
+		for _, v := range verdicts[:len(inputs)] {
+			if !v.OK {
 				n++
 			}
 		}

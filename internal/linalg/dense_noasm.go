@@ -1,0 +1,15 @@
+//go:build !amd64
+
+package linalg
+
+// Non-amd64 builds always run the pure-Go kernels; dot4's math.FMA
+// chains are correctly rounded, so the bits match the amd64 assembly
+// path exactly (hardware FMA where the platform has it, the soft
+// fallback elsewhere).
+const useAsmKernels = false
+
+// matvecAVX2 is never called when useAsmKernels is false; the stub keeps
+// the dispatch in dense.go building on every platform.
+func matvecAVX2(w, x, y *float64, rows, cols int) {
+	panic("linalg: matvecAVX2 without assembly support")
+}

@@ -39,6 +39,7 @@ import (
 	"math/bits"
 
 	"repro/internal/bounds"
+	"repro/internal/linalg"
 	"repro/internal/nn"
 )
 
@@ -93,18 +94,36 @@ type BuildStats struct {
 }
 
 // patternSet is the remembered pattern collection of one monitored layer.
+// Patterns live twice: as bytes (canonical marshal form and exact-match
+// map keys) and flattened into one contiguous []uint64 (the XOR/popcount
+// distance scan reads 64 neurons per op, patterns packed back to back so
+// the whole scan is one linear walk).
 type patternSet struct {
 	neurons int
 	nbytes  int
+	nwords  int
 	index   map[string]int // exact-match lookup; value = insertion position
 	pats    [][]byte       // insertion order (determinism + marshal)
+	words   []uint64       // pattern p occupies words[p*nwords:(p+1)*nwords]
 }
 
 func newPatternSet(neurons int) *patternSet {
 	return &patternSet{
 		neurons: neurons,
 		nbytes:  (neurons + 7) / 8,
+		nwords:  (neurons + 63) / 64,
 		index:   make(map[string]int),
+	}
+}
+
+// wordsOf packs the byte bitset into dst (little-endian: neuron j is bit
+// j%64 of word j/64, consistent with bit j%8 of byte j/8).
+func wordsOf(dst []uint64, pat []byte) {
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i, b := range pat {
+		dst[i/8] |= uint64(b) << (8 * (i % 8))
 	}
 }
 
@@ -116,28 +135,43 @@ func (ps *patternSet) add(pat []byte) bool {
 	cp := append([]byte(nil), pat...)
 	ps.index[string(cp)] = len(ps.pats)
 	ps.pats = append(ps.pats, cp)
+	ps.words = append(ps.words, make([]uint64, ps.nwords)...)
+	wordsOf(ps.words[len(ps.words)-ps.nwords:], cp)
 	return true
 }
 
 // distance returns the Hamming distance from pat to the nearest stored
 // pattern, or neurons+1 when the set is empty. Exact matches short-circuit
 // through the index (the common case on in-distribution traffic) without
-// allocating: a map lookup keyed by string(pat) does not copy.
-func (ps *patternSet) distance(pat []byte) int {
+// allocating: a map lookup keyed by string(pat) does not copy. w is
+// caller scratch for the word form of pat (filled only on an exact
+// miss); the fallback scan XOR/popcounts it against the flattened stored
+// words, eight words (512 neurons) per early-exit check.
+func (ps *patternSet) distance(pat []byte, w []uint64) int {
 	if _, ok := ps.index[string(pat)]; ok {
 		return 0
 	}
+	wordsOf(w, pat)
 	best := ps.neurons + 1
-	for _, stored := range ps.pats {
-		d := 0
-		for i, b := range stored {
-			d += bits.OnesCount8(b ^ pat[i])
-			if d >= best {
-				break
-			}
+	nw := ps.nwords
+	for p := 0; p < len(ps.pats); p++ {
+		stored := ps.words[p*nw : (p+1)*nw]
+		d, j := 0, 0
+		for ; j+8 <= nw && d < best; j += 8 {
+			s := stored[j : j+8 : j+8]
+			q := w[j : j+8 : j+8]
+			d += bits.OnesCount64(s[0]^q[0]) + bits.OnesCount64(s[1]^q[1]) +
+				bits.OnesCount64(s[2]^q[2]) + bits.OnesCount64(s[3]^q[3]) +
+				bits.OnesCount64(s[4]^q[4]) + bits.OnesCount64(s[5]^q[5]) +
+				bits.OnesCount64(s[6]^q[6]) + bits.OnesCount64(s[7]^q[7])
 		}
 		if d < best {
-			best = d
+			for ; j < nw; j++ {
+				d += bits.OnesCount64(stored[j] ^ w[j])
+			}
+			if d < best {
+				best = d
+			}
 		}
 	}
 	return best
@@ -291,16 +325,23 @@ func (m *Monitor) PatternCount() int {
 // pool them.
 type Scratch struct {
 	m       *Monitor
-	fwd     []float64
+	fwd     *nn.Scratch
 	pat     [][]byte
+	wpat    [][]uint64
 	observe func(layer int, pre []float64)
 }
 
 // NewScratch allocates check state for this monitor.
 func (m *Monitor) NewScratch() *Scratch {
-	sc := &Scratch{m: m, fwd: m.net.NewScratch(), pat: make([][]byte, len(m.sets))}
+	sc := &Scratch{
+		m:    m,
+		fwd:  m.net.NewScratch(),
+		pat:  make([][]byte, len(m.sets)),
+		wpat: make([][]uint64, len(m.sets)),
+	}
 	for s, set := range m.sets {
 		sc.pat[s] = make([]byte, set.nbytes)
+		sc.wpat[s] = make([]uint64, set.nwords)
 	}
 	sc.observe = func(layer int, pre []float64) {
 		s := sc.m.slot[layer]
@@ -330,7 +371,7 @@ func (m *Monitor) observeInto(sc *Scratch, dst []float64, x []float64) {
 func (m *Monitor) verdict(sc *Scratch) Verdict {
 	maxDist, maxLayer := 0, m.layers[0]
 	for s, set := range m.sets {
-		d := set.distance(sc.pat[s])
+		d := set.distance(sc.pat[s], sc.wpat[s])
 		if d > m.gamma {
 			return Verdict{OK: false, Layer: m.layers[s], Distance: d}
 		}
@@ -344,8 +385,10 @@ func (m *Monitor) verdict(sc *Scratch) Verdict {
 // CheckInto is the allocation-free serving path: one fused forward pass
 // writes the prediction into dst (length OutputDim) and returns the
 // monitoring verdict, using only the state in sc. The prediction is
-// bit-identical to nn.Forward. sc must come from this monitor's
-// NewScratch and must not be used concurrently.
+// bit-identical to nn.ForwardInto (the serving numerics; within
+// documented tolerance of nn.Forward — see DESIGN.md "Kernel layer").
+// sc must come from this monitor's NewScratch and must not be used
+// concurrently.
 func (m *Monitor) CheckInto(dst []float64, sc *Scratch, x []float64) Verdict {
 	if sc.m != m {
 		panic("monitor: CheckInto called with a Scratch from a different monitor")
@@ -359,6 +402,103 @@ func (m *Monitor) CheckInto(dst []float64, sc *Scratch, x []float64) Verdict {
 func (m *Monitor) Check(x []float64) Verdict {
 	dst := make([]float64, m.net.OutputDim())
 	return m.CheckInto(dst, m.NewScratch(), x)
+}
+
+// BatchScratch is the per-goroutine state of the batched serving path:
+// the batched forward scratch plus per-layer pattern buffers for a whole
+// batch. Buffers grow to the largest batch seen and are then reused, so
+// steady-state batches allocate nothing. A BatchScratch must not be used
+// by two goroutines at once.
+type BatchScratch struct {
+	m   *Monitor
+	fwd *nn.Scratch
+	// pat[s] holds the batch's patterns for monitored set s, input i at
+	// [i*nbytes, (i+1)*nbytes); wbuf is the shared word-form scratch.
+	pat   [][]byte
+	wbuf  []uint64
+	batch int
+}
+
+// NewBatchScratch allocates batched check state for this monitor.
+func (m *Monitor) NewBatchScratch() *BatchScratch {
+	sc := &BatchScratch{m: m, fwd: m.net.NewScratch(), pat: make([][]byte, len(m.sets))}
+	maxWords := 0
+	for _, set := range m.sets {
+		if set.nwords > maxWords {
+			maxWords = set.nwords
+		}
+	}
+	sc.wbuf = make([]uint64, maxWords)
+	return sc
+}
+
+// CheckBatchInto is the batched serving path: one layer-major forward
+// pass (nn.ForwardBatchObserved) produces predictions for every input of
+// the batch — each row bit-identical to CheckInto on that input — while
+// the observation hook records all activation patterns; the verdicts are
+// then classified in one tight pass over the pattern buffers, which
+// amortizes the per-input exact-hit map lookups into a single
+// cache-resident scan. dst and verdicts receive input i's prediction and
+// verdict; all three slices must be len(xs) long, and each dst row
+// OutputDim() long. sc must come from this monitor's NewBatchScratch and
+// must not be used concurrently.
+func (m *Monitor) CheckBatchInto(dst [][]float64, sc *BatchScratch, xs [][]float64, verdicts []Verdict) {
+	if sc.m != m {
+		panic("monitor: CheckBatchInto called with a BatchScratch from a different monitor")
+	}
+	if len(dst) != len(xs) || len(verdicts) != len(xs) {
+		panic(fmt.Sprintf("monitor: CheckBatchInto %d outputs and %d verdicts for %d inputs", len(dst), len(verdicts), len(xs)))
+	}
+	batch := len(xs)
+	if batch == 0 {
+		return
+	}
+	if batch > sc.batch {
+		for s, set := range m.sets {
+			sc.pat[s] = make([]byte, batch*set.nbytes)
+		}
+		sc.batch = batch
+	}
+	m.net.ForwardBatchObserved(dst, sc.fwd, xs, func(layer int, pre *linalg.Dense) {
+		s := m.slot[layer]
+		if s < 0 {
+			return
+		}
+		nb := m.sets[s].nbytes
+		buf := sc.pat[s]
+		for i := 0; i < batch*nb; i++ {
+			buf[i] = 0
+		}
+		for i := 0; i < pre.Rows; i++ {
+			row := pre.Row(i)
+			bs := buf[i*nb : (i+1)*nb]
+			for j, z := range row {
+				if z > 0 {
+					bs[j/8] |= 1 << (j % 8)
+				}
+			}
+		}
+	})
+	for i := range xs {
+		verdicts[i] = m.batchVerdict(sc, i)
+	}
+}
+
+// batchVerdict classifies input i of the batch held in sc, with the same
+// tie-breaking as the single-input verdict.
+func (m *Monitor) batchVerdict(sc *BatchScratch, i int) Verdict {
+	maxDist, maxLayer := 0, m.layers[0]
+	for s, set := range m.sets {
+		pat := sc.pat[s][i*set.nbytes : (i+1)*set.nbytes]
+		d := set.distance(pat, sc.wbuf[:set.nwords])
+		if d > m.gamma {
+			return Verdict{OK: false, Layer: m.layers[s], Distance: d}
+		}
+		if d > maxDist {
+			maxDist, maxLayer = d, m.layers[s]
+		}
+	}
+	return Verdict{OK: true, Layer: maxLayer, Distance: maxDist}
 }
 
 // layerJSON is the wire form of one monitored layer's pattern set.

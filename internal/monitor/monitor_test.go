@@ -202,15 +202,104 @@ func TestCheckIntoZeroAllocsAndBitIdentity(t *testing.T) {
 	if allocs != 0 {
 		t.Fatalf("CheckInto allocates %v per op, want 0", allocs)
 	}
+	fwdSc := net.NewScratch()
+	serving := make([]float64, net.OutputDim())
 	for _, x := range data {
 		m.CheckInto(dst, sc, x)
-		want := net.Forward(x)
-		for i := range want {
-			if dst[i] != want[i] {
-				t.Fatal("CheckInto prediction differs from nn.Forward")
+		net.ForwardInto(serving, fwdSc, x)
+		for i := range serving {
+			// Bit-identical to the serving forward; the reference
+			// nn.Forward may differ by kernel-order ULPs.
+			if dst[i] != serving[i] {
+				t.Fatal("CheckInto prediction differs from nn.ForwardInto")
+			}
+		}
+		ref := net.Forward(x)
+		for i := range ref {
+			if d := dst[i] - ref[i]; d > 1e-10 || d < -1e-10 {
+				t.Fatalf("CheckInto prediction outside tolerance of nn.Forward: %v vs %v", dst[i], ref[i])
 			}
 		}
 	}
+}
+
+// TestCheckBatchIntoMatchesSingle pins the batched serving path: every
+// batch verdict and prediction row is bit-identical to CheckInto on that
+// input, for batch sizes spanning the blocking factors, and steady-state
+// batches allocate nothing.
+func TestCheckBatchIntoMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	net := nn.New(nn.Config{Name: "b", InputDim: 6, Hidden: []int{16, 16}, OutputDim: 3, HiddenAct: nn.ReLU, OutputAct: nn.Identity}, rng)
+	data := make([][]float64, 32)
+	for i := range data {
+		row := make([]float64, 6)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		data[i] = row
+	}
+	m := mustBuild(t, net, data, nil, Options{Gamma: 2})
+	single := m.NewScratch()
+	singleDst := make([]float64, net.OutputDim())
+	bsc := m.NewBatchScratch()
+	for _, batch := range []int{1, 2, 3, 4, 5, 7, 8, 17} {
+		xs := make([][]float64, batch)
+		dst := make([][]float64, batch)
+		verdicts := make([]Verdict, batch)
+		for i := range xs {
+			row := make([]float64, 6)
+			for j := range row {
+				row[j] = rng.NormFloat64() * 1.5
+			}
+			xs[i] = row
+			dst[i] = make([]float64, net.OutputDim())
+		}
+		m.CheckBatchInto(dst, bsc, xs, verdicts)
+		for i, x := range xs {
+			want := m.CheckInto(singleDst, single, x)
+			if verdicts[i] != want {
+				t.Fatalf("batch %d input %d: verdict %v, single %v", batch, i, verdicts[i], want)
+			}
+			for j := range singleDst {
+				if dst[i][j] != singleDst[j] {
+					t.Fatalf("batch %d input %d: prediction differs from CheckInto", batch, i)
+				}
+			}
+		}
+	}
+	// Steady state: re-running the largest batch allocates nothing.
+	xs := make([][]float64, 17)
+	dst := make([][]float64, 17)
+	verdicts := make([]Verdict, 17)
+	for i := range xs {
+		xs[i] = data[i%len(data)]
+		dst[i] = make([]float64, net.OutputDim())
+	}
+	m.CheckBatchInto(dst, bsc, xs, verdicts)
+	allocs := testing.AllocsPerRun(50, func() {
+		m.CheckBatchInto(dst, bsc, xs, verdicts)
+	})
+	if allocs != 0 {
+		t.Fatalf("CheckBatchInto allocates %v per batch, want 0", allocs)
+	}
+	// Wrong-monitor and mismatched-length panics.
+	other := mustBuild(t, net, data, nil, Options{Gamma: 1})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("foreign BatchScratch must panic")
+			}
+		}()
+		other.CheckBatchInto(dst, bsc, xs, verdicts)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("mismatched verdict length must panic")
+			}
+		}()
+		m.CheckBatchInto(dst, bsc, xs, verdicts[:3])
+	}()
 }
 
 func TestConcurrentChecksAreDeterministic(t *testing.T) {

@@ -1,20 +1,57 @@
 package nn
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
 	"repro/internal/linalg"
 )
 
-// forwardReference is the pre-ForwardInto implementation of Forward (one
-// fresh slice per layer). ForwardInto must stay bit-identical to it.
+// forwardReference is the reference numerics: one sequential linalg.Dot
+// per neuron, one fresh slice per layer. Forward must stay bit-identical
+// to it forever — the verifier, trainer and every certification analysis
+// are pinned to this order.
 func forwardReference(n *Network, x []float64) []float64 {
 	cur := x
 	for _, l := range n.Layers {
 		next := make([]float64, l.OutDim())
 		for i, row := range l.W {
 			next[i] = l.Act.Apply(linalg.Dot(row, cur) + l.B[i])
+		}
+		cur = next
+	}
+	return cur
+}
+
+// servingDot is an independent re-implementation of the serving
+// accumulation order (linalg's dot4 contract): four math.FMA chains over
+// the strided quarters, combined (s0+s1)+(s2+s3), tail folded in index
+// order. The serving forwards must match it bit-for-bit.
+func servingDot(a, b []float64) float64 {
+	var s [4]float64
+	n := len(b)
+	j := 0
+	for ; j+3 < n; j += 4 {
+		for c := 0; c < 4; c++ {
+			s[c] = math.FMA(a[j+c], b[j+c], s[c])
+		}
+	}
+	out := (s[0] + s[1]) + (s[2] + s[3])
+	for ; j < n; j++ {
+		out = math.FMA(a[j], b[j], out)
+	}
+	return out
+}
+
+// servingReference evaluates the network in the serving order without
+// touching the production kernels.
+func servingReference(n *Network, x []float64) []float64 {
+	cur := x
+	for _, l := range n.Layers {
+		next := make([]float64, l.OutDim())
+		for i, row := range l.W {
+			next[i] = l.Act.Apply(servingDot(row, cur) + l.B[i])
 		}
 		cur = next
 	}
@@ -29,33 +66,141 @@ func randInput(rng *rand.Rand, dim int) []float64 {
 	return x
 }
 
-func TestForwardIntoBitIdenticalToReference(t *testing.T) {
+var forwardCases = []Config{
+	{Name: "deep", InputDim: 5, Hidden: []int{9, 3, 7}, OutputDim: 2, HiddenAct: ReLU, OutputAct: Identity},
+	{Name: "tanh", InputDim: 4, Hidden: []int{6, 6}, OutputDim: 3, HiddenAct: Tanh, OutputAct: Tanh},
+	{Name: "wide", InputDim: 2, Hidden: []int{31}, OutputDim: 1, HiddenAct: ReLU, OutputAct: Identity},
+	{Name: "shallow", InputDim: 3, Hidden: nil, OutputDim: 4, HiddenAct: ReLU, OutputAct: Identity},
+}
+
+// TestForwardBitIdenticalToReference pins the reference path: Forward
+// never changes numerics, whatever happens to the serving kernels.
+func TestForwardBitIdenticalToReference(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
-	cases := []Config{
-		{Name: "deep", InputDim: 5, Hidden: []int{9, 3, 7}, OutputDim: 2, HiddenAct: ReLU, OutputAct: Identity},
-		{Name: "tanh", InputDim: 4, Hidden: []int{6, 6}, OutputDim: 3, HiddenAct: Tanh, OutputAct: Tanh},
-		{Name: "wide", InputDim: 2, Hidden: []int{31}, OutputDim: 1, HiddenAct: ReLU, OutputAct: Identity},
-		{Name: "shallow", InputDim: 3, Hidden: nil, OutputDim: 4, HiddenAct: ReLU, OutputAct: Identity},
+	for _, cfg := range forwardCases {
+		net := New(cfg, rng)
+		for trial := 0; trial < 50; trial++ {
+			x := randInput(rng, net.InputDim())
+			want := forwardReference(net, x)
+			got := net.Forward(x)
+			for i := range want {
+				if got[i] != want[i] { // bit-identical, no tolerance
+					t.Fatalf("%s: Forward[%d] = %v, reference %v", cfg.Name, i, got[i], want[i])
+				}
+			}
+		}
 	}
-	for _, cfg := range cases {
+}
+
+// TestForwardIntoBitIdenticalToServingReference pins the serving path to
+// the independently implemented dot4 order.
+func TestForwardIntoBitIdenticalToServingReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, cfg := range forwardCases {
 		net := New(cfg, rng)
 		dst := make([]float64, net.OutputDim())
 		scratch := net.NewScratch()
 		for trial := 0; trial < 50; trial++ {
 			x := randInput(rng, net.InputDim())
-			want := forwardReference(net, x)
+			want := servingReference(net, x)
 			net.ForwardInto(dst, scratch, x)
 			for i := range want {
 				if dst[i] != want[i] { // bit-identical, no tolerance
-					t.Fatalf("%s: ForwardInto[%d] = %v, reference %v", cfg.Name, i, dst[i], want[i])
+					t.Fatalf("%s: ForwardInto[%d] = %v, serving reference %v", cfg.Name, i, dst[i], want[i])
 				}
 			}
-			got := net.Forward(x)
-			for i := range want {
-				if got[i] != want[i] {
-					t.Fatalf("%s: Forward[%d] = %v, reference %v", cfg.Name, i, got[i], want[i])
-				}
+		}
+	}
+}
+
+// TestForwardIntoWithinToleranceOfForward bounds the divergence between
+// the two orders: per output, n ULPs of the per-neuron accumulated
+// magnitude, propagated through at most a doubling per layer — in
+// practice far below 1e-12 relative for these widths. This is the
+// documented serving-vs-reference contract; DESIGN.md "Kernel layer"
+// explains why both orders are individually exact.
+func TestForwardIntoWithinToleranceOfForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	net := New(Config{
+		Name: "tol", InputDim: 84, Hidden: []int{40, 40, 40, 40}, OutputDim: 15,
+		HiddenAct: ReLU, OutputAct: Identity,
+	}, rng)
+	dst := make([]float64, net.OutputDim())
+	scratch := net.NewScratch()
+	for trial := 0; trial < 20; trial++ {
+		x := randInput(rng, net.InputDim())
+		want := net.Forward(x)
+		net.ForwardInto(dst, scratch, x)
+		for i := range want {
+			diff := math.Abs(dst[i] - want[i])
+			tol := 1e-10 * math.Max(1, math.Abs(want[i]))
+			if diff > tol {
+				t.Fatalf("output %d: |%v - %v| = %v > %v", i, dst[i], want[i], diff, tol)
 			}
+		}
+	}
+}
+
+// TestForwardIntoDeterministic demands identical bits across 100 runs.
+func TestForwardIntoDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	net := New(Config{
+		Name: "det", InputDim: 33, Hidden: []int{40, 40}, OutputDim: 7,
+		HiddenAct: ReLU, OutputAct: Identity,
+	}, rng)
+	x := randInput(rng, net.InputDim())
+	first := make([]float64, net.OutputDim())
+	scratch := net.NewScratch()
+	net.ForwardInto(first, scratch, x)
+	dst := make([]float64, net.OutputDim())
+	for run := 1; run < 100; run++ {
+		net.ForwardInto(dst, scratch, x)
+		for i := range dst {
+			if dst[i] != first[i] {
+				t.Fatalf("run %d output %d: %x != %x", run, i, dst[i], first[i])
+			}
+		}
+	}
+}
+
+// TestPackedWriteThrough pins the aliasing contract: after packing,
+// in-place mutation through W (the trainer's and quantizer's access
+// path) is visible to the serving kernels without a re-pack, and a
+// wholesale row replacement triggers the lazy re-pack.
+func TestPackedWriteThrough(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	net := New(Config{
+		Name: "wt", InputDim: 4, Hidden: []int{5}, OutputDim: 2,
+		HiddenAct: ReLU, OutputAct: Identity,
+	}, rng)
+	x := randInput(rng, 4)
+	// In-place element write through W.
+	net.Layers[0].W[2][1] = 7.5
+	dst := make([]float64, 2)
+	net.ForwardInto(dst, net.NewScratch(), x)
+	want := servingReference(net, x)
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatal("in-place W write not visible to serving kernels")
+		}
+	}
+	// Wholesale row replacement breaks the alias; packed() must re-pack.
+	net.Layers[0].W[0] = []float64{1, 2, 3, 4}
+	net.ForwardInto(dst, net.NewScratch(), x)
+	want = servingReference(net, x)
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatal("row replacement not picked up by lazy re-pack")
+		}
+	}
+	// A layer built literally (never packed) must also serve correctly.
+	lit := &Network{Layers: []*Layer{{W: [][]float64{{1, 0.5}, {-1, 2}}, B: []float64{0.1, -0.2}, Act: ReLU}}}
+	litDst := make([]float64, 2)
+	lit.ForwardInto(litDst, lit.NewScratch(), []float64{0.3, 0.7})
+	litWant := servingReference(lit, []float64{0.3, 0.7})
+	for i := range litWant {
+		if litDst[i] != litWant[i] {
+			t.Fatal("literal-built layer serving mismatch")
 		}
 	}
 }
@@ -85,7 +230,7 @@ func TestForwardIntoZeroAllocs(t *testing.T) {
 	}
 }
 
-func TestForwardBatchIntoZeroAllocs(t *testing.T) {
+func TestForwardBatchIntoZeroAllocsAndBitIdentity(t *testing.T) {
 	net := testNet(t, []int{12, 12})
 	xs := make([][]float64, 32)
 	out := make([][]float64, 32)
@@ -95,17 +240,21 @@ func TestForwardBatchIntoZeroAllocs(t *testing.T) {
 		out[i] = make([]float64, net.OutputDim())
 	}
 	scratch := net.NewScratch()
+	net.ForwardBatchInto(out, scratch, xs) // warm the batch buffers
 	allocs := testing.AllocsPerRun(50, func() {
 		net.ForwardBatchInto(out, scratch, xs)
 	})
 	if allocs != 0 {
 		t.Fatalf("ForwardBatchInto allocates %v per batch, want 0", allocs)
 	}
+	// Batch rows are bit-identical to the single-input serving path.
+	single := make([]float64, net.OutputDim())
+	sc := net.NewScratch()
 	for i, x := range xs {
-		want := net.Forward(x)
-		for j := range want {
-			if out[i][j] != want[j] {
-				t.Fatalf("batch row %d differs from Forward", i)
+		net.ForwardInto(single, sc, x)
+		for j := range single {
+			if out[i][j] != single[j] {
+				t.Fatalf("batch row %d differs from ForwardInto", i)
 			}
 		}
 	}
@@ -126,7 +275,10 @@ func TestForwardIntoPanicsOnBadShapes(t *testing.T) {
 		net.ForwardInto(make([]float64, 1), net.NewScratch(), []float64{1, 2, 3})
 	})
 	expectPanic("short scratch", func() {
-		net.ForwardInto(make([]float64, net.OutputDim()), make([]float64, 1), []float64{1, 2, 3})
+		net.ForwardInto(make([]float64, net.OutputDim()), &Scratch{buf: make([]float64, 1)}, []float64{1, 2, 3})
+	})
+	expectPanic("nil scratch", func() {
+		net.ForwardInto(make([]float64, net.OutputDim()), nil, []float64{1, 2, 3})
 	})
 	expectPanic("bad input", func() {
 		net.ForwardInto(make([]float64, net.OutputDim()), net.NewScratch(), []float64{1})
@@ -134,18 +286,37 @@ func TestForwardIntoPanicsOnBadShapes(t *testing.T) {
 	expectPanic("batch shape", func() {
 		net.ForwardBatchInto(make([][]float64, 2), net.NewScratch(), make([][]float64, 3))
 	})
+	expectPanic("batch nil scratch", func() {
+		net.ForwardBatchInto([][]float64{{0}}, nil, [][]float64{{1, 2, 3}})
+	})
+	expectPanic("batch bad row", func() {
+		net.ForwardBatchInto([][]float64{make([]float64, 1)}, net.NewScratch(), [][]float64{{1, 2, 3}})
+	})
 }
 
 func TestForwardObservedSeesPreActivations(t *testing.T) {
 	net := testNet(t, []int{5, 4})
 	x := []float64{0.4, -0.2, 0.8}
-	tr := net.ForwardTrace(x)
 	dst := make([]float64, net.OutputDim())
+	// The observed pre-activations follow serving numerics; compare
+	// against the serving reference layer by layer.
+	preWant := make([][]float64, len(net.Layers))
+	cur := x
+	for li, l := range net.Layers {
+		pre := make([]float64, l.OutDim())
+		post := make([]float64, l.OutDim())
+		for i, row := range l.W {
+			pre[i] = servingDot(row, cur) + l.B[i]
+			post[i] = l.Act.Apply(pre[i])
+		}
+		preWant[li] = pre
+		cur = post
+	}
 	seen := 0
 	net.ForwardObserved(dst, net.NewScratch(), x, func(layer int, pre []float64) {
 		for j, z := range pre {
-			if z != tr.Pre[layer][j] {
-				t.Fatalf("layer %d neuron %d: observed pre %v, trace %v", layer, j, z, tr.Pre[layer][j])
+			if z != preWant[layer][j] {
+				t.Fatalf("layer %d neuron %d: observed pre %v, want %v", layer, j, z, preWant[layer][j])
 			}
 		}
 		seen++
@@ -154,9 +325,52 @@ func TestForwardObservedSeesPreActivations(t *testing.T) {
 		t.Fatalf("observed %d layers, want %d", seen, len(net.Layers))
 	}
 	for i := range dst {
-		if dst[i] != tr.Output()[i] {
-			t.Fatal("ForwardObserved output differs from trace")
+		if dst[i] != cur[i] {
+			t.Fatal("ForwardObserved output differs from serving reference")
 		}
+	}
+}
+
+// TestForwardBatchObservedMatchesSingle pins the batched monitor hook:
+// every layer's batch pre-activation row i is bit-identical to the
+// single-input observation on xs[i].
+func TestForwardBatchObservedMatchesSingle(t *testing.T) {
+	net := testNet(t, []int{8, 6})
+	rng := rand.New(rand.NewSource(9))
+	xs := make([][]float64, 5)
+	out := make([][]float64, 5)
+	for i := range xs {
+		xs[i] = randInput(rng, net.InputDim())
+		out[i] = make([]float64, net.OutputDim())
+	}
+	// Record single-input observations.
+	singlePre := make([][][]float64, len(xs)) // [input][layer][neuron]
+	dst := make([]float64, net.OutputDim())
+	sc := net.NewScratch()
+	for i, x := range xs {
+		singlePre[i] = make([][]float64, len(net.Layers))
+		idx := i
+		net.ForwardObserved(dst, sc, x, func(layer int, pre []float64) {
+			singlePre[idx][layer] = append([]float64(nil), pre...)
+		})
+	}
+	calls := 0
+	net.ForwardBatchObserved(out, net.NewScratch(), xs, func(layer int, pre *linalg.Dense) {
+		calls++
+		if pre.Rows != len(xs) {
+			t.Fatalf("layer %d: %d batch rows, want %d", layer, pre.Rows, len(xs))
+		}
+		for i := 0; i < pre.Rows; i++ {
+			row := pre.Row(i)
+			for j, z := range row {
+				if z != singlePre[i][layer][j] {
+					t.Fatalf("layer %d input %d neuron %d: batch pre %x, single %x", layer, i, j, z, singlePre[i][layer][j])
+				}
+			}
+		}
+	})
+	if calls != len(net.Layers) {
+		t.Fatalf("observed %d layers, want %d", calls, len(net.Layers))
 	}
 }
 
@@ -178,7 +392,30 @@ func BenchmarkForwardInto(b *testing.B) {
 	}
 }
 
-// BenchmarkForward measures the allocating wrapper for comparison.
+// BenchmarkForwardBatchInto measures the layer-major batched path on a
+// 64-input batch; ns/op is per batch (divide by 64 for per-input cost).
+func BenchmarkForwardBatchInto(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	net := New(Config{
+		Name: "bench", InputDim: 84, Hidden: []int{40, 40, 40, 40}, OutputDim: 15,
+		HiddenAct: ReLU, OutputAct: Identity,
+	}, rng)
+	xs := make([][]float64, 64)
+	out := make([][]float64, 64)
+	for i := range xs {
+		xs[i] = randInput(rng, net.InputDim())
+		out[i] = make([]float64, net.OutputDim())
+	}
+	scratch := net.NewScratch()
+	net.ForwardBatchInto(out, scratch, xs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ForwardBatchInto(out, scratch, xs)
+	}
+}
+
+// BenchmarkForward measures the allocating reference path for comparison.
 func BenchmarkForward(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	net := New(Config{

@@ -58,6 +58,25 @@ func (a Activation) Apply(z float64) float64 {
 	}
 }
 
+// applyInPlace applies the activation to every element of out. The
+// serving hot loops use it instead of per-element Apply calls: the
+// switch runs once per layer and each case is a tight branch-free-ish
+// loop the compiler can keep in registers.
+func (a Activation) applyInPlace(out []float64) {
+	switch a {
+	case ReLU:
+		for i, z := range out {
+			if z < 0 {
+				out[i] = 0
+			}
+		}
+	case Tanh:
+		for i, z := range out {
+			out[i] = math.Tanh(z)
+		}
+	}
+}
+
 // Derivative returns dApply/dz at pre-activation z.
 func (a Activation) Derivative(z float64) float64 {
 	switch a {
@@ -75,10 +94,61 @@ func (a Activation) Derivative(z float64) float64 {
 }
 
 // Layer is one dense layer: out = act(W·in + b).
+//
+// The serving kernels read the weights through a packed flat matrix
+// (see packed); after packing, the rows of W alias the packed backing
+// array, so in-place mutation through W — the trainer's SGD steps, the
+// quantizer's rounding — writes both representations at once and no
+// explicit re-sync is needed.
 type Layer struct {
 	W   [][]float64 `json:"w"` // outDim × inDim
 	B   []float64   `json:"b"` // outDim
 	Act Activation  `json:"act"`
+
+	dense *linalg.Dense // flat row-major W for the serving kernels
+}
+
+// Pack builds the layer's flat serving matrix and re-points the rows of
+// W into its backing array (write-through aliasing). Construction and
+// unmarshal call it eagerly; packed() re-packs lazily when a layer was
+// built literally or a whole row of W was replaced.
+func (l *Layer) Pack() {
+	d := linalg.DenseFromRows(l.W)
+	c := d.Cols
+	for i := range l.W {
+		l.W[i] = d.Data[i*c : (i+1)*c : (i+1)*c]
+	}
+	l.dense = d
+}
+
+// synced reports whether the packed matrix still aliases every row of W.
+// A row-pointer comparison per row is cheap next to any matvec; it
+// catches layers built as literals and code that replaced a row slice
+// (in-place element writes keep the alias and need no re-pack).
+func (l *Layer) synced() bool {
+	d := l.dense
+	if d == nil || d.Rows != len(l.W) {
+		return false
+	}
+	c := d.Cols
+	for i, row := range l.W {
+		if len(row) != c {
+			return false
+		}
+		if c > 0 && &row[0] != &d.Data[i*c] {
+			return false
+		}
+	}
+	return true
+}
+
+// packed returns the layer's flat serving matrix, repacking if W was
+// rebound since the last pack.
+func (l *Layer) packed() *linalg.Dense {
+	if !l.synced() {
+		l.Pack()
+	}
+	return l.dense
 }
 
 // InDim returns the layer's input width.
@@ -141,9 +211,20 @@ func New(cfg Config, rng *rand.Rand) *Network {
 				l.W[r][c] = rng.NormFloat64() * scale
 			}
 		}
+		l.Pack()
 		net.Layers = append(net.Layers, l)
 	}
 	return net
+}
+
+// Pack eagerly builds every layer's flat serving matrix. New, Decode and
+// Clone call it; a network built from layer literals must be packed (or
+// forwarded once from a single goroutine) before concurrent serving,
+// because the lazy re-pack inside the forward pass is not synchronized.
+func (n *Network) Pack() {
+	for _, l := range n.Layers {
+		l.Pack()
+	}
 }
 
 // InputDim returns the network's input width.
@@ -204,17 +285,50 @@ func (n *Network) Validate() error {
 	return nil
 }
 
-// Forward evaluates the network at x and returns the raw output vector.
+// Forward evaluates the network at x and returns the raw output vector,
+// using the reference numerics: one sequential linalg.Dot per neuron.
+// This is the accumulation order the verifier, trainer, quantizer and
+// every certification analysis are pinned to; it never changes. The
+// serving paths (ForwardInto and friends) use the blocked kernels, whose
+// outputs agree with Forward to within the tolerance documented there.
 // It panics if len(x) != InputDim().
 func (n *Network) Forward(x []float64) []float64 {
-	dst := make([]float64, n.OutputDim())
-	n.ForwardInto(dst, n.NewScratch(), x)
-	return dst
+	if len(x) != n.InputDim() {
+		panic(fmt.Sprintf("nn: Forward input dim %d, want %d", len(x), n.InputDim()))
+	}
+	cur := x
+	for _, l := range n.Layers {
+		next := make([]float64, l.OutDim())
+		for i, row := range l.W {
+			next[i] = l.Act.Apply(linalg.Dot(row, cur) + l.B[i])
+		}
+		cur = next
+	}
+	return cur
 }
 
-// ScratchLen returns the scratch length ForwardInto requires: two
-// ping-pong buffers of the widest non-output layer. Networks with a
-// single layer need no scratch at all.
+// Scratch is the caller-owned state of the allocation-free serving
+// forwards: ForwardInto, ForwardObserved, ForwardBatchInto and
+// ForwardBatchObserved all take the same type, so a pooled Scratch
+// serves every entry point and cannot be sized wrong. A Scratch must not
+// be used by two goroutines at once; servers pool them per worker.
+type Scratch struct {
+	// buf is the single-input ping-pong buffer: two halves, each wide
+	// enough for the widest non-output layer.
+	buf []float64
+	// batch[0]/batch[1] are the batched ping-pong matrices, grown on
+	// demand by ForwardBatchObserved and reused across batches (zero
+	// steady-state allocations).
+	batch [2][]float64
+	// dm holds the two Dense headers over batch[0]/batch[1]; keeping
+	// them here (rather than as locals) stops the header passed to the
+	// observe hook from escaping to the heap on every layer.
+	dm [2]linalg.Dense
+}
+
+// ScratchLen returns the single-input scratch length the serving
+// forwards require: two ping-pong buffers of the widest non-output
+// layer. Networks with a single layer need no scratch at all.
 func (n *Network) ScratchLen() int {
 	m := 0
 	for i := 0; i+1 < len(n.Layers); i++ {
@@ -225,20 +339,56 @@ func (n *Network) ScratchLen() int {
 	return 2 * m
 }
 
-// NewScratch allocates a scratch buffer sized for ForwardInto.
-func (n *Network) NewScratch() []float64 { return make([]float64, n.ScratchLen()) }
+// NewScratch allocates a Scratch sized for this network's single-input
+// forwards; the batched buffers grow on first batched use.
+func (n *Network) NewScratch() *Scratch { return &Scratch{buf: make([]float64, n.ScratchLen())} }
+
+// GrowScratch returns a Scratch sized for this network, reusing sc's
+// buffers whenever they are already large enough. Servers that serve
+// many networks through one long-lived per-worker Scratch call this
+// instead of NewScratch so a smaller network never reallocates.
+func (n *Network) GrowScratch(sc *Scratch) *Scratch {
+	if sc == nil {
+		return n.NewScratch()
+	}
+	if need := n.ScratchLen(); cap(sc.buf) < need {
+		sc.buf = make([]float64, need)
+	} else {
+		sc.buf = sc.buf[:cap(sc.buf)]
+	}
+	return sc
+}
+
+// maxDim returns the widest vector the forward pass touches: input,
+// every hidden width, and output.
+func (n *Network) maxDim() int {
+	m := n.InputDim()
+	for _, l := range n.Layers {
+		if d := l.OutDim(); d > m {
+			m = d
+		}
+	}
+	return m
+}
 
 // ForwardInto evaluates the network at x, writing the raw output vector
 // into dst. All intermediate layer values live in the caller-provided
-// scratch (see ScratchLen), so a steady-state caller — the inference
-// server's hot path — performs zero allocations per evaluation. The
-// result is bit-identical to Forward: the arithmetic is the same
-// dot-then-bias-then-activation sequence in the same order.
+// Scratch, so a steady-state caller — the inference server's hot path —
+// performs zero allocations per evaluation.
 //
-// It panics when dst is not OutputDim() long, scratch is shorter than
-// ScratchLen(), or x is not InputDim() long. x is never written.
-func (n *Network) ForwardInto(dst, scratch, x []float64) {
-	n.ForwardObserved(dst, scratch, x, nil)
+// ForwardInto runs the blocked serving kernels (linalg.Dense.MatVec):
+// deterministic — bit-identical run-to-run, across batch sizes and
+// GOMAXPROCS, and across the assembly/pure-Go kernel paths — but in a
+// different accumulation order than Forward's reference numerics. The
+// two agree to within ~n ULPs of the accumulated magnitude per neuron
+// (see linalg's TestMatVecMatchesDotWithinTolerance and DESIGN.md
+// "Kernel layer").
+//
+// It panics with sized messages when dst is not OutputDim() long,
+// scratch is nil or undersized, or x is not InputDim() long. x is never
+// written.
+func (n *Network) ForwardInto(dst []float64, sc *Scratch, x []float64) {
+	n.ForwardObserved(dst, sc, x, nil)
 }
 
 // ForwardObserved is ForwardInto with a per-layer hook: when observe is
@@ -248,17 +398,21 @@ func (n *Network) ForwardInto(dst, scratch, x []float64) {
 // and must not be written. The runtime monitor uses this to read
 // activation signs during the same pass that produces the prediction
 // instead of paying a second forward.
-func (n *Network) ForwardObserved(dst, scratch, x []float64, observe func(layer int, pre []float64)) {
+func (n *Network) ForwardObserved(dst []float64, sc *Scratch, x []float64, observe func(layer int, pre []float64)) {
 	if len(x) != n.InputDim() {
 		panic(fmt.Sprintf("nn: ForwardInto input dim %d, want %d", len(x), n.InputDim()))
 	}
 	if len(dst) != n.OutputDim() {
 		panic(fmt.Sprintf("nn: ForwardInto dst dim %d, want %d", len(dst), n.OutputDim()))
 	}
-	if len(scratch) < n.ScratchLen() {
-		panic(fmt.Sprintf("nn: ForwardInto scratch len %d, want >= %d", len(scratch), n.ScratchLen()))
+	if sc == nil || len(sc.buf) < n.ScratchLen() {
+		got := -1
+		if sc != nil {
+			got = len(sc.buf)
+		}
+		panic(fmt.Sprintf("nn: ForwardInto scratch len %d, want >= %d (use Network.NewScratch)", got, n.ScratchLen()))
 	}
-	half := len(scratch) / 2
+	half := len(sc.buf) / 2
 	last := len(n.Layers) - 1
 	cur := x
 	for li, l := range n.Layers {
@@ -267,33 +421,90 @@ func (n *Network) ForwardObserved(dst, scratch, x []float64, observe func(layer 
 		case li == last:
 			out = dst
 		case li%2 == 0:
-			out = scratch[:l.OutDim()]
+			out = sc.buf[:l.OutDim()]
 		default:
-			out = scratch[half : half+l.OutDim()]
+			out = sc.buf[half : half+l.OutDim()]
 		}
-		for i, row := range l.W {
-			out[i] = linalg.Dot(row, cur) + l.B[i]
+		l.packed().MatVec(out, cur)
+		for i, b := range l.B {
+			out[i] += b
 		}
 		if observe != nil {
 			observe(li, out)
 		}
-		for i, z := range out {
-			out[i] = l.Act.Apply(z)
-		}
+		l.Act.applyInPlace(out)
 		cur = out
 	}
 }
 
 // ForwardBatchInto evaluates the network at every row of xs, writing row
-// i's output into out[i]. The single scratch buffer is reused across rows,
-// so the whole batch performs zero allocations. Each out row must be
-// OutputDim() long; shape mismatches panic as in ForwardInto.
-func (n *Network) ForwardBatchInto(out [][]float64, scratch []float64, xs [][]float64) {
+// i's output into out[i], through the layer-major batched kernel
+// (linalg.MatMulTB): each weight row is streamed across the whole batch
+// instead of being reloaded per input. Row i's output is bit-identical
+// to ForwardInto on xs[i] — the batched kernel accumulates every cell in
+// the same order as MatVec — so batching is purely a throughput choice.
+// The Scratch is the same type every other forward takes; its batched
+// buffers grow to the batch size on first use and are then reused. Each
+// out row must be OutputDim() long; shape mismatches panic with sized
+// messages as in ForwardInto.
+func (n *Network) ForwardBatchInto(out [][]float64, sc *Scratch, xs [][]float64) {
+	n.ForwardBatchObserved(out, sc, xs, nil)
+}
+
+// ForwardBatchObserved is ForwardBatchInto with the monitor hook: when
+// observe is non-nil it is called once per layer with the batch's
+// pre-activation matrix (row i = input i), after the bias add and before
+// the activation overwrites it in place. The matrix passed to observe is
+// scratch memory, valid only for the duration of the call and not to be
+// written. This is how the batched monitor reads activation signs for a
+// whole batch in one pass.
+func (n *Network) ForwardBatchObserved(out [][]float64, sc *Scratch, xs [][]float64, observe func(layer int, pre *linalg.Dense)) {
 	if len(out) != len(xs) {
 		panic(fmt.Sprintf("nn: ForwardBatchInto %d output rows for %d inputs", len(out), len(xs)))
 	}
+	if sc == nil {
+		panic("nn: ForwardBatchInto nil scratch (use Network.NewScratch)")
+	}
+	batch := len(xs)
+	if batch == 0 {
+		return
+	}
+	in := n.InputDim()
+	outDim := n.OutputDim()
 	for i, x := range xs {
-		n.ForwardInto(out[i], scratch, x)
+		if len(x) != in {
+			panic(fmt.Sprintf("nn: ForwardBatchInto input %d dim %d, want %d", i, len(x), in))
+		}
+		if len(out[i]) != outDim {
+			panic(fmt.Sprintf("nn: ForwardBatchInto output row %d dim %d, want %d", i, len(out[i]), outDim))
+		}
+	}
+	need := batch * n.maxDim()
+	for b := range sc.batch {
+		if cap(sc.batch[b]) < need {
+			sc.batch[b] = make([]float64, need)
+		}
+	}
+	sc.dm[0] = linalg.Dense{Rows: batch, Cols: in, Data: sc.batch[0][:batch*in]}
+	cur := &sc.dm[0]
+	for i, x := range xs {
+		copy(cur.Data[i*in:(i+1)*in], x)
+	}
+	flip := 1
+	for li, l := range n.Layers {
+		w := l.packed()
+		sc.dm[flip] = linalg.Dense{Rows: batch, Cols: l.OutDim(), Data: sc.batch[flip][:batch*l.OutDim()]}
+		next := &sc.dm[flip]
+		linalg.MatMulTB(next, cur, w)
+		next.AddBias(l.B)
+		if observe != nil {
+			observe(li, next)
+		}
+		l.Act.applyInPlace(next.Data)
+		cur, flip = next, flip^1
+	}
+	for i := range out {
+		copy(out[i], cur.Data[i*outDim:(i+1)*outDim])
 	}
 }
 
@@ -379,11 +590,13 @@ func (n *Network) Clone() *Network {
 		OutputNames: append([]string(nil), n.OutputNames...),
 	}
 	for _, l := range n.Layers {
-		out.Layers = append(out.Layers, &Layer{
+		cl := &Layer{
 			W:   linalg.CloneMatrix(l.W),
 			B:   linalg.Clone(l.B),
 			Act: l.Act,
-		})
+		}
+		cl.Pack()
+		out.Layers = append(out.Layers, cl)
 	}
 	return out
 }

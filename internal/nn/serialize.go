@@ -26,6 +26,9 @@ func Decode(r io.Reader) (*Network, error) {
 	if err := n.Validate(); err != nil {
 		return nil, err
 	}
+	// Pack eagerly: decoded networks go straight to (possibly concurrent)
+	// serving, which must never hit the unsynchronized lazy re-pack.
+	n.Pack()
 	return &n, nil
 }
 

@@ -31,6 +31,10 @@ type (
 	// MonitorScratch is the per-goroutine state of the allocation-free
 	// checking path (see Monitor.CheckInto); servers pool these.
 	MonitorScratch = monitor.Scratch
+	// MonitorBatchScratch is the per-goroutine state of the batched
+	// checking path (see Monitor.CheckBatchInto); servers keep one per
+	// inference shard.
+	MonitorBatchScratch = monitor.BatchScratch
 	// MonitorBuildStats reports what a monitor build did.
 	MonitorBuildStats = monitor.BuildStats
 )
@@ -87,10 +91,23 @@ func (m *Monitor) Check(x []float64) MonitorVerdict { return m.m.Check(x) }
 func (m *Monitor) NewScratch() *MonitorScratch { return m.m.NewScratch() }
 
 // CheckInto is the allocation-free serving path: one fused forward pass
-// writes the prediction (bit-identical to nn.Forward) into dst and
-// returns the monitoring verdict, using only the state in sc.
+// writes the prediction (bit-identical to Network.ForwardInto, the
+// serving kernels) into dst and returns the monitoring verdict, using
+// only the state in sc.
 func (m *Monitor) CheckInto(dst []float64, sc *MonitorScratch, x []float64) MonitorVerdict {
 	return m.m.CheckInto(dst, sc, x)
+}
+
+// NewBatchScratch allocates per-goroutine state for CheckBatchInto.
+func (m *Monitor) NewBatchScratch() *MonitorBatchScratch { return m.m.NewBatchScratch() }
+
+// CheckBatchInto is the batched serving path: one layer-major forward
+// pass predicts and checks every input of the batch, each row and
+// verdict bit-identical to CheckInto on that input. dst, xs and verdicts
+// must have equal length; sc must come from this monitor's
+// NewBatchScratch and must not be used concurrently.
+func (m *Monitor) CheckBatchInto(dst [][]float64, sc *MonitorBatchScratch, xs [][]float64, verdicts []MonitorVerdict) {
+	m.m.CheckBatchInto(dst, sc, xs, verdicts)
 }
 
 // Stats returns the build statistics (inputs scored, patterns stored,

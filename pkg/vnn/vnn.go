@@ -59,6 +59,10 @@ import (
 type (
 	// Network is a feed-forward ReLU network (see internal/nn).
 	Network = nn.Network
+	// ForwardScratch is the caller-owned state of the allocation-free
+	// serving forwards (Network.ForwardInto and ForwardBatchInto); create
+	// one per goroutine with Network.NewScratch.
+	ForwardScratch = nn.Scratch
 	// Interval is a closed [Lo, Hi] range.
 	Interval = bounds.Interval
 	// Region is the input set a property quantifies over: a box

@@ -9,11 +9,21 @@
 //   - No scheduler queue and no SSE jobs — a forward pass is microseconds,
 //     so requests run inline on their handler goroutine; only Drain and
 //     the request context interrupt them.
-//   - The hot path is allocation-free: forwards run through
-//     nn.ForwardInto-style scratch owned by a sync.Pool, and monitored
-//     forwards fuse prediction and pattern check into one pass
-//     (vnn.Monitor.CheckInto). Predictions are bit-identical to
-//     nn.Forward.
+//   - Batches are sharded across a fixed set of per-core serving lanes
+//     (Config.InferWorkers, default GOMAXPROCS). Each shard owns its
+//     scratch outright — no sync.Pool contention — and runs the batched
+//     kernels (nn.ForwardBatchInto / vnn.Monitor.CheckBatchInto), which
+//     are allocation-free in steady state. Sharding cannot change bits:
+//     every output is produced in the fixed kernel accumulation order
+//     regardless of how the batch is split (see DESIGN.md "Kernel
+//     layer"), so predictions are bit-identical to nn.ForwardInto and
+//     deterministic across worker counts.
+//   - Clients that re-serve a warm workload skip the network upload
+//     entirely: every response echoes the workload fingerprint (and the
+//     monitor fingerprint), and a follow-up request may carry just
+//     "fingerprint" — plus "monitor_fingerprint" for monitored inference
+//     — to run against the cached artifacts. That removes the dominant
+//     per-request cost (re-parsing the network JSON) from the hot path.
 //   - Artifacts are cached and deduplicated exactly like compiles: the
 //     monitor's bounds cross-check needs the compiled network, which
 //     routes through the fingerprint-keyed compile cache (singleflight),
@@ -26,9 +36,12 @@ package vnnserver
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/pkg/vnn"
@@ -42,18 +55,26 @@ const (
 	// monitor workload).
 	maxMonitorData = 1 << 16
 	// inferCancelStride is how many inputs are evaluated between
-	// context checks (one ForwardBatchInto chunk on the unmonitored
-	// path): batches notice drain promptly without paying a per-input
-	// atomic load.
+	// context checks (one batched-kernel chunk): batches notice drain
+	// promptly without paying a per-input atomic load.
 	inferCancelStride = 256
+	// minShardChunk is the smallest per-shard slice worth a goroutine
+	// handoff: below it, the microseconds-per-input forward is cheaper
+	// than the scheduling, so small batches run on one shard.
+	minShardChunk = 64
 )
+
+// errUnknownFingerprint marks a by-fingerprint request whose artifact is
+// not cached; the handler answers 404 so the client re-sends the full
+// workload once.
+var errUnknownFingerprint = errors.New("fingerprint not cached")
 
 // InferMonitorSpec asks for runtime monitoring of an infer batch: a
 // monitor is built (or fetched from the monitor cache) from Data over the
 // request's compiled network and checks every input.
 type InferMonitorSpec struct {
 	// Data is the build dataset (e.g. the training set).
-	Data [][]float64 `json:"data"`
+	Data FloatMatrix `json:"data"`
 	// Gamma is the Hamming relaxation; 0 means exact-match monitoring.
 	Gamma int `json:"gamma,omitempty"`
 	// Layers selects monitored hidden ReLU layers; nil means all.
@@ -63,15 +84,28 @@ type InferMonitorSpec struct {
 // InferRequest is the POST /v1/infer body.
 type InferRequest struct {
 	// Network is the canonical network JSON (see vnn.MarshalNetwork).
-	Network json.RawMessage `json:"network"`
+	// It may be omitted when Fingerprint names a workload this server
+	// has already seen — the cached network, region and options are
+	// reused, skipping the per-request network parse.
+	Network json.RawMessage `json:"network,omitempty"`
+	// Fingerprint names a previously served (network, region, options)
+	// workload — the value echoed in an earlier InferResponse. With a
+	// Network present it is cross-checked; alone it resolves the cached
+	// workload (404 if evicted).
+	Fingerprint string `json:"fingerprint,omitempty"`
 	// Region is the operational design domain the network was certified
 	// over; the monitor's static cross-check runs against its compiled
-	// bounds.
-	Region vnn.RegionSpec `json:"region"`
+	// bounds. Ignored when Fingerprint resolves a cached workload.
+	Region vnn.RegionSpec `json:"region,omitempty"`
 	// Inputs is the batch to evaluate.
-	Inputs [][]float64 `json:"inputs"`
+	Inputs FloatMatrix `json:"inputs"`
 	// Monitor, when present, requests per-input runtime verdicts.
 	Monitor *InferMonitorSpec `json:"monitor,omitempty"`
+	// MonitorFingerprint requests monitored inference through a monitor
+	// this server already built — the monitor_fingerprint echoed in an
+	// earlier response. Mutually exclusive with Monitor; requires the
+	// workload (Network or Fingerprint) the monitor was built against.
+	MonitorFingerprint string `json:"monitor_fingerprint,omitempty"`
 	// Options affect only the compile the monitor cross-checks against
 	// (Tighten tightens the bounds patterns are validated by); they are
 	// part of the fingerprint exactly as for /v1/verify.
@@ -107,8 +141,9 @@ type InferResponse struct {
 	MonitorPatterns int `json:"monitor_patterns,omitempty"`
 	MonitorRejected int `json:"monitor_rejected,omitempty"`
 	// Outputs[i] is the raw network output for Inputs[i], bit-identical
-	// to nn.Forward.
-	Outputs [][]float64 `json:"outputs"`
+	// to nn.ForwardInto (the serving kernels; within documented
+	// tolerance of nn.Forward — see DESIGN.md "Kernel layer").
+	Outputs FloatMatrix `json:"outputs"`
 	// Verdicts[i] classifies Inputs[i]; nil without a monitor.
 	Verdicts []VerdictJSON `json:"verdicts,omitempty"`
 	// Flagged counts out-of-pattern inputs in this batch.
@@ -123,20 +158,46 @@ type preparedInfer struct {
 	compileOpts vnn.Options
 	monitorFP   string
 	monitorOpts vnn.MonitorOptions
+	// monitorContentFP is set for by-fingerprint monitored requests: the
+	// content hash of an already-built monitor to serve through.
+	monitorContentFP string
 }
 
 // prepareInfer validates everything that can be the client's fault.
 func (s *Server) prepareInfer(req *InferRequest) (*preparedInfer, error) {
-	if len(req.Network) == 0 {
-		return nil, fmt.Errorf("request needs a network")
-	}
-	net, err := vnn.UnmarshalNetwork(req.Network)
-	if err != nil {
-		return nil, err
-	}
-	region, err := req.Region.Region()
-	if err != nil {
-		return nil, err
+	q := &preparedInfer{}
+	switch {
+	case len(req.Network) > 0:
+		net, err := vnn.UnmarshalNetwork(req.Network)
+		if err != nil {
+			return nil, err
+		}
+		region, err := req.Region.Region()
+		if err != nil {
+			return nil, err
+		}
+		q.net, q.region = net, region
+		q.compileOpts = vnn.Options{Tighten: req.Options.Tighten, Workers: req.Options.Workers}
+		fp, err := vnn.Fingerprint(net, region, q.compileOpts)
+		if err != nil {
+			return nil, err
+		}
+		if req.Fingerprint != "" && req.Fingerprint != fp {
+			return nil, fmt.Errorf("request fingerprint %s does not match the network/region/options sent (%s)", req.Fingerprint, fp)
+		}
+		q.fingerprint = fp
+		// Remember the workload so follow-up requests may send just the
+		// fingerprint.
+		s.workloads.put(fp, &inferWorkload{net: net, region: region, compileOpts: q.compileOpts})
+	case req.Fingerprint != "":
+		wl, ok := s.workloads.get(req.Fingerprint)
+		if !ok {
+			return nil, fmt.Errorf("workload %s: %w (send the full network once to prime it)", req.Fingerprint, errUnknownFingerprint)
+		}
+		q.net, q.region, q.compileOpts = wl.net, wl.region, wl.compileOpts
+		q.fingerprint = req.Fingerprint
+	default:
+		return nil, fmt.Errorf("request needs a network or a fingerprint")
 	}
 	if len(req.Inputs) == 0 {
 		return nil, fmt.Errorf("request needs at least one input")
@@ -144,22 +205,14 @@ func (s *Server) prepareInfer(req *InferRequest) (*preparedInfer, error) {
 	if len(req.Inputs) > maxInferBatch {
 		return nil, fmt.Errorf("batch of %d inputs exceeds the %d cap", len(req.Inputs), maxInferBatch)
 	}
-	dim := net.InputDim()
+	dim := q.net.InputDim()
 	for i, x := range req.Inputs {
 		if len(x) != dim {
 			return nil, fmt.Errorf("input %d has dimension %d, network input %d", i, len(x), dim)
 		}
 	}
-	compileOpts := vnn.Options{Tighten: req.Options.Tighten, Workers: req.Options.Workers}
-	fp, err := vnn.Fingerprint(net, region, compileOpts)
-	if err != nil {
-		return nil, err
-	}
-	q := &preparedInfer{
-		net:         net,
-		region:      region,
-		fingerprint: fp,
-		compileOpts: compileOpts,
+	if req.Monitor != nil && req.MonitorFingerprint != "" {
+		return nil, fmt.Errorf("send a monitor spec or a monitor_fingerprint, not both")
 	}
 	if req.Monitor != nil {
 		m := req.Monitor
@@ -173,38 +226,119 @@ func (s *Server) prepareInfer(req *InferRequest) (*preparedInfer, error) {
 		// Network-dependent monitor validation (dims, gamma, layers) is
 		// one copy of the rules: the MonitorAudit analysis owns it.
 		audit := vnn.MonitorAudit{Data: m.Data, Gamma: m.Gamma, Layers: m.Layers}
-		if err := audit.Validate(net); err != nil {
+		if err := audit.Validate(q.net); err != nil {
 			return nil, err
 		}
-		q.monitorFP = vnn.MonitorWorkloadFingerprint(fp, m.Data, q.monitorOpts)
+		q.monitorFP = vnn.MonitorWorkloadFingerprint(q.fingerprint, m.Data, q.monitorOpts)
 	}
+	q.monitorContentFP = req.MonitorFingerprint
 	return q, nil
 }
 
-// inferScratch is the pooled per-request hot-path state: the forward
-// scratch, and — when the previous user served the same monitor — that
-// monitor's fused check scratch, so a steady-state single-model server
-// performs zero scratch allocations per request.
-type inferScratch struct {
-	fwd []float64
-	sc  *vnn.MonitorScratch
-	// mon is the monitor instance sc belongs to. Identity, not
-	// fingerprint: two cache entries can hold content-identical monitors
-	// (equal fingerprints) that are still distinct instances, and a
-	// MonitorScratch is only valid for the instance that created it.
+// inferShard is one per-core serving lane: exclusively owned scratch for
+// the batched kernels plus its own throughput counters. Shards are
+// leased through a token channel, so at most len(shards) chunks run at
+// once and a shard's scratch never sees two goroutines.
+type inferShard struct {
+	// fwd serves unmonitored batches; GrowScratch reuses it across
+	// networks of any size.
+	fwd *vnn.ForwardScratch
+	// bsc serves monitored batches; it is bound to the monitor instance
+	// mon and remade only when the shard switches monitors, so a
+	// steady-state single-model server performs zero scratch allocations
+	// per request.
 	mon *vnn.Monitor
+	bsc *vnn.MonitorBatchScratch
+
+	batches atomic.Int64
+	inputs  atomic.Int64
 }
 
-func (s *Server) getInferScratch(need int) *inferScratch {
-	is, _ := s.inferPool.Get().(*inferScratch)
-	if is == nil {
-		is = &inferScratch{}
+// inferShards is the fixed shard set plus the lease tokens.
+type inferShards struct {
+	shards []*inferShard
+	tokens chan *inferShard
+}
+
+func newInferShards(n int) *inferShards {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
 	}
-	if cap(is.fwd) < need {
-		is.fwd = make([]float64, need)
+	p := &inferShards{shards: make([]*inferShard, n), tokens: make(chan *inferShard, n)}
+	for i := range p.shards {
+		sh := &inferShard{}
+		p.shards[i] = sh
+		p.tokens <- sh
 	}
-	is.fwd = is.fwd[:need]
-	return is
+	return p
+}
+
+// runInfer evaluates the batch, sharding it across the serving lanes.
+// Outputs (and verdicts, when mon is non-nil) land in the caller's
+// slices; the split cannot change bits — every cell is produced in the
+// kernels' fixed accumulation order whichever shard computes it. Returns
+// ctx.Err() if the batch was interrupted.
+func (s *Server) runInfer(ctx context.Context, net *vnn.Network, mon *vnn.Monitor, inputs, outputs [][]float64, verdicts []vnn.MonitorVerdict) error {
+	batch := len(inputs)
+	chunks := (batch + minShardChunk - 1) / minShardChunk
+	if chunks > len(s.shards.shards) {
+		chunks = len(s.shards.shards)
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
+	size := (batch + chunks - 1) / chunks
+	var interrupted atomic.Bool
+	run := func(lo, hi int) {
+		sh := <-s.shards.tokens
+		defer func() { s.shards.tokens <- sh }()
+		if mon != nil {
+			if sh.mon != mon {
+				// Identity, not fingerprint: content-identical monitors can
+				// be distinct instances, and a BatchScratch is only valid
+				// for the instance that created it.
+				sh.mon, sh.bsc = mon, mon.NewBatchScratch()
+			}
+		} else {
+			sh.fwd = net.GrowScratch(sh.fwd)
+		}
+		sh.batches.Add(1)
+		for i := lo; i < hi; i += inferCancelStride {
+			if ctx.Err() != nil {
+				interrupted.Store(true)
+				return
+			}
+			j := min(i+inferCancelStride, hi)
+			if mon != nil {
+				mon.CheckBatchInto(outputs[i:j], sh.bsc, inputs[i:j], verdicts[i:j])
+			} else {
+				net.ForwardBatchInto(outputs[i:j], sh.fwd, inputs[i:j])
+			}
+			sh.inputs.Add(int64(j - i))
+		}
+	}
+	if chunks == 1 {
+		run(0, batch)
+	} else {
+		var wg sync.WaitGroup
+		for c := 0; c < chunks; c++ {
+			lo := c * size
+			hi := min(lo+size, batch)
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				run(lo, hi)
+			}()
+		}
+		wg.Wait()
+	}
+	if interrupted.Load() {
+		return ctx.Err()
+	}
+	return nil
 }
 
 func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
@@ -219,7 +353,11 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	}
 	q, err := s.prepareInfer(&req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		status := http.StatusBadRequest
+		if errors.Is(err, errUnknownFingerprint) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err.Error())
 		return
 	}
 
@@ -241,12 +379,14 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	resp := &InferResponse{Fingerprint: q.fingerprint}
 
 	var mon *vnn.Monitor
-	if req.Monitor != nil {
+	switch {
+	case req.Monitor != nil:
 		// The monitor's static cross-check needs the compiled bounds: the
 		// compile routes through the same fingerprint-keyed singleflight
 		// cache as /v1/verify, under the server's lifetime context (shared
 		// work only drain may interrupt). The built monitor is then cached
-		// under its own workload fingerprint.
+		// under its own workload fingerprint and indexed by its content
+		// hash for by-fingerprint reuse.
 		cn, hit, err := s.cache.GetOrCompile(ctx, q.fingerprint, func() (*vnn.CompiledNetwork, error) {
 			return vnn.Compile(s.queryCtx, q.net, q.region, q.compileOpts)
 		})
@@ -263,6 +403,24 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		resp.MonitorCacheHit = hit
+	case q.monitorContentFP != "":
+		var ok bool
+		mon, ok = s.monitors.lookupContent(q.monitorContentFP)
+		if !ok {
+			writeError(w, http.StatusNotFound,
+				fmt.Sprintf("monitor %s: %s (send the full monitor spec once to rebuild it)", q.monitorContentFP, errUnknownFingerprint))
+			return
+		}
+		// A monitor describes one certified artifact; refuse to run it
+		// against a different workload.
+		if mon.NetworkFingerprint() != q.fingerprint {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("monitor %s belongs to workload %s, not %s", q.monitorContentFP, mon.NetworkFingerprint(), q.fingerprint))
+			return
+		}
+		resp.MonitorCacheHit = true
+	}
+	if mon != nil {
 		resp.MonitorFingerprint = mon.Fingerprint()
 		resp.MonitorPatterns = mon.PatternCount()
 		resp.MonitorRejected = mon.Stats().Rejected
@@ -275,43 +433,26 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	for i := range outputs {
 		outputs[i], flat = flat[:outDim:outDim], flat[outDim:]
 	}
-
-	is := s.getInferScratch(net.ScratchLen())
-	defer s.inferPool.Put(is)
-
-	interrupted := false
+	var verdicts []vnn.MonitorVerdict
 	if mon != nil {
-		if is.mon != mon {
-			is.sc, is.mon = mon.NewScratch(), mon
-		}
-		resp.Verdicts = make([]VerdictJSON, len(req.Inputs))
-		for i, x := range req.Inputs {
-			if i%inferCancelStride == 0 && ctx.Err() != nil {
-				interrupted = true
-				break
-			}
-			v := mon.CheckInto(outputs[i], is.sc, x)
+		verdicts = make([]vnn.MonitorVerdict, len(req.Inputs))
+	}
+
+	if err := s.runInfer(ctx, net, mon, req.Inputs, outputs, verdicts); err != nil {
+		// Unlike verification there is no anytime value in half a batch:
+		// predictions are cheap to re-request, so an interrupted batch is
+		// an error (503 on drain/disconnect, 504 on budget).
+		writeError(w, statusFor(err), err.Error())
+		return
+	}
+	if mon != nil {
+		resp.Verdicts = make([]VerdictJSON, len(verdicts))
+		for i, v := range verdicts {
 			resp.Verdicts[i] = VerdictJSON{OK: v.OK, Layer: v.Layer, Distance: v.Distance}
 			if !v.OK {
 				resp.Flagged++
 			}
 		}
-	} else {
-		for i := 0; i < len(req.Inputs); i += inferCancelStride {
-			if ctx.Err() != nil {
-				interrupted = true
-				break
-			}
-			j := min(i+inferCancelStride, len(req.Inputs))
-			net.ForwardBatchInto(outputs[i:j], is.fwd, req.Inputs[i:j])
-		}
-	}
-	if interrupted {
-		// Unlike verification there is no anytime value in half a batch:
-		// predictions are cheap to re-request, so an interrupted batch is
-		// an error (503 on drain/disconnect, 504 on budget).
-		writeError(w, statusFor(ctx.Err()), ctx.Err().Error())
-		return
 	}
 
 	s.inferRequests.Add(1)
@@ -325,28 +466,111 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// inferWorkload is a remembered (network, region, compile options)
+// triple, keyed by its fingerprint so by-fingerprint requests skip the
+// network upload and parse.
+type inferWorkload struct {
+	net         *vnn.Network
+	region      *vnn.Region
+	compileOpts vnn.Options
+}
+
+// workloadCache is a small LRU of served infer workloads. Unlike the
+// compile cache there is no singleflight: entries are cheap (a parsed
+// network) and only ever stored after a full-network request succeeded.
+type workloadCache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*inferWorkload
+	order    []string // LRU order, most recent last
+}
+
+func newWorkloadCache(capacity int) *workloadCache {
+	if capacity <= 0 {
+		capacity = defaultCacheEntries
+	}
+	return &workloadCache{capacity: capacity, entries: make(map[string]*inferWorkload)}
+}
+
+func (c *workloadCache) get(key string) (*inferWorkload, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	wl, ok := c.entries[key]
+	if ok {
+		c.touchLocked(key)
+	}
+	return wl, ok
+}
+
+func (c *workloadCache) put(key string, wl *inferWorkload) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		c.touchLocked(key)
+		return // fingerprints are content hashes: same key, same workload
+	}
+	c.entries[key] = wl
+	c.order = append(c.order, key)
+	for len(c.entries) > c.capacity {
+		old := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, old)
+	}
+}
+
+func (c *workloadCache) touchLocked(key string) {
+	for i, k := range c.order {
+		if k == key {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	c.order = append(c.order, key)
+}
+
+// Len returns the number of remembered workloads.
+func (c *workloadCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
 // monitorCache is the fingerprint-keyed LRU of built monitors with the
 // same singleflight semantics as the compile Cache: N concurrent
 // identical monitored-infer requests build exactly one monitor; failures
-// are not cached. Monitors are immutable and safe to share.
+// are not cached. Monitors are immutable and safe to share. Completed
+// entries are additionally indexed by the monitor's content hash, so
+// by-fingerprint requests (InferRequest.MonitorFingerprint) resolve
+// without re-sending the build dataset.
 type monitorCache struct {
 	mu       sync.Mutex
 	capacity int
 	entries  map[string]*monitorEntry
 	order    []string // LRU order, most recent last
+	// byContent maps a built monitor's content fingerprint to its entry.
+	// Content-identical monitors from distinct workloads share a hash;
+	// the index keeps the most recently built one, and dropping an entry
+	// only clears the index if it still points at that entry.
+	byContent map[string]*monitorEntry
 }
 
 type monitorEntry struct {
-	ready chan struct{} // closed once mon/err are set
-	mon   *vnn.Monitor
-	err   error
+	key       string
+	ready     chan struct{} // closed once mon/err are set
+	mon       *vnn.Monitor
+	err       error
+	contentFP string // set with mon, under c.mu
 }
 
 func newMonitorCache(capacity int) *monitorCache {
 	if capacity <= 0 {
 		capacity = defaultCacheEntries
 	}
-	return &monitorCache{capacity: capacity, entries: make(map[string]*monitorEntry)}
+	return &monitorCache{
+		capacity:  capacity,
+		entries:   make(map[string]*monitorEntry),
+		byContent: make(map[string]*monitorEntry),
+	}
 }
 
 // getOrBuild returns the monitor cached under key, building it on a miss.
@@ -366,7 +590,7 @@ func (c *monitorCache) getOrBuild(ctx context.Context, key string, build func() 
 			return nil, true, ctx.Err()
 		}
 	}
-	e := &monitorEntry{ready: make(chan struct{})}
+	e := &monitorEntry{key: key, ready: make(chan struct{})}
 	c.entries[key] = e
 	c.order = append(c.order, key)
 	c.evictLocked()
@@ -375,15 +599,30 @@ func (c *monitorCache) getOrBuild(ctx context.Context, key string, build func() 
 
 	e.mon, e.err = build()
 	close(e.ready)
+	c.mu.Lock()
 	if e.err != nil {
-		c.mu.Lock()
 		if cur, ok := c.entries[key]; ok && cur == e {
-			delete(c.entries, key)
-			c.removeOrderLocked(key)
+			c.dropLocked(key, e)
 		}
-		c.mu.Unlock()
+	} else if _, ok := c.entries[key]; ok {
+		e.contentFP = e.mon.Fingerprint()
+		c.byContent[e.contentFP] = e
 	}
+	c.mu.Unlock()
 	return e.mon, false, e.err
+}
+
+// lookupContent resolves a built monitor by its content fingerprint
+// (Monitor.Fingerprint), touching its workload entry's LRU position.
+func (c *monitorCache) lookupContent(contentFP string) (*vnn.Monitor, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.byContent[contentFP]
+	if !ok {
+		return nil, false
+	}
+	c.touchLocked(e.key)
+	return e.mon, true
 }
 
 // touchLocked moves key to the most-recently-used position.
@@ -401,6 +640,16 @@ func (c *monitorCache) removeOrderLocked(key string) {
 	}
 }
 
+// dropLocked removes entry e stored under key, including its content
+// index (unless a newer entry took the content slot).
+func (c *monitorCache) dropLocked(key string, e *monitorEntry) {
+	delete(c.entries, key)
+	c.removeOrderLocked(key)
+	if e.contentFP != "" && c.byContent[e.contentFP] == e {
+		delete(c.byContent, e.contentFP)
+	}
+}
+
 // evictLocked drops least-recently-used completed entries over capacity.
 func (c *monitorCache) evictLocked() {
 	for i := 0; len(c.entries) > c.capacity && i < len(c.order); {
@@ -408,8 +657,7 @@ func (c *monitorCache) evictLocked() {
 		e := c.entries[key]
 		select {
 		case <-e.ready:
-			delete(c.entries, key)
-			c.order = append(c.order[:i], c.order[i+1:]...)
+			c.dropLocked(key, e)
 		default:
 			i++ // still building: never evicted (it is brand new anyway)
 		}

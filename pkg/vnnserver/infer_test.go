@@ -3,6 +3,7 @@ package vnnserver_test
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -78,9 +79,23 @@ func postInfer(t *testing.T, url string, body []byte, out any) int {
 	return resp.StatusCode
 }
 
+// servingForward runs the serving-kernel forward (nn.ForwardInto) — the
+// numerics /v1/infer promises bit-identity with. nn.Forward keeps the
+// legacy sequential order and may differ by kernel-order ULPs.
+func servingForward(net *nn.Network, x []float64) []float64 {
+	dst := make([]float64, net.OutputDim())
+	net.ForwardInto(dst, net.NewScratch(), x)
+	return dst
+}
+
+// inferTol is the documented serving-vs-reference tolerance for the tiny
+// test networks (see DESIGN.md "Kernel layer").
+const inferTol = 1e-10
+
 // TestInfer64ConcurrentBitIdenticalAndDeterministic is the inference
 // plane's acceptance contract: 64 concurrent monitored clients against
-// one warm server receive predictions bit-identical to direct nn.Forward,
+// one warm server receive predictions bit-identical to direct
+// nn.ForwardInto (and within documented tolerance of nn.Forward),
 // identical deterministic verdicts, and the monitor is built exactly once
 // (singleflight over the monitor cache).
 func TestInfer64ConcurrentBitIdenticalAndDeterministic(t *testing.T) {
@@ -111,10 +126,17 @@ func TestInfer64ConcurrentBitIdenticalAndDeterministic(t *testing.T) {
 	}
 	wg.Wait()
 
-	// Reference: direct forward passes on the same network.
+	// Reference: direct serving-kernel forward passes on the same
+	// network, cross-checked against the legacy order within tolerance.
 	want := make([][]float64, len(inputs))
 	for i, x := range inputs {
-		want[i] = net.Forward(x)
+		want[i] = servingForward(net, x)
+		legacy := net.Forward(x)
+		for j := range legacy {
+			if d := want[i][j] - legacy[j]; d > inferTol || d < -inferTol {
+				t.Fatalf("input %d: serving %v vs legacy %v exceeds tolerance", i, want[i][j], legacy[j])
+			}
+		}
 	}
 	first := responses[0]
 	if first == nil {
@@ -131,7 +153,7 @@ func TestInfer64ConcurrentBitIdenticalAndDeterministic(t *testing.T) {
 		for i := range inputs {
 			for j := range want[i] {
 				if ir.Outputs[i][j] != want[i][j] { // bit-identical, no tolerance
-					t.Fatalf("client %d input %d: output %v, nn.Forward %v", c, i, ir.Outputs[i], want[i])
+					t.Fatalf("client %d input %d: output %v, nn.ForwardInto %v", c, i, ir.Outputs[i], want[i])
 				}
 			}
 			if ir.Verdicts[i] != first.Verdicts[i] {
@@ -211,9 +233,9 @@ func TestInferWithoutMonitor(t *testing.T) {
 		t.Fatalf("unmonitored response carries monitor fields: %+v", ir)
 	}
 	for i, x := range inputs {
-		want := net.Forward(x)
+		want := servingForward(net, x)
 		for j := range want {
-			if ir.Outputs[i][j] != want[j] {
+			if ir.Outputs[i][j] != want[j] { // bit-identical to the serving kernels
 				t.Fatalf("input %d: %v, want %v", i, ir.Outputs[i], want)
 			}
 		}
@@ -370,6 +392,137 @@ func TestInferMonitorRejectsUnreachablePatternOverWire(t *testing.T) {
 	}
 }
 
+// TestInferShardedBatchDeterministicAcrossWorkerCounts pins the sharding
+// contract: a large batch split across 1, 2 and 7 serving lanes returns
+// byte-identical outputs and verdicts — the kernels' fixed accumulation
+// order makes the split invisible — and the per-shard /metrics counters
+// account for every input exactly once.
+func TestInferShardedBatchDeterministicAcrossWorkerCounts(t *testing.T) {
+	net := inferNet(21)
+	rng := rand.New(rand.NewSource(22))
+	dataset := randRows(rng, 48, net.InputDim(), 1)
+	inputs := randRows(rng, 512, net.InputDim(), 2) // large enough to shard
+	body := inferBody(t, net, inputs, &vnnserver.InferMonitorSpec{Data: dataset, Gamma: 1})
+
+	var responses []vnnserver.InferResponse
+	for _, workers := range []int{1, 2, 7} {
+		_, ts := newTestServer(t, vnnserver.Config{InferWorkers: workers})
+		var ir vnnserver.InferResponse
+		if status := postInfer(t, ts.URL, body, &ir); status != http.StatusOK {
+			t.Fatalf("workers=%d: status %d", workers, status)
+		}
+		responses = append(responses, ir)
+
+		m := serverMetrics(t, ts.URL)
+		if len(m.Infer.Shards) != workers {
+			t.Fatalf("workers=%d: %d shard rows in /metrics", workers, len(m.Infer.Shards))
+		}
+		var shardInputs int64
+		for _, sh := range m.Infer.Shards {
+			shardInputs += sh.Inputs
+		}
+		if shardInputs != int64(len(inputs)) {
+			t.Fatalf("workers=%d: shards account for %d inputs, want %d", workers, shardInputs, len(inputs))
+		}
+	}
+	first, _ := json.Marshal(responses[0].Outputs)
+	firstV, _ := json.Marshal(responses[0].Verdicts)
+	for i := 1; i < len(responses); i++ {
+		o, _ := json.Marshal(responses[i].Outputs)
+		v, _ := json.Marshal(responses[i].Verdicts)
+		if !bytes.Equal(o, first) {
+			t.Fatalf("outputs differ between worker counts (run %d)", i)
+		}
+		if !bytes.Equal(v, firstV) {
+			t.Fatalf("verdicts differ between worker counts (run %d)", i)
+		}
+	}
+}
+
+// TestInferByFingerprint pins the warm-path protocol: after one full
+// request, a client may send just the fingerprints, skipping the network
+// upload and the monitor dataset, and receives byte-identical answers.
+// Unknown fingerprints answer 404.
+func TestInferByFingerprint(t *testing.T) {
+	net := inferNet(23)
+	rng := rand.New(rand.NewSource(24))
+	dataset := randRows(rng, 32, net.InputDim(), 1)
+	inputs := randRows(rng, 8, net.InputDim(), 2)
+	_, ts := newTestServer(t, vnnserver.Config{})
+
+	var full vnnserver.InferResponse
+	if status := postInfer(t, ts.URL, inferBody(t, net, inputs, &vnnserver.InferMonitorSpec{Data: dataset, Gamma: 1}), &full); status != http.StatusOK {
+		t.Fatalf("full request: status %d", status)
+	}
+	if full.Fingerprint == "" || full.MonitorFingerprint == "" {
+		t.Fatal("response did not echo the fingerprints")
+	}
+
+	slim, err := json.Marshal(vnnserver.InferRequest{
+		Fingerprint:        full.Fingerprint,
+		MonitorFingerprint: full.MonitorFingerprint,
+		Inputs:             inputs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ir vnnserver.InferResponse
+	if status := postInfer(t, ts.URL, slim, &ir); status != http.StatusOK {
+		t.Fatalf("by-fingerprint request: status %d", status)
+	}
+	if !ir.MonitorCacheHit || ir.MonitorFingerprint != full.MonitorFingerprint {
+		t.Fatalf("by-fingerprint request did not reuse the cached monitor: %+v", ir)
+	}
+	a, _ := json.Marshal(full.Outputs)
+	b, _ := json.Marshal(ir.Outputs)
+	if !bytes.Equal(a, b) {
+		t.Fatal("by-fingerprint outputs differ from the full request")
+	}
+	av, _ := json.Marshal(full.Verdicts)
+	bv, _ := json.Marshal(ir.Verdicts)
+	if !bytes.Equal(av, bv) {
+		t.Fatal("by-fingerprint verdicts differ from the full request")
+	}
+
+	// Unmonitored by-fingerprint inference works too.
+	plain, _ := json.Marshal(vnnserver.InferRequest{Fingerprint: full.Fingerprint, Inputs: inputs})
+	var pr vnnserver.InferResponse
+	if status := postInfer(t, ts.URL, plain, &pr); status != http.StatusOK {
+		t.Fatalf("plain by-fingerprint: status %d", status)
+	}
+	if len(pr.Verdicts) != 0 {
+		t.Fatal("plain by-fingerprint request returned verdicts")
+	}
+
+	// Unknown fingerprints are 404, telling the client to re-send.
+	unknown, _ := json.Marshal(vnnserver.InferRequest{Fingerprint: "vnn1-nope", Inputs: inputs})
+	if status := postInfer(t, ts.URL, unknown, nil); status != http.StatusNotFound {
+		t.Fatalf("unknown fingerprint: status %d, want 404", status)
+	}
+	badMon, _ := json.Marshal(vnnserver.InferRequest{
+		Fingerprint:        full.Fingerprint,
+		MonitorFingerprint: "vnnm1-nope",
+		Inputs:             inputs,
+	})
+	if status := postInfer(t, ts.URL, badMon, nil); status != http.StatusNotFound {
+		t.Fatalf("unknown monitor fingerprint: status %d, want 404", status)
+	}
+	// A fingerprint contradicting the network sent alongside is a 400.
+	netJSON, err := vnn.MarshalNetwork(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	contradiction, _ := json.Marshal(vnnserver.InferRequest{
+		Network:     netJSON,
+		Fingerprint: "vnn1-nope",
+		Region:      vnn.RegionSpec{Box: inferBox(net.InputDim())},
+		Inputs:      inputs,
+	})
+	if status := postInfer(t, ts.URL, contradiction, nil); status != http.StatusBadRequest {
+		t.Fatalf("contradictory fingerprint: status %d, want 400", status)
+	}
+}
+
 // BenchmarkInferHTTP measures end-to-end monitored inference throughput
 // through the full HTTP stack — the number the CI bench job records as
 // BENCH_infer.json.
@@ -410,6 +563,72 @@ func BenchmarkInferHTTP(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		// Drain so the connection is reused — a steady-state client runs
+		// over keep-alive, not a fresh handshake per batch.
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	b.ReportMetric(float64(len(inputs))*float64(b.N)/b.Elapsed().Seconds(), "inputs/s")
+}
+
+// BenchmarkInferHTTPByFingerprint measures the warm serving protocol: the
+// network and monitor travel as fingerprints, so the request carries only
+// the batch and the server runs straight into the sharded batched
+// kernels. This is the steady-state number a deployed client sees.
+func BenchmarkInferHTTPByFingerprint(b *testing.B) {
+	net := inferNet(11)
+	rng := rand.New(rand.NewSource(12))
+	dataset := randRows(rng, 64, net.InputDim(), 1)
+	inputs := randRows(rng, 64, net.InputDim(), 1)
+	netJSON, err := vnn.MarshalNetwork(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	full, err := json.Marshal(vnnserver.InferRequest{
+		Network: netJSON,
+		Region:  vnn.RegionSpec{Box: inferBox(net.InputDim())},
+		Inputs:  inputs,
+		Monitor: &vnnserver.InferMonitorSpec{Data: dataset, Gamma: 1},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := vnnserver.New(vnnserver.Config{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/v1/infer", "application/json", bytes.NewReader(full))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var warm vnnserver.InferResponse
+	if err := json.NewDecoder(resp.Body).Decode(&warm); err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("warmup status %d", resp.StatusCode)
+	}
+	body, err := json.Marshal(vnnserver.InferRequest{
+		Fingerprint:        warm.Fingerprint,
+		MonitorFingerprint: warm.MonitorFingerprint,
+		Inputs:             inputs,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(ts.URL+"/v1/infer", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Drain so the connection is reused — a steady-state client runs
+		// over keep-alive, not a fresh handshake per batch.
+		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
 			b.Fatalf("status %d", resp.StatusCode)

@@ -68,6 +68,27 @@ type InferStats struct {
 	Flagged int64 `json:"flagged"`
 	// Monitors is the number of cached monitor artifacts.
 	Monitors int `json:"monitors"`
+	// Workloads is the number of remembered by-fingerprint workloads.
+	Workloads int `json:"workloads"`
+	// Shards reports per-lane throughput: how many batch chunks and
+	// inputs each serving lane processed. An idle lane means batches
+	// were too small to shard (below the per-chunk minimum), not a bug.
+	Shards []InferShardStats `json:"shards"`
+}
+
+// InferShardStats is one serving lane's cumulative throughput.
+type InferShardStats struct {
+	Batches int64 `json:"batches"`
+	Inputs  int64 `json:"inputs"`
+}
+
+// shardStats snapshots the per-lane inference throughput counters.
+func (s *Server) shardStats() []InferShardStats {
+	out := make([]InferShardStats, len(s.shards.shards))
+	for i, sh := range s.shards.shards {
+		out[i] = InferShardStats{Batches: sh.batches.Load(), Inputs: sh.inputs.Load()}
+	}
+	return out
 }
 
 // Metrics snapshots the server's observable state.
@@ -82,10 +103,12 @@ func (s *Server) Metrics() Metrics {
 		Analyses:        s.analysisCounts(),
 		Falsifications:  s.falsifications.Load(),
 		Infer: InferStats{
-			Requests: s.inferRequests.Load(),
-			Inputs:   s.inferInputs.Load(),
-			Flagged:  s.inferFlagged.Load(),
-			Monitors: s.monitors.Len(),
+			Requests:  s.inferRequests.Load(),
+			Inputs:    s.inferInputs.Load(),
+			Flagged:   s.inferFlagged.Load(),
+			Monitors:  s.monitors.Len(),
+			Workloads: s.workloads.Len(),
+			Shards:    s.shardStats(),
 		},
 		Nodes:         s.nodes.Load(),
 		LPPivots:      s.pivots.Load(),

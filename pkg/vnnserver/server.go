@@ -74,6 +74,10 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxBodyBytes caps request bodies (<= 0 means 32 MiB).
 	MaxBodyBytes int64
+	// InferWorkers is the number of per-core serving lanes /v1/infer
+	// shards batches across (<= 0 means GOMAXPROCS). Each lane owns its
+	// kernel scratch; the count never affects output bits.
+	InferWorkers int
 }
 
 // Server is the verification service. Create with New, mount as an
@@ -88,9 +92,12 @@ type Server struct {
 	mux      *http.ServeMux
 	start    time.Time
 
-	// inferPool recycles the inference plane's hot-path scratch (see
-	// inferScratch); forwards themselves are allocation-free.
-	inferPool sync.Pool
+	// shards are the inference plane's per-core serving lanes (see
+	// inferShard): each owns its kernel scratch outright, so the hot
+	// path never contends on a sync.Pool. workloads remembers served
+	// (network, region, options) triples for by-fingerprint requests.
+	shards    *inferShards
+	workloads *workloadCache
 
 	// queryCtx parents every query; cancelQueries is the drain switch.
 	queryCtx      context.Context
@@ -148,6 +155,8 @@ func New(cfg Config) *Server {
 		cfg:           cfg,
 		cache:         NewCache(cfg.CacheEntries),
 		monitors:      newMonitorCache(cfg.CacheEntries),
+		shards:        newInferShards(cfg.InferWorkers),
+		workloads:     newWorkloadCache(cfg.CacheEntries),
 		sched:         NewScheduler(cfg.MaxConcurrent, cfg.QueueDepth),
 		jobs:          newRegistry(),
 		start:         time.Now(),

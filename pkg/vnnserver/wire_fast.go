@@ -1,0 +1,182 @@
+// Hand-rolled JSON fast paths for the inference plane's bulk payloads.
+//
+// /v1/infer is protocol-bound: once the kernels are allocation-free and
+// the network travels by fingerprint, most of a request's wall clock is
+// encoding/json reflecting over [][]float64. FloatMatrix implements the
+// two hot conversions directly — a byte scanner on decode, a
+// strconv.AppendFloat loop on encode — with no reflection and one
+// allocation for the backing array. The encoded form is byte-identical
+// to encoding/json's (same float formatting rules), so clients see no
+// wire change.
+
+package vnnserver
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// FloatMatrix is a [][]float64 with fast JSON paths. It is the wire type
+// of the inference plane's bulk fields (inputs, monitor datasets,
+// outputs); ordinary [][]float64 values assign to and from it directly.
+type FloatMatrix [][]float64
+
+// UnmarshalJSON parses [[...],...] without reflection. All rows share
+// one backing array.
+func (m *FloatMatrix) UnmarshalJSON(b []byte) error {
+	i := skipSpace(b, 0)
+	if i < len(b) && b[i] == 'n' { // null: leave the matrix nil
+		return nil
+	}
+	if i >= len(b) || b[i] != '[' {
+		return fmt.Errorf("float matrix: expected '[' at offset %d", i)
+	}
+	i = skipSpace(b, i+1)
+	if i < len(b) && b[i] == ']' {
+		*m = FloatMatrix{}
+		return nil
+	}
+	// First pass: count rows and values so the backing array is sized
+	// once (commas are an upper bound that is exact for valid input).
+	rows, vals := 0, 0
+	depth := 0
+	for j := i - 1; j < len(b); j++ {
+		switch b[j] {
+		case '[':
+			depth++
+			if depth == 2 {
+				rows++
+				vals++ // a non-empty row has one more value than commas
+			}
+		case ']':
+			depth--
+		case ',':
+			if depth == 2 {
+				vals++
+			}
+		}
+	}
+	flat := make([]float64, 0, vals)
+	out := make(FloatMatrix, 0, rows)
+	for {
+		if i >= len(b) || b[i] != '[' {
+			return fmt.Errorf("float matrix: expected row '[' at offset %d", i)
+		}
+		i = skipSpace(b, i+1)
+		start := len(flat)
+		if i < len(b) && b[i] == ']' {
+			i++
+		} else {
+			for {
+				j := scanNumber(b, i)
+				if j == i {
+					return fmt.Errorf("float matrix: expected number at offset %d", i)
+				}
+				f, err := strconv.ParseFloat(string(b[i:j]), 64)
+				if err != nil {
+					return fmt.Errorf("float matrix: %w", err)
+				}
+				flat = append(flat, f)
+				i = skipSpace(b, j)
+				if i < len(b) && b[i] == ',' {
+					i = skipSpace(b, i+1)
+					continue
+				}
+				if i < len(b) && b[i] == ']' {
+					i++
+					break
+				}
+				return fmt.Errorf("float matrix: expected ',' or ']' at offset %d", i)
+			}
+		}
+		out = append(out, flat[start:len(flat):len(flat)])
+		i = skipSpace(b, i)
+		if i < len(b) && b[i] == ',' {
+			i = skipSpace(b, i+1)
+			continue
+		}
+		if i < len(b) && b[i] == ']' {
+			break
+		}
+		return fmt.Errorf("float matrix: expected ',' or ']' at offset %d", i)
+	}
+	*m = out
+	return nil
+}
+
+// MarshalJSON renders the matrix with encoding/json's exact float
+// formatting, one buffer, no reflection.
+func (m FloatMatrix) MarshalJSON() ([]byte, error) {
+	if m == nil {
+		return []byte("null"), nil
+	}
+	n := 2
+	for _, row := range m {
+		n += 2 + len(row)*12
+	}
+	b := make([]byte, 0, n)
+	b = append(b, '[')
+	for r, row := range m {
+		if r > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, '[')
+		for c, f := range row {
+			if c > 0 {
+				b = append(b, ',')
+			}
+			var err error
+			if b, err = appendJSONFloat(b, f); err != nil {
+				return nil, err
+			}
+		}
+		b = append(b, ']')
+	}
+	return append(b, ']'), nil
+}
+
+// appendJSONFloat appends f exactly as encoding/json would: shortest
+// round-trip form, 'f' format in the human range, 'e' with a trimmed
+// exponent outside it.
+func appendJSONFloat(b []byte, f float64) ([]byte, error) {
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		return nil, fmt.Errorf("float matrix: unsupported value %v", f)
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		// Trim "e-09" to "e-9", as encoding/json does.
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b, nil
+}
+
+func skipSpace(b []byte, i int) int {
+	for i < len(b) && (b[i] == ' ' || b[i] == '\t' || b[i] == '\n' || b[i] == '\r') {
+		i++
+	}
+	return i
+}
+
+// scanNumber returns the end of the JSON number starting at i (or i if
+// none); ParseFloat validates the exact grammar.
+func scanNumber(b []byte, i int) int {
+	j := i
+	for j < len(b) {
+		switch c := b[j]; {
+		case c >= '0' && c <= '9', c == '+', c == '-', c == '.', c == 'e', c == 'E':
+			j++
+		default:
+			return j
+		}
+	}
+	return j
+}
