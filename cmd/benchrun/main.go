@@ -1,13 +1,17 @@
-// Command benchrun regenerates and gates BENCH_infer.json, the
-// committed inference-plane benchmark ladder (see DESIGN.md "Kernel
-// layer" for what the numbers mean).
+// Command benchrun regenerates and gates the committed benchmark
+// ladders: BENCH_infer.json (the inference plane — see DESIGN.md
+// "Kernel layer") and BENCH_fleet.json (the fleet plane's riblt
+// encode/decode throughput — see DESIGN.md "Fleet replication").
+// -suite selects which (default "infer").
 //
-// Regenerate the ladder — numbers are machine-dependent, so the commit
+// Regenerate a ladder — numbers are machine-dependent, so the commit
 // and date are recorded alongside them and must be passed in (benchrun
 // never reads the wall clock or shells out to git):
 //
 //	go run ./cmd/benchrun -commit $(git rev-parse --short HEAD) \
 //	  -date 2026-08-08 -out BENCH_infer.json
+//	go run ./cmd/benchrun -suite fleet -commit $(git rev-parse --short HEAD) \
+//	  -date 2026-08-08 -out BENCH_fleet.json
 //
 // Gate a change against the committed ladder — re-runs the same
 // benchmarks and fails if any hot-path benchmark regresses by more than
@@ -35,16 +39,31 @@ import (
 	"strings"
 )
 
-// suites is the benchmark ladder: kernels alone, packed forwards, then
-// the end-to-end HTTP plane. Together they localise a regression — a
-// slow /v1/infer with a fast MatVec is protocol overhead, not kernels.
-var suites = []struct {
+type suite struct {
 	pkg   string
 	bench string
+}
+
+// suiteSets are the benchmark ladders, keyed by -suite. "infer" walks
+// kernels alone, packed forwards, then the end-to-end HTTP plane —
+// together they localise a regression (a slow /v1/infer with a fast
+// MatVec is protocol overhead, not kernels). "fleet" measures the
+// rateless reconciliation codec: coded-symbol production over a large
+// set, and decode cost at several symmetric-difference sizes (the
+// decode benchmarks pin that cost scales with the difference, not the
+// set — symbols/op is the committed evidence).
+var suiteSets = map[string]struct {
+	schema string
+	suites []suite
 }{
-	{"./internal/linalg/", "BenchmarkMatVec|BenchmarkMatVecDot|BenchmarkMatMulTB"},
-	{"./internal/nn/", "BenchmarkForwardInto|BenchmarkForwardBatchInto|BenchmarkForward$"},
-	{"./pkg/vnnserver/", "BenchmarkInferHTTP"},
+	"infer": {"bench-infer/v1", []suite{
+		{"./internal/linalg/", "BenchmarkMatVec|BenchmarkMatVecDot|BenchmarkMatMulTB"},
+		{"./internal/nn/", "BenchmarkForwardInto|BenchmarkForwardBatchInto|BenchmarkForward$"},
+		{"./pkg/vnnserver/", "BenchmarkInferHTTP"},
+	}},
+	"fleet": {"bench-fleet/v1", []suite{
+		{"./internal/riblt/", "BenchmarkEncode|BenchmarkDecode"},
+	}},
 }
 
 // Result is one benchmark's recorded numbers.
@@ -55,6 +74,11 @@ type Result struct {
 	// InputsPerS is the custom throughput metric the HTTP benchmarks
 	// report; zero for benchmarks that do not emit it.
 	InputsPerS float64 `json:"inputs_per_s,omitempty"`
+	// SymbolsPerS / SymbolsPerOp are the riblt codec metrics: coded
+	// symbols per second, and symbols consumed per decode (the
+	// difference-scaling evidence). Zero outside the fleet suite.
+	SymbolsPerS  float64 `json:"symbols_per_s,omitempty"`
+	SymbolsPerOp float64 `json:"symbols_per_op,omitempty"`
 }
 
 // File is the BENCH_infer.json document.
@@ -83,8 +107,14 @@ func main() {
 		count     = flag.Int("count", 5, "go test -count (best-of filters noise)")
 		tolerance = flag.Float64("tolerance", 0.15, "gate mode: allowed fractional ns/op regression")
 		keepBase  = flag.Bool("keep-baseline", true, "with -out and -against absent: copy the baseline block from an existing output file")
+		suiteName = flag.String("suite", "infer", "benchmark ladder to run: infer or fleet")
 	)
 	flag.Parse()
+
+	set, ok := suiteSets[*suiteName]
+	if !ok {
+		fatal("unknown suite %q (want infer or fleet)", *suiteName)
+	}
 
 	if (*out == "") == (*against == "") {
 		fatal("exactly one of -out or -against is required")
@@ -93,7 +123,7 @@ func main() {
 		fatal("-out requires -commit and -date (benchrun records provenance, it does not invent it)")
 	}
 
-	results, err := runSuites(*benchtime, *count)
+	results, err := runSuites(set.suites, *benchtime, *count)
 	if err != nil {
 		fatal("%v", err)
 	}
@@ -104,7 +134,7 @@ func main() {
 	}
 
 	f := File{
-		Schema:     "bench-infer/v1",
+		Schema:     set.schema,
 		Commit:     *commit,
 		Date:       *date,
 		Go:         runtime.Version(),
@@ -138,7 +168,7 @@ var referenceBench = regexp.MustCompile(`^(BenchmarkForward$|BenchmarkMatVecDot(
 //	BenchmarkForwardInto-4  1000  1292 ns/op  68123 inputs/s  0 B/op  0 allocs/op
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(.*)$`)
 
-func runSuites(benchtime string, count int) ([]Result, error) {
+func runSuites(suites []suite, benchtime string, count int) ([]Result, error) {
 	best := map[string]*Result{}
 	var order []string
 	for _, s := range suites {
@@ -158,18 +188,23 @@ func runSuites(benchtime string, count int) ([]Result, error) {
 			name := m[1]
 			ns, _ := strconv.ParseFloat(m[2], 64)
 			allocs := int64(-1)
-			inputs := 0.0
+			inputs, symPerS, symPerOp := 0.0, 0.0, 0.0
 			for _, f := range regexp.MustCompile(`([\d.]+) (\S+)`).FindAllStringSubmatch(m[3], -1) {
 				switch f[2] {
 				case "allocs/op":
 					allocs, _ = strconv.ParseInt(f[1], 10, 64)
 				case "inputs/s":
 					inputs, _ = strconv.ParseFloat(f[1], 64)
+				case "symbols/s":
+					symPerS, _ = strconv.ParseFloat(f[1], 64)
+				case "symbols/op":
+					symPerOp, _ = strconv.ParseFloat(f[1], 64)
 				}
 			}
 			r, ok := best[name]
 			if !ok {
-				best[name] = &Result{Name: name, NsPerOp: ns, AllocsPerOp: allocs, InputsPerS: inputs}
+				best[name] = &Result{Name: name, NsPerOp: ns, AllocsPerOp: allocs,
+					InputsPerS: inputs, SymbolsPerS: symPerS, SymbolsPerOp: symPerOp}
 				order = append(order, name)
 				continue
 			}
@@ -181,6 +216,14 @@ func runSuites(benchtime string, count int) ([]Result, error) {
 			}
 			if inputs > r.InputsPerS {
 				r.InputsPerS = inputs
+			}
+			if symPerS > r.SymbolsPerS {
+				r.SymbolsPerS = symPerS
+			}
+			// symbols/op is a determinism check, not a race: every run
+			// consumes the same count, so keep the last parsed value.
+			if symPerOp > 0 {
+				r.SymbolsPerOp = symPerOp
 			}
 		}
 	}

@@ -14,6 +14,9 @@
 //	vnnd -timeout 5m               # default per-query budget
 //	vnnd -drain-grace 10s          # patience before interrupting on SIGTERM
 //	vnnd -infer-workers 4          # /v1/infer serving lanes (default GOMAXPROCS)
+//	vnnd -peers http://10.0.0.2:8419,http://10.0.0.3:8419
+//	                               # replicate caches across a static fleet
+//	vnnd -fleet-interval 10s       # reconcile period (default 30s, jittered)
 //
 // # Verify round trip
 //
@@ -143,6 +146,48 @@
 // plane under "infer" (including per-lane shard throughput) and the
 // vnnd.infer.* expvars (requests, inputs, flagged, monitor hits/misses).
 //
+// # Fleet replication: -peers
+//
+// Several vnnd nodes form a fleet: give each the others' base URLs and
+// every node periodically reconciles its compile + monitor caches with
+// its peers via rateless set reconciliation (see DESIGN.md "Fleet
+// replication"). A reconcile round costs O(|cache difference|) coded
+// symbols — not O(cache size) — so converged nodes exchange a few
+// dozen bytes per round. Everything pulled is re-verified from content
+// (fingerprints recomputed, bounds containment-checked) before it
+// enters a cache, and imports ride the same singleflight paths local
+// requests use, so a pull never races a local compile into duplicate
+// work. Two-node walkthrough:
+//
+//	# terminal 1
+//	vnnd -addr 127.0.0.1:8419 -peers http://127.0.0.1:8420 -fleet-interval 5s
+//	# terminal 2
+//	vnnd -addr 127.0.0.1:8420 -peers http://127.0.0.1:8419 -fleet-interval 5s
+//
+//	# compile + monitor on node A only
+//	curl -s 127.0.0.1:8419/v1/infer -d '{
+//	  "network": '"$(cat i4x10.json)"',
+//	  "region": {"name": "left_occupied"},
+//	  "inputs": [[0.5, 0.5, 0.5, 0.5]],
+//	  "monitor": {"data": [[0.5, 0.5, 0.5, 0.5]], "gamma": 1}
+//	}'
+//
+//	# within a couple of intervals node B serves the same workload by
+//	# fingerprint — without ever having compiled it (its
+//	# vnnd.cache.misses stays 0; /metrics "fleet" shows the pull):
+//	curl -s 127.0.0.1:8420/v1/infer -d '{
+//	  "fingerprint": "vnn1-...", "monitor_fingerprint": "vnnm1-...",
+//	  "inputs": [[0.5, 0.5, 0.5, 0.5]]
+//	}'
+//
+// Replication is pull-only and symmetric (each node runs its own
+// rounds), intervals are jittered, failing peers back off
+// exponentially, and a draining node neither serves fleet requests nor
+// accepts imports. /metrics reports rounds, symbols sent/received,
+// entries pulled/pushed and per-peer last-sync under "fleet"
+// (vnnd.fleet.* expvars), plus the accounted cache size under
+// "cache.bytes" (vnnd.cache.bytes).
+//
 // # Shutdown semantics
 //
 // On SIGTERM/SIGINT the daemon drains: new queries are rejected with 503,
@@ -164,6 +209,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -182,8 +228,17 @@ func main() {
 		drainGrace    = flag.Duration("drain-grace", 5*time.Second, "how long a drain lets running queries finish before interrupting them")
 		maxBody       = flag.Int64("max-body", 0, "request body cap in bytes (0 = 32 MiB)")
 		inferWorkers  = flag.Int("infer-workers", 0, "inference serving lanes for /v1/infer batch sharding (0 = GOMAXPROCS; never affects output bits)")
+		peers         = flag.String("peers", "", "comma-separated base URLs of sibling vnnd nodes to replicate caches with (empty = no reconcile loop)")
+		fleetInterval = flag.Duration("fleet-interval", 0, "fleet reconcile period, jittered per round (0 = 30s)")
 	)
 	flag.Parse()
+
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, p)
+		}
+	}
 
 	srv := vnnserver.New(vnnserver.Config{
 		CacheEntries:   *cacheEntries,
@@ -192,7 +247,12 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxBodyBytes:   *maxBody,
 		InferWorkers:   *inferWorkers,
+		Peers:          peerList,
+		FleetInterval:  *fleetInterval,
 	})
+	if len(peerList) > 0 {
+		log.Printf("fleet: reconciling with %d peer(s)", len(peerList))
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 
 	errc := make(chan error, 1)

@@ -1,0 +1,142 @@
+package riblt
+
+// Decoder consumes the encoder's coded-symbol stream and peels out the
+// symmetric difference. Feed the local set with AddSymbol first, then
+// stream coded symbols in order with AddCodedSymbol until Decoded
+// reports success (or the stream ends — a partial decode still yields
+// whatever was peeled, the caller just learns less).
+//
+// Invariants of the peeling loop:
+//
+//   - Every stored cell holds exactly the unpeeled difference symbols
+//     mapped to it: incoming cells have the local set and all
+//     already-peeled symbols subtracted on arrival (the three coding
+//     windows), and peeling a symbol removes it from every stored cell
+//     of its mapping.
+//   - A pure cell (Count ±1, checksum match) therefore holds exactly
+//     one difference symbol: Count +1 means the encoder has it (A∖B),
+//     -1 means only this side does (B∖A).
+//   - Decoding succeeded exactly when every stored cell is zero: no
+//     unpeeled difference remains in any received cell.
+type Decoder struct {
+	cs []CodedSymbol // received cells, with known symbols removed
+	// window holds the local set; remote and local accumulate peeled
+	// A∖B and B∖A symbols so later cells shed them on arrival.
+	window, remote, local codingWindow
+
+	remoteSyms []Symbol // decoded A∖B
+	localSyms  []Symbol // decoded B∖A
+
+	pending []int // candidate pure cells awaiting a peel attempt
+	zero    int   // stored cells currently all-zero
+	started bool
+}
+
+// NewDecoder returns a decoder with an empty local set.
+func NewDecoder() *Decoder { return &Decoder{} }
+
+// AddSymbol declares one symbol of the local set. It panics once the
+// coded stream has started — cells already consumed could not have had
+// the symbol subtracted.
+func (d *Decoder) AddSymbol(s Symbol) {
+	if d.started {
+		panic("riblt: Decoder.AddSymbol after AddCodedSymbol")
+	}
+	d.window.addSymbol(s)
+}
+
+// AddCodedSymbol consumes the next cell of the encoder's stream and
+// peels whatever it exposes.
+func (d *Decoder) AddCodedSymbol(c CodedSymbol) {
+	d.started = true
+	c = d.window.applyWindow(c, -1)
+	c = d.remote.applyWindow(c, -1)
+	c = d.local.applyWindow(c, 1)
+	d.cs = append(d.cs, c)
+	idx := len(d.cs) - 1
+	if c.isZero() {
+		d.zero++
+	} else if c.isPure() {
+		d.pending = append(d.pending, idx)
+	}
+	d.peel()
+}
+
+// peel drains the pending queue: each genuinely pure cell's symbol is
+// removed from every stored cell of its mapping (possibly exposing new
+// pure cells) and recorded as a difference.
+func (d *Decoder) peel() {
+	for len(d.pending) > 0 {
+		idx := d.pending[len(d.pending)-1]
+		d.pending = d.pending[:len(d.pending)-1]
+		c := d.cs[idx]
+		if !c.isPure() {
+			continue // a previous peel already changed this cell
+		}
+		s := c.Sum
+		h := c.CheckSum
+		dir := -c.Count // removing a +1 symbol applies -1, and vice versa
+		m := randomMapping{prng: h}
+		for m.lastIdx < uint64(len(d.cs)) {
+			d.applyCell(int(m.lastIdx), &s, h, dir)
+			m.nextIndex()
+		}
+		// The mapping now points past the received prefix; the window
+		// continues it so future cells shed this symbol on arrival.
+		if c.Count == 1 {
+			d.remote.addEntry(s, h, m)
+			d.remoteSyms = append(d.remoteSyms, s)
+		} else {
+			d.local.addEntry(s, h, m)
+			d.localSyms = append(d.localSyms, s)
+		}
+	}
+}
+
+// applyCell applies one symbol to stored cell i, maintaining the
+// zero-cell count and the pending queue.
+func (d *Decoder) applyCell(i int, s *Symbol, h uint64, dir int64) {
+	wasZero := d.cs[i].isZero()
+	d.cs[i] = d.cs[i].apply(s, h, dir)
+	nowZero := d.cs[i].isZero()
+	if wasZero != nowZero {
+		if nowZero {
+			d.zero++
+		} else {
+			d.zero--
+		}
+	}
+	if !nowZero && d.cs[i].isPure() {
+		d.pending = append(d.pending, i)
+	}
+}
+
+// Decoded reports whether the stream consumed so far fully explains
+// itself: every received cell is zero after subtracting the local set
+// and the peeled differences — no unpeeled difference remains.
+func (d *Decoder) Decoded() bool {
+	return d.started && d.zero == len(d.cs)
+}
+
+// Remote returns the decoded A∖B — symbols only the encoder has. The
+// slice is owned by the decoder; callers must not modify it.
+func (d *Decoder) Remote() []Symbol { return d.remoteSyms }
+
+// Local returns the decoded B∖A — symbols only this side has.
+func (d *Decoder) Local() []Symbol { return d.localSyms }
+
+// Consumed returns the number of coded symbols consumed so far.
+func (d *Decoder) Consumed() int { return len(d.cs) }
+
+// Reset empties the decoder for reuse, keeping its allocations.
+func (d *Decoder) Reset() {
+	d.cs = d.cs[:0]
+	d.window.reset()
+	d.remote.reset()
+	d.local.reset()
+	d.remoteSyms = d.remoteSyms[:0]
+	d.localSyms = d.localSyms[:0]
+	d.pending = d.pending[:0]
+	d.zero = 0
+	d.started = false
+}

@@ -1,0 +1,132 @@
+package riblt
+
+// symbolMapping pairs a source symbol (by position in a codingWindow)
+// with the next cell index its mapping will hit. The slice of these is
+// kept as a binary min-heap on codedIdx, so producing cell i touches
+// only the symbols actually mapped to i.
+type symbolMapping struct {
+	sourceIdx int
+	codedIdx  uint64
+}
+
+// mappingHeap is a min-heap of symbolMapping keyed on codedIdx.
+type mappingHeap []symbolMapping
+
+func (m mappingHeap) fixHead() {
+	curr := 0
+	for {
+		child := curr*2 + 1
+		if child >= len(m) {
+			break
+		}
+		if rc := child + 1; rc < len(m) && m[rc].codedIdx < m[child].codedIdx {
+			child = rc
+		}
+		if m[curr].codedIdx <= m[child].codedIdx {
+			break
+		}
+		m[curr], m[child] = m[child], m[curr]
+		curr = child
+	}
+}
+
+func (m mappingHeap) fixTail() {
+	curr := len(m) - 1
+	for curr > 0 {
+		parent := (curr - 1) / 2
+		if m[parent].codedIdx <= m[curr].codedIdx {
+			break
+		}
+		m[parent], m[curr] = m[curr], m[parent]
+		curr = parent
+	}
+}
+
+// codingWindow is a set of source symbols alongside their mapping
+// generators, able to apply all of them to any prefix of the coded
+// stream in order. The encoder uses one directly; the decoder uses
+// three (its own set, and the two peeled differences) — see Decoder.
+type codingWindow struct {
+	symbols  []Symbol        // source symbols
+	checks   []uint64        // their checksums, aligned with symbols
+	mappings []randomMapping // their mapping generators, aligned
+	queue    mappingHeap     // next cell index per symbol, min-heap
+	nextIdx  uint64          // next coded index to produce/consume
+}
+
+// addSymbol inserts a source symbol whose mapping starts at cell 0.
+// Must happen before the window advances past cell 0 (the stream
+// membership of earlier cells cannot be amended retroactively).
+func (w *codingWindow) addSymbol(s Symbol) {
+	w.addEntry(s, s.Checksum(), randomMapping{prng: s.Checksum()})
+}
+
+// addEntry inserts a symbol with a precomputed checksum and mapping
+// state (used when the decoder peels a symbol mid-stream: the mapping
+// has already been walked up to the current cell).
+func (w *codingWindow) addEntry(s Symbol, check uint64, m randomMapping) {
+	w.symbols = append(w.symbols, s)
+	w.checks = append(w.checks, check)
+	w.mappings = append(w.mappings, m)
+	w.queue = append(w.queue, symbolMapping{sourceIdx: len(w.symbols) - 1, codedIdx: m.lastIdx})
+	w.queue.fixTail()
+}
+
+// applyWindow XORs every window symbol mapped to the window's current
+// cell into c (with direction dir) and advances to the next cell.
+func (w *codingWindow) applyWindow(c CodedSymbol, dir int64) CodedSymbol {
+	if len(w.queue) == 0 {
+		w.nextIdx++
+		return c
+	}
+	for w.queue[0].codedIdx == w.nextIdx {
+		i := w.queue[0].sourceIdx
+		c = c.apply(&w.symbols[i], w.checks[i], dir)
+		w.queue[0].codedIdx = w.mappings[i].nextIndex()
+		w.queue.fixHead()
+	}
+	w.nextIdx++
+	return c
+}
+
+// reset empties the window without releasing its storage.
+func (w *codingWindow) reset() {
+	w.symbols = w.symbols[:0]
+	w.checks = w.checks[:0]
+	w.mappings = w.mappings[:0]
+	w.queue = w.queue[:0]
+	w.nextIdx = 0
+}
+
+// Encoder produces the rateless coded-symbol stream of a set. Add the
+// whole set first, then call ProduceNextCodedSymbol as many times as
+// the decoder needs — the stream never runs out.
+type Encoder struct {
+	window  codingWindow
+	started bool
+}
+
+// NewEncoder returns an empty encoder.
+func NewEncoder() *Encoder { return &Encoder{} }
+
+// Add inserts one source symbol. It panics if the stream has already
+// started: coded cells already emitted could not include the new
+// symbol, silently corrupting the decode.
+func (e *Encoder) Add(s Symbol) {
+	if e.started {
+		panic("riblt: Encoder.Add after ProduceNextCodedSymbol")
+	}
+	e.window.addSymbol(s)
+}
+
+// ProduceNextCodedSymbol emits the next cell of the stream.
+func (e *Encoder) ProduceNextCodedSymbol() CodedSymbol {
+	e.started = true
+	return e.window.applyWindow(CodedSymbol{}, 1)
+}
+
+// Reset empties the encoder for reuse, keeping its allocations.
+func (e *Encoder) Reset() {
+	e.window.reset()
+	e.started = false
+}

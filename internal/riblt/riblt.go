@@ -1,0 +1,146 @@
+// Package riblt implements rateless invertible Bloom lookup tables
+// (RIBLT) for set reconciliation: the coded-symbol scheme of
+// yangl1996/rateless-set-reconcile, specialized to fixed 32-byte source
+// symbols (fingerprint hashes).
+//
+// Two parties hold sets A and B of symbols. The encoder (holding A)
+// emits an unbounded stream of coded symbols; the decoder (holding B)
+// subtracts its own set from the stream as it arrives and peels the
+// remainder. After consuming O(|AΔB|) coded symbols — independent of
+// |A∪B| — the decoder recovers both differences exactly: A∖B ("remote",
+// symbols only the encoder has) and B∖A ("local", symbols only the
+// decoder has). Overlapping elements cancel inside the cells and cost
+// no communication beyond a small constant factor.
+//
+// A coded symbol is one cell of a conceptually infinite IBLT:
+//
+//	Sum     XOR of the source symbols mapped to the cell
+//	HashSum XOR of their (non-linear) checksums
+//	Count   signed number of mapped symbols
+//
+// Each source symbol is mapped to cell 0 and then to ever-sparser
+// later cells by a deterministic PRNG seeded with its checksum, so
+// both sides agree on the mapping without coordination and cell i
+// receives each symbol with probability about 1/(1+i/2). A cell whose
+// Count is ±1 and whose HashSum equals its Sum's checksum is "pure":
+// its Sum IS a difference symbol, which is subtracted from every other
+// cell it maps to, exposing new pure cells until everything is zero.
+//
+// The checksum must not be XOR-linear in the symbol bytes: with a
+// linear checksum every cell would pass the purity test and the
+// decoder would hallucinate differences. Symbol.Checksum is a
+// splitmix-style multiply-xor-shift mix for exactly this reason.
+package riblt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// SymbolSize is the fixed source-symbol width in bytes. Fingerprint
+// strings are folded to this width with a collision-resistant hash
+// before entering a sketch (see pkg/vnn.FingerprintSetHash).
+const SymbolSize = 32
+
+// Symbol is one element of the reconciled set.
+type Symbol [SymbolSize]byte
+
+// Checksum returns the symbol's non-linear 64-bit checksum: the purity
+// test of the peeling decoder and the seed of the symbol's cell
+// mapping. It chains a splitmix64-style finalizer over the symbol's
+// words, so it is NOT linear under XOR of symbols — see the package
+// comment for why that is load-bearing.
+func (s Symbol) Checksum() uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < SymbolSize; i += 8 {
+		h ^= binary.LittleEndian.Uint64(s[i : i+8])
+		h *= 0xff51afd7ed558ccd
+		h ^= h >> 33
+		h *= 0xc4ceb9fe1a85ec53
+		h ^= h >> 29
+	}
+	return h
+}
+
+// xor sets s to s XOR t.
+func (s *Symbol) xor(t *Symbol) {
+	for i := range s {
+		s[i] ^= t[i]
+	}
+}
+
+// CodedSymbolSize is the binary wire width of one coded symbol:
+// 32-byte XOR sum, 8-byte checksum sum, 8-byte signed count.
+const CodedSymbolSize = SymbolSize + 8 + 8
+
+// CodedSymbol is one cell of the rateless sketch.
+type CodedSymbol struct {
+	Sum      Symbol
+	CheckSum uint64
+	Count    int64
+}
+
+// apply adds (dir = +1) or removes (dir = -1) one source symbol with
+// checksum h from the cell.
+func (c CodedSymbol) apply(s *Symbol, h uint64, dir int64) CodedSymbol {
+	c.Sum.xor(s)
+	c.CheckSum ^= h
+	c.Count += dir
+	return c
+}
+
+// isZero reports whether the cell holds no symbols at all — the
+// termination test of a successful decode.
+func (c *CodedSymbol) isZero() bool {
+	if c.Count != 0 || c.CheckSum != 0 {
+		return false
+	}
+	return c.Sum == Symbol{}
+}
+
+// isPure reports whether the cell holds exactly one symbol (in either
+// direction), which can then be peeled.
+func (c *CodedSymbol) isPure() bool {
+	return (c.Count == 1 || c.Count == -1) && c.Sum.Checksum() == c.CheckSum
+}
+
+// AppendBinary appends the cell's fixed-width wire form to b.
+func (c *CodedSymbol) AppendBinary(b []byte) []byte {
+	b = append(b, c.Sum[:]...)
+	b = binary.LittleEndian.AppendUint64(b, c.CheckSum)
+	b = binary.LittleEndian.AppendUint64(b, uint64(c.Count))
+	return b
+}
+
+// DecodeCodedSymbol parses one fixed-width cell from b.
+func DecodeCodedSymbol(b []byte) (CodedSymbol, error) {
+	var c CodedSymbol
+	if len(b) < CodedSymbolSize {
+		return c, fmt.Errorf("riblt: coded symbol needs %d bytes, got %d", CodedSymbolSize, len(b))
+	}
+	copy(c.Sum[:], b[:SymbolSize])
+	c.CheckSum = binary.LittleEndian.Uint64(b[SymbolSize:])
+	c.Count = int64(binary.LittleEndian.Uint64(b[SymbolSize+8:]))
+	return c, nil
+}
+
+// randomMapping walks the deterministic cell indices of one source
+// symbol: cell 0 always, then gaps that grow so cell i is hit with
+// probability ~ 1/(1+i/2). Both sides derive identical walks from the
+// symbol's checksum alone.
+type randomMapping struct {
+	prng    uint64 // PRNG state, seeded with the symbol checksum
+	lastIdx uint64 // current cell index
+}
+
+// nextIndex advances to the symbol's next cell index.
+func (m *randomMapping) nextIndex() uint64 {
+	// One multiplicative-congruential step; the high bits drive the gap.
+	r := m.prng * 0xda942042e4dd58b5
+	m.prng = r
+	// The gap grows with the current index so that the density of
+	// mapped cells at index i is ~ 1/(1+i/2) — the rateless property.
+	m.lastIdx += uint64(math.Ceil((float64(m.lastIdx) + 1.5) * ((1<<32)/math.Sqrt(float64(r)+1) - 1)))
+	return m.lastIdx
+}

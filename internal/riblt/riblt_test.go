@@ -1,0 +1,403 @@
+package riblt
+
+import (
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// testSymbol derives a deterministic symbol from an integer id.
+func testSymbol(id uint64) Symbol {
+	var s Symbol
+	rng := rand.New(rand.NewSource(int64(id)*2654435761 + 12345))
+	rng.Read(s[:])
+	return s
+}
+
+func symbolSet(ids ...uint64) []Symbol {
+	out := make([]Symbol, len(ids))
+	for i, id := range ids {
+		out[i] = testSymbol(id)
+	}
+	return out
+}
+
+func sortedHex(syms []Symbol) []string {
+	out := make([]string, len(syms))
+	for i, s := range syms {
+		out[i] = hex.EncodeToString(s[:])
+	}
+	sort.Strings(out)
+	return out
+}
+
+// reconcile runs a full encoder/decoder round: the encoder holds a,
+// the decoder holds b, and symbols stream until the decoder finishes
+// (or the cap trips). Returns the decoder and the symbols consumed.
+func reconcile(t *testing.T, a, b []Symbol, cap int) (*Decoder, int) {
+	t.Helper()
+	enc := NewEncoder()
+	for _, s := range a {
+		enc.Add(s)
+	}
+	dec := NewDecoder()
+	for _, s := range b {
+		dec.AddSymbol(s)
+	}
+	n := 0
+	for !dec.Decoded() {
+		if n >= cap {
+			t.Fatalf("no decode after %d coded symbols (|a|=%d |b|=%d)", n, len(a), len(b))
+		}
+		dec.AddCodedSymbol(enc.ProduceNextCodedSymbol())
+		n++
+	}
+	return dec, n
+}
+
+// diff returns the elements of a not in b, as sorted hex.
+func diffHex(a, b []Symbol) []string {
+	in := map[Symbol]bool{}
+	for _, s := range b {
+		in[s] = true
+	}
+	var out []Symbol
+	for _, s := range a {
+		if !in[s] {
+			out = append(out, s)
+		}
+	}
+	return sortedHex(out)
+}
+
+func assertEqual(t *testing.T, what string, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d symbols %v, want %d %v", what, len(got), got, len(want), want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s[%d]: got %s, want %s", what, i, got[i], want[i])
+		}
+	}
+}
+
+// TestChecksumNonLinear pins the property the peeling purity test
+// depends on: the checksum must NOT distribute over XOR of symbols
+// (a linear checksum would make every cell look pure).
+func TestChecksumNonLinear(t *testing.T) {
+	linear := 0
+	for i := uint64(0); i < 64; i++ {
+		a, b := testSymbol(i), testSymbol(i+1000)
+		var x Symbol = a
+		x.xor(&b)
+		if x.Checksum() == a.Checksum()^b.Checksum() {
+			linear++
+		}
+	}
+	if linear > 0 {
+		t.Fatalf("checksum behaved XOR-linearly on %d/64 pairs", linear)
+	}
+}
+
+// TestGoldenStream pins the wire-visible coded stream: the mapping
+// constants, checksum and cell layout must never drift silently, or
+// fleets of mixed versions would fail to reconcile. Regenerate only on
+// a deliberate format change (and bump the fleet protocol).
+func TestGoldenStream(t *testing.T) {
+	enc := NewEncoder()
+	for _, s := range symbolSet(1, 2, 3) {
+		enc.Add(s)
+	}
+	var buf []byte
+	for i := 0; i < 4; i++ {
+		c := enc.ProduceNextCodedSymbol()
+		buf = c.AppendBinary(buf)
+	}
+	const want = "" +
+		// cell 0: all three symbols (count 3)
+		"8b45fdd8c3f99ebde64c9452fbd5fa182704ae182110f4c370d465be1618428269c4ae8edffbf4cb0300000000000000" +
+		// cell 1: one symbol
+		"5db7ac6ff7c12049f0336936e6a2b1220629d5cac7f474e55d037b8b857f209714abb746ec63be250100000000000000" +
+		// cell 2: empty
+		"000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000" +
+		// cell 3: all three again (their second indices coincide)
+		"8b45fdd8c3f99ebde64c9452fbd5fa182704ae182110f4c370d465be1618428269c4ae8edffbf4cb0300000000000000"
+	if got := hex.EncodeToString(buf); got != want {
+		t.Fatalf("golden coded stream drifted:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestEncoderMatchesSketch: the rateless stream's first m cells are by
+// definition the fixed-size sketch of the same set.
+func TestEncoderMatchesSketch(t *testing.T) {
+	const m = 64
+	set := symbolSet(10, 11, 12, 13, 14, 15, 16)
+	sk := NewSketch(m)
+	for _, s := range set {
+		sk.AddSymbol(s)
+	}
+	enc := NewEncoder()
+	for _, s := range set {
+		enc.Add(s)
+	}
+	for i := 0; i < m; i++ {
+		if c := enc.ProduceNextCodedSymbol(); c != sk[i] {
+			t.Fatalf("cell %d: encoder %+v, sketch %+v", i, c, sk[i])
+		}
+	}
+}
+
+func TestCodedSymbolWire(t *testing.T) {
+	c := CodedSymbol{Sum: testSymbol(7), CheckSum: 0xdeadbeefcafef00d, Count: -3}
+	buf := c.AppendBinary(nil)
+	if len(buf) != CodedSymbolSize {
+		t.Fatalf("wire size %d, want %d", len(buf), CodedSymbolSize)
+	}
+	got, err := DecodeCodedSymbol(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != c {
+		t.Fatalf("round trip changed the cell: %+v -> %+v", c, got)
+	}
+	if _, err := DecodeCodedSymbol(buf[:CodedSymbolSize-1]); err == nil {
+		t.Fatal("short buffer decoded")
+	}
+}
+
+// TestReconcile covers the protocol shapes the fleet plane hits:
+// disjoint sets, one-sided differences, heavy overlap, empty sides.
+func TestReconcile(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b []Symbol
+	}{
+		{"identical", symbolSet(1, 2, 3), symbolSet(3, 2, 1)},
+		{"remote_only", symbolSet(1, 2, 3, 4), symbolSet(1, 2)},
+		{"local_only", symbolSet(1, 2), symbolSet(1, 2, 3, 4)},
+		{"disjoint", symbolSet(1, 2, 3), symbolSet(4, 5, 6)},
+		{"empty_decoder", symbolSet(1, 2, 3, 4, 5), nil},
+		{"empty_encoder", nil, symbolSet(1, 2, 3)},
+		{"overlap", symbolSet(1, 2, 3, 4, 5, 6, 7, 8), symbolSet(5, 6, 7, 8, 9, 10)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dec, _ := reconcile(t, tc.a, tc.b, 4096)
+			assertEqual(t, "remote", sortedHex(dec.Remote()), diffHex(tc.a, tc.b))
+			assertEqual(t, "local", sortedHex(dec.Local()), diffHex(tc.b, tc.a))
+		})
+	}
+}
+
+// TestReconcileLarge is the stress shape: big overlapping sets with a
+// two-sided difference.
+func TestReconcileLarge(t *testing.T) {
+	var a, b []Symbol
+	for id := uint64(0); id < 2000; id++ {
+		s := testSymbol(id)
+		if id < 1950 {
+			a = append(a, s) // shared: 0..1949
+			b = append(b, s)
+		} else if id < 1975 {
+			a = append(a, s) // a-only: 1950..1974
+		} else {
+			b = append(b, s) // b-only: 1975..1999
+		}
+	}
+	dec, n := reconcile(t, a, b, 1<<14)
+	if len(dec.Remote()) != 25 || len(dec.Local()) != 25 {
+		t.Fatalf("decoded %d remote / %d local, want 25/25", len(dec.Remote()), len(dec.Local()))
+	}
+	assertEqual(t, "remote", sortedHex(dec.Remote()), diffHex(a, b))
+	assertEqual(t, "local", sortedHex(dec.Local()), diffHex(b, a))
+	t.Logf("|AΔB|=50 decoded from %d coded symbols", n)
+}
+
+// TestSymbolsScaleWithDifference is the acceptance property: the coded
+// symbols needed to decode grow with |AΔB|, not with |A∪B|. Fixing the
+// difference while growing the union 16x must not grow the symbol
+// count beyond noise, while growing the difference must grow it.
+func TestSymbolsScaleWithDifference(t *testing.T) {
+	run := func(union, diff int) int {
+		var a, b []Symbol
+		for id := 0; id < union; id++ {
+			s := testSymbol(uint64(1_000_000 + union*7 + id))
+			a = append(a, s)
+			if id >= diff {
+				b = append(b, s)
+			}
+		}
+		dec, n := reconcile(t, a, b, 1<<16)
+		if len(dec.Remote()) != diff {
+			t.Fatalf("union %d diff %d: decoded %d", union, diff, len(dec.Remote()))
+		}
+		return n
+	}
+
+	// Fixed |AΔB| = 8 across a 16x union growth.
+	atSmallUnion := run(256, 8)
+	atLargeUnion := run(4096, 8)
+	if atLargeUnion > 8*atSmallUnion {
+		t.Fatalf("symbols grew with the union: %d @256 vs %d @4096", atSmallUnion, atLargeUnion)
+	}
+	// Both must be far below the union size (full-set exchange).
+	if atLargeUnion >= 1024 {
+		t.Fatalf("decoding an 8-element difference of a 4096-element union took %d symbols", atLargeUnion)
+	}
+
+	// Fixed union, growing difference: symbol count must track it.
+	n8, n128 := run(1024, 8), run(1024, 128)
+	if n128 <= n8 {
+		t.Fatalf("symbols did not grow with the difference: %d @diff8 vs %d @diff128", n8, n128)
+	}
+	t.Logf("symbols to decode: diff8@256=%d diff8@4096=%d diff8@1024=%d diff128@1024=%d",
+		atSmallUnion, atLargeUnion, n8, n128)
+}
+
+// TestSketchSubtractDecode exercises the fixed-size path end to end.
+func TestSketchSubtractDecode(t *testing.T) {
+	const m = 128
+	a := symbolSet(1, 2, 3, 4, 5, 6)
+	b := symbolSet(4, 5, 6, 7, 8)
+	ska, skb := NewSketch(m), NewSketch(m)
+	for _, s := range a {
+		ska.AddSymbol(s)
+	}
+	for _, s := range b {
+		skb.AddSymbol(s)
+	}
+	remote, local, ok := ska.Subtract(skb).Decode()
+	if !ok {
+		t.Fatal("sketch decode failed")
+	}
+	assertEqual(t, "remote", sortedHex(remote), diffHex(a, b))
+	assertEqual(t, "local", sortedHex(local), diffHex(b, a))
+}
+
+// TestSketchAddRemove: removing everything returns the sketch to zero.
+func TestSketchAddRemove(t *testing.T) {
+	sk := NewSketch(32)
+	set := symbolSet(40, 41, 42)
+	for _, s := range set {
+		sk.AddSymbol(s)
+	}
+	for _, s := range set {
+		sk.RemoveSymbol(s)
+	}
+	for i := range sk {
+		if !sk[i].isZero() {
+			t.Fatalf("cell %d not zero after removing all symbols: %+v", i, sk[i])
+		}
+	}
+}
+
+// TestSketchOverflow: a too-small sketch reports failure instead of
+// inventing symbols.
+func TestSketchOverflow(t *testing.T) {
+	sk := NewSketch(2)
+	for id := uint64(0); id < 64; id++ {
+		sk.AddSymbol(testSymbol(id))
+	}
+	if _, _, ok := sk.Decode(); ok {
+		t.Fatal("2-cell sketch claimed to decode 64 symbols")
+	}
+}
+
+// TestEncoderAddAfterProduce pins the misuse panic: amending the set
+// mid-stream would silently corrupt the decode.
+func TestEncoderAddAfterProduce(t *testing.T) {
+	enc := NewEncoder()
+	enc.Add(testSymbol(1))
+	enc.ProduceNextCodedSymbol()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add after ProduceNextCodedSymbol did not panic")
+		}
+	}()
+	enc.Add(testSymbol(2))
+}
+
+func TestDecoderReset(t *testing.T) {
+	dec, _ := reconcile(t, symbolSet(1, 2, 3), symbolSet(2, 3, 4), 1024)
+	dec.Reset()
+	if dec.Decoded() || dec.Consumed() != 0 || len(dec.Remote()) != 0 || len(dec.Local()) != 0 {
+		t.Fatal("reset decoder kept state")
+	}
+	// A reset decoder must behave like a fresh one.
+	dec.AddSymbol(testSymbol(9))
+	enc := NewEncoder()
+	enc.Add(testSymbol(9))
+	enc.Add(testSymbol(10))
+	for !dec.Decoded() {
+		dec.AddCodedSymbol(enc.ProduceNextCodedSymbol())
+	}
+	assertEqual(t, "remote", sortedHex(dec.Remote()), sortedHex(symbolSet(10)))
+}
+
+// BenchmarkEncode measures raw coded-symbol production over a warm
+// 4096-symbol window, in symbols per second.
+func BenchmarkEncode(b *testing.B) {
+	enc := NewEncoder()
+	for id := uint64(0); id < 4096; id++ {
+		enc.Add(testSymbol(id))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc.ProduceNextCodedSymbol()
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "symbols/s")
+}
+
+// BenchmarkDecode measures a full reconciliation round per op at a
+// fixed 4096-element union and growing symmetric difference; the
+// symbols/op metric is the decode cost the fleet pays per round,
+// demonstrating it scales with the difference rather than the union.
+func BenchmarkDecode(b *testing.B) {
+	for _, diff := range []int{16, 128, 1024} {
+		b.Run(fmt.Sprintf("union4096_diff%d", diff), func(b *testing.B) {
+			const union = 4096
+			var a, bs []Symbol
+			for id := 0; id < union; id++ {
+				s := testSymbol(uint64(9_000_000 + id))
+				a = append(a, s)
+				if id >= diff {
+					bs = append(bs, s)
+				}
+			}
+			enc := NewEncoder()
+			for _, s := range a {
+				enc.Add(s)
+			}
+			// Pre-produce a long enough stream once; decoding replays it.
+			var stream []CodedSymbol
+			dec := NewDecoder()
+			for _, s := range bs {
+				dec.AddSymbol(s)
+			}
+			for !dec.Decoded() {
+				c := enc.ProduceNextCodedSymbol()
+				stream = append(stream, c)
+				dec.AddCodedSymbol(c)
+			}
+			consumed := dec.Consumed()
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d := NewDecoder()
+				for _, s := range bs {
+					d.AddSymbol(s)
+				}
+				for j := 0; !d.Decoded(); j++ {
+					d.AddCodedSymbol(stream[j])
+				}
+			}
+			b.ReportMetric(float64(consumed), "symbols/op")
+			b.ReportMetric(float64(b.N*consumed)/b.Elapsed().Seconds(), "symbols/s")
+		})
+	}
+}

@@ -1,0 +1,88 @@
+package riblt
+
+// Sketch is the fixed-size form of the scheme: the first m cells of
+// the infinite coded stream, usable as a standalone IBLT when the
+// difference size has a known bound (and as the golden reference for
+// the rateless Encoder — cell i of a set's Sketch equals the i-th
+// coded symbol its Encoder emits).
+type Sketch []CodedSymbol
+
+// NewSketch allocates an all-zero sketch of m cells.
+func NewSketch(m int) Sketch { return make(Sketch, m) }
+
+// apply adds (dir +1) or removes (dir -1) one symbol from every cell
+// of its mapping that falls inside the sketch.
+func (sk Sketch) apply(s *Symbol, dir int64) {
+	h := s.Checksum()
+	m := randomMapping{prng: h}
+	for m.lastIdx < uint64(len(sk)) {
+		sk[m.lastIdx] = sk[m.lastIdx].apply(s, h, dir)
+		m.nextIndex()
+	}
+}
+
+// AddSymbol inserts one symbol into the sketch.
+func (sk Sketch) AddSymbol(s Symbol) { sk.apply(&s, 1) }
+
+// RemoveSymbol deletes one symbol from the sketch.
+func (sk Sketch) RemoveSymbol(s Symbol) { sk.apply(&s, -1) }
+
+// Subtract subtracts o cell-wise from sk (both must have equal size),
+// leaving sk as the sketch of the symmetric difference: shared symbols
+// cancel. sk is modified in place and returned.
+func (sk Sketch) Subtract(o Sketch) Sketch {
+	if len(sk) != len(o) {
+		panic("riblt: subtracting sketches of unequal size")
+	}
+	for i := range sk {
+		sk[i].Sum.xor(&o[i].Sum)
+		sk[i].CheckSum ^= o[i].CheckSum
+		sk[i].Count -= o[i].Count
+	}
+	return sk
+}
+
+// Decode peels the sketch in place. After Subtract, remote holds the
+// symbols only the subtracted-from set had and local the symbols only
+// the subtracted set had. ok reports complete success — false means
+// the difference exceeded what m cells can carry (the peel got stuck);
+// whatever was recovered up to that point is still returned.
+func (sk Sketch) Decode() (remote, local []Symbol, ok bool) {
+	pending := make([]int, 0, len(sk))
+	for i := range sk {
+		if sk[i].isPure() {
+			pending = append(pending, i)
+		}
+	}
+	for len(pending) > 0 {
+		idx := pending[len(pending)-1]
+		pending = pending[:len(pending)-1]
+		c := sk[idx]
+		if !c.isPure() {
+			continue
+		}
+		s := c.Sum
+		h := c.CheckSum
+		dir := -c.Count
+		if c.Count == 1 {
+			remote = append(remote, s)
+		} else {
+			local = append(local, s)
+		}
+		m := randomMapping{prng: h}
+		for m.lastIdx < uint64(len(sk)) {
+			i := m.lastIdx
+			sk[i] = sk[i].apply(&s, h, dir)
+			if !sk[i].isZero() && sk[i].isPure() {
+				pending = append(pending, int(i))
+			}
+			m.nextIndex()
+		}
+	}
+	for i := range sk {
+		if !sk[i].isZero() {
+			return remote, local, false
+		}
+	}
+	return remote, local, true
+}

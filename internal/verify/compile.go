@@ -76,8 +76,42 @@ func Compile(ctx context.Context, net *nn.Network, region *InputRegion, opts Opt
 	}, nil
 }
 
+// CompileWithBounds builds a Compiled from an externally supplied bound
+// analysis: only the MILP encoding runs — no propagation and no LP
+// tightening, which is what makes replicating a compiled artifact
+// across a fleet cheap. The caller vouches for nb's soundness over
+// region (pkg/vnn's import path verifies the bounds are contained in a
+// fresh plain propagation before calling this); tightened records how
+// nb was originally produced.
+func CompileWithBounds(net *nn.Network, region *InputRegion, nb *bounds.NetworkBounds, tightened bool) (*Compiled, error) {
+	start := time.Now()
+	if err := region.Validate(net); err != nil {
+		return nil, err
+	}
+	if len(nb.Layers) != len(net.Layers) || len(nb.Input) != net.InputDim() {
+		return nil, fmt.Errorf("verify: bounds shape %d layers / %d inputs, network %d / %d",
+			len(nb.Layers), len(nb.Input), len(net.Layers), net.InputDim())
+	}
+	enc, err := encode(net, region, nb, encodeOptions{prefixLayers: -1})
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{
+		net:         net,
+		region:      region,
+		nb:          nb,
+		enc:         enc,
+		CompileTime: time.Since(start),
+		Tightened:   tightened,
+	}, nil
+}
+
 // Net returns the compiled network.
 func (c *Compiled) Net() *nn.Network { return c.net }
+
+// Bounds returns the compiled bound analysis. The value is shared
+// compiled state: callers must treat it as read-only.
+func (c *Compiled) Bounds() *bounds.NetworkBounds { return c.nb }
 
 // Region returns the input region the compilation quantifies over.
 func (c *Compiled) Region() *InputRegion { return c.region }

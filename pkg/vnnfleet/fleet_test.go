@@ -1,0 +1,351 @@
+package vnnfleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeStore implements Store over a plain map, with the knobs the edge
+// case tests need: phantom set members (in the sketch but not
+// exportable), entries that vanish after the first enumeration, and
+// per-fingerprint import verdicts.
+type fakeStore struct {
+	mu       sync.Mutex
+	entries  map[string]*WorkloadExport
+	draining bool
+
+	// phantom fingerprints appear in FleetFingerprints (and resolve)
+	// but ExportEntry 404s them — an entry evicted between the sketch
+	// snapshot and the pull.
+	phantom []string
+	// dropAfterEnum is removed from the store after the first
+	// FleetFingerprints call — an entry evicted between the sketch and
+	// the resolve.
+	dropAfterEnum string
+	enumerations  int
+
+	// importErr overrides ImportEntry's verdict per fingerprint.
+	importErr map[string]error
+	imported  []string
+}
+
+func newFakeStore(fps ...string) *fakeStore {
+	s := &fakeStore{entries: make(map[string]*WorkloadExport), importErr: make(map[string]error)}
+	for _, fp := range fps {
+		s.entries[fp] = &WorkloadExport{Fingerprint: fp, Kind: KindCompile}
+	}
+	return s
+}
+
+func (s *fakeStore) FleetFingerprints() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.enumerations++
+	if s.enumerations == 1 && s.dropAfterEnum != "" {
+		defer delete(s.entries, s.dropAfterEnum)
+	}
+	out := make([]string, 0, len(s.entries)+len(s.phantom))
+	for fp := range s.entries {
+		out = append(out, fp)
+	}
+	return append(out, s.phantom...)
+}
+
+func (s *fakeStore) ExportEntry(fp string) (*WorkloadExport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	exp, ok := s.entries[fp]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return exp, nil
+}
+
+func (s *fakeStore) ImportEntry(_ context.Context, exp *WorkloadExport) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return ErrDraining
+	}
+	if err := s.importErr[exp.Fingerprint]; err != nil {
+		return err
+	}
+	s.entries[exp.Fingerprint] = exp
+	s.imported = append(s.imported, exp.Fingerprint)
+	return nil
+}
+
+func (s *fakeStore) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+func (s *fakeStore) setDraining(v bool) {
+	s.mu.Lock()
+	s.draining = v
+	s.mu.Unlock()
+}
+
+func (s *fakeStore) has(fp string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.entries[fp]
+	return ok
+}
+
+// serve mounts a Peer over store on a test server.
+func serve(t *testing.T, store Store) (*Peer, *httptest.Server) {
+	t.Helper()
+	p := NewPeer(store, Options{})
+	mux := http.NewServeMux()
+	p.Mount(mux)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return p, srv
+}
+
+func fps(prefix string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("vnn1-%s%04d", prefix, i)
+	}
+	return out
+}
+
+// TestReconcilePullsMissing: a follower pulls exactly the entries it
+// lacks, and a second round moves nothing.
+func TestReconcilePullsMissing(t *testing.T) {
+	shared := fps("shared", 40)
+	aOnly := fps("aonly", 7)
+	leader := newFakeStore(append(append([]string{}, shared...), aOnly...)...)
+	follower := newFakeStore(shared...)
+	_, srv := serve(t, leader)
+
+	p := NewPeer(follower, Options{})
+	rs, err := p.ReconcileOnce(context.Background(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Missing != len(aOnly) || rs.Pulled != len(aOnly) || rs.Skipped != 0 || rs.Rejected != 0 {
+		t.Fatalf("round stats %+v, want %d pulled", rs, len(aOnly))
+	}
+	if !rs.Decoded {
+		t.Fatal("stream did not decode")
+	}
+	for _, fp := range aOnly {
+		if !follower.has(fp) {
+			t.Fatalf("missing entry %s was not pulled", fp)
+		}
+	}
+
+	// Converged: the next round decodes an empty difference fast.
+	rs, err = p.ReconcileOnce(context.Background(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Missing != 0 || rs.Pulled != 0 {
+		t.Fatalf("second round moved entries: %+v", rs)
+	}
+	if rs.SymbolsReceived > 8 {
+		t.Fatalf("empty difference consumed %d symbols", rs.SymbolsReceived)
+	}
+	if st := p.Stats(); st.EntriesPulled != int64(len(aOnly)) || st.Rounds != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestReconcileSkipsEvictedEntry: an entry evicted between the sketch
+// snapshot and the pull (export 404) is skipped cleanly, everything
+// else still lands.
+func TestReconcileSkipsEvictedEntry(t *testing.T) {
+	leader := newFakeStore(fps("live", 5)...)
+	leader.phantom = []string{"vnn1-evicted"}
+	follower := newFakeStore()
+	_, srv := serve(t, leader)
+
+	p := NewPeer(follower, Options{})
+	rs, err := p.ReconcileOnce(context.Background(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Missing != 6 || rs.Pulled != 5 || rs.Skipped != 1 || rs.Rejected != 0 {
+		t.Fatalf("round stats %+v, want 5 pulled / 1 skipped", rs)
+	}
+	if follower.has("vnn1-evicted") {
+		t.Fatal("evicted phantom was imported")
+	}
+}
+
+// TestReconcileSkipsUnresolvedHash: an entry evicted between the
+// sketch and the resolve call is absent from the resolve response and
+// skipped.
+func TestReconcileSkipsUnresolvedHash(t *testing.T) {
+	leader := newFakeStore(fps("live", 5)...)
+	leader.dropAfterEnum = "vnn1-live0000"
+	follower := newFakeStore()
+	_, srv := serve(t, leader)
+
+	p := NewPeer(follower, Options{})
+	rs, err := p.ReconcileOnce(context.Background(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Missing != 5 || rs.Pulled != 4 || rs.Skipped != 1 {
+		t.Fatalf("round stats %+v, want 4 pulled / 1 skipped", rs)
+	}
+}
+
+// TestReconcileClassifiesImportErrors: verification failures are
+// rejections, dependency gaps are skips, and neither aborts the round.
+func TestReconcileClassifiesImportErrors(t *testing.T) {
+	leader := newFakeStore("vnn1-good", "vnn1-corrupt", "vnnm1-orphan")
+	follower := newFakeStore()
+	follower.importErr["vnn1-corrupt"] = fmt.Errorf("checksum: %w", ErrVerify)
+	follower.importErr["vnnm1-orphan"] = fmt.Errorf("needs workload: %w", ErrDependency)
+	_, srv := serve(t, leader)
+
+	p := NewPeer(follower, Options{})
+	rs, err := p.ReconcileOnce(context.Background(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Pulled != 1 || rs.Rejected != 1 || rs.Skipped != 1 {
+		t.Fatalf("round stats %+v, want 1/1/1", rs)
+	}
+	if !follower.has("vnn1-good") || follower.has("vnn1-corrupt") {
+		t.Fatal("wrong entries imported")
+	}
+	if st := p.Stats(); st.PullRejected != 1 || st.PullSkipped != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestReconcileDrain: a draining follower refuses to start a round,
+// and a draining leader answers 503 (no new inserts after drain
+// starts, in either direction).
+func TestReconcileDrain(t *testing.T) {
+	leader := newFakeStore("vnn1-x")
+	follower := newFakeStore()
+	_, srv := serve(t, leader)
+
+	follower.setDraining(true)
+	p := NewPeer(follower, Options{})
+	if _, err := p.ReconcileOnce(context.Background(), srv.URL); !errors.Is(err, ErrDraining) {
+		t.Fatalf("draining follower started a round: %v", err)
+	}
+	follower.setDraining(false)
+
+	leader.setDraining(true)
+	if _, err := p.ReconcileOnce(context.Background(), srv.URL); err == nil {
+		t.Fatal("round against a draining leader succeeded")
+	}
+	if follower.has("vnn1-x") {
+		t.Fatal("entry imported from a draining leader")
+	}
+
+	// Drain lifted: replication resumes.
+	leader.setDraining(false)
+	if _, err := p.ReconcileOnce(context.Background(), srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	if !follower.has("vnn1-x") {
+		t.Fatal("entry not pulled after drain lifted")
+	}
+}
+
+// TestReconcileOrdersCompilesFirst: compile entries are imported
+// before monitor entries within one round, so monitor dependencies
+// resolve in a single pass.
+func TestReconcileOrdersCompilesFirst(t *testing.T) {
+	leader := newFakeStore("vnnm1-mon-b", "vnn1-net-a", "vnnm1-mon-a", "vnn1-net-b")
+	follower := newFakeStore()
+	_, srv := serve(t, leader)
+
+	p := NewPeer(follower, Options{})
+	if _, err := p.ReconcileOnce(context.Background(), srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"vnn1-net-a", "vnn1-net-b", "vnnm1-mon-a", "vnnm1-mon-b"}
+	if len(follower.imported) != len(want) {
+		t.Fatalf("imported %v, want %v", follower.imported, want)
+	}
+	for i, fp := range want {
+		if follower.imported[i] != fp {
+			t.Fatalf("import order %v, want %v", follower.imported, want)
+		}
+	}
+}
+
+// TestPullVerifiesClaimedFingerprint: an export whose document claims
+// a different fingerprint than the one requested is rejected before
+// ImportEntry ever runs.
+func TestPullVerifiesClaimedFingerprint(t *testing.T) {
+	leader := newFakeStore("vnn1-honest")
+	leader.entries["vnn1-honest"].Fingerprint = "vnn1-liar"
+	follower := newFakeStore()
+	_, srv := serve(t, leader)
+
+	p := NewPeer(follower, Options{})
+	rs, err := p.ReconcileOnce(context.Background(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Rejected != 1 || rs.Pulled != 0 {
+		t.Fatalf("round stats %+v, want 1 rejected", rs)
+	}
+	if len(follower.imported) != 0 {
+		t.Fatal("mislabeled entry reached ImportEntry")
+	}
+}
+
+// TestRunLoopConvergesAndBacksOff: the loop replicates within a few
+// jittered intervals, and a dead peer does not wedge it.
+func TestRunLoopConvergesAndBacksOff(t *testing.T) {
+	leader := newFakeStore(fps("loop", 3)...)
+	follower := newFakeStore()
+	_, srv := serve(t, leader)
+
+	p := NewPeer(follower, Options{Interval: 10 * time.Millisecond, RoundTimeout: 5 * time.Second})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); p.Run(ctx, []string{srv.URL, "http://127.0.0.1:1"}) }()
+
+	deadline := time.After(10 * time.Second)
+	for {
+		if follower.has("vnn1-loop0002") && follower.has("vnn1-loop0000") {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("run loop did not converge")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	// The dead peer must be in backoff, not crashing the loop.
+	st := p.Stats()
+	var dead *PeerStats
+	for i := range st.Peers {
+		if st.Peers[i].URL == "http://127.0.0.1:1" {
+			dead = &st.Peers[i]
+		}
+	}
+	if dead == nil || dead.Failures == 0 || dead.LastError == "" {
+		t.Fatalf("dead peer state not tracked: %+v", st.Peers)
+	}
+
+	// Drain stops the loop on its own.
+	follower.setDraining(true)
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("run loop did not exit on drain")
+	}
+	cancel()
+}

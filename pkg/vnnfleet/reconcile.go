@@ -1,0 +1,448 @@
+package vnnfleet
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/riblt"
+	"repro/pkg/vnn"
+)
+
+// Process-wide fleet counters under the vnnd.fleet.* expvar namespace
+// (visible in /debug/vars next to the vnnd.* serving counters).
+var (
+	xFleetRounds          = expvar.NewInt("vnnd.fleet.rounds")
+	xFleetSymbolsSent     = expvar.NewInt("vnnd.fleet.symbols_sent")
+	xFleetSymbolsReceived = expvar.NewInt("vnnd.fleet.symbols_received")
+	xFleetPulled          = expvar.NewInt("vnnd.fleet.entries_pulled")
+	xFleetPushed          = expvar.NewInt("vnnd.fleet.entries_pushed")
+	xFleetRejected        = expvar.NewInt("vnnd.fleet.pull_rejected")
+	xFleetSkipped         = expvar.NewInt("vnnd.fleet.pull_skipped")
+)
+
+// Options tune a Peer. The zero value is serviceable.
+type Options struct {
+	// Interval is the reconcile loop period (default 30s); each sleep
+	// is jittered to ±50% so a fleet booted together does not
+	// synchronize its rounds.
+	Interval time.Duration
+	// MaxSymbols caps coded symbols per round in each direction
+	// (default 65536 ≈ 3 MiB; a round needs ~1.4·|difference|).
+	MaxSymbols int
+	// RoundTimeout bounds one ReconcileOnce call in the loop
+	// (default 2m).
+	RoundTimeout time.Duration
+	// MaxBackoff caps the per-peer failure backoff (default 10×Interval,
+	// at most 5m).
+	MaxBackoff time.Duration
+	// Client performs the HTTP requests (default http.DefaultClient —
+	// per-round deadlines come from the context).
+	Client *http.Client
+}
+
+func (o Options) withDefaults() Options {
+	if o.Interval <= 0 {
+		o.Interval = 30 * time.Second
+	}
+	if o.MaxSymbols <= 0 {
+		o.MaxSymbols = defaultMaxSymbols
+	}
+	if o.RoundTimeout <= 0 {
+		o.RoundTimeout = 2 * time.Minute
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 10 * o.Interval
+		if o.MaxBackoff > 5*time.Minute {
+			o.MaxBackoff = 5 * time.Minute
+		}
+	}
+	if o.Client == nil {
+		o.Client = http.DefaultClient
+	}
+	return o
+}
+
+// Peer is one node's fleet endpoint set plus its reconcile client: it
+// serves the local Store to pulling peers (Mount) and periodically
+// pulls what the peers have that the local node lacks (Run /
+// ReconcileOnce).
+type Peer struct {
+	store Store
+	opts  Options
+
+	rounds          atomic.Int64
+	symbolsSent     atomic.Int64
+	symbolsReceived atomic.Int64
+	entriesPulled   atomic.Int64
+	entriesPushed   atomic.Int64
+	pullRejected    atomic.Int64
+	pullSkipped     atomic.Int64
+
+	mu    sync.Mutex
+	peers map[string]*peerState
+}
+
+// peerState tracks one remote peer's health from this node's side.
+type peerState struct {
+	rounds    int64
+	failures  int64
+	consec    int       // consecutive failures, drives backoff
+	lastSync  time.Time // last successful round
+	lastError string
+	nextTry   time.Time // backoff gate
+}
+
+// NewPeer builds a fleet peer over store.
+func NewPeer(store Store, opts Options) *Peer {
+	return &Peer{store: store, opts: opts.withDefaults(), peers: make(map[string]*peerState)}
+}
+
+// RoundStats reports what one reconcile round did.
+type RoundStats struct {
+	// SymbolsReceived is the coded symbols consumed before decoding.
+	SymbolsReceived int
+	// Decoded reports whether the stream fully decoded (false means
+	// the symbol cap tripped; whatever was peeled was still pulled).
+	Decoded bool
+	// Missing is the number of remote-only entries decoded; Pulled of
+	// them were fetched, verified and inserted, Skipped vanished
+	// upstream before the pull (or need a dependency), Rejected failed
+	// verification.
+	Missing, Pulled, Skipped, Rejected int
+}
+
+// ReconcileOnce runs one pull round against the peer at base (e.g.
+// "http://10.0.0.2:8419"): stream coded symbols until the local
+// decoder finishes, resolve the missing hashes, pull and import each
+// missing entry (compiles before monitors, so monitor imports find
+// their workload). Partial progress is normal: eviction races and
+// dependency gaps are skips, not errors.
+func (p *Peer) ReconcileOnce(ctx context.Context, base string) (RoundStats, error) {
+	var rs RoundStats
+	if p.store.Draining() {
+		return rs, ErrDraining
+	}
+	base = strings.TrimSuffix(base, "/")
+
+	dec := riblt.NewDecoder()
+	local := make(map[string]bool)
+	for _, fp := range p.store.FleetFingerprints() {
+		dec.AddSymbol(riblt.Symbol(vnn.FingerprintSetHash(fp)))
+		local[fp] = true
+	}
+
+	if err := p.streamSymbols(ctx, base, dec, &rs); err != nil {
+		p.noteRound(base, err)
+		return rs, err
+	}
+	p.rounds.Add(1)
+	xFleetRounds.Add(1)
+
+	remote := dec.Remote()
+	rs.Missing = len(remote)
+	if len(remote) == 0 {
+		p.noteRound(base, nil)
+		return rs, nil
+	}
+
+	fps, err := p.resolve(ctx, base, remote)
+	if err != nil {
+		p.noteRound(base, err)
+		return rs, err
+	}
+	// Hashes the peer no longer recognizes (entries evicted since its
+	// sketch snapshot) are skips.
+	rs.Skipped += len(remote) - len(fps)
+
+	// Compiles strictly before monitors: a monitor import requires its
+	// compile workload to be cached. Lexicographic within a kind keeps
+	// rounds deterministic.
+	sort.Slice(fps, func(i, j int) bool {
+		ci, cj := strings.HasPrefix(fps[i], "vnn1-"), strings.HasPrefix(fps[j], "vnn1-")
+		if ci != cj {
+			return ci
+		}
+		return fps[i] < fps[j]
+	})
+
+	for _, fp := range fps {
+		if local[fp] {
+			continue // set-hash collision or duplicate; nothing to pull
+		}
+		err := p.pullOne(ctx, base, fp)
+		switch {
+		case err == nil:
+			rs.Pulled++
+			p.entriesPulled.Add(1)
+			xFleetPulled.Add(1)
+		case errors.Is(err, ErrVerify):
+			rs.Rejected++
+			p.pullRejected.Add(1)
+			xFleetRejected.Add(1)
+		case errors.Is(err, ErrNotFound), errors.Is(err, ErrDependency):
+			rs.Skipped++
+			p.pullSkipped.Add(1)
+			xFleetSkipped.Add(1)
+		default:
+			// Transport failure or local drain: abort the round, the
+			// loop's backoff owns the retry.
+			p.noteRound(base, err)
+			return rs, err
+		}
+	}
+	p.noteRound(base, nil)
+	return rs, nil
+}
+
+// streamSymbols consumes the peer's coded-symbol stream into dec until
+// it decodes or the cap trips. Closing the response body early is the
+// signal the serving side keys off to stop producing.
+func (p *Peer) streamSymbols(ctx context.Context, base string, dec *riblt.Decoder, rs *RoundStats) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/fleet/reconcile", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := p.opts.Client.Do(req)
+	if err != nil {
+		return fmt.Errorf("reconcile %s: %w", base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("reconcile %s: HTTP %d", base, resp.StatusCode)
+	}
+	br := bufio.NewReaderSize(resp.Body, flushStride*riblt.CodedSymbolSize)
+	frame := make([]byte, riblt.CodedSymbolSize)
+	for rs.SymbolsReceived < p.opts.MaxSymbols {
+		if _, err := io.ReadFull(br, frame); err != nil {
+			// EOF: the peer hit its own cap. Work with the partial decode.
+			break
+		}
+		c, err := riblt.DecodeCodedSymbol(frame)
+		if err != nil {
+			return err
+		}
+		dec.AddCodedSymbol(c)
+		rs.SymbolsReceived++
+		if dec.Decoded() {
+			rs.Decoded = true
+			break
+		}
+	}
+	p.symbolsReceived.Add(int64(rs.SymbolsReceived))
+	xFleetSymbolsReceived.Add(int64(rs.SymbolsReceived))
+	if rs.SymbolsReceived == 0 {
+		return fmt.Errorf("reconcile %s: empty symbol stream", base)
+	}
+	return nil
+}
+
+// resolve maps decoded remote-only set hashes to fingerprint strings.
+func (p *Peer) resolve(ctx context.Context, base string, remote []riblt.Symbol) ([]string, error) {
+	hashes := make([]string, len(remote))
+	for i, s := range remote {
+		hashes[i] = hex.EncodeToString(s[:])
+	}
+	body, err := json.Marshal(resolveRequest{Hashes: hashes})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/fleet/resolve", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := p.opts.Client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("resolve %s: %w", base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("resolve %s: HTTP %d", base, resp.StatusCode)
+	}
+	var rr resolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		return nil, fmt.Errorf("resolve %s: %w", base, err)
+	}
+	fps := make([]string, 0, len(rr.Fingerprints))
+	for _, fp := range rr.Fingerprints {
+		fps = append(fps, fp)
+	}
+	return fps, nil
+}
+
+// pullOne fetches one workload export and imports it through the store.
+func (p *Peer) pullOne(ctx context.Context, base, fp string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/workloads/"+fp, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := p.opts.Client.Do(req)
+	if err != nil {
+		return fmt.Errorf("pull %s: %w", fp, err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("pull %s: %w", fp, ErrNotFound)
+	default:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("pull %s: HTTP %d", fp, resp.StatusCode)
+	}
+	var exp WorkloadExport
+	if err := json.NewDecoder(http.MaxBytesReader(nil, resp.Body, 256<<20)).Decode(&exp); err != nil {
+		return fmt.Errorf("pull %s: %w: %v", fp, ErrVerify, err)
+	}
+	if exp.Fingerprint != fp {
+		return fmt.Errorf("pull %s: %w: document claims %s", fp, ErrVerify, exp.Fingerprint)
+	}
+	return p.store.ImportEntry(ctx, &exp)
+}
+
+// Run is the periodic reconcile loop: every jittered interval, one
+// round against each configured peer (respecting per-peer backoff).
+// Returns when ctx is canceled or the store starts draining. Meant to
+// run in its own goroutine per node.
+func (p *Peer) Run(ctx context.Context, peers []string) {
+	if len(peers) == 0 {
+		return
+	}
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	for {
+		// Jitter: 0.5–1.5 × Interval, so co-booted nodes desynchronize.
+		sleep := p.opts.Interval/2 + time.Duration(rng.Int63n(int64(p.opts.Interval)))
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(sleep):
+		}
+		if p.store.Draining() {
+			return
+		}
+		now := time.Now()
+		for _, peer := range peers {
+			if !p.peerDue(peer, now) {
+				continue
+			}
+			rctx, cancel := context.WithTimeout(ctx, p.opts.RoundTimeout)
+			_, err := p.ReconcileOnce(rctx, peer)
+			cancel()
+			if ctx.Err() != nil || errors.Is(err, ErrDraining) || p.store.Draining() {
+				return
+			}
+		}
+	}
+}
+
+// peerDue reports whether the peer's backoff gate has passed.
+func (p *Peer) peerDue(peer string, now time.Time) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st, ok := p.peers[peer]
+	return !ok || !now.Before(st.nextTry)
+}
+
+// noteRound records a round outcome and advances the peer's backoff
+// state: success clears it, each consecutive failure doubles the delay
+// up to MaxBackoff.
+func (p *Peer) noteRound(peer string, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st, ok := p.peers[peer]
+	if !ok {
+		st = &peerState{}
+		p.peers[peer] = st
+	}
+	st.rounds++
+	if err == nil {
+		st.consec = 0
+		st.lastError = ""
+		st.lastSync = time.Now()
+		st.nextTry = time.Time{}
+		return
+	}
+	st.failures++
+	if st.consec < 30 {
+		st.consec++
+	}
+	st.lastError = err.Error()
+	backoff := p.opts.Interval << (st.consec - 1)
+	if backoff > p.opts.MaxBackoff || backoff <= 0 {
+		backoff = p.opts.MaxBackoff
+	}
+	st.nextTry = time.Now().Add(backoff)
+}
+
+// PeerStats is one remote peer's health as seen from this node.
+type PeerStats struct {
+	URL      string `json:"url"`
+	Rounds   int64  `json:"rounds"`
+	Failures int64  `json:"failures"`
+	// LastSyncMS is milliseconds since the last successful round;
+	// absent before the first success.
+	LastSyncMS *float64 `json:"last_sync_ms,omitempty"`
+	LastError  string   `json:"last_error,omitempty"`
+}
+
+// Stats is the /metrics "fleet" block.
+type Stats struct {
+	// Rounds counts completed symbol exchanges initiated by this node.
+	Rounds int64 `json:"rounds"`
+	// SymbolsSent/SymbolsReceived count coded symbols served to pulling
+	// peers and consumed from them.
+	SymbolsSent     int64 `json:"symbols_sent"`
+	SymbolsReceived int64 `json:"symbols_received"`
+	// EntriesPulled/EntriesPushed count artifacts imported from peers
+	// and exported to them.
+	EntriesPulled int64 `json:"entries_pulled"`
+	EntriesPushed int64 `json:"entries_pushed"`
+	// PullRejected counts pulls that failed content re-verification;
+	// PullSkipped counts benign races (evicted upstream, missing
+	// dependency).
+	PullRejected int64 `json:"pull_rejected"`
+	PullSkipped  int64 `json:"pull_skipped"`
+	// Peers is per-peer health, sorted by URL.
+	Peers []PeerStats `json:"peers,omitempty"`
+}
+
+// Stats snapshots the fleet counters.
+func (p *Peer) Stats() Stats {
+	s := Stats{
+		Rounds:          p.rounds.Load(),
+		SymbolsSent:     p.symbolsSent.Load(),
+		SymbolsReceived: p.symbolsReceived.Load(),
+		EntriesPulled:   p.entriesPulled.Load(),
+		EntriesPushed:   p.entriesPushed.Load(),
+		PullRejected:    p.pullRejected.Load(),
+		PullSkipped:     p.pullSkipped.Load(),
+	}
+	p.mu.Lock()
+	for url, st := range p.peers {
+		ps := PeerStats{URL: url, Rounds: st.rounds, Failures: st.failures, LastError: st.lastError}
+		if !st.lastSync.IsZero() {
+			ms := float64(time.Since(st.lastSync).Microseconds()) / 1e3
+			ps.LastSyncMS = &ms
+		}
+		s.Peers = append(s.Peers, ps)
+	}
+	p.mu.Unlock()
+	sort.Slice(s.Peers, func(i, j int) bool { return s.Peers[i].URL < s.Peers[j].URL })
+	return s
+}

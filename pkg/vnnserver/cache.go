@@ -35,6 +35,7 @@ type Cache struct {
 	hits      atomic.Int64
 	misses    atomic.Int64
 	evictions atomic.Int64
+	bytes     atomic.Int64 // resident size of completed entries (SizeBytes)
 }
 
 // cacheEntry is one cached (or in-flight) compilation.
@@ -43,6 +44,10 @@ type cacheEntry struct {
 	ready chan struct{} // closed once cn/err are set
 	cn    *vnn.CompiledNetwork
 	err   error
+	// bytes is the entry's size accounting (vnn.CompiledNetwork.SizeBytes),
+	// written before ready closes; eviction only reads it for completed
+	// entries, so the channel close orders the access.
+	bytes int64
 }
 
 // NewCache builds a cache holding at most capacity compiled networks
@@ -91,6 +96,11 @@ func (c *Cache) GetOrCompile(ctx context.Context, key string, compile func() (*v
 	c.mu.Unlock()
 
 	e.cn, e.err = compile()
+	if e.err == nil {
+		e.bytes = e.cn.SizeBytes()
+		c.bytes.Add(e.bytes)
+		xCacheBytes.Add(e.bytes)
+	}
 	close(e.ready)
 	if e.err != nil {
 		// Do not cache failures: drop the entry (unless it was already
@@ -117,11 +127,73 @@ func (c *Cache) evictLocked() {
 			delete(c.entries, e.key)
 			c.evictions.Add(1)
 			xCacheEvictions.Add(1)
+			c.bytes.Add(-e.bytes)
+			xCacheBytes.Add(-e.bytes)
 		default:
 			// Still compiling: skip. See the type comment.
 		}
 		el = prev
 	}
+}
+
+// Keys snapshots the fingerprints of every completed entry (in-flight
+// compiles are excluded: they have no artifact to export yet). This is
+// the fleet plane's set enumeration.
+func (c *Cache) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*cacheEntry)
+		select {
+		case <-e.ready:
+			if e.err == nil {
+				out = append(out, e.key)
+			}
+		default:
+		}
+	}
+	return out
+}
+
+// Peek returns the completed entry cached under key without touching
+// LRU order or hit/miss counters — a read-only export lookup, not a
+// serving access.
+func (c *Cache) Peek(key string) (*vnn.CompiledNetwork, bool) {
+	c.mu.Lock()
+	el, ok := c.entries[key]
+	c.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	select {
+	case <-e.ready:
+		return e.cn, e.err == nil
+	default:
+		return nil, false
+	}
+}
+
+// Import inserts an externally obtained compiled artifact under key,
+// through the same singleflight discipline as GetOrCompile but without
+// counting a miss (nothing was compiled here — that is the point of
+// replication). If key is already cached or in flight the existing
+// entry wins and Import reports false: a concurrent local compile and
+// a remote pull collapse to one entry either way.
+func (c *Cache) Import(key string, cn *vnn.CompiledNetwork) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return false
+	}
+	e := &cacheEntry{key: key, ready: make(chan struct{}), cn: cn, bytes: cn.SizeBytes()}
+	close(e.ready)
+	c.entries[key] = c.order.PushFront(e)
+	c.bytes.Add(e.bytes)
+	xCacheBytes.Add(e.bytes)
+	c.evictLocked()
+	return true
 }
 
 // Contains reports whether key is cached, without touching LRU order.
@@ -146,6 +218,9 @@ type CacheStats struct {
 	Evictions int64 `json:"evictions"`
 	Size      int   `json:"size"`
 	Capacity  int   `json:"capacity"`
+	// Bytes is the accounted resident size of completed entries
+	// (vnn.CompiledNetwork.SizeBytes summed over the cache).
+	Bytes int64 `json:"bytes"`
 }
 
 // Stats snapshots the cache counters.
@@ -156,5 +231,6 @@ func (c *Cache) Stats() CacheStats {
 		Evictions: c.evictions.Load(),
 		Size:      c.Len(),
 		Capacity:  c.capacity,
+		Bytes:     c.bytes.Load(),
 	}
 }

@@ -612,6 +612,43 @@ func (c *monitorCache) getOrBuild(ctx context.Context, key string, build func() 
 	return e.mon, false, e.err
 }
 
+// contentKeys snapshots the content fingerprints of every completed
+// monitor — the monitor half of the fleet plane's set enumeration.
+func (c *monitorCache) contentKeys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.byContent))
+	for fp := range c.byContent {
+		out = append(out, fp)
+	}
+	return out
+}
+
+// importContent inserts an externally obtained (already verified)
+// monitor, keyed by its content fingerprint — a pulled monitor has no
+// local build-workload key, and the vnnm1-/vnnmw1- namespaces are
+// disjoint so content keys never collide with build keys. Reports
+// false when the content is already cached (local build raced the
+// pull and won; the entries are content-identical either way).
+func (c *monitorCache) importContent(mon *vnn.Monitor) bool {
+	fp := mon.Fingerprint()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.byContent[fp]; ok {
+		return false
+	}
+	if _, ok := c.entries[fp]; ok {
+		return false
+	}
+	e := &monitorEntry{key: fp, ready: make(chan struct{}), mon: mon, contentFP: fp}
+	close(e.ready)
+	c.entries[fp] = e
+	c.order = append(c.order, fp)
+	c.byContent[fp] = e
+	c.evictLocked()
+	return true
+}
+
 // lookupContent resolves a built monitor by its content fingerprint
 // (Monitor.Fingerprint), touching its workload entry's LRU position.
 func (c *monitorCache) lookupContent(contentFP string) (*vnn.Monitor, bool) {

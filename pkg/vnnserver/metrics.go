@@ -4,6 +4,7 @@ import (
 	"expvar"
 
 	"repro/internal/verify"
+	"repro/pkg/vnnfleet"
 )
 
 // Process-wide expvar counters, published once under the vnnd.*
@@ -15,6 +16,9 @@ var (
 	xCacheHits      = expvar.NewInt("vnnd.cache.hits")
 	xCacheMisses    = expvar.NewInt("vnnd.cache.misses")
 	xCacheEvictions = expvar.NewInt("vnnd.cache.evictions")
+	// xCacheBytes is the accounted resident size of completed compile
+	// cache entries (sums vnn.CompiledNetwork.SizeBytes; falls on evict).
+	xCacheBytes     = expvar.NewInt("vnnd.cache.bytes")
 	xQueries        = expvar.NewInt("vnnd.queries")
 	xAnalyzes       = expvar.NewInt("vnnd.analyzes")
 	xFalsifications = expvar.NewInt("vnnd.falsifications")
@@ -51,11 +55,14 @@ type Metrics struct {
 	Analyses        map[string]int64 `json:"analyses"`
 	Falsifications  int64            `json:"falsifications"`
 	// Infer snapshots the online inference plane.
-	Infer         InferStats `json:"infer"`
-	Nodes         int64      `json:"nodes"`
-	LPPivots      int64      `json:"lp_pivots"`
-	EncodePasses  int64      `json:"encode_passes"`
-	TightenPasses int64      `json:"tighten_passes"`
+	Infer InferStats `json:"infer"`
+	// Fleet snapshots the replication plane: reconcile rounds, coded
+	// symbols exchanged, entries pulled/pushed, per-peer last-sync.
+	Fleet         vnnfleet.Stats `json:"fleet"`
+	Nodes         int64          `json:"nodes"`
+	LPPivots      int64          `json:"lp_pivots"`
+	EncodePasses  int64          `json:"encode_passes"`
+	TightenPasses int64          `json:"tighten_passes"`
 }
 
 // InferStats is the /metrics view of the inference plane.
@@ -110,6 +117,7 @@ func (s *Server) Metrics() Metrics {
 			Workloads: s.workloads.Len(),
 			Shards:    s.shardStats(),
 		},
+		Fleet:         s.fleet.Stats(),
 		Nodes:         s.nodes.Load(),
 		LPPivots:      s.pivots.Load(),
 		EncodePasses:  verify.EncodePasses(),

@@ -58,6 +58,7 @@ import (
 	"time"
 
 	"repro/pkg/vnn"
+	"repro/pkg/vnnfleet"
 )
 
 // Config tunes a Server. The zero value serves with sane defaults.
@@ -78,6 +79,15 @@ type Config struct {
 	// shards batches across (<= 0 means GOMAXPROCS). Each lane owns its
 	// kernel scratch; the count never affects output bits.
 	InferWorkers int
+	// Peers is the static fleet membership: base URLs of sibling vnnd
+	// nodes (e.g. "http://10.0.0.2:8419") whose compile and monitor
+	// caches this server replicates via rateless set reconciliation
+	// (pkg/vnnfleet). Empty means no reconcile loop; the fleet
+	// endpoints are mounted regardless, so other nodes may still pull
+	// from this one.
+	Peers []string
+	// FleetInterval is the reconcile loop period (<= 0 means 30s).
+	FleetInterval time.Duration
 }
 
 // Server is the verification service. Create with New, mount as an
@@ -98,6 +108,11 @@ type Server struct {
 	// (network, region, options) triples for by-fingerprint requests.
 	shards    *inferShards
 	workloads *workloadCache
+
+	// fleet is the replication peer (see fleet.go for the Store
+	// implementation); its endpoints are always mounted, its reconcile
+	// loop runs only when Config.Peers is non-empty.
+	fleet *vnnfleet.Peer
 
 	// queryCtx parents every query; cancelQueries is the drain switch.
 	queryCtx      context.Context
@@ -176,6 +191,14 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.Handle("GET /debug/vars", expvar.Handler())
+	s.fleet = vnnfleet.NewPeer(s, vnnfleet.Options{Interval: cfg.FleetInterval})
+	s.fleet.Mount(mux)
+	if len(cfg.Peers) > 0 {
+		// The loop lives under the query context: drain (or process exit)
+		// cancels it, and the loop also exits on its own once the store
+		// reports draining.
+		go s.fleet.Run(qctx, cfg.Peers)
+	}
 	s.mux = mux
 	return s
 }
