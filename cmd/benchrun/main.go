@@ -24,6 +24,11 @@
 // Each benchmark's best (minimum) ns/op across -count runs is compared,
 // which filters scheduler noise; allocs/op uses the maximum so a single
 // allocating run fails the zero-alloc gate.
+//
+// -summary merges every committed ladder into one top-level
+// BENCH_summary.json (no benchmarks are run):
+//
+//	go run ./cmd/benchrun -summary BENCH_summary.json
 package main
 
 import (
@@ -59,6 +64,7 @@ var suiteSets = map[string]struct {
 	"infer": {"bench-infer/v1", []suite{
 		{"./internal/linalg/", "BenchmarkMatVec|BenchmarkMatVecDot|BenchmarkMatMulTB"},
 		{"./internal/nn/", "BenchmarkForwardInto|BenchmarkForwardBatchInto|BenchmarkForward$"},
+		{"./internal/obs/", "BenchmarkObserve"},
 		{"./pkg/vnnserver/", "BenchmarkInferHTTP"},
 	}},
 	"fleet": {"bench-fleet/v1", []suite{
@@ -108,6 +114,7 @@ func main() {
 		tolerance = flag.Float64("tolerance", 0.15, "gate mode: allowed fractional ns/op regression")
 		keepBase  = flag.Bool("keep-baseline", true, "with -out and -against absent: copy the baseline block from an existing output file")
 		suiteName = flag.String("suite", "infer", "benchmark ladder to run: infer or fleet")
+		summary   = flag.String("summary", "", "merge the committed ladders into this top-level summary file (runs nothing)")
 	)
 	flag.Parse()
 
@@ -116,8 +123,15 @@ func main() {
 		fatal("unknown suite %q (want infer or fleet)", *suiteName)
 	}
 
+	if *summary != "" {
+		if *out != "" || *against != "" {
+			fatal("-summary is exclusive with -out and -against")
+		}
+		writeSummary(*summary)
+		return
+	}
 	if (*out == "") == (*against == "") {
-		fatal("exactly one of -out or -against is required")
+		fatal("exactly one of -out, -against or -summary is required")
 	}
 	if *out != "" && (*commit == "" || *date == "") {
 		fatal("-out requires -commit and -date (benchrun records provenance, it does not invent it)")
@@ -278,6 +292,74 @@ func gate(path string, fresh []Result, tol float64) {
 		fatal("benchmark gate failed (tolerance %.0f%%)", tol*100)
 	}
 	fmt.Println("benchmark gate passed")
+}
+
+// summaryLadders maps each suite to its committed ladder file.
+var summaryLadders = map[string]string{
+	"infer": "BENCH_infer.json",
+	"fleet": "BENCH_fleet.json",
+}
+
+// SummaryEntry is one ladder in BENCH_summary.json, keyed by
+// (suite, commit): two entries with the same suite name but different
+// commits are different measurement events, never merged.
+type SummaryEntry struct {
+	Suite      string   `json:"suite"`
+	Schema     string   `json:"schema"`
+	Commit     string   `json:"commit"`
+	Date       string   `json:"date"`
+	Go         string   `json:"go"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Benchtime  string   `json:"benchtime"`
+	Count      int      `json:"count"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// Summary is the merged BENCH_summary.json document.
+type Summary struct {
+	Schema string         `json:"schema"`
+	Suites []SummaryEntry `json:"suites"`
+}
+
+// writeSummary merges the committed ladders into one summary document.
+// Provenance (commit, date, environment) is copied from each ladder —
+// the ladders are the measurement records; the summary only aggregates.
+func writeSummary(path string) {
+	names := make([]string, 0, len(summaryLadders))
+	for name := range summaryLadders {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	s := Summary{Schema: "bench-summary/v1"}
+	for _, name := range names {
+		f, err := load(summaryLadders[name])
+		if err != nil {
+			fmt.Printf("skipping %s ladder: %v\n", name, err)
+			continue
+		}
+		s.Suites = append(s.Suites, SummaryEntry{
+			Suite:      name,
+			Schema:     f.Schema,
+			Commit:     f.Commit,
+			Date:       f.Date,
+			Go:         f.Go,
+			GOMAXPROCS: f.GOMAXPROCS,
+			Benchtime:  f.Benchtime,
+			Count:      f.Count,
+			Benchmarks: f.Benchmarks,
+		})
+	}
+	if len(s.Suites) == 0 {
+		fatal("no committed ladders found (looked for %d files)", len(summaryLadders))
+	}
+	buf, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		fatal("%v", err)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("wrote %s (%d suites)\n", path, len(s.Suites))
 }
 
 func load(path string) (*File, error) {

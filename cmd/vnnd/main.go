@@ -17,6 +17,10 @@
 //	vnnd -peers http://10.0.0.2:8419,http://10.0.0.3:8419
 //	                               # replicate caches across a static fleet
 //	vnnd -fleet-interval 10s       # reconcile period (default 30s, jittered)
+//	vnnd -trace-ring 1024          # completed traces kept for /debug/traces
+//	vnnd -slow-log 500ms           # log requests slower than this, with trace id
+//	vnnd -pprof                    # mount /debug/pprof/ (off by default)
+//	vnnd -version                  # print build info and exit
 //
 // # Verify round trip
 //
@@ -188,6 +192,57 @@
 // (vnnd.fleet.* expvars), plus the accounted cache size under
 // "cache.bytes" (vnnd.cache.bytes).
 //
+// # Observability: /metrics, /debug/traces, the flight recorder
+//
+// /metrics is content-negotiated. The default (and what every JSON
+// example in this doc assumes) is the structured snapshot:
+//
+//	curl -s localhost:8419/metrics | python3 -m json.tool
+//
+// A Prometheus scraper gets the text exposition format instead — either
+// via its usual Accept header (any text/plain clause) or explicitly:
+//
+//	curl -s 'localhost:8419/metrics?format=prometheus'
+//	curl -s -H 'Accept: text/plain' localhost:8419/metrics
+//	# HELP vnnd_build_info Build identity (value is always 1).
+//	# TYPE vnnd_build_info gauge
+//	vnnd_build_info{version="devel",revision="",go="go1.24.0"} 1
+//	...
+//	vnnd_request_duration_seconds_bucket{route="/v1/verify",le="0.000131071"} 2
+//
+// Both renderings come from one atomic snapshot per scrape: counters are
+// read in one pass with request counters read before effort counters, so
+// a scrape never shows a counted request without its solver effort.
+// A minimal prometheus.yml scrape config:
+//
+//	scrape_configs:
+//	  - job_name: vnnd
+//	    static_configs:
+//	      - targets: ['localhost:8419']
+//
+// Every request is also traced by an in-memory flight recorder: a root
+// span per request with child spans for each phase (queue wait, compile
+// cache, tighten/encode, branch-and-bound solve, monitor build, infer
+// chunks, fleet rounds). The last -trace-ring completed traces — plus
+// the slowest few per route, retained past ring churn — are listed at
+// /debug/traces; one trace is fetched by id. For /v1/verify and
+// /v1/analyze the trace id IS the job id the response echoes:
+//
+//	ID=$(curl -s localhost:8419/v1/verify -d @query.json | python3 -c \
+//	  'import json,sys; print(json.load(sys.stdin)["id"])')
+//	curl -s localhost:8419/debug/traces/$ID
+//	{"id":"q00000001","route":"/v1/verify","duration_ms":12.4,
+//	 "root":{"name":"/v1/verify","children":[
+//	   {"name":"queue","duration_us":12},
+//	   {"name":"cache","children":[{"name":"compile","children":[
+//	     {"name":"tighten"},{"name":"encode"}]}]},
+//	   {"name":"solve","children":[{"name":"property/0",...}]}]}}
+//
+// -slow-log 500ms logs every request slower than the threshold with its
+// trace id, so the full span tree of an outlier is one curl away.
+// -pprof mounts net/http/pprof under /debug/pprof/ (off by default; the
+// path answers 404 unless the flag is set).
+//
 // # Shutdown semantics
 //
 // On SIGTERM/SIGINT the daemon drains: new queries are rejected with 503,
@@ -230,8 +285,25 @@ func main() {
 		inferWorkers  = flag.Int("infer-workers", 0, "inference serving lanes for /v1/infer batch sharding (0 = GOMAXPROCS; never affects output bits)")
 		peers         = flag.String("peers", "", "comma-separated base URLs of sibling vnnd nodes to replicate caches with (empty = no reconcile loop)")
 		fleetInterval = flag.Duration("fleet-interval", 0, "fleet reconcile period, jittered per round (0 = 30s)")
+		traceRing     = flag.Int("trace-ring", 0, "completed traces kept for /debug/traces (0 = 256, rounded up to a power of two)")
+		slowLog       = flag.Duration("slow-log", 0, "log any request slower than this, with its trace id (0 = off)")
+		pprofOn       = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default; profiling endpoints expose internals)")
+		version       = flag.Bool("version", false, "print build info and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		b := vnnserver.Build()
+		log.Printf("version %s", b.Version)
+		if b.Revision != "" {
+			log.Printf("revision %s", b.Revision)
+		}
+		if b.Time != "" {
+			log.Printf("built %s", b.Time)
+		}
+		log.Printf("go %s", b.Go)
+		return
+	}
 
 	var peerList []string
 	for _, p := range strings.Split(*peers, ",") {
@@ -249,6 +321,10 @@ func main() {
 		InferWorkers:   *inferWorkers,
 		Peers:          peerList,
 		FleetInterval:  *fleetInterval,
+		TraceRing:      *traceRing,
+		SlowRequest:    *slowLog,
+		SlowLog:        log.Printf,
+		EnablePprof:    *pprofOn,
 	})
 	if len(peerList) > 0 {
 		log.Printf("fleet: reconciling with %d peer(s)", len(peerList))

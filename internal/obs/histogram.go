@@ -1,0 +1,170 @@
+// Package obs is vnnd's flight recorder: allocation-conscious latency
+// histograms and per-request span traces for the serving stack built
+// around the verification pipeline. The package has two halves:
+//
+//   - Histogram: a log2-bucketed, sharded-by-core counter set whose hot
+//     path is two atomic adds and zero allocations, cheap enough to sit
+//     inside /v1/infer's per-chunk loop (see BenchmarkObserve and the
+//     allocation pin in histogram_test.go).
+//   - Recorder/Trace/Span: per-request traces with named phases
+//     (admission wait, cache lookup, compile, LP tighten, MILP encode,
+//     branch-and-bound, monitor build, fleet reconcile/pull) kept in a
+//     fixed-size lock-free ring of recent traces plus an always-retained
+//     slowest-K-per-route reservoir.
+//
+// Everything in the package is nil-safe: a nil *Histogram, *Recorder,
+// *Trace or *Span no-ops on every method, so call sites thread
+// instrumentation unconditionally and the un-instrumented configuration
+// pays one predictable nil check.
+package obs
+
+import (
+	"math/bits"
+	"math/rand/v2"
+	"runtime"
+	"sync/atomic"
+)
+
+// NumBuckets is the number of finite histogram buckets. Bucket k counts
+// observations v with bits.Len64(v) == k, i.e. v in [2^(k-1), 2^k).
+// Bucket 0 absorbs v <= 0 and bucket NumBuckets is the overflow bucket
+// (+Inf in the Prometheus rendering). 44 finite buckets cover up to
+// 2^43-1 nanoseconds ≈ 2.4 hours, far beyond any request timeout.
+const NumBuckets = 44
+
+// maxShards bounds the shard fan-out on very wide machines; past this
+// point the snapshot cost grows faster than contention shrinks.
+const maxShards = 64
+
+// histShard is one core's view of the histogram. The trailing pad keeps
+// adjacent shards on distinct cache lines so concurrent observers do
+// not false-share.
+type histShard struct {
+	counts [NumBuckets + 1]atomic.Int64
+	sum    atomic.Int64
+	_      [64]byte
+}
+
+// Histogram is a log2-bucketed counter set sharded to keep concurrent
+// observers off each other's cache lines. Observe is two shard-local
+// atomic adds — no locks, no allocation (pinned by TestObserveAllocs).
+type Histogram struct {
+	// Name and Help feed the Prometheus rendering; Scale converts a
+	// recorded integer to the exposition unit (e.g. 1e-9 turns
+	// nanoseconds into seconds). Scale 0 means 1.
+	Name  string
+	Help  string
+	Scale float64
+
+	shards []histShard
+	mask   uint64
+}
+
+// NewHistogram returns a histogram with one shard per core (rounded up
+// to a power of two, capped at maxShards). name/help/scale seed the
+// Prometheus exposition; pass scale 1e-9 for nanosecond observations
+// rendered as seconds, 1 (or 0) for dimensionless sizes.
+func NewHistogram(name, help string, scale float64) *Histogram {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	if n > maxShards {
+		n = maxShards
+	}
+	// Round up to a power of two so shard selection is a mask, not a mod.
+	shards := 1
+	for shards < n {
+		shards <<= 1
+	}
+	return &Histogram{
+		Name:   name,
+		Help:   help,
+		Scale:  scale,
+		shards: make([]histShard, shards),
+		mask:   uint64(shards - 1),
+	}
+}
+
+// bucketOf maps an observation to its bucket index: bits.Len64 for
+// positive values (so bucket k holds [2^(k-1), 2^k)), clamped into the
+// finite range with one overflow bucket at the top.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(v))
+	if b > NumBuckets {
+		return NumBuckets
+	}
+	return b
+}
+
+// Observe records one value. The shard is picked from the runtime's
+// per-P cheap random source (math/rand/v2's top-level functions do not
+// allocate and do not contend), which spreads concurrent observers
+// across cache lines without needing a core id.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	sh := &h.shards[rand.Uint64()&h.mask]
+	sh.counts[bucketOf(v)].Add(1)
+	sh.sum.Add(v)
+}
+
+// ObserveShard records one value into a caller-chosen shard. Call sites
+// with a natural lane identity (the infer serving lanes) use their lane
+// index so repeated observations from one goroutine stay on one cache
+// line.
+func (h *Histogram) ObserveShard(lane int, v int64) {
+	if h == nil {
+		return
+	}
+	sh := &h.shards[uint64(lane)&h.mask]
+	sh.counts[bucketOf(v)].Add(1)
+	sh.sum.Add(v)
+}
+
+// HistogramSnapshot is one consistent-enough read of a histogram:
+// per-bucket counts (not cumulative; the Prometheus renderer
+// accumulates), total count and raw sum. Concurrent observations may
+// land between shard reads, so Count can trail a just-returned Observe,
+// but every counted observation is in exactly one bucket and Sum only
+// includes counted values' shards.
+type HistogramSnapshot struct {
+	Name    string
+	Help    string
+	Scale   float64
+	Buckets [NumBuckets + 1]int64
+	Count   int64
+	Sum     int64
+}
+
+// BucketUpper returns bucket k's inclusive upper bound in recorded
+// units (2^k - 1); the overflow bucket has no finite bound and callers
+// render it as +Inf.
+func BucketUpper(k int) int64 {
+	return int64(1)<<uint(k) - 1
+}
+
+// Snapshot folds all shards into one view.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{Name: h.Name, Help: h.Help, Scale: h.Scale}
+	if s.Scale == 0 {
+		s.Scale = 1
+	}
+	for i := range h.shards {
+		sh := &h.shards[i]
+		for b := range sh.counts {
+			c := sh.counts[b].Load()
+			s.Buckets[b] += c
+			s.Count += c
+		}
+		s.Sum += sh.sum.Load()
+	}
+	return s
+}

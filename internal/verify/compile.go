@@ -23,6 +23,13 @@ import (
 var (
 	encodePasses  atomic.Int64
 	tightenPasses atomic.Int64
+	// encodeNanos/tightenNanos accumulate the wall time spent inside
+	// those passes. The observability plane (internal/obs via
+	// pkg/vnnserver) reads deltas around a compile to attribute its cost
+	// to the tighten vs encode phase without this package knowing about
+	// spans.
+	encodeNanos  atomic.Int64
+	tightenNanos atomic.Int64
 )
 
 // EncodePasses returns the total number of MILP encoding passes performed
@@ -32,6 +39,15 @@ func EncodePasses() int64 { return encodePasses.Load() }
 // TightenPasses returns the total number of LP bound-tightening passes
 // performed by this process.
 func TightenPasses() int64 { return tightenPasses.Load() }
+
+// EncodeNanos returns the cumulative wall nanoseconds this process spent
+// in MILP encoding passes.
+func EncodeNanos() int64 { return encodeNanos.Load() }
+
+// TightenNanos returns the cumulative wall nanoseconds this process
+// spent in LP bound-tightening passes (including the prefix encodings
+// tightening performs internally, which also count toward EncodeNanos).
+func TightenNanos() int64 { return tightenNanos.Load() }
 
 // Compiled is a network fixed to one input region whose bound analysis
 // (interval propagation plus optional LP tightening) and MILP encoding

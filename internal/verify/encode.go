@@ -19,6 +19,7 @@ package verify
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/bounds"
 	"repro/internal/lp"
@@ -127,6 +128,7 @@ type encodeOptions struct {
 // (or a tightened refinement of it).
 func encode(net *nn.Network, region *InputRegion, nb *bounds.NetworkBounds, opt encodeOptions) (*encoding, error) {
 	encodePasses.Add(1)
+	defer func(start time.Time) { encodeNanos.Add(int64(time.Since(start))) }(time.Now())
 	if err := region.Validate(net); err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/bounds"
 	"repro/internal/lp"
@@ -55,6 +56,7 @@ func TightenLPWorkers(net *nn.Network, region *InputRegion, nb *bounds.NetworkBo
 // need either no deadline or one generous enough not to fire.
 func TightenLPCtx(ctx context.Context, net *nn.Network, region *InputRegion, nb *bounds.NetworkBounds, workers int) (*bounds.NetworkBounds, error) {
 	tightenPasses.Add(1)
+	defer func(start time.Time) { tightenNanos.Add(int64(time.Since(start))) }(time.Now())
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}

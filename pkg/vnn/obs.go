@@ -1,0 +1,67 @@
+package vnn
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// ProgressSpans bridges the progress Event stream of Verify/Analyze into
+// the flight recorder's span model: each (analysis, property) pair that
+// emits events gets one child span under parent, carrying the latest
+// node count, open-queue size and proven bound as attributes. The
+// serving layer chains its Options.Progress through Observe, so the
+// solver keeps streaming SSE events exactly as before and the trace view
+// is derived from the same stream.
+//
+// A ProgressSpans built over a nil parent span no-ops, matching the rest
+// of the obs package's nil discipline.
+type ProgressSpans struct {
+	mu     sync.Mutex
+	parent *obs.Span
+	spans  map[[2]int]*obs.Span
+}
+
+// NewProgressSpans returns a bridge producing children of parent.
+func NewProgressSpans(parent *obs.Span) *ProgressSpans {
+	return &ProgressSpans{parent: parent, spans: make(map[[2]int]*obs.Span)}
+}
+
+// Observe folds one progress event into the span tree. Safe for
+// concurrent use (parallel per-property solves emit concurrently).
+func (ps *ProgressSpans) Observe(ev Event) {
+	if ps == nil || ps.parent == nil {
+		return
+	}
+	ps.mu.Lock()
+	key := [2]int{ev.Analysis, ev.Property}
+	sp, ok := ps.spans[key]
+	if !ok {
+		sp = ps.parent.Child(fmt.Sprintf("property/%d", ev.Property))
+		if ev.Analysis > 0 {
+			sp.SetAttr("analysis", ev.Analysis)
+		}
+		ps.spans[key] = sp
+	}
+	ps.mu.Unlock()
+	sp.SetAttr("nodes", ev.Nodes)
+	sp.SetAttr("open", ev.Open)
+	sp.SetAttr("bound", ev.Bound)
+	if ev.HasIncumbent {
+		sp.SetAttr("incumbent", ev.Incumbent)
+	}
+}
+
+// Close ends every property span (the solve streams no more events).
+func (ps *ProgressSpans) Close() {
+	if ps == nil {
+		return
+	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	for _, sp := range ps.spans {
+		sp.End()
+	}
+	ps.spans = make(map[[2]int]*obs.Span)
+}

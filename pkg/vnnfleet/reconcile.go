@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/riblt"
 	"repro/pkg/vnn"
 )
@@ -52,6 +53,13 @@ type Options struct {
 	// Client performs the HTTP requests (default http.DefaultClient —
 	// per-round deadlines come from the context).
 	Client *http.Client
+	// Recorder, when set, records one flight-recorder trace per
+	// ReconcileOnce round (route "fleet.reconcile") with symbol/resolve/
+	// pull phases. Nil disables tracing.
+	Recorder *obs.Recorder
+	// Latency, when set, observes each round's wall time in nanoseconds.
+	// Nil disables the histogram.
+	Latency *obs.Histogram
 }
 
 func (o Options) withDefaults() Options {
@@ -138,6 +146,17 @@ func (p *Peer) ReconcileOnce(ctx context.Context, base string) (RoundStats, erro
 	}
 	base = strings.TrimSuffix(base, "/")
 
+	start := time.Now()
+	tr := p.opts.Recorder.Start("fleet.reconcile", "")
+	root := tr.Root()
+	root.SetAttr("peer", base)
+	defer func() {
+		tr.Finish()
+		if p.opts.Latency != nil {
+			p.opts.Latency.Observe(int64(time.Since(start)))
+		}
+	}()
+
 	dec := riblt.NewDecoder()
 	local := make(map[string]bool)
 	for _, fp := range p.store.FleetFingerprints() {
@@ -145,7 +164,12 @@ func (p *Peer) ReconcileOnce(ctx context.Context, base string) (RoundStats, erro
 		local[fp] = true
 	}
 
-	if err := p.streamSymbols(ctx, base, dec, &rs); err != nil {
+	symSpan := root.Child("symbols")
+	err := p.streamSymbols(ctx, base, dec, &rs)
+	symSpan.SetAttr("received", rs.SymbolsReceived)
+	symSpan.SetAttr("decoded", rs.Decoded)
+	symSpan.End()
+	if err != nil {
 		p.noteRound(base, err)
 		return rs, err
 	}
@@ -154,12 +178,16 @@ func (p *Peer) ReconcileOnce(ctx context.Context, base string) (RoundStats, erro
 
 	remote := dec.Remote()
 	rs.Missing = len(remote)
+	root.SetAttr("missing", rs.Missing)
 	if len(remote) == 0 {
 		p.noteRound(base, nil)
 		return rs, nil
 	}
 
+	resolveSpan := root.Child("resolve")
 	fps, err := p.resolve(ctx, base, remote)
+	resolveSpan.SetAttr("resolved", len(fps))
+	resolveSpan.End()
 	if err != nil {
 		p.noteRound(base, err)
 		return rs, err
@@ -179,30 +207,39 @@ func (p *Peer) ReconcileOnce(ctx context.Context, base string) (RoundStats, erro
 		return fps[i] < fps[j]
 	})
 
+	pullSpan := root.Child("pull")
+	defer pullSpan.End()
 	for _, fp := range fps {
 		if local[fp] {
 			continue // set-hash collision or duplicate; nothing to pull
 		}
+		entrySpan := pullSpan.Child(fp)
 		err := p.pullOne(ctx, base, fp)
 		switch {
 		case err == nil:
+			entrySpan.SetAttr("outcome", "pulled")
 			rs.Pulled++
 			p.entriesPulled.Add(1)
 			xFleetPulled.Add(1)
 		case errors.Is(err, ErrVerify):
+			entrySpan.SetAttr("outcome", "rejected")
 			rs.Rejected++
 			p.pullRejected.Add(1)
 			xFleetRejected.Add(1)
 		case errors.Is(err, ErrNotFound), errors.Is(err, ErrDependency):
+			entrySpan.SetAttr("outcome", "skipped")
 			rs.Skipped++
 			p.pullSkipped.Add(1)
 			xFleetSkipped.Add(1)
 		default:
 			// Transport failure or local drain: abort the round, the
 			// loop's backoff owns the retry.
+			entrySpan.SetAttr("outcome", "error")
+			entrySpan.End()
 			p.noteRound(base, err)
 			return rs, err
 		}
+		entrySpan.End()
 	}
 	p.noteRound(base, nil)
 	return rs, nil

@@ -16,6 +16,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/obs"
 	"repro/pkg/vnn"
 )
 
@@ -178,9 +179,13 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	s.drainMu.Unlock()
 	jb := s.jobs.create(q.fingerprint)
+	// Trace id = job id, same as /v1/verify (see handleVerify).
+	tr := s.obs.rec.Start("/v1/analyze", jb.id)
+	tr.Root().SetAttr("fingerprint", q.fingerprint)
+	tr.Root().SetAttr("analyses", len(q.analyses))
 
 	if !async {
-		resp, err := s.runAnalyze(r.Context(), jb, q, &req)
+		resp, err := s.runAnalyze(r.Context(), jb, tr, q, &req)
 		if err != nil {
 			writeError(w, statusFor(err), err.Error())
 			return
@@ -190,7 +195,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	go func() {
 		defer s.wg.Done()
-		s.runAnalyze(s.queryCtx, jb, q, &req)
+		s.runAnalyze(s.queryCtx, jb, tr, q, &req)
 	}()
 	writeJSON(w, http.StatusAccepted, AcceptedResponse{
 		ID: jb.id, Fingerprint: q.fingerprint, Status: "running",
@@ -202,7 +207,10 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 // performs — goes through the fingerprint-keyed cache under the server's
 // lifetime context: compiles are shared work that only drain interrupts,
 // never one impatient client.
-func (s *Server) runAnalyze(parent context.Context, jb *job, q *preparedAnalysis, req *AnalyzeRequest) (*AnalyzeResponse, error) {
+func (s *Server) runAnalyze(parent context.Context, jb *job, tr *obs.Trace, q *preparedAnalysis, req *AnalyzeRequest) (*AnalyzeResponse, error) {
+	start := time.Now()
+	defer tr.Finish()
+	defer observeSince(s.obs.analyzeLatency, start)
 	timeout := time.Duration(req.TimeoutMS) * time.Millisecond
 	if timeout <= 0 {
 		timeout = s.cfg.DefaultTimeout
@@ -218,29 +226,46 @@ func (s *Server) runAnalyze(parent context.Context, jb *job, q *preparedAnalysis
 	stop := context.AfterFunc(s.queryCtx, cancel) // drain interrupts the batch
 	defer stop()
 
+	root := tr.Root()
+	queueSpan := root.Child("queue")
 	var resp *AnalyzeResponse
 	err := s.sched.RunAdmitted(qctx, func(ctx context.Context, fairWorkers int) error {
+		queueSpan.End()
+		root.SetAttr("workers", fairWorkers)
 		opts := q.compileOpts
 		if opts.Workers == 0 {
 			opts.Workers = fairWorkers
 		}
+		cacheSpan := root.Child("cache")
 		cn, hit, err := s.cache.GetOrCompile(ctx, q.fingerprint, func() (*vnn.CompiledNetwork, error) {
-			return vnn.Compile(s.queryCtx, q.net, q.region, opts)
+			return s.compileTraced(cacheSpan, q.net, q.region, opts)
 		})
+		cacheSpan.SetAttr("hit", hit)
+		cacheSpan.End()
 		if err != nil {
 			return err
 		}
 		qopts := opts
 		qopts.Parallel = req.Options.Parallel
 		qopts.MaxNodes = req.Options.MaxNodes
-		qopts.Progress = jb.publish
+		// The solve span covers the whole portfolio; each analysis that
+		// streams solver progress contributes per-property children with
+		// their analysis index attributed (see vnn.ProgressSpans).
+		solveSpan := root.Child("solve")
+		ps := vnn.NewProgressSpans(solveSpan)
+		qopts.Progress = func(ev vnn.Event) {
+			jb.publish(ev)
+			ps.Observe(ev)
+		}
 		for _, a := range q.analyses {
 			if qs, ok := a.(*vnn.QuantSweep); ok {
 				qs.Compile = s.cachedCompile
 			}
 		}
 		findings, err := vnn.Analyze(ctx, cn.WithOptions(qopts), q.analyses...)
+		ps.Close()
 		if err != nil {
+			solveSpan.End()
 			return err
 		}
 		var nodes, pivots int64

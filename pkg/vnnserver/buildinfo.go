@@ -1,0 +1,60 @@
+package vnnserver
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo identifies the binary a node runs: the main module version,
+// the VCS revision it was built from (short hash, "+dirty" when the
+// tree was modified), and the Go toolchain. Fleet operators read it
+// from /healthz, the /metrics JSON snapshot, and the vnnd_build_info
+// Prometheus gauge to tell which node runs what.
+type BuildInfo struct {
+	Version  string `json:"version"`
+	Revision string `json:"revision,omitempty"`
+	Time     string `json:"time,omitempty"`
+	Go       string `json:"go"`
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo BuildInfo
+)
+
+// Build reads the binary's build information once (runtime/debug only
+// has it when the binary was built from a module checkout; "devel" and
+// empty fields are normal under plain `go test`).
+func Build() BuildInfo {
+	buildOnce.Do(func() {
+		buildInfo = BuildInfo{Version: "devel", Go: runtime.Version()}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			buildInfo.Version = bi.Main.Version
+		}
+		var revision string
+		var modified bool
+		for _, kv := range bi.Settings {
+			switch kv.Key {
+			case "vcs.revision":
+				revision = kv.Value
+			case "vcs.time":
+				buildInfo.Time = kv.Value
+			case "vcs.modified":
+				modified = kv.Value == "true"
+			}
+		}
+		if len(revision) > 12 {
+			revision = revision[:12]
+		}
+		if modified && revision != "" {
+			revision += "+dirty"
+		}
+		buildInfo.Revision = revision
+	})
+	return buildInfo
+}

@@ -44,6 +44,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/pkg/vnn"
 )
 
@@ -240,6 +241,10 @@ func (s *Server) prepareInfer(req *InferRequest) (*preparedInfer, error) {
 // leased through a token channel, so at most len(shards) chunks run at
 // once and a shard's scratch never sees two goroutines.
 type inferShard struct {
+	// idx is the lane number: the shard's fixed position in the set,
+	// used as the histogram shard and the `lane` label/attr in traces
+	// and the Prometheus rendering.
+	idx int
 	// fwd serves unmonitored batches; GrowScratch reuses it across
 	// networks of any size.
 	fwd *vnn.ForwardScratch
@@ -266,7 +271,7 @@ func newInferShards(n int) *inferShards {
 	}
 	p := &inferShards{shards: make([]*inferShard, n), tokens: make(chan *inferShard, n)}
 	for i := range p.shards {
-		sh := &inferShard{}
+		sh := &inferShard{idx: i}
 		p.shards[i] = sh
 		p.tokens <- sh
 	}
@@ -278,7 +283,7 @@ func newInferShards(n int) *inferShards {
 // slices; the split cannot change bits — every cell is produced in the
 // kernels' fixed accumulation order whichever shard computes it. Returns
 // ctx.Err() if the batch was interrupted.
-func (s *Server) runInfer(ctx context.Context, net *vnn.Network, mon *vnn.Monitor, inputs, outputs [][]float64, verdicts []vnn.MonitorVerdict) error {
+func (s *Server) runInfer(ctx context.Context, sp *obs.Span, net *vnn.Network, mon *vnn.Monitor, inputs, outputs [][]float64, verdicts []vnn.MonitorVerdict) error {
 	batch := len(inputs)
 	chunks := (batch + minShardChunk - 1) / minShardChunk
 	if chunks > len(s.shards.shards) {
@@ -303,6 +308,7 @@ func (s *Server) runInfer(ctx context.Context, net *vnn.Network, mon *vnn.Monito
 			sh.fwd = net.GrowScratch(sh.fwd)
 		}
 		sh.batches.Add(1)
+		chunkStart := time.Now()
 		for i := lo; i < hi; i += inferCancelStride {
 			if ctx.Err() != nil {
 				interrupted.Store(true)
@@ -316,6 +322,13 @@ func (s *Server) runInfer(ctx context.Context, net *vnn.Network, mon *vnn.Monito
 			}
 			sh.inputs.Add(int64(j - i))
 		}
+		// One histogram add and (when traced) one span per chunk — the
+		// per-input loop above stays observation-free.
+		d := time.Since(chunkStart)
+		s.obs.chunkTime.ObserveShard(sh.idx, int64(d))
+		cs := sp.ChildTimed("chunk", d)
+		cs.SetAttr("lane", sh.idx)
+		cs.SetAttr("inputs", hi-lo)
 	}
 	if chunks == 1 {
 		run(0, batch)
@@ -376,6 +389,14 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	stop := context.AfterFunc(s.queryCtx, cancel) // drain interrupts the batch
 	defer stop()
 
+	start := time.Now()
+	tr := s.obs.rec.Start("/v1/infer", "")
+	root := tr.Root()
+	root.SetAttr("fingerprint", q.fingerprint)
+	root.SetAttr("batch", len(req.Inputs))
+	defer tr.Finish()
+	defer observeSince(s.obs.inferLatency, start)
+
 	resp := &InferResponse{Fingerprint: q.fingerprint}
 
 	var mon *vnn.Monitor
@@ -387,17 +408,28 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		// work only drain may interrupt). The built monitor is then cached
 		// under its own workload fingerprint and indexed by its content
 		// hash for by-fingerprint reuse.
+		cacheSpan := root.Child("cache")
 		cn, hit, err := s.cache.GetOrCompile(ctx, q.fingerprint, func() (*vnn.CompiledNetwork, error) {
-			return vnn.Compile(s.queryCtx, q.net, q.region, q.compileOpts)
+			return s.compileTraced(cacheSpan, q.net, q.region, q.compileOpts)
 		})
+		cacheSpan.SetAttr("hit", hit)
+		cacheSpan.End()
 		if err != nil {
 			writeError(w, statusFor(err), err.Error())
 			return
 		}
 		resp.CacheHit = hit
+		monSpan := root.Child("monitor")
+		buildStart := time.Now()
 		mon, hit, err = s.monitors.getOrBuild(ctx, q.monitorFP, func() (*vnn.Monitor, error) {
 			return vnn.BuildMonitor(cn, req.Monitor.Data, q.monitorOpts)
 		})
+		if !hit {
+			// Only actual builds feed the histogram; hits are cache waits.
+			observeSince(s.obs.monitorBuild, buildStart)
+		}
+		monSpan.SetAttr("hit", hit)
+		monSpan.End()
 		if err != nil {
 			writeError(w, statusFor(err), err.Error())
 			return
@@ -438,7 +470,10 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		verdicts = make([]vnn.MonitorVerdict, len(req.Inputs))
 	}
 
-	if err := s.runInfer(ctx, net, mon, req.Inputs, outputs, verdicts); err != nil {
+	runSpan := root.Child("run")
+	err = s.runInfer(ctx, runSpan, net, mon, req.Inputs, outputs, verdicts)
+	runSpan.End()
+	if err != nil {
 		// Unlike verification there is no anytime value in half a batch:
 		// predictions are cheap to re-request, so an interrupted batch is
 		// an error (503 on drain/disconnect, 504 on budget).
@@ -455,12 +490,15 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	s.inferRequests.Add(1)
+	// Effort counters before the request counter — the write half of the
+	// Metrics snapshot ordering guarantee (see metrics.go).
 	s.inferInputs.Add(int64(len(req.Inputs)))
 	s.inferFlagged.Add(int64(resp.Flagged))
-	xInferRequests.Add(1)
+	s.inferRequests.Add(1)
 	xInferInputs.Add(int64(len(req.Inputs)))
 	xInferFlagged.Add(int64(resp.Flagged))
+	xInferRequests.Add(1)
+	s.obs.inferBatch.Observe(int64(len(req.Inputs)))
 
 	resp.Outputs = outputs
 	writeJSON(w, http.StatusOK, resp)

@@ -3,6 +3,7 @@ package vnnserver
 import (
 	"expvar"
 
+	"repro/internal/milp"
 	"repro/internal/verify"
 	"repro/pkg/vnnfleet"
 )
@@ -43,8 +44,21 @@ var (
 // process-wide instrumentation counters from internal/verify — the ground
 // truth that cached compilations are actually reused (cache hits add
 // zero passes).
+//
+// Consistency: one Metrics value is a single-pass snapshot with a
+// monotone guarantee between request counters and effort counters.
+// Handlers bump effort (nodes, pivots, infer inputs/flagged) BEFORE they
+// bump the request counter, and Metrics reads the request counters
+// FIRST — so any request this snapshot counts also has its effort
+// included. The converse skew (effort from a request not yet counted)
+// is possible and benign: effort/requests ratios never dip spuriously.
+// The Prometheus rendering (prom.go) is generated from one Metrics
+// value, so scrapes inherit the same guarantee.
 type Metrics struct {
-	UptimeMS  float64        `json:"uptime_ms"`
+	UptimeMS float64 `json:"uptime_ms"`
+	// Build identifies the running binary (also exposed as the
+	// vnnd_build_info gauge in the Prometheus rendering).
+	Build     BuildInfo      `json:"build"`
 	Draining  bool           `json:"draining"`
 	Cache     CacheStats     `json:"cache"`
 	Scheduler SchedulerStats `json:"scheduler"`
@@ -63,6 +77,9 @@ type Metrics struct {
 	LPPivots      int64          `json:"lp_pivots"`
 	EncodePasses  int64          `json:"encode_passes"`
 	TightenPasses int64          `json:"tighten_passes"`
+	// Solves counts branch-and-bound solver invocations process-wide
+	// (from internal/milp).
+	Solves int64 `json:"solves"`
 }
 
 // InferStats is the /metrics view of the inference plane.
@@ -98,19 +115,28 @@ func (s *Server) shardStats() []InferShardStats {
 	return out
 }
 
-// Metrics snapshots the server's observable state.
+// Metrics snapshots the server's observable state. Request counters are
+// read before effort counters — see the ordering guarantee on Metrics.
 func (s *Server) Metrics() Metrics {
+	// Request counters first (handlers bump these LAST)...
+	queries := s.queries.Load()
+	analyzes := s.analyzes.Load()
+	falsifications := s.falsifications.Load()
+	inferRequests := s.inferRequests.Load()
+	// ...then effort counters (handlers bump these FIRST), so every
+	// counted request's effort is already visible.
 	return Metrics{
 		UptimeMS:        msSince(s.start),
+		Build:           Build(),
 		Draining:        s.draining.Load(),
 		Cache:           s.cache.Stats(),
 		Scheduler:       s.sched.Stats(),
-		Queries:         s.queries.Load(),
-		AnalyzeRequests: s.analyzes.Load(),
+		Queries:         queries,
+		AnalyzeRequests: analyzes,
 		Analyses:        s.analysisCounts(),
-		Falsifications:  s.falsifications.Load(),
+		Falsifications:  falsifications,
 		Infer: InferStats{
-			Requests:  s.inferRequests.Load(),
+			Requests:  inferRequests,
 			Inputs:    s.inferInputs.Load(),
 			Flagged:   s.inferFlagged.Load(),
 			Monitors:  s.monitors.Len(),
@@ -122,5 +148,6 @@ func (s *Server) Metrics() Metrics {
 		LPPivots:      s.pivots.Load(),
 		EncodePasses:  verify.EncodePasses(),
 		TightenPasses: verify.TightenPasses(),
+		Solves:        milp.Solves(),
 	}
 }

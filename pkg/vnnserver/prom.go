@@ -1,0 +1,183 @@
+// Prometheus text exposition (format version 0.0.4) for /metrics. The
+// JSON snapshot stays the default — existing dashboards and the CI
+// smoke greps consume it — and a scraper opts into this rendering with
+// `Accept: text/plain` (Prometheus always sends a text/plain clause) or
+// `?format=prometheus`.
+//
+// Every family is rendered from ONE Metrics() snapshot, so the
+// cross-counter consistency guarantee documented on Metrics holds for
+// scrapes too. Histograms come from internal/obs: log2 buckets rendered
+// cumulatively with `le` bounds scaled to the exposition unit, plus the
+// standard _sum and _count series.
+
+package vnnserver
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// wantsProm reports whether the request negotiated the Prometheus text
+// format. The Accept match is deliberately narrow: curl's default
+// `*/*` must keep getting JSON (the format CI and the examples parse).
+func wantsProm(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "prometheus" {
+		return true
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics")
+}
+
+// promEscape escapes a label value per the exposition format.
+func promEscape(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promFamily writes one # HELP / # TYPE header.
+func promFamily(w io.Writer, name, help, typ string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// promHistogram renders one histogram snapshot as a labelled series set
+// under an already-written family header: cumulative `_bucket` series,
+// `_sum` and `_count`. labels is the shared label string ("" or
+// `route="/v1/infer"`).
+func promHistogram(w io.Writer, name, labels string, s obs.HistogramSnapshot) {
+	bucketLabels := func(le string) string {
+		if labels == "" {
+			return fmt.Sprintf("{le=%q}", le)
+		}
+		return fmt.Sprintf("{%s,le=%q}", labels, le)
+	}
+	suffix := ""
+	if labels != "" {
+		suffix = "{" + labels + "}"
+	}
+	var cum int64
+	for k := 0; k <= obs.NumBuckets; k++ {
+		cum += s.Buckets[k]
+		le := "+Inf"
+		if k < obs.NumBuckets {
+			le = promFloat(float64(obs.BucketUpper(k)) * s.Scale)
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, bucketLabels(le), cum)
+	}
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, suffix, promFloat(float64(s.Sum)*s.Scale))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, suffix, cum)
+}
+
+// writeProm renders the full Prometheus view from one metrics snapshot.
+func (s *Server) writeProm(w http.ResponseWriter) {
+	m := s.Metrics() // ONE snapshot; every family below reads from it
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+
+	b := Build()
+	promFamily(w, "vnnd_build_info", "Build identity (value is always 1).", "gauge")
+	fmt.Fprintf(w, "vnnd_build_info{version=%q,revision=%q,go=%q} 1\n",
+		promEscape(b.Version), promEscape(b.Revision), promEscape(b.Go))
+
+	gauge := func(name, help string, v float64) {
+		promFamily(w, name, help, "gauge")
+		fmt.Fprintf(w, "%s %s\n", name, promFloat(v))
+	}
+	counter := func(name, help string, v int64) {
+		promFamily(w, name, help, "counter")
+		fmt.Fprintf(w, "%s %d\n", name, v)
+	}
+
+	gauge("vnnd_uptime_seconds", "Seconds since the server started.", m.UptimeMS/1e3)
+	draining := 0.0
+	if m.Draining {
+		draining = 1
+	}
+	gauge("vnnd_draining", "1 while the server drains.", draining)
+
+	counter("vnnd_cache_hits_total", "Compile cache hits.", m.Cache.Hits)
+	counter("vnnd_cache_misses_total", "Compile cache misses.", m.Cache.Misses)
+	counter("vnnd_cache_evictions_total", "Compile cache evictions.", m.Cache.Evictions)
+	gauge("vnnd_cache_entries", "Compile cache entries resident.", float64(m.Cache.Size))
+	gauge("vnnd_cache_bytes", "Accounted bytes of cached compiles.", float64(m.Cache.Bytes))
+
+	gauge("vnnd_scheduler_active", "Queries running now.", float64(m.Scheduler.Active))
+	gauge("vnnd_scheduler_queued", "Queries waiting for a run slot.", float64(m.Scheduler.Queued))
+	counter("vnnd_scheduler_rejected_total", "Admissions rejected with queue-full.", m.Scheduler.Rejected)
+	counter("vnnd_scheduler_completed_total", "Queries completed.", m.Scheduler.Completed)
+
+	counter("vnnd_queries_total", "Verify queries served.", m.Queries)
+	counter("vnnd_analyze_requests_total", "Analyze batches served.", m.AnalyzeRequests)
+	promFamily(w, "vnnd_analyses_total", "Analyses served by kind.", "counter")
+	kinds := make([]string, 0, len(m.Analyses))
+	for k := range m.Analyses {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(w, "vnnd_analyses_total{kind=%q} %d\n", promEscape(k), m.Analyses[k])
+	}
+	counter("vnnd_falsifications_total", "Falsification requests served.", m.Falsifications)
+
+	counter("vnnd_infer_requests_total", "Infer batches served.", m.Infer.Requests)
+	counter("vnnd_infer_inputs_total", "Infer inputs served.", m.Infer.Inputs)
+	counter("vnnd_infer_flagged_total", "Inputs the runtime monitor flagged.", m.Infer.Flagged)
+	gauge("vnnd_infer_monitors", "Cached monitor artifacts.", float64(m.Infer.Monitors))
+	gauge("vnnd_infer_workloads", "Remembered by-fingerprint workloads.", float64(m.Infer.Workloads))
+	promFamily(w, "vnnd_infer_shard_batches_total", "Batch chunks per serving lane.", "counter")
+	for i, sh := range m.Infer.Shards {
+		fmt.Fprintf(w, "vnnd_infer_shard_batches_total{lane=\"%d\"} %d\n", i, sh.Batches)
+	}
+	promFamily(w, "vnnd_infer_shard_inputs_total", "Inputs per serving lane.", "counter")
+	for i, sh := range m.Infer.Shards {
+		fmt.Fprintf(w, "vnnd_infer_shard_inputs_total{lane=\"%d\"} %d\n", i, sh.Inputs)
+	}
+
+	counter("vnnd_fleet_rounds_total", "Reconcile rounds initiated.", m.Fleet.Rounds)
+	counter("vnnd_fleet_symbols_sent_total", "Coded symbols served to peers.", m.Fleet.SymbolsSent)
+	counter("vnnd_fleet_symbols_received_total", "Coded symbols consumed from peers.", m.Fleet.SymbolsReceived)
+	counter("vnnd_fleet_entries_pulled_total", "Cache entries pulled from peers.", m.Fleet.EntriesPulled)
+	counter("vnnd_fleet_entries_pushed_total", "Cache entries exported to peers.", m.Fleet.EntriesPushed)
+	counter("vnnd_fleet_pull_rejected_total", "Pulled entries failing verification.", m.Fleet.PullRejected)
+	counter("vnnd_fleet_pull_skipped_total", "Pulls skipped by benign races.", m.Fleet.PullSkipped)
+
+	counter("vnnd_nodes_total", "Branch-and-bound nodes explored.", m.Nodes)
+	counter("vnnd_lp_pivots_total", "Simplex pivots performed.", m.LPPivots)
+	counter("vnnd_encode_passes_total", "MILP encoding passes.", m.EncodePasses)
+	counter("vnnd_tighten_passes_total", "LP bound-tightening passes.", m.TightenPasses)
+	counter("vnnd_solves_total", "Branch-and-bound solves.", m.Solves)
+
+	promFamily(w, "vnnd_request_duration_seconds", "Request latency by route.", "histogram")
+	for _, rh := range []struct {
+		route string
+		h     *obs.Histogram
+	}{
+		{"/v1/verify", s.obs.verifyLatency},
+		{"/v1/analyze", s.obs.analyzeLatency},
+		{"/v1/infer", s.obs.inferLatency},
+		{"/v1/falsify", s.obs.falsifyLatency},
+	} {
+		promHistogram(w, "vnnd_request_duration_seconds",
+			fmt.Sprintf("route=%q", rh.route), rh.h.Snapshot())
+	}
+	for _, h := range []*obs.Histogram{
+		s.obs.queueWait, s.obs.runTime,
+		s.obs.compileTime, s.obs.monitorBuild,
+		s.obs.inferBatch, s.obs.chunkTime,
+		s.obs.reconcileTime,
+	} {
+		snap := h.Snapshot()
+		promFamily(w, snap.Name, snap.Help, "histogram")
+		promHistogram(w, snap.Name, "", snap)
+	}
+}

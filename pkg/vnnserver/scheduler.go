@@ -5,6 +5,9 @@ import (
 	"errors"
 	"runtime"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // ErrQueueFull is returned by Scheduler.Run when the bounded admission
@@ -37,6 +40,12 @@ type Scheduler struct {
 	queued    atomic.Int64
 	rejected  atomic.Int64
 	completed atomic.Int64
+
+	// queueWait/runTime decompose every admitted query's latency into
+	// slot wait vs execution. Set once right after NewScheduler (the
+	// server wires them before serving); nil histograms no-op.
+	queueWait *obs.Histogram
+	runTime   *obs.Histogram
 }
 
 // NewScheduler builds a scheduler running at most maxConcurrent queries
@@ -93,18 +102,23 @@ func (s *Scheduler) Run(ctx context.Context, fn func(ctx context.Context, worker
 func (s *Scheduler) RunAdmitted(ctx context.Context, fn func(ctx context.Context, workers int) error) error {
 	defer func() { <-s.queue }()
 
+	enqueued := time.Now()
 	s.queued.Add(1)
 	select {
 	case s.slots <- struct{}{}:
 		s.queued.Add(-1)
 	case <-ctx.Done():
 		s.queued.Add(-1)
+		s.queueWait.Observe(int64(time.Since(enqueued)))
 		return ctx.Err()
 	}
+	s.queueWait.Observe(int64(time.Since(enqueued)))
+	started := time.Now()
 	inFlight := s.active.Add(1)
 	defer func() {
 		s.active.Add(-1)
 		s.completed.Add(1)
+		s.runTime.Observe(int64(time.Since(started)))
 		<-s.slots
 	}()
 

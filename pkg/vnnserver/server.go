@@ -53,10 +53,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
+	"repro/internal/verify"
 	"repro/pkg/vnn"
 	"repro/pkg/vnnfleet"
 )
@@ -88,6 +91,19 @@ type Config struct {
 	Peers []string
 	// FleetInterval is the reconcile loop period (<= 0 means 30s).
 	FleetInterval time.Duration
+	// TraceRing caps the flight recorder's recent-trace ring (<= 0
+	// means 256; rounded up to a power of two).
+	TraceRing int
+	// SlowRequest, when positive, logs every request at least this slow
+	// through SlowLog (cmd/vnnd's -slow-log flag).
+	SlowRequest time.Duration
+	// SlowLog receives the structured slow-request lines; nil disables
+	// them even with SlowRequest set.
+	SlowLog func(format string, args ...any)
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ (cmd/vnnd's
+	// -pprof flag). Off by default: profiles expose enough about a
+	// node's workload that they are opt-in.
+	EnablePprof bool
 }
 
 // Server is the verification service. Create with New, mount as an
@@ -113,6 +129,9 @@ type Server struct {
 	// implementation); its endpoints are always mounted, its reconcile
 	// loop runs only when Config.Peers is non-empty.
 	fleet *vnnfleet.Peer
+
+	// obs is the flight recorder and histogram set (see obs.go).
+	obs *serverObs
 
 	// queryCtx parents every query; cancelQueries is the drain switch.
 	queryCtx      context.Context
@@ -175,10 +194,15 @@ func New(cfg Config) *Server {
 		sched:         NewScheduler(cfg.MaxConcurrent, cfg.QueueDepth),
 		jobs:          newRegistry(),
 		start:         time.Now(),
+		obs:           newServerObs(cfg),
 		queryCtx:      qctx,
 		cancelQueries: cancel,
 		analysisKinds: make(map[string]int64),
 	}
+	// The scheduler reports its wait/run decomposition into the shared
+	// histograms (set before any traffic can reach RunAdmitted).
+	s.sched.queueWait = s.obs.queueWait
+	s.sched.runTime = s.obs.runTime
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/verify", s.handleVerify)
 	mux.HandleFunc("POST /v1/infer", s.handleInfer)
@@ -191,7 +215,23 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.Handle("GET /debug/vars", expvar.Handler())
-	s.fleet = vnnfleet.NewPeer(s, vnnfleet.Options{Interval: cfg.FleetInterval})
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	mux.HandleFunc("GET /debug/traces/{id}", s.handleTrace)
+	if cfg.EnablePprof {
+		// Explicit per-handler mounts: importing net/http/pprof only
+		// registers on http.DefaultServeMux, which this server never
+		// serves, so without this flag /debug/pprof/ stays 404.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	s.fleet = vnnfleet.NewPeer(s, vnnfleet.Options{
+		Interval: cfg.FleetInterval,
+		Recorder: s.obs.rec,
+		Latency:  s.obs.reconcileTime,
+	})
 	s.fleet.Mount(mux)
 	if len(cfg.Peers) > 0 {
 		// The loop lives under the query context: drain (or process exit)
@@ -399,9 +439,13 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	}
 	s.drainMu.Unlock()
 	jb := s.jobs.create(q.fingerprint)
+	// The trace shares the job id, so the id every response (and 202
+	// acknowledgment) echoes also addresses /debug/traces/{id}.
+	tr := s.obs.rec.Start("/v1/verify", jb.id)
+	tr.Root().SetAttr("fingerprint", q.fingerprint)
 
 	if !async {
-		resp, err := s.runVerify(r.Context(), jb, q, &req)
+		resp, err := s.runVerify(r.Context(), jb, tr, q, &req)
 		if err != nil {
 			writeError(w, statusFor(err), err.Error())
 			return
@@ -413,7 +457,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		defer s.wg.Done()
 		// Async queries outlive their HTTP request; only the per-request
 		// deadline and server drain bound them.
-		s.runVerify(s.queryCtx, jb, q, &req)
+		s.runVerify(s.queryCtx, jb, tr, q, &req)
 	}()
 	writeJSON(w, http.StatusAccepted, AcceptedResponse{
 		ID: jb.id, Fingerprint: q.fingerprint, Status: "running",
@@ -426,7 +470,18 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 // request's: a compile is shared work (other requests may be waiting on
 // the same fingerprint), so one impatient client must not abort it —
 // only server drain can.
-func (s *Server) runVerify(parent context.Context, jb *job, q *preparedQuery, req *VerifyRequest) (*VerifyResponse, error) {
+//
+// The trace's phase spans decompose the request: "queue" (admission
+// wait), "cache" (lookup, with a "compile" child on a miss whose
+// tighten/encode children come from internal/verify's phase clocks),
+// "solve" (branch-and-bound, one child per property from the progress
+// stream). The root's children never overlap, so their durations sum to
+// at most the trace's wall time. The trace finishes when runVerify
+// returns — it covers the work, not the HTTP response write.
+func (s *Server) runVerify(parent context.Context, jb *job, tr *obs.Trace, q *preparedQuery, req *VerifyRequest) (*VerifyResponse, error) {
+	start := time.Now()
+	defer tr.Finish()
+	defer observeSince(s.obs.verifyLatency, start)
 	timeout := time.Duration(req.TimeoutMS) * time.Millisecond
 	if timeout <= 0 {
 		timeout = s.cfg.DefaultTimeout
@@ -442,24 +497,38 @@ func (s *Server) runVerify(parent context.Context, jb *job, q *preparedQuery, re
 	stop := context.AfterFunc(s.queryCtx, cancel) // drain interrupts the query
 	defer stop()
 
+	root := tr.Root()
+	queueSpan := root.Child("queue")
 	var resp *VerifyResponse
 	err := s.sched.RunAdmitted(qctx, func(ctx context.Context, fairWorkers int) error {
+		queueSpan.End()
+		root.SetAttr("workers", fairWorkers)
 		opts := q.compileOpts
 		if opts.Workers == 0 {
 			opts.Workers = fairWorkers
 		}
+		cacheSpan := root.Child("cache")
 		cn, hit, err := s.cache.GetOrCompile(ctx, q.fingerprint, func() (*vnn.CompiledNetwork, error) {
-			return vnn.Compile(s.queryCtx, q.net, q.region, opts)
+			return s.compileTraced(cacheSpan, q.net, q.region, opts)
 		})
+		cacheSpan.SetAttr("hit", hit)
+		cacheSpan.End()
 		if err != nil {
 			return err
 		}
 		qopts := opts
 		qopts.Parallel = req.Options.Parallel
 		qopts.MaxNodes = req.Options.MaxNodes
-		qopts.Progress = jb.publish
+		solveSpan := root.Child("solve")
+		ps := vnn.NewProgressSpans(solveSpan)
+		qopts.Progress = func(ev vnn.Event) {
+			jb.publish(ev)
+			ps.Observe(ev)
+		}
 		results, err := vnn.Verify(ctx, cn.WithOptions(qopts), q.props...)
+		ps.Close()
 		if err != nil {
+			solveSpan.End()
 			return err
 		}
 		var nodes, pivots int64
@@ -467,6 +536,9 @@ func (s *Server) runVerify(parent context.Context, jb *job, q *preparedQuery, re
 			nodes += int64(res.Stats.Nodes)
 			pivots += int64(res.Stats.LPPivots)
 		}
+		solveSpan.SetAttr("nodes", nodes)
+		solveSpan.SetAttr("lp_pivots", pivots)
+		solveSpan.End()
 		s.nodes.Add(nodes)
 		s.pivots.Add(pivots)
 		xNodes.Add(nodes)
@@ -480,10 +552,41 @@ func (s *Server) runVerify(parent context.Context, jb *job, q *preparedQuery, re
 		}
 		return nil
 	})
+	queueSpan.End() // no-op if fn ran; ends the wait if admission failed
+	// Counter write order: nodes/pivots land strictly before queries, so
+	// a /metrics snapshot that reads queries first (see Metrics) never
+	// shows a counted query whose solver effort is missing.
 	s.queries.Add(1)
 	xQueries.Add(1)
 	jb.finish(resp, err)
 	return resp, err
+}
+
+// compileTraced wraps vnn.Compile with a "compile" span under parent,
+// attributing the pass to LP tightening vs MILP encoding from
+// internal/verify's process-wide phase clocks. The deltas are read
+// around this compile only; concurrent compiles in other requests can
+// inflate them (they are attribution hints, not exact sub-timers), so
+// each child is clamped to the span's own duration.
+func (s *Server) compileTraced(parent *obs.Span, net *vnn.Network, region *vnn.Region, opts vnn.Options) (*vnn.CompiledNetwork, error) {
+	sp := parent.Child("compile")
+	t0, e0 := verify.TightenNanos(), verify.EncodeNanos()
+	buildStart := time.Now()
+	cn, err := vnn.Compile(s.queryCtx, net, region, opts)
+	wall := time.Since(buildStart)
+	clamp := func(d time.Duration) time.Duration {
+		if d > wall {
+			return wall
+		}
+		return d
+	}
+	sp.ChildTimed("tighten", clamp(time.Duration(verify.TightenNanos()-t0)))
+	sp.ChildTimed("encode", clamp(time.Duration(verify.EncodeNanos()-e0)))
+	sp.SetAttr("tighten_passes", verify.TightenPasses())
+	sp.SetAttr("encode_passes", verify.EncodePasses())
+	sp.End()
+	s.obs.compileTime.Observe(int64(wall))
+	return cn, err
 }
 
 func (s *Server) handleGetVerify(w http.ResponseWriter, r *http.Request) {
@@ -635,8 +738,16 @@ func (s *Server) handleFalsify(w http.ResponseWriter, r *http.Request) {
 	stop := context.AfterFunc(s.queryCtx, cancel)
 	defer stop()
 
+	start := time.Now()
+	tr := s.obs.rec.Start("/v1/falsify", "")
+	defer observeSince(s.obs.falsifyLatency, start)
+	defer tr.Finish()
+	queueSpan := tr.Root().Child("queue")
 	var resp *FalsifyResponse
 	err = s.sched.Run(qctx, func(ctx context.Context, _ int) error {
+		queueSpan.End()
+		runSpan := tr.Root().Child("falsify")
+		defer runSpan.End()
 		fr, err := vnn.FalsifyCtx(ctx, net, region, req.Outputs, vnn.FalsifyOptions{
 			Restarts: req.Restarts,
 			Steps:    req.Steps,
@@ -653,6 +764,7 @@ func (s *Server) handleFalsify(w http.ResponseWriter, r *http.Request) {
 		}
 		return nil
 	})
+	queueSpan.End()
 	if err != nil {
 		writeError(w, statusFor(err), err.Error())
 		return
@@ -670,10 +782,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":    status,
 		"uptime_ms": msSince(s.start),
+		"build":     Build(),
 	})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// handleMetrics serves the metrics snapshot: JSON by default (the
+// format every existing consumer parses), Prometheus text exposition
+// when the scraper negotiates it (Accept: text/plain or
+// ?format=prometheus — see prom.go).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsProm(r) {
+		s.writeProm(w)
+		return
+	}
 	writeJSON(w, http.StatusOK, s.Metrics())
 }
 

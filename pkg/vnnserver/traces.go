@@ -1,0 +1,40 @@
+// GET /debug/traces and /debug/traces/{id}: the flight recorder's HTTP
+// surface. The list shows the most recent completed traces (ring order,
+// newest first) plus the always-retained slowest traces per route; the
+// by-id endpoint returns one full span tree. Trace ids for /v1/verify
+// and /v1/analyze are the job ids those responses echo, so a client can
+// go from a slow response straight to its trace.
+
+package vnnserver
+
+import (
+	"net/http"
+
+	"repro/internal/obs"
+)
+
+// tracesIndex is the GET /debug/traces document.
+type tracesIndex struct {
+	Recent  []obs.TraceSummary            `json:"recent"`
+	Slowest map[string][]obs.TraceSummary `json:"slowest"`
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
+	idx := tracesIndex{Recent: s.obs.rec.Recent(), Slowest: s.obs.rec.Slowest()}
+	if idx.Recent == nil {
+		idx.Recent = []obs.TraceSummary{}
+	}
+	if idx.Slowest == nil {
+		idx.Slowest = map[string][]obs.TraceSummary{}
+	}
+	writeJSON(w, http.StatusOK, idx)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	t := s.obs.rec.Get(r.PathValue("id"))
+	if t == nil {
+		writeError(w, http.StatusNotFound, "unknown trace id (evicted from the ring, or never traced)")
+		return
+	}
+	writeJSON(w, http.StatusOK, t.JSON())
+}
