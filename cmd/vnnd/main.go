@@ -20,6 +20,8 @@
 //	vnnd -trace-ring 1024          # completed traces kept for /debug/traces
 //	vnnd -slow-log 500ms           # log requests slower than this, with trace id
 //	vnnd -pprof                    # mount /debug/pprof/ (off by default)
+//	vnnd -data-dir /var/lib/vnnd   # persist the model registry (rollout plane)
+//	vnnd -gate @gate.json          # default admission gate for model submissions
 //	vnnd -version                  # print build info and exit
 //
 // # Verify round trip
@@ -150,6 +152,71 @@
 // plane under "infer" (including per-lane shard throughput) and the
 // vnnd.infer.* expvars (requests, inputs, flagged, monitor hits/misses).
 //
+// # Verified rollout: /v1/models, -data-dir, -gate
+//
+// The registry (pkg/vnnregistry) turns the daemon into a certification-
+// gated serving plane: named model versions are submitted, must pass an
+// admission gate — a portfolio batch with thresholds — and only then move
+// toward traffic through the lifecycle
+//
+//	pending → admitted → canary(p%) → live → retired
+//	        ↘ rejected
+//
+// Submit a version (the gate runs asynchronously through the same
+// scheduler and job registry as /v1/verify; "wait": true blocks for the
+// decision):
+//
+//	curl -s localhost:8419/v1/models -d '{
+//	  "model": "occupancy",
+//	  "network": '"$(cat i4x10.json)"',
+//	  "region": {"name": "left_occupied"},
+//	  "options": {"workers": 1},
+//	  "monitor": {"data": [[0.5, 0.5, ...], ...], "gamma": 2},
+//	  "gate": {
+//	    "analyses": [
+//	      {"kind": "verify", "properties": [{"kind": "at_most", "output": 0, "threshold": 1.5}]},
+//	      {"kind": "monitor_audit", "data": [[0.5, 0.5, ...], ...], "gamma": 2}
+//	    ],
+//	    "max_flag_rate": 0.05
+//	  }
+//	}'
+//	{"id":"q00000001","model":"occupancy","version":1,"state":"pending",...}
+//
+// The 202 echoes the gate job id: stream the gate's branch-and-bound
+// progress and terminal decision over SSE, or poll the model document —
+//
+//	curl -s localhost:8419/v1/models/occupancy/events     # gate progress + result
+//	curl -s localhost:8419/v1/models/occupancy            # full rollout document
+//	curl -s localhost:8419/debug/traces/q00000001         # the gate's trace
+//
+// — the trace has a "gate" root with cache/monitor children plus one
+// "analysis:<kind>" child per gate analysis. A version whose gate fails
+// is rejected and never serves; a passing one becomes admitted. Roll it
+// out — first to a deterministic canary share, then fully:
+//
+//	curl -s localhost:8419/v1/models/occupancy/promote -d '{"canary_percent": 10}'
+//	curl -s localhost:8419/v1/infer?model=occupancy -d '{"inputs": [[0.5, 0.5, ...]]}'
+//	curl -s localhost:8419/v1/models/occupancy/promote -d '{}'
+//
+// Canary routing hashes each request's input bits (FNV-1a over the
+// IEEE-754 values): the same inputs always land on the same version at a
+// fixed share, so canary comparisons are reproducible. The infer
+// response names what served it ("model", "model_version", "route").
+// Cutover retires the previous live version but keeps its compiled
+// artifact and monitor warm, so rollback is one atomic route swap:
+//
+//	curl -s -X POST localhost:8419/v1/models/occupancy/rollback
+//
+// With -data-dir set, registry state (snapshot + append-only transition
+// log) survives restarts: on boot the daemon recompiles every routable
+// version and restores its monitors before /readyz reports ready — a
+// version caught mid-gate by the crash recovers as rejected (its
+// certification never completed; re-submit it). -gate supplies a default
+// gate for submissions that carry none: inline JSON or @file. /metrics
+// reports the plane under "registry" (per-version states and serving
+// counters; vnnd_model_version_info and vnnd_model_*_total in the
+// Prometheus rendering).
+//
 // # Fleet replication: -peers
 //
 // Several vnnd nodes form a fleet: give each the others' base URLs and
@@ -250,16 +317,25 @@
 // context cancellation and answer with their anytime results (best
 // witness + tightest proven bound so far) before the process exits 0.
 //
-// /healthz reports liveness and drain state; /metrics reports cache
+// Health is split into liveness and readiness. /healthz is liveness: it
+// answers 200 for as long as the process can answer at all (reporting
+// "draining" in the body), so supervisors do not kill a node that is
+// merely draining or recovering. /readyz is readiness: 503 while the
+// server drains and before registry recovery completes, 200 only when
+// the node should receive traffic — the endpoint load balancers and
+// rolling restarts should watch. /metrics reports cache
 // hits/misses/evictions, queue depth, nodes, pivots and the process-wide
 // encode/tighten pass counters; /debug/vars exposes the same counters as
 // standard expvars.
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
@@ -268,8 +344,38 @@ import (
 	"syscall"
 	"time"
 
+	"repro/pkg/vnn"
 	"repro/pkg/vnnserver"
 )
+
+// parseGate turns the -gate flag into a validated default admission
+// gate: "" means none, "@path" reads a JSON file, anything else is
+// inline JSON. Unknown fields are rejected — a typoed threshold name
+// silently weakening the gate is exactly the failure mode a
+// certification gate exists to prevent.
+func parseGate(arg string) (*vnn.GateSpec, error) {
+	if arg == "" {
+		return nil, nil
+	}
+	raw := []byte(arg)
+	if strings.HasPrefix(arg, "@") {
+		b, err := os.ReadFile(arg[1:])
+		if err != nil {
+			return nil, err
+		}
+		raw = b
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	gate := new(vnn.GateSpec)
+	if err := dec.Decode(gate); err != nil {
+		return nil, fmt.Errorf("parse gate spec: %w", err)
+	}
+	if err := gate.Validate(); err != nil {
+		return nil, fmt.Errorf("invalid gate spec: %w", err)
+	}
+	return gate, nil
+}
 
 func main() {
 	log.SetFlags(0)
@@ -288,6 +394,8 @@ func main() {
 		traceRing     = flag.Int("trace-ring", 0, "completed traces kept for /debug/traces (0 = 256, rounded up to a power of two)")
 		slowLog       = flag.Duration("slow-log", 0, "log any request slower than this, with its trace id (0 = off)")
 		pprofOn       = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default; profiling endpoints expose internals)")
+		dataDir       = flag.String("data-dir", "", "model registry persistence directory (empty = in-memory registry, lost on restart)")
+		gateSpec      = flag.String("gate", "", "default admission gate for model submissions that carry none: inline GateSpec JSON, or @path to a JSON file (empty = ungated submissions are admitted)")
 		version       = flag.Bool("version", false, "print build info and exit")
 	)
 	flag.Parse()
@@ -312,6 +420,11 @@ func main() {
 		}
 	}
 
+	gate, err := parseGate(*gateSpec)
+	if err != nil {
+		log.Fatalf("-gate: %v", err)
+	}
+
 	srv := vnnserver.New(vnnserver.Config{
 		CacheEntries:   *cacheEntries,
 		MaxConcurrent:  *maxConcurrent,
@@ -325,6 +438,9 @@ func main() {
 		SlowRequest:    *slowLog,
 		SlowLog:        log.Printf,
 		EnablePprof:    *pprofOn,
+		DataDir:        *dataDir,
+		DefaultGate:    gate,
+		Log:            log.Printf,
 	})
 	if len(peerList) > 0 {
 		log.Printf("fleet: reconciling with %d peer(s)", len(peerList))

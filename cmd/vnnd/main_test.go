@@ -1,0 +1,175 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/pkg/vnnserver"
+)
+
+// fixtureKeys loads testdata/metrics-keys.txt — the key-path contract
+// shared with check_metrics.py and examples/serve.
+func fixtureKeys(t *testing.T) []string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", "metrics-keys.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []string
+	for _, line := range strings.Split(string(data), "\n") {
+		if path := strings.TrimSpace(line); path != "" && !strings.HasPrefix(path, "#") {
+			keys = append(keys, path)
+		}
+	}
+	if len(keys) == 0 {
+		t.Fatal("metrics-keys.txt lists no key paths")
+	}
+	return keys
+}
+
+// TestMetricsKeyFixture pins testdata/metrics-keys.txt against a live
+// Metrics snapshot in both directions: every fixture path must resolve
+// in the document, and every document key must be listed (so a new or
+// renamed field fails here until the fixture — and with it every smoke
+// and the serve example — is updated).
+func TestMetricsKeyFixture(t *testing.T) {
+	srv := vnnserver.New(vnnserver.Config{CacheEntries: 4})
+	defer srv.Drain(0)
+
+	raw, err := json.Marshal(srv.Metrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+
+	keys := fixtureKeys(t)
+	for _, path := range keys {
+		node := any(doc)
+		for _, seg := range strings.Split(path, ".") {
+			obj, ok := node.(map[string]any)
+			if !ok {
+				t.Fatalf("fixture path %q: segment %q is not an object in the live document", path, seg)
+			}
+			if node, ok = obj[seg]; !ok {
+				t.Fatalf("fixture path %q missing from the live /metrics document", path)
+			}
+		}
+	}
+
+	// Converse direction. Dynamic map entries and omitempty fields are
+	// deliberately absent from the fixture; everything else must be
+	// listed, one level deep into the nested stat objects.
+	allowed := map[string]bool{
+		"build.revision": true, // omitempty: VCS stamping varies by build
+		"build.time":     true,
+		"fleet.peers":    true, // omitempty: only with -peers configured
+	}
+	listed := make(map[string]bool, len(keys))
+	var prefixes []string
+	for _, path := range keys {
+		listed[path] = true
+		if parent, _, ok := strings.Cut(path, "."); ok && !listed[parent+"."] {
+			listed[parent+"."] = true
+			prefixes = append(prefixes, parent)
+		}
+	}
+	for key := range doc {
+		if !listed[key] && !listed[key+"."] {
+			t.Errorf("live /metrics key %q is not in metrics-keys.txt", key)
+		}
+	}
+	for _, parent := range prefixes {
+		obj, ok := doc[parent].(map[string]any)
+		if !ok {
+			continue
+		}
+		for key := range obj {
+			path := parent + "." + key
+			if !listed[path] && !allowed[path] {
+				t.Errorf("live /metrics key %q is not in metrics-keys.txt", path)
+			}
+		}
+	}
+}
+
+// TestParseGate covers the -gate flag's three shapes (inline JSON,
+// @file indirection, empty) and its failure modes.
+func TestParseGate(t *testing.T) {
+	const inline = `{"analyses":[{"kind":"verify","properties":[{"kind":"at_most","output":0,"threshold":1}]}]}`
+
+	if gate, err := parseGate(""); err != nil || gate != nil {
+		t.Fatalf("empty arg: gate %v, err %v; want nil, nil", gate, err)
+	}
+
+	gate, err := parseGate(inline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gate.Analyses) != 1 || gate.Analyses[0].Kind != "verify" {
+		t.Fatalf("inline gate parsed to %+v", gate)
+	}
+
+	path := filepath.Join(t.TempDir(), "gate.json")
+	if err := os.WriteFile(path, []byte(inline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fromFile, err := parseGate("@" + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fromFile.Analyses) != 1 {
+		t.Fatalf("@file gate parsed to %+v", fromFile)
+	}
+
+	for _, bad := range []string{
+		"@" + filepath.Join(t.TempDir(), "missing.json"),
+		"{not json",
+		`{"analysis":[]}`, // unknown field (DisallowUnknownFields)
+		`{"analyses":[]}`, // valid JSON, invalid gate (no analyses)
+		`{"analyses":[{"kind":"verify"}],"max_flag_rate":1.5}`, // out of range
+	} {
+		if _, err := parseGate(bad); err == nil {
+			t.Errorf("parseGate(%q) accepted an invalid spec", bad)
+		}
+	}
+}
+
+// TestSmokeModelFixtures keeps the rollout-smoke submissions honest:
+// each testdata/smoke-model-*.json must carry a gate that parseGate
+// itself would accept, so the CI job can never drift from the wire
+// contract silently.
+func TestSmokeModelFixtures(t *testing.T) {
+	matches, err := filepath.Glob(filepath.Join("testdata", "smoke-model-*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 3 {
+		t.Fatalf("found %d smoke-model fixtures, want 3: %v", len(matches), matches)
+	}
+	for _, path := range matches {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sub struct {
+			Model string          `json:"model"`
+			Gate  json.RawMessage `json:"gate"`
+			Wait  bool            `json:"wait"`
+		}
+		if err := json.Unmarshal(data, &sub); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if sub.Model != "demo" || !sub.Wait {
+			t.Errorf("%s: model %q wait %v; the smoke expects demo with synchronous gates", path, sub.Model, sub.Wait)
+		}
+		if _, err := parseGate(string(sub.Gate)); err != nil {
+			t.Errorf("%s: embedded gate rejected: %v", path, err)
+		}
+	}
+}

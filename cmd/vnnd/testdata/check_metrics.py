@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Assert a vnnd /metrics JSON document carries the expected key paths.
+
+Usage: check_metrics.py METRICS_JSON [PATH=VALUE ...]
+
+Every dotted path listed in metrics-keys.txt (loaded from this script's
+own directory) must resolve in the document — presence, not value.
+Additional PATH=VALUE arguments pin the value at PATH to the JSON
+literal VALUE; these may also name dynamic map entries that are absent
+from the fixture (analyses.coverage, ...). The smokes use this instead
+of grepping raw JSON substrings, which silently pass or spuriously fail
+whenever field order or an adjacent field changes.
+"""
+
+import json
+import os
+import sys
+
+
+def resolve(doc, path):
+    node = doc
+    for seg in path.split("."):
+        if not isinstance(node, dict) or seg not in node:
+            raise SystemExit(f"{sys.argv[1]}: missing key path {path!r} (at {seg!r})")
+        node = node[seg]
+    return node
+
+
+def main():
+    if len(sys.argv) < 2:
+        raise SystemExit(__doc__.strip())
+    with open(sys.argv[1]) as f:
+        doc = json.load(f)
+    fixture = os.path.join(os.path.dirname(os.path.abspath(__file__)), "metrics-keys.txt")
+    with open(fixture) as f:
+        keys = [ln.strip() for ln in f if ln.strip() and not ln.startswith("#")]
+    for key in keys:
+        resolve(doc, key)
+    for arg in sys.argv[2:]:
+        path, sep, want = arg.partition("=")
+        if not sep:
+            raise SystemExit(f"bad assertion {arg!r}: want PATH=VALUE")
+        got = resolve(doc, path)
+        if got != json.loads(want):
+            raise SystemExit(f"{sys.argv[1]}: {path} = {json.dumps(got)}, want {want}")
+    print(f"{sys.argv[1]}: {len(keys)} key paths present, {len(sys.argv) - 2} values pinned")
+
+
+main()

@@ -14,6 +14,9 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 
 	"repro/pkg/vnn"
@@ -93,20 +96,62 @@ func main() {
 		vnn.EncodePasses()-encBefore, vnn.TightenPasses()-tightBefore)
 
 	// The service's own view of the same numbers.
-	var m vnnserver.Metrics
 	mresp, err := http.Get(base + "/metrics")
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer mresp.Body.Close()
-	if err := json.NewDecoder(mresp.Body).Decode(&m); err != nil {
+	raw, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var m vnnserver.Metrics
+	if err := json.Unmarshal(raw, &m); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\n/metrics: queries=%d cache=%d/%d (hits/misses) evictions=%d queue_active=%d\n",
 		m.Queries, m.Cache.Hits, m.Cache.Misses, m.Cache.Evictions, m.Scheduler.Active)
 
+	checkMetricsKeys(raw)
+
 	srv.Drain(0)
 	httpSrv.Close()
+}
+
+// checkMetricsKeys asserts the /metrics document against the committed
+// key-path fixture — the same list the CI smokes (check_metrics.py) and
+// the cmd/vnnd test pin — so a renamed or dropped field fails here
+// before any dashboard notices. Skipped when run outside the repo root.
+func checkMetricsKeys(raw []byte) {
+	fixture := filepath.Join("cmd", "vnnd", "testdata", "metrics-keys.txt")
+	data, err := os.ReadFile(fixture)
+	if err != nil {
+		fmt.Printf("\n(%s not found; skipping metrics contract check)\n", fixture)
+		return
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		log.Fatal(err)
+	}
+	checked := 0
+	for _, line := range strings.Split(string(data), "\n") {
+		path := strings.TrimSpace(line)
+		if path == "" || strings.HasPrefix(path, "#") {
+			continue
+		}
+		node := any(doc)
+		for _, seg := range strings.Split(path, ".") {
+			obj, ok := node.(map[string]any)
+			if !ok {
+				log.Fatalf("metrics key path %q: segment %q is not an object", path, seg)
+			}
+			if node, ok = obj[seg]; !ok {
+				log.Fatalf("metrics document is missing key path %q", path)
+			}
+		}
+		checked++
+	}
+	fmt.Printf("\nmetrics contract: all %d fixture key paths present\n", checked)
 }
 
 // requestBody builds a verify request for a small width-10 predictor

@@ -1,0 +1,223 @@
+package vnn
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/coverage"
+	"repro/internal/nn"
+)
+
+// emptySuite is a coverage suite over a tiny net with nothing scored —
+// neuron coverage 0.
+func emptySuite() *CoverageSuite {
+	return coverage.NewSuite(&nn.Network{Layers: []*nn.Layer{
+		{W: [][]float64{{1}, {-1}}, B: []float64{0, 0}, Act: nn.ReLU},
+		{W: [][]float64{{1, 1}}, B: []float64{0}, Act: nn.Identity},
+	}})
+}
+
+func f64(v float64) *float64 { return &v }
+
+func verifyFinding(outcomes ...Outcome) *Finding {
+	f := &Finding{Kind: KindVerify}
+	for _, o := range outcomes {
+		f.Verification = append(f.Verification, &Result{Outcome: o})
+	}
+	return f
+}
+
+// TestGateEvaluate exercises the pure decision logic over synthetic
+// findings: every per-kind rule in both polarities, without running a
+// single solve.
+func TestGateEvaluate(t *testing.T) {
+	boolp := func(v bool) *bool { return &v }
+	cases := []struct {
+		name     string
+		gate     GateSpec
+		findings []*Finding
+		pass     bool
+		reason   string // substring of FailReason on rejection
+	}{
+		{
+			name:     "proved passes",
+			findings: []*Finding{verifyFinding(Proved, Proved)},
+			pass:     true,
+		},
+		{
+			name:     "violated rejects",
+			findings: []*Finding{verifyFinding(Proved, Violated)},
+			reason:   "violated",
+		},
+		{
+			name:     "inconclusive rejects by default",
+			findings: []*Finding{verifyFinding(Inconclusive)},
+			reason:   "inconclusive",
+		},
+		{
+			name:     "inconclusive tolerated when not requiring proved",
+			gate:     GateSpec{RequireProved: boolp(false)},
+			findings: []*Finding{verifyFinding(Inconclusive)},
+			pass:     true,
+		},
+		{
+			name:     "violated rejects even without requiring proved",
+			gate:     GateSpec{RequireProved: boolp(false)},
+			findings: []*Finding{verifyFinding(Violated)},
+			reason:   "violated",
+		},
+		{
+			name: "flag rate at threshold passes",
+			gate: GateSpec{MaxFlagRate: f64(0.05)},
+			findings: []*Finding{{Kind: KindMonitorAudit,
+				Monitor: &MonitorFinding{FlaggedFraction: 0.05}}},
+			pass: true,
+		},
+		{
+			name: "flag rate above threshold rejects",
+			gate: GateSpec{MaxFlagRate: f64(0.05)},
+			findings: []*Finding{{Kind: KindMonitorAudit,
+				Monitor: &MonitorFinding{FlaggedFraction: 0.051}}},
+			reason: "max_flag_rate",
+		},
+		{
+			name: "flag rate informational when unset",
+			findings: []*Finding{{Kind: KindMonitorAudit,
+				Monitor: &MonitorFinding{FlaggedFraction: 1}}},
+			pass: true,
+		},
+		{
+			name: "quant sweep drift within bound passes",
+			gate: GateSpec{MaxBoundDrift: f64(0.1)},
+			findings: []*Finding{{Kind: KindQuantSweep, QuantSweep: &QuantSweepFinding{
+				Base: []*Result{{Outcome: Proved}},
+				Points: []QuantPoint{{Bits: 8,
+					Results:       []*Result{{Outcome: Proved}},
+					MaxBoundDelta: 0.05, MaxValueDelta: math.NaN()}},
+			}}},
+			pass: true,
+		},
+		{
+			name: "quant sweep drift above bound rejects",
+			gate: GateSpec{MaxBoundDrift: f64(0.1)},
+			findings: []*Finding{{Kind: KindQuantSweep, QuantSweep: &QuantSweepFinding{
+				Base: []*Result{{Outcome: Proved}},
+				Points: []QuantPoint{{Bits: 4,
+					Results:       []*Result{{Outcome: Proved}},
+					MaxBoundDelta: 0.2, MaxValueDelta: math.NaN()}},
+			}}},
+			reason: "max_bound_drift",
+		},
+		{
+			name: "quant sweep NaN drift is not rejected",
+			gate: GateSpec{MaxBoundDrift: f64(0.1), MaxValueDrift: f64(0.1)},
+			findings: []*Finding{{Kind: KindQuantSweep, QuantSweep: &QuantSweepFinding{
+				Base: []*Result{{Outcome: Proved}},
+				Points: []QuantPoint{{Bits: 6,
+					Results:       []*Result{{Outcome: Proved}},
+					MaxBoundDelta: math.NaN(), MaxValueDelta: math.NaN()}},
+			}}},
+			pass: true,
+		},
+		{
+			name: "quant sweep violated point rejects",
+			findings: []*Finding{{Kind: KindQuantSweep, QuantSweep: &QuantSweepFinding{
+				Base: []*Result{{Outcome: Proved}},
+				Points: []QuantPoint{{Bits: 4,
+					Results:       []*Result{{Outcome: Violated}},
+					MaxBoundDelta: math.NaN(), MaxValueDelta: math.NaN()}},
+			}}},
+			reason: "4-bit model violates",
+		},
+		{
+			name: "quant sweep bad baseline rejects",
+			findings: []*Finding{{Kind: KindQuantSweep, QuantSweep: &QuantSweepFinding{
+				Base: []*Result{{Outcome: Violated}},
+			}}},
+			reason: "baseline",
+		},
+		{
+			name: "coverage below floor rejects",
+			gate: GateSpec{MinNeuronCoverage: f64(0.9)},
+			findings: []*Finding{{Kind: KindCoverage,
+				Coverage: &CoverageFinding{Suite: emptySuite()}}},
+			reason: "min_neuron_coverage",
+		},
+		{
+			name: "coverage informational when unset",
+			findings: []*Finding{{Kind: KindCoverage,
+				Coverage: &CoverageFinding{Suite: emptySuite()}}},
+			pass: true,
+		},
+		{
+			name: "traceability is informational",
+			findings: []*Finding{{Kind: KindTraceability,
+				Traceability: &TraceabilityReport{}}},
+			pass: true,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			d := c.gate.Evaluate(c.findings)
+			if d.Pass != c.pass {
+				t.Fatalf("pass = %v, want %v (%+v)", d.Pass, c.pass, d.Checks)
+			}
+			if len(d.Checks) != len(c.findings) {
+				t.Fatalf("%d checks for %d findings", len(d.Checks), len(c.findings))
+			}
+			if c.pass {
+				if r := d.FailReason(); r != "" {
+					t.Fatalf("passing decision has fail reason %q", r)
+				}
+				return
+			}
+			if r := d.FailReason(); !strings.Contains(r, c.reason) {
+				t.Fatalf("fail reason %q does not mention %q", r, c.reason)
+			}
+		})
+	}
+}
+
+// TestGateEvaluateMixed pins that one failing analysis fails the gate
+// while the other checks still report individually.
+func TestGateEvaluateMixed(t *testing.T) {
+	gate := GateSpec{MaxFlagRate: f64(0.1)}
+	d := gate.Evaluate([]*Finding{
+		verifyFinding(Proved),
+		{Kind: KindMonitorAudit, Monitor: &MonitorFinding{FlaggedFraction: 0.5}},
+	})
+	if d.Pass {
+		t.Fatal("gate passed with a failing audit")
+	}
+	if !d.Checks[0].Pass || d.Checks[1].Pass {
+		t.Fatalf("checks: %+v", d.Checks)
+	}
+	if d.Checks[1].Analysis != 1 || d.Checks[1].Kind != KindMonitorAudit {
+		t.Fatalf("check attribution: %+v", d.Checks[1])
+	}
+}
+
+func TestGateSpecValidate(t *testing.T) {
+	verify := AnalysisSpec{Kind: KindVerify, Properties: []PropertySpec{
+		{Kind: "at_most", Output: new(int), Threshold: f64(1)},
+	}}
+	good := GateSpec{Analyses: []AnalysisSpec{verify}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []GateSpec{
+		{},
+		{Analyses: []AnalysisSpec{{Kind: "nope"}}},
+		{Analyses: []AnalysisSpec{verify}, MaxFlagRate: f64(1.5)},
+		{Analyses: []AnalysisSpec{verify}, MaxFlagRate: f64(math.NaN())},
+		{Analyses: []AnalysisSpec{verify}, MinNeuronCoverage: f64(-0.1)},
+		{Analyses: []AnalysisSpec{verify}, MaxBoundDrift: f64(-1)},
+		{Analyses: []AnalysisSpec{verify}, TimeoutMS: -1},
+	}
+	for i, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Fatalf("case %d: invalid gate validated", i)
+		}
+	}
+}

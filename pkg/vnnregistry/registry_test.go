@@ -1,0 +1,454 @@
+package vnnregistry
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/pkg/vnn"
+)
+
+// absNet is the |x1 − x2| network: over [0, 1]² its output lies in
+// [0, 1], so "at_most 1.5" is provable and "at_most 0.5" is violated —
+// a one-property gate in both polarities.
+func absNet() *vnn.Network {
+	return &nn.Network{Name: "absdiff", Layers: []*nn.Layer{
+		{W: [][]float64{{1, -1}, {-1, 1}}, B: []float64{0, 0}, Act: nn.ReLU},
+		{W: [][]float64{{1, 1}}, B: []float64{0}, Act: nn.Identity},
+	}}
+}
+
+// scaledNet is absNet with the output doubled — a distinct fingerprint
+// whose outputs are trivially distinguishable from absNet's.
+func scaledNet() *vnn.Network {
+	return &nn.Network{Name: "absdiff2", Layers: []*nn.Layer{
+		{W: [][]float64{{1, -1}, {-1, 1}}, B: []float64{0, 0}, Act: nn.ReLU},
+		{W: [][]float64{{2, 2}}, B: []float64{0}, Act: nn.Identity},
+	}}
+}
+
+func testConfig(dir string, compiles *atomic.Int64) Config {
+	return Config{
+		Dir: dir,
+		Compile: func(ctx context.Context, fp string, net *vnn.Network, region *vnn.Region, opts vnn.Options) (*vnn.CompiledNetwork, bool, error) {
+			if compiles != nil {
+				compiles.Add(1)
+			}
+			cn, err := vnn.Compile(ctx, net, region, opts)
+			return cn, false, err
+		},
+		BuildMonitor: func(ctx context.Context, wfp string, cn *vnn.CompiledNetwork, data [][]float64, opts vnn.MonitorOptions) (*vnn.Monitor, bool, error) {
+			m, err := vnn.BuildMonitor(cn, data, opts)
+			return m, false, err
+		},
+	}
+}
+
+func newReady(t *testing.T, cfg Config) *Registry {
+	t.Helper()
+	r := New(cfg)
+	if r.Ready() {
+		t.Fatal("registry ready before Recover")
+	}
+	if err := r.Recover(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Ready() || r.ReadyReason() != "" {
+		t.Fatalf("not ready after Recover: %q", r.ReadyReason())
+	}
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
+func submission(t *testing.T, model string, net *vnn.Network, gate *vnn.GateSpec) Submission {
+	t.Helper()
+	netJSON, err := vnn.MarshalNetwork(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := vnn.RegionSpec{Box: [][2]float64{{0, 1}, {0, 1}}}
+	region, err := spec.Region()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := vnn.Fingerprint(net, region, vnn.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Submission{
+		Model: model, NetworkJSON: netJSON, Net: net, Region: region,
+		RegionSpec: spec, Fingerprint: fp, Gate: gate,
+	}
+}
+
+func gateSpec(t *testing.T, raw string) *vnn.GateSpec {
+	t.Helper()
+	g := new(vnn.GateSpec)
+	if err := json.Unmarshal([]byte(raw), g); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// admit submits and gates a version, requiring admission.
+func admit(t *testing.T, r *Registry, sub Submission) *Version {
+	t.Helper()
+	v, err := r.Submit(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.RunGate(context.Background(), v, GateRunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Doc.State != string(StateAdmitted) {
+		t.Fatalf("gate left version in state %s: %+v", res.Doc.State, res.Doc.Gate)
+	}
+	return v
+}
+
+func TestLifecyclePromoteRollback(t *testing.T) {
+	r := newReady(t, testConfig("", nil))
+	v1 := admit(t, r, submission(t, "m", absNet(), nil))
+
+	// Canary with no live version is illegal: there is nothing to split
+	// traffic with.
+	if _, err := r.Promote("m", v1.Seq(), 25); !errors.Is(err, ErrBadTransition) {
+		t.Fatalf("canary without live: %v", err)
+	}
+	doc, err := r.Promote("m", 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.State != string(StateLive) || doc.Version != 1 {
+		t.Fatalf("promote: %+v", doc)
+	}
+	// Re-promoting the live version is a no-op error, not a new transition.
+	if _, err := r.Promote("m", 1, 100); !errors.Is(err, ErrBadTransition) {
+		t.Fatalf("re-promote live: %v", err)
+	}
+
+	admit(t, r, submission(t, "m", scaledNet(), nil))
+	doc, err = r.Promote("m", 2, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.State != string(StateCanary) || doc.CanaryPercent != 30 {
+		t.Fatalf("canary: %+v", doc)
+	}
+	// Full cutover retires v1 and remembers it as the rollback target.
+	doc, err = r.Promote("m", 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.State != string(StateLive) || doc.Version != 2 {
+		t.Fatalf("cutover: %+v", doc)
+	}
+	md, err := r.Model("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if md.Live != 2 || md.PreviousLive != 1 || md.Versions[0].State != string(StateRetired) {
+		t.Fatalf("post-cutover doc: %+v", md)
+	}
+
+	// Rollback is symmetric: v1 serves again, v2 becomes the new target.
+	doc, err = r.Rollback("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Version != 1 || doc.State != string(StateLive) {
+		t.Fatalf("rollback: %+v", doc)
+	}
+	doc, err = r.Rollback("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Version != 2 || doc.State != string(StateLive) {
+		t.Fatalf("second rollback: %+v", doc)
+	}
+
+	// The audit history must record every step of the dance.
+	md, _ = r.Model("m")
+	var steps []string
+	for _, tr := range md.Versions[0].Transitions {
+		steps = append(steps, tr.To)
+	}
+	want := []string{"pending", "admitted", "live", "retired", "live", "retired"}
+	if got := strings.Join(steps, ","); got != strings.Join(want, ",") {
+		t.Fatalf("v1 history %s, want %s", got, strings.Join(want, ","))
+	}
+}
+
+func TestGateRejectsViolatedProperty(t *testing.T) {
+	r := newReady(t, testConfig("", nil))
+	gate := gateSpec(t, `{"analyses":[{"kind":"verify","properties":[{"kind":"at_most","output":0,"threshold":0.5}]}]}`)
+	v, err := r.Submit(submission(t, "m", absNet(), gate))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.RunGate(context.Background(), v, GateRunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Doc.State != string(StateRejected) {
+		t.Fatalf("violated gate admitted the version: %+v", res.Doc)
+	}
+	if res.Doc.Gate == nil || res.Doc.Gate.Pass || res.Doc.Gate.FailReason() == "" {
+		t.Fatalf("decision: %+v", res.Doc.Gate)
+	}
+	// A rejected version never routes; the model is known but unservable.
+	if _, err := r.Resolve("m", [][]float64{{0.5, 0.5}}); !errors.Is(err, ErrNoServing) {
+		t.Fatalf("resolve after rejection: %v", err)
+	}
+	// Rejected versions cannot be promoted around the gate.
+	if _, err := r.Promote("m", v.Seq(), 100); !errors.Is(err, ErrBadTransition) {
+		t.Fatalf("promote rejected: %v", err)
+	}
+	// The gate cannot be re-run on a decided version.
+	if _, err := r.RunGate(context.Background(), v, GateRunOptions{}); !errors.Is(err, ErrBadTransition) {
+		t.Fatalf("re-run gate: %v", err)
+	}
+}
+
+func TestGateAdmitsProvedPropertyWithMonitor(t *testing.T) {
+	r := newReady(t, testConfig("", nil))
+	gate := gateSpec(t, `{"analyses":[
+		{"kind":"verify","properties":[{"kind":"at_most","output":0,"threshold":1.5}]},
+		{"kind":"monitor_audit","data":[[0.9,0.1],[0.1,0.9]],"gamma":0}],
+		"max_flag_rate":1.0}`)
+	sub := submission(t, "m", absNet(), gate)
+	sub.MonitorData = [][]float64{{0.9, 0.1}, {0.1, 0.9}}
+	v, err := r.Submit(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.RunGate(context.Background(), v, GateRunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Doc.State != string(StateAdmitted) {
+		t.Fatalf("state %s: %+v", res.Doc.State, res.Doc.Gate)
+	}
+	if res.Doc.MonitorFingerprint == "" {
+		t.Fatal("admitted version lost its serving monitor")
+	}
+	if len(res.Findings) != 2 {
+		t.Fatalf("%d findings for a 2-analysis gate", len(res.Findings))
+	}
+	if _, err := r.Promote("m", 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	sv, err := r.Resolve("m", [][]float64{{0.9, 0.1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv.Monitor == nil || sv.CN == nil || sv.Route != "live" {
+		t.Fatalf("resolved version not warm: %+v", sv)
+	}
+}
+
+func TestRouteHashDeterministic(t *testing.T) {
+	a := [][]float64{{0.25, 0.75}, {1, 0}}
+	if routeHash(a) != routeHash([][]float64{{0.25, 0.75}, {1, 0}}) {
+		t.Fatal("identical inputs hash differently")
+	}
+	if routeHash(a) == routeHash([][]float64{{0.75, 0.25}, {1, 0}}) {
+		t.Fatal("distinct inputs collide (content-insensitive hash)")
+	}
+}
+
+func TestCanaryRoutingDeterministicAndMonotone(t *testing.T) {
+	r := newReady(t, testConfig("", nil))
+	admit(t, r, submission(t, "m", absNet(), nil))
+	if _, err := r.Promote("m", 1, 100); err != nil {
+		t.Fatal(err)
+	}
+	admit(t, r, submission(t, "m", scaledNet(), nil))
+	if _, err := r.Promote("m", 2, 40); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	inputs := make([][][]float64, 300)
+	for i := range inputs {
+		inputs[i] = [][]float64{{rng.Float64(), rng.Float64()}}
+	}
+	canaryAt40 := make(map[int]bool)
+	for i, in := range inputs {
+		first, err := r.Resolve("m", in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rep := 0; rep < 3; rep++ {
+			again, err := r.Resolve("m", in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again.Version != first.Version || again.Route != first.Route {
+				t.Fatalf("input %d: routing flapped between identical requests", i)
+			}
+		}
+		canaryAt40[i] = first.Route == "canary"
+	}
+	var canaries int
+	for _, c := range canaryAt40 {
+		if c {
+			canaries++
+		}
+	}
+	// The share is a hash property, not a sampler: just require both
+	// sides populated and the fraction in a generous band around 40%.
+	if canaries < len(inputs)/5 || canaries > len(inputs)*3/5 {
+		t.Fatalf("%d of %d requests routed to a 40%% canary", canaries, len(inputs))
+	}
+
+	// Growing the canary never moves a request off it: buckets below 40
+	// are also below 80.
+	if _, err := r.Promote("m", 2, 80); err != nil {
+		t.Fatal(err)
+	}
+	for i, in := range inputs {
+		sv, err := r.Resolve("m", in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if canaryAt40[i] && sv.Route != "canary" {
+			t.Fatalf("input %d left the canary when its share grew", i)
+		}
+	}
+}
+
+func TestPersistenceRecovery(t *testing.T) {
+	dir := t.TempDir()
+	r1 := newReady(t, testConfig(dir, nil))
+	admit(t, r1, submission(t, "m", absNet(), nil))
+	if _, err := r1.Promote("m", 1, 100); err != nil {
+		t.Fatal(err)
+	}
+	admit(t, r1, submission(t, "m", scaledNet(), nil))
+	if _, err := r1.Promote("m", 2, 25); err != nil {
+		t.Fatal(err)
+	}
+	// A third version is left pending: the "crash mid-gate" case.
+	if _, err := r1.Submit(submission(t, "m", absNet(), nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The snapshot and audit log must both exist and be well-formed.
+	raw, err := os.ReadFile(filepath.Join(dir, snapshotFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap snapshotJSON
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Schema != snapshotSchema || len(snap.Models) != 1 || len(snap.Models[0].Versions) != 3 {
+		t.Fatalf("snapshot: schema %q, %d models", snap.Schema, len(snap.Models))
+	}
+	logRaw, err := os.ReadFile(filepath.Join(dir, transitionsLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(logRaw)), "\n")
+	// 3 submissions + admit×2 + live + canary = 7 lifecycle steps.
+	if len(lines) != 7 {
+		t.Fatalf("%d transition-log lines, want 7:\n%s", len(lines), logRaw)
+	}
+	for _, line := range lines {
+		var rec transitionRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("transition line %q: %v", line, err)
+		}
+	}
+
+	var compiles atomic.Int64
+	r2 := newReady(t, testConfig(dir, &compiles))
+	md, err := r2.Model("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if md.Live != 1 || md.Canary != 2 || md.CanaryPercent != 25 {
+		t.Fatalf("recovered routing: %+v", md)
+	}
+	v3 := md.Versions[2]
+	if v3.State != string(StateRejected) || !strings.Contains(v3.GateError, "interrupted") {
+		t.Fatalf("interrupted pending version recovered as %q (%q)", v3.State, v3.GateError)
+	}
+	// Only the routable versions recompile; the interrupted one is dead.
+	if n := compiles.Load(); n != 2 {
+		t.Fatalf("recovery ran %d compiles, want 2", n)
+	}
+	if _, err := r2.Resolve("m", [][]float64{{0.3, 0.7}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNotReadyBeforeRecover(t *testing.T) {
+	r := New(testConfig("", nil))
+	if _, err := r.Submit(submission(t, "m", absNet(), nil)); !errors.Is(err, ErrNotReady) {
+		t.Fatalf("submit before recover: %v", err)
+	}
+	if _, err := r.Resolve("m", [][]float64{{0, 0}}); !errors.Is(err, ErrNotReady) {
+		t.Fatalf("resolve before recover: %v", err)
+	}
+	if _, err := r.Promote("m", 0, 100); !errors.Is(err, ErrNotReady) {
+		t.Fatalf("promote before recover: %v", err)
+	}
+	if reason := r.ReadyReason(); !strings.Contains(reason, "in progress") {
+		t.Fatalf("ready reason %q", reason)
+	}
+}
+
+func TestRecoverFailureParksNotReady(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, snapshotFile), []byte(`{"schema":"bogus/v9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := New(testConfig(dir, nil))
+	if err := r.Recover(context.Background()); err == nil {
+		t.Fatal("recover accepted a foreign schema")
+	}
+	if r.Ready() {
+		t.Fatal("registry ready after failed recovery")
+	}
+	if reason := r.ReadyReason(); !strings.Contains(reason, "recovery failed") {
+		t.Fatalf("ready reason %q", reason)
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	r := newReady(t, testConfig("", nil))
+	if _, err := r.Resolve("ghost", [][]float64{{0, 0}}); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("unknown model: %v", err)
+	}
+	if _, err := r.Submit(submission(t, "m", absNet(), nil)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Resolve("m", [][]float64{{0, 0}}); !errors.Is(err, ErrNoServing) {
+		t.Fatalf("pending-only model: %v", err)
+	}
+	if _, err := r.Rollback("m"); !errors.Is(err, ErrBadTransition) {
+		t.Fatalf("rollback without live: %v", err)
+	}
+	if _, err := r.Promote("m", 9, 100); !errors.Is(err, ErrUnknownVersion) {
+		t.Fatalf("unknown version: %v", err)
+	}
+	if _, err := r.Promote("m", 1, 101); err == nil {
+		t.Fatal("promote accepted canary_percent 101")
+	}
+}

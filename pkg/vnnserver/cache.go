@@ -5,6 +5,7 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/pkg/vnn"
 )
@@ -48,6 +49,8 @@ type cacheEntry struct {
 	// written before ready closes; eviction only reads it for completed
 	// entries, so the channel close orders the access.
 	bytes int64
+	// added timestamps the entry's insertion (the GET /v1/workloads age).
+	added time.Time
 }
 
 // NewCache builds a cache holding at most capacity compiled networks
@@ -87,7 +90,7 @@ func (c *Cache) GetOrCompile(ctx context.Context, key string, compile func() (*v
 			return nil, true, ctx.Err()
 		}
 	}
-	e := &cacheEntry{key: key, ready: make(chan struct{})}
+	e := &cacheEntry{key: key, ready: make(chan struct{}), added: time.Now()}
 	el := c.order.PushFront(e)
 	c.entries[key] = el
 	c.misses.Add(1)
@@ -156,6 +159,33 @@ func (c *Cache) Keys() []string {
 	return out
 }
 
+// cachedArtifact is one completed entry's index row — the raw material of
+// GET /v1/workloads (see workloads.go).
+type cachedArtifact struct {
+	key   string
+	bytes int64
+	added time.Time
+}
+
+// entriesInfo snapshots every completed, successful entry without
+// touching LRU order or hit counters.
+func (c *Cache) entriesInfo() []cachedArtifact {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]cachedArtifact, 0, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*cacheEntry)
+		select {
+		case <-e.ready:
+			if e.err == nil {
+				out = append(out, cachedArtifact{key: e.key, bytes: e.bytes, added: e.added})
+			}
+		default:
+		}
+	}
+	return out
+}
+
 // Peek returns the completed entry cached under key without touching
 // LRU order or hit/miss counters — a read-only export lookup, not a
 // serving access.
@@ -187,7 +217,7 @@ func (c *Cache) Import(key string, cn *vnn.CompiledNetwork) bool {
 	if _, ok := c.entries[key]; ok {
 		return false
 	}
-	e := &cacheEntry{key: key, ready: make(chan struct{}), cn: cn, bytes: cn.SizeBytes()}
+	e := &cacheEntry{key: key, ready: make(chan struct{}), cn: cn, bytes: cn.SizeBytes(), added: time.Now()}
 	close(e.ready)
 	c.entries[key] = c.order.PushFront(e)
 	c.bytes.Add(e.bytes)

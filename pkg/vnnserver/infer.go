@@ -46,6 +46,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/pkg/vnn"
+	"repro/pkg/vnnregistry"
 )
 
 const (
@@ -84,6 +85,15 @@ type InferMonitorSpec struct {
 
 // InferRequest is the POST /v1/infer body.
 type InferRequest struct {
+	// Model serves through the verified-rollout registry instead of a
+	// client-supplied workload: the request routes deterministically to
+	// the model's live or canary version (see vnnregistry.Resolve) and
+	// runs under that version's certified artifact and monitor. Also
+	// settable as the ?model= query parameter (they must agree when both
+	// are present). Mutually exclusive with Network, Fingerprint,
+	// Monitor and MonitorFingerprint — the registry owns artifact
+	// selection for routed requests.
+	Model string `json:"model,omitempty"`
 	// Network is the canonical network JSON (see vnn.MarshalNetwork).
 	// It may be omitted when Fingerprint names a workload this server
 	// has already seen — the cached network, region and options are
@@ -133,6 +143,11 @@ type InferResponse struct {
 	// CacheHit reports whether the monitored path reused a cached compile.
 	Fingerprint string `json:"fingerprint"`
 	CacheHit    bool   `json:"cache_hit"`
+	// Model, ModelVersion and Route identify the registry version that
+	// served a ?model= request; Route is "live" or "canary".
+	Model        string `json:"model,omitempty"`
+	ModelVersion int    `json:"model_version,omitempty"`
+	Route        string `json:"route,omitempty"`
 	// MonitorFingerprint is the content hash of the monitor that checked
 	// this batch; MonitorCacheHit reports whether it was reused.
 	MonitorFingerprint string `json:"monitor_fingerprint,omitempty"`
@@ -162,6 +177,35 @@ type preparedInfer struct {
 	// monitorContentFP is set for by-fingerprint monitored requests: the
 	// content hash of an already-built monitor to serve through.
 	monitorContentFP string
+}
+
+// prepareModelInfer validates and routes a registry-served infer request:
+// the model name resolves through the atomically-published route table to
+// a certified version whose compiled artifact and monitor are already
+// warm. Registry sentinel errors pass through for status mapping
+// (registryStatus); everything else is the client's fault.
+func (s *Server) prepareModelInfer(req *InferRequest, name string) (*preparedInfer, *vnnregistry.Resolved, error) {
+	if len(req.Network) > 0 || req.Fingerprint != "" || req.Monitor != nil || req.MonitorFingerprint != "" {
+		return nil, nil, fmt.Errorf("a model request routes through the registry: network, fingerprint and monitor fields must be empty")
+	}
+	if len(req.Inputs) == 0 {
+		return nil, nil, fmt.Errorf("request needs at least one input")
+	}
+	if len(req.Inputs) > maxInferBatch {
+		return nil, nil, fmt.Errorf("batch of %d inputs exceeds the %d cap", len(req.Inputs), maxInferBatch)
+	}
+	sv, err := s.registry.Resolve(name, req.Inputs)
+	if err != nil {
+		return nil, nil, err
+	}
+	net := sv.CN.Net()
+	dim := net.InputDim()
+	for i, x := range req.Inputs {
+		if len(x) != dim {
+			return nil, nil, fmt.Errorf("input %d has dimension %d, network input %d", i, len(x), dim)
+		}
+	}
+	return &preparedInfer{net: net, region: sv.CN.Region(), fingerprint: sv.Version.Fingerprint()}, sv, nil
 }
 
 // prepareInfer validates everything that can be the client's fault.
@@ -364,8 +408,28 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	q, err := s.prepareInfer(&req)
-	if err != nil {
+	modelName := req.Model
+	if qp := r.URL.Query().Get("model"); qp != "" {
+		if modelName != "" && modelName != qp {
+			writeError(w, http.StatusBadRequest, "model differs between query parameter and body")
+			return
+		}
+		modelName = qp
+	}
+	var q *preparedInfer
+	var sv *vnnregistry.Resolved
+	var err error
+	if modelName != "" {
+		q, sv, err = s.prepareModelInfer(&req, modelName)
+		if err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, vnnregistry.ErrNotReady) || errors.Is(err, vnnregistry.ErrUnknownModel) || errors.Is(err, vnnregistry.ErrNoServing) {
+				status = registryStatus(err)
+			}
+			writeError(w, status, err.Error())
+			return
+		}
+	} else if q, err = s.prepareInfer(&req); err != nil {
 		status := http.StatusBadRequest
 		if errors.Is(err, errUnknownFingerprint) {
 			status = http.StatusNotFound
@@ -452,6 +516,19 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.MonitorCacheHit = true
 	}
+	if sv != nil {
+		// Registry-served: the resolved version's artifacts are warm by
+		// construction (compiled at gate time or recovery), so routed
+		// requests never compile on the hot path.
+		mon = sv.Monitor
+		resp.CacheHit = true
+		resp.Model = sv.Version.Model()
+		resp.ModelVersion = sv.Version.Seq()
+		resp.Route = sv.Route
+		root.SetAttr("model", resp.Model)
+		root.SetAttr("model_version", resp.ModelVersion)
+		root.SetAttr("route", sv.Route)
+	}
 	if mon != nil {
 		resp.MonitorFingerprint = mon.Fingerprint()
 		resp.MonitorPatterns = mon.PatternCount()
@@ -490,6 +567,9 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	if sv != nil {
+		sv.Version.CountServe(len(req.Inputs), resp.Flagged)
+	}
 	// Effort counters before the request counter — the write half of the
 	// Metrics snapshot ordering guarantee (see metrics.go).
 	s.inferInputs.Add(int64(len(req.Inputs)))
@@ -598,6 +678,10 @@ type monitorEntry struct {
 	mon       *vnn.Monitor
 	err       error
 	contentFP string // set with mon, under c.mu
+	// bytes (marshaled monitor size) and added feed the GET /v1/workloads
+	// index; bytes is written before ready closes, like cacheEntry.bytes.
+	bytes int64
+	added time.Time
 }
 
 func newMonitorCache(capacity int) *monitorCache {
@@ -628,7 +712,7 @@ func (c *monitorCache) getOrBuild(ctx context.Context, key string, build func() 
 			return nil, true, ctx.Err()
 		}
 	}
-	e := &monitorEntry{key: key, ready: make(chan struct{})}
+	e := &monitorEntry{key: key, ready: make(chan struct{}), added: time.Now()}
 	c.entries[key] = e
 	c.order = append(c.order, key)
 	c.evictLocked()
@@ -636,6 +720,11 @@ func (c *monitorCache) getOrBuild(ctx context.Context, key string, build func() 
 	xInferMonitorMisses.Add(1)
 
 	e.mon, e.err = build()
+	if e.err == nil {
+		if doc, err := vnn.MarshalMonitor(e.mon); err == nil {
+			e.bytes = int64(len(doc))
+		}
+	}
 	close(e.ready)
 	c.mu.Lock()
 	if e.err != nil {
@@ -648,6 +737,26 @@ func (c *monitorCache) getOrBuild(ctx context.Context, key string, build func() 
 	}
 	c.mu.Unlock()
 	return e.mon, false, e.err
+}
+
+// entriesInfo snapshots every completed, successful monitor entry for the
+// GET /v1/workloads index (workload key, not content hash — the index
+// lists build workloads; content hashes travel in infer responses).
+func (c *monitorCache) entriesInfo() []cachedArtifact {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]cachedArtifact, 0, len(c.order))
+	for _, key := range c.order {
+		e := c.entries[key]
+		select {
+		case <-e.ready:
+			if e.err == nil {
+				out = append(out, cachedArtifact{key: e.key, bytes: e.bytes, added: e.added})
+			}
+		default:
+		}
+	}
+	return out
 }
 
 // contentKeys snapshots the content fingerprints of every completed
@@ -678,7 +787,10 @@ func (c *monitorCache) importContent(mon *vnn.Monitor) bool {
 	if _, ok := c.entries[fp]; ok {
 		return false
 	}
-	e := &monitorEntry{key: fp, ready: make(chan struct{}), mon: mon, contentFP: fp}
+	e := &monitorEntry{key: fp, ready: make(chan struct{}), mon: mon, contentFP: fp, added: time.Now()}
+	if doc, err := vnn.MarshalMonitor(mon); err == nil {
+		e.bytes = int64(len(doc))
+	}
 	close(e.ready)
 	c.entries[fp] = e
 	c.order = append(c.order, fp)

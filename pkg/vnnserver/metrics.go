@@ -6,6 +6,7 @@ import (
 	"repro/internal/milp"
 	"repro/internal/verify"
 	"repro/pkg/vnnfleet"
+	"repro/pkg/vnnregistry"
 )
 
 // Process-wide expvar counters, published once under the vnnd.*
@@ -37,6 +38,13 @@ var (
 	xInferFlagged       = expvar.NewInt("vnnd.infer.flagged")
 	xInferMonitorHits   = expvar.NewInt("vnnd.infer.monitor.hits")
 	xInferMonitorMisses = expvar.NewInt("vnnd.infer.monitor.misses")
+	// vnnd.models.* instruments the verified-rollout plane: versions
+	// submitted, gate outcomes, and lifecycle operations.
+	xModelSubmits    = expvar.NewInt("vnnd.models.submits")
+	xModelAdmitted   = expvar.NewInt("vnnd.models.admitted")
+	xModelRejected   = expvar.NewInt("vnnd.models.rejected")
+	xModelPromotions = expvar.NewInt("vnnd.models.promotions")
+	xModelRollbacks  = expvar.NewInt("vnnd.models.rollbacks")
 )
 
 // Metrics is the /metrics snapshot: cache effectiveness, admission state,
@@ -72,11 +80,14 @@ type Metrics struct {
 	Infer InferStats `json:"infer"`
 	// Fleet snapshots the replication plane: reconcile rounds, coded
 	// symbols exchanged, entries pulled/pushed, per-peer last-sync.
-	Fleet         vnnfleet.Stats `json:"fleet"`
-	Nodes         int64          `json:"nodes"`
-	LPPivots      int64          `json:"lp_pivots"`
-	EncodePasses  int64          `json:"encode_passes"`
-	TightenPasses int64          `json:"tighten_passes"`
+	Fleet vnnfleet.Stats `json:"fleet"`
+	// Registry snapshots the verified-rollout plane: readiness, versions
+	// by lifecycle state, and per-version serving/monitor counters.
+	Registry      vnnregistry.Metrics `json:"registry"`
+	Nodes         int64               `json:"nodes"`
+	LPPivots      int64               `json:"lp_pivots"`
+	EncodePasses  int64               `json:"encode_passes"`
+	TightenPasses int64               `json:"tighten_passes"`
 	// Solves counts branch-and-bound solver invocations process-wide
 	// (from internal/milp).
 	Solves int64 `json:"solves"`
@@ -144,6 +155,7 @@ func (s *Server) Metrics() Metrics {
 			Shards:    s.shardStats(),
 		},
 		Fleet:         s.fleet.Stats(),
+		Registry:      s.registry.Snapshot(),
 		Nodes:         s.nodes.Load(),
 		LPPivots:      s.pivots.Load(),
 		EncodePasses:  verify.EncodePasses(),

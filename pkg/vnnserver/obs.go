@@ -30,6 +30,7 @@ type serverObs struct {
 	analyzeLatency *obs.Histogram
 	inferLatency   *obs.Histogram
 	falsifyLatency *obs.Histogram
+	gateLatency    *obs.Histogram
 
 	// Scheduler decomposition: time spent waiting for a run slot vs
 	// running (queue-wait + run ≈ request latency for scheduled routes).
@@ -60,6 +61,7 @@ func newServerObs(cfg Config) *serverObs {
 		analyzeLatency: obs.NewHistogram("vnnd_request_duration_seconds", "Request latency by route.", 1e-9),
 		inferLatency:   obs.NewHistogram("vnnd_request_duration_seconds", "Request latency by route.", 1e-9),
 		falsifyLatency: obs.NewHistogram("vnnd_request_duration_seconds", "Request latency by route.", 1e-9),
+		gateLatency:    obs.NewHistogram("vnnd_request_duration_seconds", "Request latency by route.", 1e-9),
 		queueWait:      obs.NewHistogram("vnnd_queue_wait_seconds", "Time admitted queries wait for a run slot.", 1e-9),
 		runTime:        obs.NewHistogram("vnnd_run_seconds", "Time admitted queries spend running.", 1e-9),
 		compileTime:    obs.NewHistogram("vnnd_compile_seconds", "Compile cost on cache misses.", 1e-9),

@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"repro/internal/obs"
+	"repro/pkg/vnnregistry"
 )
 
 // wantsProm reports whether the request negotiated the Prometheus text
@@ -143,6 +144,31 @@ func (s *Server) writeProm(w http.ResponseWriter) {
 		fmt.Fprintf(w, "vnnd_infer_shard_inputs_total{lane=\"%d\"} %d\n", i, sh.Inputs)
 	}
 
+	ready := 0.0
+	if m.Registry.Ready {
+		ready = 1
+	}
+	gauge("vnnd_registry_ready", "1 once registry recovery completed.", ready)
+	gauge("vnnd_registry_models", "Registered models.", float64(m.Registry.Models))
+	promFamily(w, "vnnd_model_version_info", "Model version lifecycle state (value is always 1).", "gauge")
+	for _, v := range m.Registry.Versions {
+		fmt.Fprintf(w, "vnnd_model_version_info{model=%q,version=\"%d\",state=%q,fingerprint=%q} 1\n",
+			promEscape(v.Model), v.Version, promEscape(v.State), promEscape(v.Fingerprint))
+	}
+	modelCounter := func(name, help string, value func(vnnregistry.VersionMetric) int64) {
+		promFamily(w, name, help, "counter")
+		for _, v := range m.Registry.Versions {
+			fmt.Fprintf(w, "%s{model=%q,version=\"%d\"} %d\n",
+				name, promEscape(v.Model), v.Version, value(v))
+		}
+	}
+	modelCounter("vnnd_model_requests_total", "Infer requests served per model version.",
+		func(v vnnregistry.VersionMetric) int64 { return v.Requests })
+	modelCounter("vnnd_model_inputs_total", "Infer inputs served per model version.",
+		func(v vnnregistry.VersionMetric) int64 { return v.Inputs })
+	modelCounter("vnnd_model_flagged_total", "Monitor-flagged inputs per model version.",
+		func(v vnnregistry.VersionMetric) int64 { return v.Flagged })
+
 	counter("vnnd_fleet_rounds_total", "Reconcile rounds initiated.", m.Fleet.Rounds)
 	counter("vnnd_fleet_symbols_sent_total", "Coded symbols served to peers.", m.Fleet.SymbolsSent)
 	counter("vnnd_fleet_symbols_received_total", "Coded symbols consumed from peers.", m.Fleet.SymbolsReceived)
@@ -166,6 +192,7 @@ func (s *Server) writeProm(w http.ResponseWriter) {
 		{"/v1/analyze", s.obs.analyzeLatency},
 		{"/v1/infer", s.obs.inferLatency},
 		{"/v1/falsify", s.obs.falsifyLatency},
+		{"gate", s.obs.gateLatency},
 	} {
 		promHistogram(w, "vnnd_request_duration_seconds",
 			fmt.Sprintf("route=%q", rh.route), rh.h.Snapshot())

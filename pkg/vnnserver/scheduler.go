@@ -85,6 +85,11 @@ func (s *Scheduler) Admit() error {
 	}
 }
 
+// cancelAdmitted releases an admission token whose RunAdmitted will never
+// run — submission failed between Admit and execution, so the balancing
+// release must happen here instead.
+func (s *Scheduler) cancelAdmitted() { <-s.queue }
+
 // Run admits fn under the budget and executes it on the calling
 // goroutine. It returns ErrQueueFull when the queue is saturated, the
 // context error if ctx fires while waiting for a run slot, and otherwise

@@ -39,7 +39,20 @@
 //	                             low-latency (no queue, no SSE) — see
 //	                             InferRequest
 //	POST /v1/falsify             PGD falsification pre-pass
-//	GET  /healthz                liveness and drain state
+//	POST /v1/models              submit a named model version for the
+//	                             certification-gated rollout plane
+//	                             (pkg/vnnregistry); the gate runs async
+//	                             through the scheduler/job registry
+//	GET  /v1/models              every model's rollout document
+//	GET  /v1/models/{name}       one model's rollout document
+//	GET  /v1/models/{name}/events  SSE gate progress for a version
+//	POST /v1/models/{name}/promote rollout control: canary share or cutover
+//	POST /v1/models/{name}/rollback one-RTT swap back to the previous live
+//	GET  /v1/workloads           index of cached serving workloads
+//	GET  /healthz                liveness (always 200 while the process
+//	                             can answer; reports drain state)
+//	GET  /readyz                 readiness: 503 while draining or before
+//	                             registry recovery completes
 //	GET  /metrics                JSON metrics snapshot (see Metrics),
 //	                             including per-kind analysis counters
 //	GET  /debug/vars             standard expvar dump (vnnd.* counters)
@@ -62,6 +75,7 @@ import (
 	"repro/internal/verify"
 	"repro/pkg/vnn"
 	"repro/pkg/vnnfleet"
+	"repro/pkg/vnnregistry"
 )
 
 // Config tunes a Server. The zero value serves with sane defaults.
@@ -104,6 +118,17 @@ type Config struct {
 	// -pprof flag). Off by default: profiles expose enough about a
 	// node's workload that they are opt-in.
 	EnablePprof bool
+	// DataDir is the model registry's persistence directory (cmd/vnnd's
+	// -data-dir flag): registry.json snapshot plus transitions.log. Empty
+	// means registry state lives for the process only.
+	DataDir string
+	// DefaultGate applies to model submissions that carry no gate of
+	// their own (cmd/vnnd's -gate flag). Nil means ungated submissions
+	// are admitted without analysis.
+	DefaultGate *vnn.GateSpec
+	// Log receives operational diagnostics (registry recovery and
+	// persistence problems); nil discards them.
+	Log func(format string, args ...any)
 }
 
 // Server is the verification service. Create with New, mount as an
@@ -129,6 +154,12 @@ type Server struct {
 	// implementation); its endpoints are always mounted, its reconcile
 	// loop runs only when Config.Peers is non-empty.
 	fleet *vnnfleet.Peer
+
+	// registry is the verified-rollout plane (see registry.go for the
+	// HTTP surface): versioned models behind certification gates, served
+	// through /v1/infer?model=. Recovery runs asynchronously from New;
+	// /readyz reports its completion.
+	registry *vnnregistry.Registry
 
 	// obs is the flight recorder and histogram set (see obs.go).
 	obs *serverObs
@@ -212,7 +243,15 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/analyze/{id}", s.handleGetVerify)
 	mux.HandleFunc("GET /v1/analyze/{id}/events", s.handleEvents)
 	mux.HandleFunc("POST /v1/falsify", s.handleFalsify)
+	mux.HandleFunc("POST /v1/models", s.handleModelSubmit)
+	mux.HandleFunc("GET /v1/models", s.handleModels)
+	mux.HandleFunc("GET /v1/models/{name}", s.handleModel)
+	mux.HandleFunc("GET /v1/models/{name}/events", s.handleModelEvents)
+	mux.HandleFunc("POST /v1/models/{name}/promote", s.handleModelPromote)
+	mux.HandleFunc("POST /v1/models/{name}/rollback", s.handleModelRollback)
+	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	mux.HandleFunc("GET /debug/traces", s.handleTraces)
@@ -227,6 +266,26 @@ func New(cfg Config) *Server {
 		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
+	s.registry = vnnregistry.New(vnnregistry.Config{
+		Dir:          cfg.DataDir,
+		Compile:      s.registryCompile,
+		BuildMonitor: s.registryBuildMonitor,
+		ImportMonitor: func(m *vnn.Monitor) {
+			// Recovered serving monitors also prime the by-content monitor
+			// cache, so monitor_fingerprint requests work across restarts.
+			s.monitors.importContent(m)
+		},
+		Logf: cfg.Log,
+	})
+	// Recovery runs off the boot path so the HTTP surface is up
+	// immediately; /readyz answers 503 until it completes. The goroutine
+	// joins the drain waitgroup, and its recompiles run under queryCtx, so
+	// Drain interrupts an in-flight recovery rather than racing it.
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.registry.Recover(s.queryCtx)
+	}()
 	s.fleet = vnnfleet.NewPeer(s, vnnfleet.Options{
 		Interval: cfg.FleetInterval,
 		Recorder: s.obs.rec,
@@ -279,6 +338,9 @@ func (s *Server) Drain(grace time.Duration) {
 	}
 	s.cancelQueries()
 	s.wg.Wait()
+	// Every gate run has finished; release the transition log handle so
+	// the data dir is clean for the next process.
+	s.registry.Close()
 }
 
 // Draining reports whether Drain has been initiated.
@@ -644,6 +706,13 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown query id")
 		return
 	}
+	s.streamJob(w, r, jb)
+}
+
+// streamJob serves one job's SSE stream: replayed progress, live events,
+// and the terminal result. Shared by the verify/analyze event routes and
+// the model gate's /v1/models/{name}/events.
+func (s *Server) streamJob(w http.ResponseWriter, r *http.Request, jb *job) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		writeError(w, http.StatusInternalServerError, "response writer cannot stream")
