@@ -1,0 +1,145 @@
+// vnnctl is the fleet operator CLI: one-line-per-node status, a
+// per-tenant/per-route top view computed from two federation
+// snapshots, and distributed trace rendering — all over the public
+// HTTP surface of any single vnnd node (the federation and
+// fetch-through planes make one node's view fleet-wide).
+//
+// Usage:
+//
+//	vnnctl [-node URL] [-timeout D] status
+//	vnnctl [-node URL] [-timeout D] top [-interval D]
+//	vnnctl [-node URL] [-timeout D] trace <id>
+//
+// status asks GET /v1/fleet/metrics and prints one line per reachable
+// node: id, build version, readiness, compile-cache bytes, live
+// models. top takes TWO federation snapshots interval apart and
+// prints, per tenant and route, the request rate plus p50/p99 latency
+// over that window (histogram deltas are exact: the log2 buckets
+// subtract bucket-wise). trace fetches GET /debug/traces/{id} — job id
+// or W3C trace id — and renders the span tree, including the segments
+// other nodes recorded for the same distributed trace.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+	"repro/pkg/vnnserver"
+)
+
+func main() {
+	var (
+		node    = flag.String("node", "http://127.0.0.1:8419", "base URL of any vnnd node")
+		timeout = flag.Duration("timeout", 10*time.Second, "per-request budget")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: vnnctl [-node URL] [-timeout D] {status | top [-interval D] | trace <id>}\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	base := strings.TrimSuffix(*node, "/")
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	var err error
+	switch cmd := flag.Arg(0); cmd {
+	case "status":
+		err = cmdStatus(ctx, os.Stdout, base)
+	case "top":
+		fs := flag.NewFlagSet("top", flag.ExitOnError)
+		interval := fs.Duration("interval", 2*time.Second, "sampling window between the two snapshots")
+		fs.Parse(flag.Args()[1:])
+		// The window sleep must fit inside the request budget.
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout+*interval)
+		defer cancel()
+		err = cmdTop(ctx, os.Stdout, base, *interval)
+	case "trace":
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: vnnctl trace <id>")
+			os.Exit(2)
+		}
+		err = cmdTrace(ctx, os.Stdout, base, flag.Arg(1))
+	default:
+		fmt.Fprintf(os.Stderr, "vnnctl: unknown command %q\n", cmd)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vnnctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// getJSON fetches one URL and decodes the JSON document into v.
+func getJSON(ctx context.Context, url string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("%s: HTTP %d: %s", url, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func fetchFleet(ctx context.Context, base string) (vnnserver.FleetMetrics, error) {
+	var fm vnnserver.FleetMetrics
+	err := getJSON(ctx, base+"/v1/fleet/metrics", &fm)
+	return fm, err
+}
+
+func cmdStatus(ctx context.Context, w io.Writer, base string) error {
+	fm, err := fetchFleet(ctx, base)
+	if err != nil {
+		return err
+	}
+	renderStatus(w, fm)
+	return nil
+}
+
+func cmdTop(ctx context.Context, w io.Writer, base string, interval time.Duration) error {
+	earlier, err := fetchFleet(ctx, base)
+	if err != nil {
+		return err
+	}
+	select {
+	case <-time.After(interval):
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	later, err := fetchFleet(ctx, base)
+	if err != nil {
+		return err
+	}
+	renderTop(w, earlier, later, interval)
+	return nil
+}
+
+func cmdTrace(ctx context.Context, w io.Writer, base, id string) error {
+	var doc obs.TraceJSON
+	if err := getJSON(ctx, base+"/debug/traces/"+id, &doc); err != nil {
+		return err
+	}
+	renderTrace(w, doc)
+	return nil
+}

@@ -1,0 +1,181 @@
+// Rendering for the vnnctl subcommands, separated from the HTTP
+// fetching so the unit tests drive it with fixture documents.
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/obs"
+	"repro/pkg/vnnserver"
+)
+
+// renderStatus prints one line per node, sorted by node id, then one
+// line per unreachable peer. The "live" column lists the models whose
+// live version this node serves (model@seq).
+func renderStatus(w io.Writer, fm vnnserver.FleetMetrics) {
+	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "NODE\tVERSION\tREADY\tUPTIME\tCACHE\tLIVE MODELS")
+	ids := make([]string, 0, len(fm.Nodes))
+	for id := range fm.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		m := fm.Nodes[id]
+		ready := "no"
+		if m.Registry.Ready {
+			ready = "yes"
+		}
+		var live []string
+		for _, v := range m.Registry.Versions {
+			if v.State == "live" {
+				live = append(live, fmt.Sprintf("%s@%d", v.Model, v.Version))
+			}
+		}
+		sort.Strings(live)
+		liveCol := strings.Join(live, ",")
+		if liveCol == "" {
+			liveCol = "-"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\n",
+			id, m.Build.Version, ready,
+			(time.Duration(m.UptimeMS) * time.Millisecond).Round(time.Second),
+			fmtBytes(m.Cache.Bytes), liveCol)
+	}
+	urls := make([]string, 0, len(fm.Errors))
+	for u := range fm.Errors {
+		urls = append(urls, u)
+	}
+	sort.Strings(urls)
+	for _, u := range urls {
+		fmt.Fprintf(tw, "%s\tunreachable: %s\n", u, fm.Errors[u])
+	}
+	tw.Flush()
+}
+
+// renderTop prints the per-tenant, per-route view of the sampling
+// window between two federation snapshots: request rate, p50 and p99
+// latency. Histogram deltas are exact (bucket-wise subtraction of
+// identical log2 boundaries), so the quantiles describe ONLY the
+// window's traffic — a long-running fleet's history cannot smear them.
+func renderTop(w io.Writer, earlier, later vnnserver.FleetMetrics, window time.Duration) {
+	secs := window.Seconds()
+	if secs <= 0 {
+		secs = 1
+	}
+	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+	fmt.Fprintf(tw, "TENANT\tROUTE\tREQ/S\tP50\tP99\n")
+	tenants := make([]string, 0, len(later.Aggregate.Tenants))
+	for t := range later.Aggregate.Tenants {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	rows := 0
+	for _, t := range tenants {
+		now := later.Aggregate.Tenants[t]
+		prev := earlier.Aggregate.Tenants[t] // zero value if new this window
+		routes := make([]string, 0, len(now.Routes))
+		for rt := range now.Routes {
+			routes = append(routes, rt)
+		}
+		sort.Strings(routes)
+		for _, rt := range routes {
+			nr := now.Routes[rt]
+			delta := nr.Latency.Delta(prev.Routes[rt].Latency)
+			dReq := nr.Requests - prev.Routes[rt].Requests
+			if dReq <= 0 {
+				continue // idle this window
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%.1f\t%s\t%s\n",
+				t, rt, float64(dReq)/secs,
+				fmtSeconds(delta.Quantile(0.50)), fmtSeconds(delta.Quantile(0.99)))
+			rows++
+		}
+	}
+	if rows == 0 {
+		fmt.Fprintf(tw, "(no tenant traffic in the last %s)\n", window)
+	}
+	tw.Flush()
+}
+
+// renderTrace prints one distributed trace: the primary segment's span
+// tree, then every other segment (local siblings and peer-held ones)
+// with the node that recorded it.
+func renderTrace(w io.Writer, doc obs.TraceJSON) {
+	fmt.Fprintf(w, "trace %s", doc.TraceID)
+	if doc.ID != "" && doc.ID != doc.TraceID {
+		fmt.Fprintf(w, " (job %s)", doc.ID)
+	}
+	fmt.Fprintf(w, "  %d segment(s)\n", 1+len(doc.Segments))
+	renderSegment(w, doc)
+	// Peer segments sorted by node then route, so the tree is stable.
+	segs := append([]obs.TraceJSON(nil), doc.Segments...)
+	sort.Slice(segs, func(i, j int) bool {
+		if segs[i].Node != segs[j].Node {
+			return segs[i].Node < segs[j].Node
+		}
+		return segs[i].Route < segs[j].Route
+	})
+	for _, seg := range segs {
+		renderSegment(w, seg)
+	}
+}
+
+// renderSegment prints one node's span tree.
+func renderSegment(w io.Writer, seg obs.TraceJSON) {
+	node := seg.Node
+	if node == "" {
+		node = "?"
+	}
+	fmt.Fprintf(w, "segment node=%s route=%s span=%s", node, seg.Route, seg.SpanID)
+	if seg.ParentSpan != "" {
+		fmt.Fprintf(w, " parent=%s", seg.ParentSpan)
+	}
+	fmt.Fprintf(w, "  %.3fms\n", seg.DurationMS)
+	if seg.Root != nil {
+		renderSpan(w, seg.Root, 1)
+	}
+}
+
+// renderSpan prints one span and recurses into its children.
+func renderSpan(w io.Writer, sp *obs.SpanJSON, depth int) {
+	fmt.Fprintf(w, "%s%s  %.3fms", strings.Repeat("  ", depth), sp.Name, sp.DurationUS/1e3)
+	if len(sp.Attrs) > 0 {
+		keys := make([]string, 0, len(sp.Attrs))
+		for k := range sp.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, " %s=%v", k, sp.Attrs[k])
+		}
+	}
+	fmt.Fprintln(w)
+	for _, c := range sp.Children {
+		renderSpan(w, c, depth+1)
+	}
+}
+
+// fmtBytes renders a byte count with a binary unit.
+func fmtBytes(b int64) string {
+	const unit = 1024
+	if b < unit {
+		return fmt.Sprintf("%dB", b)
+	}
+	div, exp := int64(unit), 0
+	for n := b / unit; n >= unit; n /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f%ciB", float64(b)/float64(div), "KMGTPE"[exp])
+}
+
+// fmtSeconds renders a latency in the most readable unit.
+func fmtSeconds(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(time.Microsecond).String()
+}

@@ -287,6 +287,42 @@
 //	    static_configs:
 //	      - targets: ['localhost:8419']
 //
+// In a fleet, /v1/fleet/metrics federates: the serving node merges its
+// own snapshot with its peers' under "nodes" (keyed by -node-id) and an
+// "aggregate" whose counters are the exact sum and whose histograms are
+// the bucket-wise sum — every node shares the same log2 bucket
+// boundaries, so the merge loses nothing. It negotiates content like
+// /metrics, so one scrape job covers the whole fleet through any node:
+//
+//	scrape_configs:
+//	  - job_name: vnnd-fleet
+//	    metrics_path: /v1/fleet/metrics
+//	    params: {format: [prometheus]}
+//	    static_configs:
+//	      - targets: ['localhost:8419']
+//
+// Requests carrying an X-API-Key are accounted per tenant (requests,
+// latency, inputs, flagged, queue wait) under "tenants" in /metrics and
+// as vnnd_tenant_* series in the Prometheus rendering; keyless requests
+// count as "anonymous". Per-node label cardinality is hard-capped by
+// -tenant-cap: past the cap, new keys fold into "other", so a key-churn
+// storm cannot blow up the scrape.
+//
+// # The operator CLI: vnnctl
+//
+// cmd/vnnctl reads these planes from a terminal — point it at any node
+// and it sees the fleet through that node's federation endpoint:
+//
+//	vnnctl -node http://127.0.0.1:8419 status   # one line per node
+//	vnnctl -node http://127.0.0.1:8419 top      # per-tenant req/s, p50, p99
+//	vnnctl -node http://127.0.0.1:8419 trace q00000007
+//
+// top samples /v1/fleet/metrics twice, -interval apart, and reports
+// only the window between the snapshots (exact histogram deltas —
+// fleet history cannot smear the quantiles). trace fetches
+// /debug/traces/{id} and renders every segment of the distributed
+// trace, including ones recorded on peer nodes.
+//
 // Every request is also traced by an in-memory flight recorder: a root
 // span per request with child spans for each phase (queue wait, compile
 // cache, tighten/encode, branch-and-bound solve, monitor build, infer
@@ -304,6 +340,13 @@
 //	   {"name":"cache","children":[{"name":"compile","children":[
 //	     {"name":"tighten"},{"name":"encode"}]}]},
 //	   {"name":"solve","children":[{"name":"property/0",...}]}]}}
+//
+// Traces cross node boundaries: requests carrying a W3C traceparent
+// header join the caller's trace, every outbound fleet call injects
+// one, and /debug/traces/{id} resolves ids it does not hold locally by
+// asking peers (one hop; list filters: ?route= and ?limit=). A
+// reconcile round therefore reads as one trace id with segments on
+// both nodes — `vnnctl trace <id>` renders the whole tree.
 //
 // -slow-log 500ms logs every request slower than the threshold with its
 // trace id, so the full span tree of an outlier is one curl away.
@@ -391,6 +434,8 @@ func main() {
 		inferWorkers  = flag.Int("infer-workers", 0, "inference serving lanes for /v1/infer batch sharding (0 = GOMAXPROCS; never affects output bits)")
 		peers         = flag.String("peers", "", "comma-separated base URLs of sibling vnnd nodes to replicate caches with (empty = no reconcile loop)")
 		fleetInterval = flag.Duration("fleet-interval", 0, "fleet reconcile period, jittered per round (0 = 30s)")
+		nodeID        = flag.String("node-id", "", "stable node id used in traces, /metrics and /v1/fleet/metrics (empty = hostname plus a random suffix)")
+		tenantCap     = flag.Int("tenant-cap", 0, "distinct tenant labels tracked per node before new API keys fold into \"other\" (0 = 64)")
 		traceRing     = flag.Int("trace-ring", 0, "completed traces kept for /debug/traces (0 = 256, rounded up to a power of two)")
 		slowLog       = flag.Duration("slow-log", 0, "log any request slower than this, with its trace id (0 = off)")
 		pprofOn       = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default; profiling endpoints expose internals)")
@@ -434,6 +479,8 @@ func main() {
 		InferWorkers:   *inferWorkers,
 		Peers:          peerList,
 		FleetInterval:  *fleetInterval,
+		NodeID:         *nodeID,
+		TenantCap:      *tenantCap,
 		TraceRing:      *traceRing,
 		SlowRequest:    *slowLog,
 		SlowLog:        log.Printf,

@@ -148,6 +148,119 @@ func BucketUpper(k int) int64 {
 	return int64(1)<<uint(k) - 1
 }
 
+// HistogramJSON is the wire form of a snapshot, used by the /metrics
+// JSON document and the fleet federation plane. Buckets are the
+// NumBuckets+1 per-bucket (non-cumulative) counts; two documents with
+// the same name/scale merge by element-wise addition, which is exact —
+// log2 bucket boundaries are identical on every node by construction.
+type HistogramJSON struct {
+	Name string `json:"name,omitempty"`
+	// Route labels the request-duration family; empty elsewhere.
+	Route   string  `json:"route,omitempty"`
+	Scale   float64 `json:"scale,omitempty"`
+	Buckets []int64 `json:"buckets,omitempty"`
+	Count   int64   `json:"count"`
+	Sum     int64   `json:"sum"`
+}
+
+// JSON converts a snapshot to its wire form.
+func (s HistogramSnapshot) JSON() HistogramJSON {
+	out := HistogramJSON{Name: s.Name, Scale: s.Scale, Count: s.Count, Sum: s.Sum}
+	if out.Scale == 0 {
+		out.Scale = 1
+	}
+	out.Buckets = make([]int64, NumBuckets+1)
+	copy(out.Buckets, s.Buckets[:])
+	return out
+}
+
+// Snapshot reconstructs the fixed-array snapshot from the wire form
+// (short or missing bucket arrays read as zero), so one Prometheus
+// renderer serves both live and federated documents.
+func (j HistogramJSON) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Name: j.Name, Scale: j.Scale, Count: j.Count, Sum: j.Sum}
+	if s.Scale == 0 {
+		s.Scale = 1
+	}
+	copy(s.Buckets[:], j.Buckets)
+	return s
+}
+
+// Merge adds o into j bucket-wise. The receiver keeps its name/route;
+// scale mismatches are the caller's bug and are resolved in favour of
+// the receiver (a fleet runs one binary, so scales agree in practice).
+func (j *HistogramJSON) Merge(o HistogramJSON) {
+	if len(j.Buckets) < NumBuckets+1 {
+		b := make([]int64, NumBuckets+1)
+		copy(b, j.Buckets)
+		j.Buckets = b
+	}
+	for i, c := range o.Buckets {
+		if i > NumBuckets {
+			break
+		}
+		j.Buckets[i] += c
+	}
+	j.Count += o.Count
+	j.Sum += o.Sum
+}
+
+// Delta returns j - earlier, clamped at zero per bucket — the traffic
+// between two snapshots of one monotone histogram. vnnctl top feeds the
+// result to Quantile for interval p50/p99.
+func (j HistogramJSON) Delta(earlier HistogramJSON) HistogramJSON {
+	out := HistogramJSON{Name: j.Name, Route: j.Route, Scale: j.Scale}
+	out.Buckets = make([]int64, NumBuckets+1)
+	for i := range out.Buckets {
+		var a, b int64
+		if i < len(j.Buckets) {
+			a = j.Buckets[i]
+		}
+		if i < len(earlier.Buckets) {
+			b = earlier.Buckets[i]
+		}
+		if d := a - b; d > 0 {
+			out.Buckets[i] = d
+			out.Count += d
+		}
+	}
+	if out.Sum = j.Sum - earlier.Sum; out.Sum < 0 {
+		out.Sum = 0
+	}
+	return out
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1) in
+// exposition units (bucket upper bound × scale): the smallest bucket
+// boundary at which the cumulative count reaches q×Count. An empty
+// histogram returns 0; observations in the overflow bucket report the
+// last finite boundary (the rendering's +Inf has no finite bound).
+func (j HistogramJSON) Quantile(q float64) float64 {
+	if j.Count <= 0 {
+		return 0
+	}
+	need := int64(q * float64(j.Count))
+	if need < 1 {
+		need = 1
+	}
+	scale := j.Scale
+	if scale == 0 {
+		scale = 1
+	}
+	var cum int64
+	for i, c := range j.Buckets {
+		cum += c
+		if cum >= need {
+			k := i
+			if k > NumBuckets-1 {
+				k = NumBuckets - 1 // overflow: report the last finite bound
+			}
+			return float64(BucketUpper(k)) * scale
+		}
+	}
+	return float64(BucketUpper(NumBuckets-1)) * scale
+}
+
 // Snapshot folds all shards into one view.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	if h == nil {

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"time"
+)
+
+// RuntimeStats is the process-health block of the /metrics snapshot:
+// scheduler pressure (goroutines), memory pressure (heap in use) and
+// GC tail latency, all read from runtime/metrics so a scrape never
+// stops the world the way runtime.ReadMemStats would.
+type RuntimeStats struct {
+	Goroutines     int64   `json:"goroutines"`
+	HeapInuseBytes int64   `json:"heap_inuse_bytes"`
+	GCPauseP99MS   float64 `json:"gc_pause_p99_ms"`
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+}
+
+// runtimeSamples is the fixed sample set ReadRuntime reads. Heap in use
+// is objects + unused span space, the runtime/metrics decomposition of
+// MemStats.HeapInuse. A name a runtime version does not export reads as
+// KindBad and contributes zero — gauges degrade, nothing fails.
+var runtimeSamples = []string{
+	"/sched/goroutines:goroutines",
+	"/memory/classes/heap/objects:bytes",
+	"/memory/classes/heap/unused:bytes",
+	"/sched/pauses/total/gc:seconds",
+}
+
+// ReadRuntime samples the runtime gauges. start anchors the uptime.
+func ReadRuntime(start time.Time) RuntimeStats {
+	samples := make([]metrics.Sample, len(runtimeSamples))
+	for i, name := range runtimeSamples {
+		samples[i].Name = name
+	}
+	metrics.Read(samples)
+
+	out := RuntimeStats{UptimeSeconds: time.Since(start).Seconds()}
+	if samples[0].Value.Kind() == metrics.KindUint64 {
+		out.Goroutines = int64(samples[0].Value.Uint64())
+	}
+	for _, s := range samples[1:3] {
+		if s.Value.Kind() == metrics.KindUint64 {
+			out.HeapInuseBytes += int64(s.Value.Uint64())
+		}
+	}
+	if samples[3].Value.Kind() == metrics.KindFloat64Histogram {
+		if h := samples[3].Value.Float64Histogram(); h != nil {
+			out.GCPauseP99MS = histQuantile(h, 0.99) * 1e3
+		}
+	}
+	return out
+}
+
+// histQuantile returns an upper bound for the q-quantile of a
+// runtime/metrics histogram: the upper boundary of the bucket where the
+// cumulative count crosses q×total. The runtime's +Inf tail falls back
+// to the last finite boundary.
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	need := uint64(q * float64(total))
+	if need < 1 {
+		need = 1
+	}
+	var cum uint64
+	lastFinite := 0.0
+	for i, c := range h.Counts {
+		cum += c
+		// Bucket i spans Buckets[i]..Buckets[i+1].
+		upper := h.Buckets[i+1]
+		if !math.IsInf(upper, 1) {
+			lastFinite = upper
+		}
+		if cum >= need {
+			if math.IsInf(upper, 1) {
+				return lastFinite
+			}
+			return upper
+		}
+	}
+	return lastFinite
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/hex"
 	"fmt"
 	"sort"
 	"sync"
@@ -122,6 +123,13 @@ type Trace struct {
 	id        string
 	route     string
 	wallStart time.Time
+	// tp is this segment's W3C identity: TraceID is shared by every
+	// segment of a distributed trace (adopted from an inbound
+	// traceparent, minted otherwise), SpanID identifies this segment as
+	// a parent for calls it propagates to. parent is the remote caller's
+	// span id (zero when this segment is the trace root).
+	tp     TraceParent
+	parent [8]byte
 
 	mu       sync.Mutex
 	root     *Span
@@ -135,6 +143,25 @@ func (t *Trace) ID() string {
 		return ""
 	}
 	return t.id
+}
+
+// HexTraceID returns the 32-hex fleet-wide trace id shared by every
+// segment of a distributed trace.
+func (t *Trace) HexTraceID() string {
+	if t == nil {
+		return ""
+	}
+	return t.tp.HexTraceID()
+}
+
+// Propagation returns the traceparent to inject on outbound calls made
+// under this trace, so the callee's segment joins the same trace. A nil
+// trace returns an invalid (zero) TraceParent; callers skip injection.
+func (t *Trace) Propagation() TraceParent {
+	if t == nil {
+		return TraceParent{}
+	}
+	return t.tp
 }
 
 // Root returns the root span.
@@ -194,6 +221,9 @@ type RecorderOptions struct {
 	// SlowLog receives one line per slow trace; wired to the server's
 	// logger by cmd/vnnd's -slow-log flag.
 	SlowLog func(format string, args ...any)
+	// Node is the stable node id stamped on every rendered trace, so a
+	// fleet-merged span tree attributes each segment to its origin.
+	Node string
 }
 
 // Recorder owns the completed-trace ring and the slowest-K reservoir.
@@ -209,6 +239,7 @@ type Recorder struct {
 
 	slowThreshold time.Duration
 	slowLog       func(format string, args ...any)
+	node          string
 
 	mu       sync.Mutex
 	slowestK int
@@ -234,6 +265,7 @@ func NewRecorder(opts RecorderOptions) *Recorder {
 		mask:          uint64(n - 1),
 		slowThreshold: opts.SlowThreshold,
 		slowLog:       opts.SlowLog,
+		node:          opts.Node,
 		slowestK:      k,
 		slowest:       make(map[string][]*Trace),
 	}
@@ -243,6 +275,15 @@ func NewRecorder(opts RecorderOptions) *Recorder {
 // empty). The returned trace's root span is already running. A nil
 // recorder returns a nil trace, whose spans in turn no-op.
 func (r *Recorder) Start(route, id string) *Trace {
+	return r.StartRemote(route, id, TraceParent{})
+}
+
+// StartRemote opens a trace segment that joins the distributed trace
+// identified by an inbound traceparent: the caller's trace id is
+// adopted (so fleet-wide lookup by the shared id finds this segment)
+// and the caller's span id is recorded as the segment's remote parent.
+// An invalid parent degrades to Start — a fresh root trace.
+func (r *Recorder) StartRemote(route, id string, parent TraceParent) *Trace {
 	if r == nil {
 		return nil
 	}
@@ -250,6 +291,12 @@ func (r *Recorder) Start(route, id string) *Trace {
 		id = fmt.Sprintf("t%08d", r.ids.Add(1))
 	}
 	t := &Trace{rec: r, id: id, route: route, wallStart: time.Now()}
+	if parent.Valid() {
+		t.tp = TraceParent{TraceID: parent.TraceID, SpanID: mintSpanID(), Flags: parent.Flags | 1}
+		t.parent = parent.SpanID
+	} else {
+		t.tp = mintTraceParent()
+	}
 	t.root = &Span{tr: t, name: route, start: t.wallStart}
 	return t
 }
@@ -282,6 +329,7 @@ func (r *Recorder) publish(t *Trace) {
 // TraceSummary is the /debug/traces list entry.
 type TraceSummary struct {
 	ID         string  `json:"id"`
+	TraceID    string  `json:"trace_id"`
 	Route      string  `json:"route"`
 	Start      string  `json:"start"`
 	DurationMS float64 `json:"duration_ms"`
@@ -324,13 +372,14 @@ func (r *Recorder) Slowest() map[string][]TraceSummary {
 	return out
 }
 
-// Get finds a trace by id in the ring or the reservoir.
+// Get finds a trace by local id — or by 32-hex distributed trace id —
+// in the ring or the reservoir.
 func (r *Recorder) Get(id string) *Trace {
 	if r == nil {
 		return nil
 	}
 	for i := range r.ring {
-		if t := r.ring[i].Load(); t != nil && t.id == id {
+		if t := r.ring[i].Load(); t != nil && t.matches(id) {
 			return t
 		}
 	}
@@ -338,7 +387,7 @@ func (r *Recorder) Get(id string) *Trace {
 	defer r.mu.Unlock()
 	for _, list := range r.slowest {
 		for _, t := range list {
-			if t.id == id {
+			if t.matches(id) {
 				return t
 			}
 		}
@@ -346,24 +395,78 @@ func (r *Recorder) Get(id string) *Trace {
 	return nil
 }
 
+// Segments returns every retained trace that belongs to the given
+// distributed trace (matched by local id or 32-hex trace id), newest
+// publication first. One propagated trace id can own several local
+// segments — a fleet round serves one export per pulled entry — so the
+// by-id endpoint renders them all.
+func (r *Recorder) Segments(id string) []*Trace {
+	if r == nil {
+		return nil
+	}
+	seen := make(map[*Trace]bool)
+	var out []*Trace
+	head := r.seq.Load()
+	for i := uint64(0); i < uint64(len(r.ring)); i++ {
+		if t := r.ring[(head-1-i)&r.mask].Load(); t != nil && t.matches(id) && !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, list := range r.slowest {
+		for _, t := range list {
+			if t.matches(id) && !seen[t] {
+				seen[t] = true
+				out = append(out, t)
+			}
+		}
+	}
+	return out
+}
+
+// matches reports whether id names this trace locally (job id) or
+// fleet-wide (hex trace id). Both fields are immutable after Start.
+func (t *Trace) matches(id string) bool {
+	return t.id == id || t.tp.HexTraceID() == id
+}
+
 func (t *Trace) summary() TraceSummary {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return TraceSummary{
 		ID:         t.id,
+		TraceID:    t.tp.HexTraceID(),
 		Route:      t.route,
 		Start:      t.wallStart.UTC().Format(time.RFC3339Nano),
 		DurationMS: float64(t.dur) / 1e6,
 	}
 }
 
-// TraceJSON is the /debug/traces/{id} document: the full span tree.
+// TraceJSON is the /debug/traces/{id} document: the full span tree of
+// one segment, plus — on the primary segment of a distributed trace —
+// every other segment (local or fetched through from peers) that shares
+// its trace id.
 type TraceJSON struct {
-	ID         string    `json:"id"`
+	ID      string `json:"id"`
+	TraceID string `json:"trace_id"`
+	// Node is the stable id of the node that recorded this segment
+	// (RecorderOptions.Node; empty on unconfigured recorders).
+	Node string `json:"node,omitempty"`
+	// ParentSpan is the remote caller's span id when this segment joined
+	// a propagated trace; empty on root segments.
+	ParentSpan string    `json:"parent_span,omitempty"`
 	Route      string    `json:"route"`
 	Start      string    `json:"start"`
 	DurationMS float64   `json:"duration_ms"`
 	Root       *SpanJSON `json:"root"`
+	// SpanID is this segment's own span id — the value remote segments
+	// name in ParentSpan.
+	SpanID string `json:"span_id,omitempty"`
+	// Segments holds the other segments of the same distributed trace,
+	// filled by the serving layer (never recursively).
+	Segments []TraceJSON `json:"segments,omitempty"`
 }
 
 // SpanJSON is one rendered span. StartUS is the offset from the trace
@@ -390,13 +493,26 @@ func (t *Trace) JSON() TraceJSON {
 	if !t.finished {
 		end = time.Now()
 	}
-	return TraceJSON{
+	out := TraceJSON{
 		ID:         t.id,
+		TraceID:    t.tp.HexTraceID(),
 		Route:      t.route,
 		Start:      t.wallStart.UTC().Format(time.RFC3339Nano),
 		DurationMS: float64(end.Sub(t.root.start)) / 1e6,
 		Root:       renderSpan(t.root, t.root.start, end),
+		SpanID:     hexSpanID(t.tp.SpanID),
 	}
+	if t.rec != nil {
+		out.Node = t.rec.node
+	}
+	if t.parent != [8]byte{} {
+		out.ParentSpan = hexSpanID(t.parent)
+	}
+	return out
+}
+
+func hexSpanID(id [8]byte) string {
+	return hex.EncodeToString(id[:])
 }
 
 func renderSpan(sp *Span, traceStart, traceEnd time.Time) *SpanJSON {

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTenantCardinalityCap is the key-spraying defence: 10× the cap in
+// distinct API keys hammered concurrently must produce exactly cap+1
+// label values — the first cap distinct keys plus the overflow tenant —
+// and every request must be accounted somewhere. Run under -race in CI.
+func TestTenantCardinalityCap(t *testing.T) {
+	const cap = 8
+	ts := NewTenantSet(cap, 1e-9, "/v1/infer", "/v1/verify")
+
+	const writers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10*cap; i++ {
+				tn := ts.Tenant(fmt.Sprintf("key-%d", i))
+				tn.CountInputs(2, 1)
+				tn.ObserveQueueWait(time.Microsecond)
+				tn.Route("/v1/infer").Count(time.Millisecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	labels := ts.Labels()
+	if len(labels) != cap+1 {
+		t.Fatalf("label space = %d values %v, want cap+1 = %d", len(labels), labels, cap+1)
+	}
+	seen := map[string]bool{}
+	for _, l := range labels {
+		seen[l] = true
+	}
+	if !seen[OverflowTenant] {
+		t.Fatalf("labels %v missing overflow tenant %q", labels, OverflowTenant)
+	}
+
+	snap := ts.Snapshot()
+	if len(snap) != cap+1 {
+		t.Fatalf("snapshot has %d tenants, want %d", len(snap), cap+1)
+	}
+	var requests, inputs, flagged int64
+	for label, s := range snap {
+		r := s.Routes["/v1/infer"]
+		requests += r.Requests
+		inputs += s.Inputs
+		flagged += s.Flagged
+		if r.Requests != r.Latency.Count {
+			t.Fatalf("tenant %q: %d requests but latency count %d", label, r.Requests, r.Latency.Count)
+		}
+		if s.QueueWait.Count != r.Requests {
+			t.Fatalf("tenant %q: queue-wait count %d != requests %d", label, s.QueueWait.Count, r.Requests)
+		}
+		if _, ok := s.Routes["/v1/verify"]; ok {
+			t.Fatalf("tenant %q grew a zero-traffic route series", label)
+		}
+	}
+	total := int64(writers * 10 * cap)
+	if requests != total || inputs != 2*total || flagged != total {
+		t.Fatalf("accounted requests/inputs/flagged = %d/%d/%d, want %d/%d/%d",
+			requests, inputs, flagged, total, 2*total, total)
+	}
+	// The overflow tenant absorbed everything past the cap.
+	if other := snap[OverflowTenant]; other.Routes["/v1/infer"].Requests != int64(writers*(10*cap-cap)) {
+		t.Fatalf("overflow requests = %d, want %d", other.Routes["/v1/infer"].Requests, writers*(10*cap-cap))
+	}
+}
+
+// TestTenantAnonymousAndNil covers the empty-key mapping and the
+// nil-safety contract shared with the rest of the package.
+func TestTenantAnonymousAndNil(t *testing.T) {
+	ts := NewTenantSet(0, 1e-9, "/v1/verify")
+	anon := ts.Tenant("")
+	if anon.Label() != AnonymousTenant {
+		t.Fatalf("empty key label = %q, want %q", anon.Label(), AnonymousTenant)
+	}
+	if ts.Tenant("") != anon {
+		t.Fatal("anonymous tenant not interned")
+	}
+	if r := anon.Route("/v1/unknown"); r != nil {
+		t.Fatalf("unknown route = %v, want nil", r)
+	}
+	anon.Route("/v1/unknown").Count(time.Second) // must no-op
+
+	var nilSet *TenantSet
+	if nilSet.Tenant("x") != nil || nilSet.Snapshot() != nil || nilSet.Labels() != nil {
+		t.Fatal("nil TenantSet must no-op")
+	}
+	var nilStats *TenantStats
+	nilStats.CountInputs(1, 1)
+	nilStats.ObserveQueueWait(time.Second)
+	nilStats.Route("/v1/verify").Count(time.Second)
+}
+
+// TestTenantLookupAllocs pins the hot path: resolving a known tenant
+// and counting a request allocates nothing, the contract that keeps
+// per-tenant accounting compatible with /v1/infer's 0 allocs/op gate.
+func TestTenantLookupAllocs(t *testing.T) {
+	ts := NewTenantSet(4, 1e-9, "/v1/infer")
+	ts.Tenant("warm")
+	if n := testing.AllocsPerRun(1000, func() {
+		tn := ts.Tenant("warm")
+		tn.CountInputs(2, 0)
+		tn.Route("/v1/infer").Count(time.Millisecond)
+	}); n != 0 {
+		t.Fatalf("warm tenant accounting allocates %v/op, want 0", n)
+	}
+	// Overflow path after the cap is equally allocation-free.
+	for i := 0; i < 8; i++ {
+		ts.Tenant(fmt.Sprintf("fill-%d", i))
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		ts.Tenant("sprayed-key").CountInputs(1, 0)
+	}); n != 0 {
+		t.Fatalf("overflow tenant accounting allocates %v/op, want 0", n)
+	}
+}
+
+// TestMergeTenants pins the federation fold: counters sum, histograms
+// merge bucket-wise, disjoint tenants union.
+func TestMergeTenants(t *testing.T) {
+	a := NewTenantSet(4, 1, "/v1/infer")
+	b := NewTenantSet(4, 1, "/v1/infer")
+	a.Tenant("shared").Route("/v1/infer").Count(100)
+	a.Tenant("shared").CountInputs(3, 1)
+	a.Tenant("only-a").Route("/v1/infer").Count(200)
+	b.Tenant("shared").Route("/v1/infer").Count(400)
+	b.Tenant("shared").CountInputs(5, 2)
+
+	merged := MergeTenants(nil, a.Snapshot())
+	merged = MergeTenants(merged, b.Snapshot())
+
+	shared := merged["shared"]
+	if shared.Inputs != 8 || shared.Flagged != 3 {
+		t.Fatalf("shared inputs/flagged = %d/%d, want 8/3", shared.Inputs, shared.Flagged)
+	}
+	route := shared.Routes["/v1/infer"]
+	if route.Requests != 2 || route.Latency.Count != 2 {
+		t.Fatalf("shared requests/latency count = %d/%d, want 2/2", route.Requests, route.Latency.Count)
+	}
+	if route.Latency.Sum != 500 {
+		t.Fatalf("shared latency sum = %d, want 500", route.Latency.Sum)
+	}
+	// Bucket-wise: 100 and 400 land in distinct log2 buckets.
+	if route.Latency.Buckets[bucketOf(100)] != 1 || route.Latency.Buckets[bucketOf(400)] != 1 {
+		t.Fatalf("merged buckets wrong: %v", route.Latency.Buckets)
+	}
+	if merged["only-a"].Routes["/v1/infer"].Requests != 1 {
+		t.Fatal("only-a lost in merge")
+	}
+}

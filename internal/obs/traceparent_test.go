@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tp := mintTraceParent()
+	if !tp.Valid() {
+		t.Fatal("minted traceparent invalid")
+	}
+	s := tp.String()
+	if len(s) != 55 || !strings.HasPrefix(s, "00-") {
+		t.Fatalf("rendered header %q malformed", s)
+	}
+	got, ok := ParseTraceparent(s)
+	if !ok || got != tp {
+		t.Fatalf("round trip: %q -> %+v ok=%v, want %+v", s, got, ok, tp)
+	}
+	if got.HexTraceID() != s[3:35] {
+		t.Fatalf("HexTraceID %q != header field %q", got.HexTraceID(), s[3:35])
+	}
+}
+
+func TestTraceparentParseRejects(t *testing.T) {
+	valid := "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+	if _, ok := ParseTraceparent(valid); !ok {
+		t.Fatalf("canonical example rejected: %q", valid)
+	}
+	// Future versions with trailing fields are accepted per spec.
+	if _, ok := ParseTraceparent("cc-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra"); !ok {
+		t.Fatal("future-version header with -suffix rejected")
+	}
+	for _, bad := range []string{
+		"",
+		"00",
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331",      // no flags
+		"00-00000000000000000000000000000000-b7ad6b7169203331-01",   // zero trace id
+		"00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01",   // zero span id
+		"ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",   // forbidden version
+		"00-0af7651916cd43dd8448eb211c80319X-b7ad6b7169203331-01",   // bad hex
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01xx", // junk suffix
+	} {
+		if _, ok := ParseTraceparent(bad); ok {
+			t.Errorf("ParseTraceparent(%q) accepted", bad)
+		}
+	}
+}
+
+// TestStartRemoteJoinsTrace pins segment semantics: a segment started
+// from a propagated traceparent shares the trace id, records the
+// caller's span id as its parent, and is findable by the hex trace id
+// through Get and Segments.
+func TestStartRemoteJoinsTrace(t *testing.T) {
+	recA := NewRecorder(RecorderOptions{Ring: 8, Node: "a"})
+	recB := NewRecorder(RecorderOptions{Ring: 8, Node: "b"})
+
+	trA := recA.Start("/v1/verify", "q00000001")
+	outbound := trA.Propagation()
+	if !outbound.Valid() {
+		t.Fatal("local trace propagates an invalid traceparent")
+	}
+
+	// Simulate the peer hop through the wire format.
+	parsed, ok := ParseTraceparent(outbound.String())
+	if !ok {
+		t.Fatal("propagated header failed to parse")
+	}
+	trB := recB.StartRemote("fleet.export", "", parsed)
+	if trB.HexTraceID() != trA.HexTraceID() {
+		t.Fatalf("segment trace id %q != origin %q", trB.HexTraceID(), trA.HexTraceID())
+	}
+	trB.Finish()
+	trA.Finish()
+
+	doc := trB.JSON()
+	if doc.Node != "b" || doc.TraceID != trA.HexTraceID() {
+		t.Fatalf("segment doc node/trace_id = %q/%q", doc.Node, doc.TraceID)
+	}
+	if doc.ParentSpan == "" || doc.ParentSpan != trA.JSON().SpanID {
+		t.Fatalf("segment parent span %q, want origin span id %q", doc.ParentSpan, trA.JSON().SpanID)
+	}
+	if trA.JSON().ParentSpan != "" {
+		t.Fatal("root segment must have no parent span")
+	}
+
+	// Both lookup paths work: job id locally, hex trace id fleet-wide.
+	if got := recA.Get("q00000001"); got != trA {
+		t.Fatal("lookup by job id failed")
+	}
+	if got := recA.Get(trA.HexTraceID()); got != trA {
+		t.Fatal("lookup by hex trace id failed")
+	}
+	segs := recB.Segments(trA.HexTraceID())
+	if len(segs) != 1 || segs[0] != trB {
+		t.Fatalf("Segments returned %d traces, want the one segment", len(segs))
+	}
+
+	// An invalid parent degrades to a fresh root trace.
+	fresh := recB.StartRemote("/v1/infer", "", TraceParent{})
+	if fresh.HexTraceID() == trA.HexTraceID() || fresh.JSON().ParentSpan != "" {
+		t.Fatal("invalid parent must mint a fresh root trace")
+	}
+
+	// Nil safety for the new surface.
+	var nilTrace *Trace
+	if nilTrace.Propagation().Valid() || nilTrace.HexTraceID() != "" {
+		t.Fatal("nil trace must propagate an invalid traceparent")
+	}
+	var nilRec *Recorder
+	if nilRec.StartRemote("r", "", parsed) != nil || nilRec.Segments("x") != nil {
+		t.Fatal("nil recorder must no-op")
+	}
+}

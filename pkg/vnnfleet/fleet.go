@@ -39,6 +39,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"repro/internal/obs"
 	"repro/internal/riblt"
 	"repro/pkg/vnn"
 )
@@ -132,6 +133,23 @@ func (p *Peer) Mount(mux *http.ServeMux) {
 	mux.HandleFunc("GET /v1/workloads/{fingerprint}", p.handleExport)
 }
 
+// traceSegment records this node's side of a fleet call as a segment
+// of the caller's distributed trace: when the request carries a valid
+// W3C traceparent (stamped by the pulling peer — see propagate) and a
+// recorder is configured, the returned trace shares the caller's trace
+// id and names the caller's span as its parent. Nil (a no-op trace)
+// otherwise.
+func (p *Peer) traceSegment(r *http.Request, route string) *obs.Trace {
+	if p.opts.Recorder == nil {
+		return nil
+	}
+	tp, ok := obs.ParseTraceparent(r.Header.Get("traceparent"))
+	if !ok {
+		return nil
+	}
+	return p.opts.Recorder.StartRemote(route, "", tp)
+}
+
 // handleReconcile streams coded symbols of the local fingerprint set
 // until the puller hangs up (it decodes and closes the body) or the
 // symbol cap trips.
@@ -140,6 +158,8 @@ func (p *Peer) handleReconcile(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "node is draining")
 		return
 	}
+	seg := p.traceSegment(r, "fleet.symbols")
+	defer seg.Finish()
 	enc := riblt.NewEncoder()
 	for _, fp := range p.store.FleetFingerprints() {
 		enc.Add(riblt.Symbol(vnn.FingerprintSetHash(fp)))
@@ -179,6 +199,8 @@ func (p *Peer) handleResolve(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "node is draining")
 		return
 	}
+	seg := p.traceSegment(r, "fleet.resolve")
+	defer seg.Finish()
 	var req resolveRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("decode request: %v", err))
@@ -210,6 +232,9 @@ func (p *Peer) handleExport(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	fp := r.PathValue("fingerprint")
+	seg := p.traceSegment(r, "fleet.export")
+	seg.Root().SetAttr("fingerprint", fp)
+	defer seg.Finish()
 	exp, err := p.store.ExportEntry(fp)
 	if err != nil {
 		if errors.Is(err, ErrNotFound) {

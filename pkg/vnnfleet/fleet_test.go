@@ -9,6 +9,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // fakeStore implements Store over a plain map, with the knobs the edge
@@ -348,4 +350,85 @@ func TestRunLoopConvergesAndBacksOff(t *testing.T) {
 		t.Fatal("run loop did not exit on drain")
 	}
 	cancel()
+}
+
+// TestReconcileTracePropagation is the cross-node trace contract: one
+// reconcile round on the follower leaves ONE distributed trace whose
+// id also addresses the serving peer's recorder — the symbols, resolve
+// and per-entry export calls all carry the round's traceparent, and
+// the serving side records each as a segment naming the follower's
+// root span as its parent.
+func TestReconcileTracePropagation(t *testing.T) {
+	leader := newFakeStore(fps("traced", 3)...)
+	follower := newFakeStore()
+	recLeader := obs.NewRecorder(obs.RecorderOptions{Ring: 32, Node: "leader"})
+	recFollower := obs.NewRecorder(obs.RecorderOptions{Ring: 32, Node: "follower"})
+
+	lp := NewPeer(leader, Options{Recorder: recLeader})
+	mux := http.NewServeMux()
+	lp.Mount(mux)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+
+	p := NewPeer(follower, Options{Recorder: recFollower})
+	if _, err := p.ReconcileOnce(context.Background(), srv.URL); err != nil {
+		t.Fatal(err)
+	}
+
+	recent := recFollower.Recent()
+	if len(recent) != 1 || recent[0].Route != "fleet.reconcile" {
+		t.Fatalf("follower recorded %v, want one fleet.reconcile trace", recent)
+	}
+	tid := recent[0].TraceID
+	if tid == "" {
+		t.Fatal("reconcile trace has no W3C trace id")
+	}
+	round := recFollower.Get(tid)
+	if round == nil {
+		t.Fatal("reconcile trace not addressable by hex trace id")
+	}
+	rootSpan := round.JSON().SpanID
+
+	// The symbols handler finishes asynchronously: it keeps producing
+	// coded symbols until a write to the closed connection fails, which
+	// can land after ReconcileOnce returns on the pulling side.
+	var segs []*obs.Trace
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		segs = recLeader.Segments(tid)
+		if len(segs) >= 5 || time.Now().After(deadline) { // symbols + resolve + 3 exports
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(segs) < 5 {
+		t.Fatalf("leader recorded %d segments of trace %s, want 5", len(segs), tid)
+	}
+	routes := map[string]int{}
+	for _, seg := range segs {
+		doc := seg.JSON()
+		if doc.TraceID != tid {
+			t.Fatalf("segment trace id %q != round id %q", doc.TraceID, tid)
+		}
+		if doc.Node != "leader" {
+			t.Fatalf("segment node = %q, want leader", doc.Node)
+		}
+		if doc.ParentSpan != rootSpan {
+			t.Fatalf("segment parent span %q, want follower root %q", doc.ParentSpan, rootSpan)
+		}
+		routes[doc.Route]++
+	}
+	if routes["fleet.symbols"] != 1 || routes["fleet.resolve"] != 1 || routes["fleet.export"] != 3 {
+		t.Fatalf("segment routes = %v, want 1 symbols, 1 resolve, 3 exports", routes)
+	}
+
+	// Without a recorder on the pulling side no traceparent is minted,
+	// so the serving side records nothing new.
+	before := len(recLeader.Segments(tid))
+	quiet := NewPeer(newFakeStore(), Options{})
+	if _, err := quiet.ReconcileOnce(context.Background(), srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(recLeader.Segments(tid)); got != before {
+		t.Fatalf("untraced round grew trace %s segments %d -> %d", tid, before, got)
+	}
 }

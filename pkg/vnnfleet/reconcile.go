@@ -165,7 +165,7 @@ func (p *Peer) ReconcileOnce(ctx context.Context, base string) (RoundStats, erro
 	}
 
 	symSpan := root.Child("symbols")
-	err := p.streamSymbols(ctx, base, dec, &rs)
+	err := p.streamSymbols(ctx, base, tr, dec, &rs)
 	symSpan.SetAttr("received", rs.SymbolsReceived)
 	symSpan.SetAttr("decoded", rs.Decoded)
 	symSpan.End()
@@ -185,7 +185,7 @@ func (p *Peer) ReconcileOnce(ctx context.Context, base string) (RoundStats, erro
 	}
 
 	resolveSpan := root.Child("resolve")
-	fps, err := p.resolve(ctx, base, remote)
+	fps, err := p.resolve(ctx, base, tr, remote)
 	resolveSpan.SetAttr("resolved", len(fps))
 	resolveSpan.End()
 	if err != nil {
@@ -214,7 +214,7 @@ func (p *Peer) ReconcileOnce(ctx context.Context, base string) (RoundStats, erro
 			continue // set-hash collision or duplicate; nothing to pull
 		}
 		entrySpan := pullSpan.Child(fp)
-		err := p.pullOne(ctx, base, fp)
+		err := p.pullOne(ctx, base, tr, fp)
 		switch {
 		case err == nil:
 			entrySpan.SetAttr("outcome", "pulled")
@@ -245,14 +245,25 @@ func (p *Peer) ReconcileOnce(ctx context.Context, base string) (RoundStats, erro
 	return rs, nil
 }
 
+// propagate stamps the round trace's W3C traceparent onto an outbound
+// fleet request, so the serving peer records its side of the work as a
+// segment of the SAME distributed trace. No-op when tracing is off
+// (nil recorder → invalid traceparent).
+func propagate(req *http.Request, tr *obs.Trace) {
+	if tp := tr.Propagation(); tp.Valid() {
+		req.Header.Set("traceparent", tp.String())
+	}
+}
+
 // streamSymbols consumes the peer's coded-symbol stream into dec until
 // it decodes or the cap trips. Closing the response body early is the
 // signal the serving side keys off to stop producing.
-func (p *Peer) streamSymbols(ctx context.Context, base string, dec *riblt.Decoder, rs *RoundStats) error {
+func (p *Peer) streamSymbols(ctx context.Context, base string, tr *obs.Trace, dec *riblt.Decoder, rs *RoundStats) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/fleet/reconcile", nil)
 	if err != nil {
 		return err
 	}
+	propagate(req, tr)
 	resp, err := p.opts.Client.Do(req)
 	if err != nil {
 		return fmt.Errorf("reconcile %s: %w", base, err)
@@ -289,7 +300,7 @@ func (p *Peer) streamSymbols(ctx context.Context, base string, dec *riblt.Decode
 }
 
 // resolve maps decoded remote-only set hashes to fingerprint strings.
-func (p *Peer) resolve(ctx context.Context, base string, remote []riblt.Symbol) ([]string, error) {
+func (p *Peer) resolve(ctx context.Context, base string, tr *obs.Trace, remote []riblt.Symbol) ([]string, error) {
 	hashes := make([]string, len(remote))
 	for i, s := range remote {
 		hashes[i] = hex.EncodeToString(s[:])
@@ -303,6 +314,7 @@ func (p *Peer) resolve(ctx context.Context, base string, remote []riblt.Symbol) 
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	propagate(req, tr)
 	resp, err := p.opts.Client.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("resolve %s: %w", base, err)
@@ -324,11 +336,12 @@ func (p *Peer) resolve(ctx context.Context, base string, remote []riblt.Symbol) 
 }
 
 // pullOne fetches one workload export and imports it through the store.
-func (p *Peer) pullOne(ctx context.Context, base, fp string) error {
+func (p *Peer) pullOne(ctx context.Context, base string, tr *obs.Trace, fp string) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/workloads/"+fp, nil)
 	if err != nil {
 		return err
 	}
+	propagate(req, tr)
 	resp, err := p.opts.Client.Do(req)
 	if err != nil {
 		return fmt.Errorf("pull %s: %w", fp, err)

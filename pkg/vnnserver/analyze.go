@@ -180,12 +180,13 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	s.drainMu.Unlock()
 	jb := s.jobs.create(q.fingerprint)
 	// Trace id = job id, same as /v1/verify (see handleVerify).
-	tr := s.obs.rec.Start("/v1/analyze", jb.id)
+	tr := s.startTrace(r, "/v1/analyze", jb.id)
 	tr.Root().SetAttr("fingerprint", q.fingerprint)
 	tr.Root().SetAttr("analyses", len(q.analyses))
+	tn := s.tenantFor(r)
 
 	if !async {
-		resp, err := s.runAnalyze(r.Context(), jb, tr, q, &req)
+		resp, err := s.runAnalyze(r.Context(), jb, tr, tn, q, &req)
 		if err != nil {
 			writeError(w, statusFor(err), err.Error())
 			return
@@ -195,7 +196,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	go func() {
 		defer s.wg.Done()
-		s.runAnalyze(s.queryCtx, jb, tr, q, &req)
+		s.runAnalyze(s.queryCtx, jb, tr, tn, q, &req)
 	}()
 	writeJSON(w, http.StatusAccepted, AcceptedResponse{
 		ID: jb.id, Fingerprint: q.fingerprint, Status: "running",
@@ -207,10 +208,11 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 // performs — goes through the fingerprint-keyed cache under the server's
 // lifetime context: compiles are shared work that only drain interrupts,
 // never one impatient client.
-func (s *Server) runAnalyze(parent context.Context, jb *job, tr *obs.Trace, q *preparedAnalysis, req *AnalyzeRequest) (*AnalyzeResponse, error) {
+func (s *Server) runAnalyze(parent context.Context, jb *job, tr *obs.Trace, tn *obs.TenantStats, q *preparedAnalysis, req *AnalyzeRequest) (*AnalyzeResponse, error) {
 	start := time.Now()
 	defer tr.Finish()
 	defer observeSince(s.obs.analyzeLatency, start)
+	defer func() { tn.Route("/v1/analyze").Count(time.Since(start)) }()
 	timeout := time.Duration(req.TimeoutMS) * time.Millisecond
 	if timeout <= 0 {
 		timeout = s.cfg.DefaultTimeout
@@ -229,7 +231,7 @@ func (s *Server) runAnalyze(parent context.Context, jb *job, tr *obs.Trace, q *p
 	root := tr.Root()
 	queueSpan := root.Child("queue")
 	var resp *AnalyzeResponse
-	err := s.sched.RunAdmitted(qctx, func(ctx context.Context, fairWorkers int) error {
+	err := s.sched.RunAdmitted(qctx, tn, func(ctx context.Context, fairWorkers int) error {
 		queueSpan.End()
 		root.SetAttr("workers", fairWorkers)
 		opts := q.compileOpts

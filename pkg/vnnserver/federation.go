@@ -1,0 +1,206 @@
+// Fleet metrics federation: GET /v1/fleet/metrics merges this node's
+// /metrics snapshot with every configured peer's into one document —
+// per-node blocks preserved under "nodes" (keyed by each node's stable
+// id), plus an "aggregate" block where counters sum exactly and
+// histograms merge bucket-wise (log2 boundaries are identical on every
+// node by construction, so the merge is elementwise addition — see
+// internal/obs). The same content negotiation as /metrics applies:
+// JSON by default, Prometheus text exposition of the aggregate with
+// Accept: text/plain or ?format=prometheus.
+//
+// Federation is one-hop by design: a node asks its peers for their
+// LOCAL snapshots (never their federated view), so a fully-connected
+// fleet cannot loop and a partially-connected one degrades to what the
+// asked node can see. Unreachable peers land in "errors" instead of
+// failing the document.
+
+package vnnserver
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// fleetFetchTimeout bounds each peer metrics/trace fetch; a slow peer
+// delays the federated document, never hangs it.
+const fleetFetchTimeout = 5 * time.Second
+
+// FleetMetrics is the GET /v1/fleet/metrics document.
+type FleetMetrics struct {
+	// Node is the serving node's id (whose view this is).
+	Node string `json:"node"`
+	// Nodes maps stable node id -> that node's full local snapshot.
+	Nodes map[string]Metrics `json:"nodes"`
+	// Errors maps peer base URL -> fetch error for unreachable peers.
+	Errors map[string]string `json:"errors,omitempty"`
+	// Aggregate is the fleet-wide merge: counters summed, histograms
+	// merged bucket-wise, tenants merged by label. Per-node-identity
+	// fields (build, registry, shards, scheduler capacities) are not
+	// meaningful fleet-wide and stay zero; read them per node.
+	Aggregate Metrics `json:"aggregate"`
+}
+
+func (s *Server) handleFleetMetrics(w http.ResponseWriter, r *http.Request) {
+	local := s.Metrics()
+	fm := FleetMetrics{
+		Node:  s.nodeID,
+		Nodes: map[string]Metrics{local.Node: local},
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), fleetFetchTimeout)
+	defer cancel()
+	for _, base := range s.cfg.Peers {
+		pm, err := fetchPeerMetrics(ctx, base)
+		if err != nil {
+			if fm.Errors == nil {
+				fm.Errors = make(map[string]string)
+			}
+			fm.Errors[base] = err.Error()
+			continue
+		}
+		key := pm.Node
+		if key == "" {
+			key = base // pre-federation peer: fall back to its URL
+		}
+		fm.Nodes[key] = pm
+	}
+	for _, m := range fm.Nodes {
+		mergeMetrics(&fm.Aggregate, m)
+	}
+	if wantsProm(r) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		writePromFrom(w, fm.Aggregate)
+		return
+	}
+	writeJSON(w, http.StatusOK, fm)
+}
+
+// fetchPeerMetrics pulls one peer's local /metrics JSON document.
+func fetchPeerMetrics(ctx context.Context, base string) (Metrics, error) {
+	var m Metrics
+	body, err := fleetGet(ctx, strings.TrimSuffix(base, "/")+"/metrics")
+	if err != nil {
+		return m, err
+	}
+	if err := json.Unmarshal(body, &m); err != nil {
+		return m, fmt.Errorf("decode metrics: %w", err)
+	}
+	return m, nil
+}
+
+// fleetGet performs one bounded intra-fleet GET and returns the body.
+func fleetGet(ctx context.Context, url string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(http.MaxBytesReader(nil, resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	return body, nil
+}
+
+// mergeMetrics folds src into dst for the fleet aggregate: every
+// cumulative counter sums exactly; histograms merge bucket-wise on
+// (name, route); tenants merge by label through obs.MergeTenants.
+// Gauges that describe one process (runtime) aggregate conservatively:
+// goroutines and heap sum (fleet footprint), GC pause p99 and uptime
+// take the max (the fleet is as old as its oldest node, as slow as its
+// worst pause). Identity fields (Build, Node, Registry, Shards,
+// scheduler capacities) are per-node facts and are left out.
+func mergeMetrics(dst *Metrics, src Metrics) {
+	dst.Queries += src.Queries
+	dst.AnalyzeRequests += src.AnalyzeRequests
+	dst.Falsifications += src.Falsifications
+	if len(src.Analyses) > 0 && dst.Analyses == nil {
+		dst.Analyses = make(map[string]int64, len(src.Analyses))
+	}
+	for k, v := range src.Analyses {
+		dst.Analyses[k] += v
+	}
+
+	dst.Cache.Hits += src.Cache.Hits
+	dst.Cache.Misses += src.Cache.Misses
+	dst.Cache.Evictions += src.Cache.Evictions
+	dst.Cache.Size += src.Cache.Size
+	dst.Cache.Bytes += src.Cache.Bytes
+
+	dst.Scheduler.Active += src.Scheduler.Active
+	dst.Scheduler.Queued += src.Scheduler.Queued
+	dst.Scheduler.Rejected += src.Scheduler.Rejected
+	dst.Scheduler.Completed += src.Scheduler.Completed
+
+	dst.Infer.Requests += src.Infer.Requests
+	dst.Infer.Inputs += src.Infer.Inputs
+	dst.Infer.Flagged += src.Infer.Flagged
+	dst.Infer.Monitors += src.Infer.Monitors
+	dst.Infer.Workloads += src.Infer.Workloads
+
+	dst.Fleet.Rounds += src.Fleet.Rounds
+	dst.Fleet.SymbolsSent += src.Fleet.SymbolsSent
+	dst.Fleet.SymbolsReceived += src.Fleet.SymbolsReceived
+	dst.Fleet.EntriesPulled += src.Fleet.EntriesPulled
+	dst.Fleet.EntriesPushed += src.Fleet.EntriesPushed
+	dst.Fleet.PullRejected += src.Fleet.PullRejected
+	dst.Fleet.PullSkipped += src.Fleet.PullSkipped
+
+	dst.Nodes += src.Nodes
+	dst.LPPivots += src.LPPivots
+	dst.EncodePasses += src.EncodePasses
+	dst.TightenPasses += src.TightenPasses
+	dst.Solves += src.Solves
+
+	dst.Runtime.Goroutines += src.Runtime.Goroutines
+	dst.Runtime.HeapInuseBytes += src.Runtime.HeapInuseBytes
+	if src.Runtime.GCPauseP99MS > dst.Runtime.GCPauseP99MS {
+		dst.Runtime.GCPauseP99MS = src.Runtime.GCPauseP99MS
+	}
+	if src.Runtime.UptimeSeconds > dst.Runtime.UptimeSeconds {
+		dst.Runtime.UptimeSeconds = src.Runtime.UptimeSeconds
+	}
+	if src.UptimeMS > dst.UptimeMS {
+		dst.UptimeMS = src.UptimeMS
+	}
+
+	dst.Tenants = obs.MergeTenants(dst.Tenants, src.Tenants)
+	dst.Histograms = mergeHistograms(dst.Histograms, src.Histograms)
+}
+
+// mergeHistograms folds src's wire-form histograms into dst, matching
+// entries on (name, route) and appending families dst has not seen.
+// Bucket boundaries are identical on every node (log2 by
+// construction), so matched entries add elementwise.
+func mergeHistograms(dst, src []obs.HistogramJSON) []obs.HistogramJSON {
+	for _, sh := range src {
+		merged := false
+		for i := range dst {
+			if dst[i].Name == sh.Name && dst[i].Route == sh.Route {
+				dst[i].Merge(sh)
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			cp := sh
+			cp.Buckets = append([]int64(nil), sh.Buckets...)
+			dst = append(dst, cp)
+		}
+	}
+	return dst
+}

@@ -454,7 +454,8 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	defer stop()
 
 	start := time.Now()
-	tr := s.obs.rec.Start("/v1/infer", "")
+	tr := s.startTrace(r, "/v1/infer", "")
+	tn := s.tenantFor(r)
 	root := tr.Root()
 	root.SetAttr("fingerprint", q.fingerprint)
 	root.SetAttr("batch", len(req.Inputs))
@@ -568,10 +569,12 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if sv != nil {
-		sv.Version.CountServe(len(req.Inputs), resp.Flagged)
+		sv.Version.CountServeTenant(tn.Label(), len(req.Inputs), resp.Flagged)
 	}
 	// Effort counters before the request counter — the write half of the
-	// Metrics snapshot ordering guarantee (see metrics.go).
+	// Metrics snapshot ordering guarantee (see metrics.go). The tenant's
+	// input/flagged counters obey the same order relative to its
+	// per-route request counter (latency lands inside Count).
 	s.inferInputs.Add(int64(len(req.Inputs)))
 	s.inferFlagged.Add(int64(resp.Flagged))
 	s.inferRequests.Add(1)
@@ -579,6 +582,8 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	xInferFlagged.Add(int64(resp.Flagged))
 	xInferRequests.Add(1)
 	s.obs.inferBatch.Observe(int64(len(req.Inputs)))
+	tn.CountInputs(len(req.Inputs), resp.Flagged)
+	tn.Route("/v1/infer").Count(time.Since(start))
 
 	resp.Outputs = outputs
 	writeJSON(w, http.StatusOK, resp)

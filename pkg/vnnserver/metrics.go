@@ -4,6 +4,7 @@ import (
 	"expvar"
 
 	"repro/internal/milp"
+	"repro/internal/obs"
 	"repro/internal/verify"
 	"repro/pkg/vnnfleet"
 	"repro/pkg/vnnregistry"
@@ -63,6 +64,9 @@ var (
 // The Prometheus rendering (prom.go) is generated from one Metrics
 // value, so scrapes inherit the same guarantee.
 type Metrics struct {
+	// Node is the stable node id the federation plane keys this
+	// document by (Config.NodeID, or hostname-derived at boot).
+	Node     string  `json:"node"`
 	UptimeMS float64 `json:"uptime_ms"`
 	// Build identifies the running binary (also exposed as the
 	// vnnd_build_info gauge in the Prometheus rendering).
@@ -91,6 +95,17 @@ type Metrics struct {
 	// Solves counts branch-and-bound solver invocations process-wide
 	// (from internal/milp).
 	Solves int64 `json:"solves"`
+	// Runtime carries process gauges (goroutines, heap in use, GC pause
+	// p99, uptime) sampled from runtime/metrics at snapshot time.
+	Runtime obs.RuntimeStats `json:"runtime"`
+	// Tenants is the per-tenant accounting plane keyed by API-key-derived
+	// label, cardinality-capped at Config.TenantCap (+1 for the "other"
+	// overflow bucket).
+	Tenants map[string]obs.TenantSnapshot `json:"tenants"`
+	// Histograms carries every latency/size histogram in wire form so
+	// federation peers can merge them bucket-wise (boundaries are
+	// identical by construction — see internal/obs).
+	Histograms []obs.HistogramJSON `json:"histograms"`
 }
 
 // InferStats is the /metrics view of the inference plane.
@@ -137,6 +152,7 @@ func (s *Server) Metrics() Metrics {
 	// ...then effort counters (handlers bump these FIRST), so every
 	// counted request's effort is already visible.
 	return Metrics{
+		Node:            s.nodeID,
 		UptimeMS:        msSince(s.start),
 		Build:           Build(),
 		Draining:        s.draining.Load(),
@@ -161,5 +177,8 @@ func (s *Server) Metrics() Metrics {
 		EncodePasses:  verify.EncodePasses(),
 		TightenPasses: verify.TightenPasses(),
 		Solves:        milp.Solves(),
+		Runtime:       obs.ReadRuntime(s.start),
+		Tenants:       s.obs.tenants.Snapshot(),
+		Histograms:    s.obs.histogramsJSON(),
 	}
 }

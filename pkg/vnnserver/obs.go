@@ -47,16 +47,27 @@ type serverObs struct {
 
 	// Fleet plane: wall time per reconcile round.
 	reconcileTime *obs.Histogram
+
+	// tenants is the per-tenant accounting plane: X-API-Key-derived
+	// labels with a hard cardinality cap (Config.TenantCap), so the
+	// request/latency/inputs/flagged counters and queue-wait histograms
+	// below gain a tenant dimension without an unbounded label space.
+	tenants *obs.TenantSet
 }
 
-func newServerObs(cfg Config) *serverObs {
+// tenantRoutes is the fixed route universe per-tenant series exist for.
+var tenantRoutes = []string{"/v1/verify", "/v1/analyze", "/v1/infer", "/v1/falsify"}
+
+func newServerObs(cfg Config, node string) *serverObs {
 	slowLog := cfg.SlowLog
 	return &serverObs{
 		rec: obs.NewRecorder(obs.RecorderOptions{
 			Ring:          cfg.TraceRing,
 			SlowThreshold: cfg.SlowRequest,
 			SlowLog:       slowLog,
+			Node:          node,
 		}),
+		tenants:        obs.NewTenantSet(cfg.TenantCap, 1e-9, tenantRoutes...),
 		verifyLatency:  obs.NewHistogram("vnnd_request_duration_seconds", "Request latency by route.", 1e-9),
 		analyzeLatency: obs.NewHistogram("vnnd_request_duration_seconds", "Request latency by route.", 1e-9),
 		inferLatency:   obs.NewHistogram("vnnd_request_duration_seconds", "Request latency by route.", 1e-9),
@@ -75,4 +86,36 @@ func newServerObs(cfg Config) *serverObs {
 // observeSince records now-start into h (nanoseconds).
 func observeSince(h *obs.Histogram, start time.Time) {
 	h.Observe(int64(time.Since(start)))
+}
+
+// histogramsJSON snapshots every histogram into the wire form the
+// /metrics JSON document and the fleet federation plane carry. The
+// request-duration family comes first, one route-labelled entry per
+// route; documents from different nodes merge entry-by-entry on
+// (name, route) — see mergeMetrics.
+func (o *serverObs) histogramsJSON() []obs.HistogramJSON {
+	out := make([]obs.HistogramJSON, 0, 12)
+	for _, rh := range []struct {
+		route string
+		h     *obs.Histogram
+	}{
+		{"/v1/verify", o.verifyLatency},
+		{"/v1/analyze", o.analyzeLatency},
+		{"/v1/infer", o.inferLatency},
+		{"/v1/falsify", o.falsifyLatency},
+		{"gate", o.gateLatency},
+	} {
+		j := rh.h.Snapshot().JSON()
+		j.Route = rh.route
+		out = append(out, j)
+	}
+	for _, h := range []*obs.Histogram{
+		o.queueWait, o.runTime,
+		o.compileTime, o.monitorBuild,
+		o.inferBatch, o.chunkTime,
+		o.reconcileTime,
+	} {
+		out = append(out, h.Snapshot().JSON())
+	}
+	return out
 }

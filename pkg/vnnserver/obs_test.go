@@ -351,6 +351,34 @@ func TestPromExpositionRoundTrip(t *testing.T) {
 	if verifyLat.sum <= 0 {
 		t.Fatalf("verify latency sum = %v, want > 0", verifyLat.sum)
 	}
+
+	// Per-tenant accounting: keyless traffic lands on the "anonymous"
+	// tenant, with the same counts as the global counters.
+	if types["vnnd_tenant_request_duration_seconds"] != "histogram" {
+		t.Fatalf("vnnd_tenant_request_duration_seconds type = %q", types["vnnd_tenant_request_duration_seconds"])
+	}
+	for key, want := range map[string]float64{
+		`vnnd_tenant_requests_total{tenant="anonymous",route="/v1/verify"}`: 1,
+		`vnnd_tenant_requests_total{tenant="anonymous",route="/v1/infer"}`:  1,
+		`vnnd_tenant_inputs_total{tenant="anonymous"}`:                      2,
+		`vnnd_tenant_flagged_total{tenant="anonymous"}`:                     0,
+	} {
+		if got := flat[key]; got != want {
+			t.Fatalf("%s = %v, want %v", key, got, want)
+		}
+	}
+	tenantLat := hists[`vnnd_tenant_request_duration_seconds|tenant="anonymous",route="/v1/verify"`]
+	if tenantLat == nil || tenantLat.count != 1 {
+		t.Fatalf("anonymous verify latency series = %+v, want count 1", tenantLat)
+	}
+
+	// Runtime gauges ride the same scrape.
+	if flat["vnnd_goroutines"] < 1 {
+		t.Fatalf("vnnd_goroutines = %v, want >= 1", flat["vnnd_goroutines"])
+	}
+	if flat["vnnd_heap_inuse_bytes"] <= 0 {
+		t.Fatalf("vnnd_heap_inuse_bytes = %v, want > 0", flat["vnnd_heap_inuse_bytes"])
+	}
 }
 
 func anyBuildInfo(samples []promSample) bool {

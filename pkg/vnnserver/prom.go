@@ -79,13 +79,37 @@ func promHistogram(w io.Writer, name, labels string, s obs.HistogramSnapshot) {
 	fmt.Fprintf(w, "%s_count%s %d\n", name, suffix, cum)
 }
 
+// promHelp maps histogram family names to their help strings. The wire
+// form (obs.HistogramJSON) drops help text to keep federated documents
+// small, so the renderer owns it — every histogram a Metrics document
+// may carry must be listed here (unknown names render an empty help).
+var promHelp = map[string]string{
+	"vnnd_request_duration_seconds":        "Request latency by route.",
+	"vnnd_queue_wait_seconds":              "Time admitted queries wait for a run slot.",
+	"vnnd_run_seconds":                     "Time admitted queries spend running.",
+	"vnnd_compile_seconds":                 "Compile cost on cache misses.",
+	"vnnd_monitor_build_seconds":           "Monitor build cost on cache misses.",
+	"vnnd_infer_batch_inputs":              "Inputs per /v1/infer batch.",
+	"vnnd_infer_chunk_seconds":             "Per-lane kernel chunk time.",
+	"vnnd_fleet_reconcile_seconds":         "Wall time per fleet reconcile round.",
+	"vnnd_tenant_request_duration_seconds": "Per-tenant request latency by route.",
+	"vnnd_tenant_queue_wait_seconds":       "Per-tenant run-slot queue wait.",
+}
+
 // writeProm renders the full Prometheus view from one metrics snapshot.
 func (s *Server) writeProm(w http.ResponseWriter) {
 	m := s.Metrics() // ONE snapshot; every family below reads from it
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
+	writePromFrom(w, m)
+}
 
-	b := Build()
+// writePromFrom renders one Metrics document — live or federated — as
+// Prometheus text exposition. Everything below reads from m only (no
+// live server state), which is what lets /v1/fleet/metrics reuse the
+// renderer for the merged aggregate.
+func writePromFrom(w io.Writer, m Metrics) {
+	b := m.Build
 	promFamily(w, "vnnd_build_info", "Build identity (value is always 1).", "gauge")
 	fmt.Fprintf(w, "vnnd_build_info{version=%q,revision=%q,go=%q} 1\n",
 		promEscape(b.Version), promEscape(b.Revision), promEscape(b.Go))
@@ -105,6 +129,11 @@ func (s *Server) writeProm(w http.ResponseWriter) {
 		draining = 1
 	}
 	gauge("vnnd_draining", "1 while the server drains.", draining)
+
+	// Runtime gauges sampled from runtime/metrics at snapshot time.
+	gauge("vnnd_goroutines", "Live goroutines.", float64(m.Runtime.Goroutines))
+	gauge("vnnd_heap_inuse_bytes", "Heap bytes in use.", float64(m.Runtime.HeapInuseBytes))
+	gauge("vnnd_gc_pause_p99_seconds", "99th-percentile GC stop-the-world pause.", m.Runtime.GCPauseP99MS/1e3)
 
 	counter("vnnd_cache_hits_total", "Compile cache hits.", m.Cache.Hits)
 	counter("vnnd_cache_misses_total", "Compile cache misses.", m.Cache.Misses)
@@ -183,28 +212,72 @@ func (s *Server) writeProm(w http.ResponseWriter) {
 	counter("vnnd_tighten_passes_total", "LP bound-tightening passes.", m.TightenPasses)
 	counter("vnnd_solves_total", "Branch-and-bound solves.", m.Solves)
 
-	promFamily(w, "vnnd_request_duration_seconds", "Request latency by route.", "histogram")
-	for _, rh := range []struct {
-		route string
-		h     *obs.Histogram
-	}{
-		{"/v1/verify", s.obs.verifyLatency},
-		{"/v1/analyze", s.obs.analyzeLatency},
-		{"/v1/infer", s.obs.inferLatency},
-		{"/v1/falsify", s.obs.falsifyLatency},
-		{"gate", s.obs.gateLatency},
-	} {
-		promHistogram(w, "vnnd_request_duration_seconds",
-			fmt.Sprintf("route=%q", rh.route), rh.h.Snapshot())
+	// Per-tenant accounting. Tenants are sorted so scrapes are stable;
+	// the label space is hard-capped upstream (obs.TenantSet), so these
+	// families cannot grow past TenantCap+1 values.
+	tenants := make([]string, 0, len(m.Tenants))
+	for t := range m.Tenants {
+		tenants = append(tenants, t)
 	}
-	for _, h := range []*obs.Histogram{
-		s.obs.queueWait, s.obs.runTime,
-		s.obs.compileTime, s.obs.monitorBuild,
-		s.obs.inferBatch, s.obs.chunkTime,
-		s.obs.reconcileTime,
-	} {
-		snap := h.Snapshot()
-		promFamily(w, snap.Name, snap.Help, "histogram")
-		promHistogram(w, snap.Name, "", snap)
+	sort.Strings(tenants)
+	promFamily(w, "vnnd_tenant_requests_total", "Requests served per tenant and route.", "counter")
+	for _, t := range tenants {
+		ts := m.Tenants[t]
+		routes := make([]string, 0, len(ts.Routes))
+		for rt := range ts.Routes {
+			routes = append(routes, rt)
+		}
+		sort.Strings(routes)
+		for _, rt := range routes {
+			fmt.Fprintf(w, "vnnd_tenant_requests_total{tenant=%q,route=%q} %d\n",
+				promEscape(t), promEscape(rt), ts.Routes[rt].Requests)
+		}
+	}
+	promFamily(w, "vnnd_tenant_inputs_total", "Infer inputs served per tenant.", "counter")
+	for _, t := range tenants {
+		fmt.Fprintf(w, "vnnd_tenant_inputs_total{tenant=%q} %d\n", promEscape(t), m.Tenants[t].Inputs)
+	}
+	promFamily(w, "vnnd_tenant_flagged_total", "Monitor-flagged inputs per tenant.", "counter")
+	for _, t := range tenants {
+		fmt.Fprintf(w, "vnnd_tenant_flagged_total{tenant=%q} %d\n", promEscape(t), m.Tenants[t].Flagged)
+	}
+	promFamily(w, "vnnd_tenant_request_duration_seconds", promHelp["vnnd_tenant_request_duration_seconds"], "histogram")
+	for _, t := range tenants {
+		ts := m.Tenants[t]
+		routes := make([]string, 0, len(ts.Routes))
+		for rt := range ts.Routes {
+			routes = append(routes, rt)
+		}
+		sort.Strings(routes)
+		for _, rt := range routes {
+			promHistogram(w, "vnnd_tenant_request_duration_seconds",
+				fmt.Sprintf("tenant=%q,route=%q", promEscape(t), promEscape(rt)),
+				ts.Routes[rt].Latency.Snapshot())
+		}
+	}
+	promFamily(w, "vnnd_tenant_queue_wait_seconds", promHelp["vnnd_tenant_queue_wait_seconds"], "histogram")
+	for _, t := range tenants {
+		promHistogram(w, "vnnd_tenant_queue_wait_seconds",
+			fmt.Sprintf("tenant=%q", promEscape(t)), m.Tenants[t].QueueWait.Snapshot())
+	}
+
+	// Histograms come off the snapshot's wire form — the same entries a
+	// federated document carries — so live and merged views render
+	// identically. Entries arrive grouped by family (histogramsJSON
+	// emits the route-labelled request-duration family first).
+	lastFamily := ""
+	for _, hj := range m.Histograms {
+		if hj.Name == "" {
+			continue
+		}
+		if hj.Name != lastFamily {
+			promFamily(w, hj.Name, promHelp[hj.Name], "histogram")
+			lastFamily = hj.Name
+		}
+		labels := ""
+		if hj.Route != "" {
+			labels = fmt.Sprintf("route=%q", promEscape(hj.Route))
+		}
+		promHistogram(w, hj.Name, labels, hj.Snapshot())
 	}
 }

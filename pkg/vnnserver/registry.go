@@ -318,7 +318,7 @@ func (s *Server) runModelGate(parent context.Context, jb *job, tr *obs.Trace, v 
 	root := tr.Root()
 	queueSpan := root.Child("queue")
 	var resp *ModelSubmitResponse
-	err := s.sched.RunAdmitted(qctx, func(ctx context.Context, fairWorkers int) error {
+	err := s.sched.RunAdmitted(qctx, nil, func(ctx context.Context, fairWorkers int) error {
 		queueSpan.End()
 		root.SetAttr("workers", fairWorkers)
 		opts := vnn.Options{Workers: req.Options.Workers, Parallel: req.Options.Parallel, MaxNodes: req.Options.MaxNodes}

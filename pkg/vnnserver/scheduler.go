@@ -94,17 +94,20 @@ func (s *Scheduler) cancelAdmitted() { <-s.queue }
 // goroutine. It returns ErrQueueFull when the queue is saturated, the
 // context error if ctx fires while waiting for a run slot, and otherwise
 // whatever fn returns. fn receives the derived fair-share worker count.
-func (s *Scheduler) Run(ctx context.Context, fn func(ctx context.Context, workers int) error) error {
+// tn, when non-nil, receives the requesting tenant's queue-wait
+// observation alongside the global histogram — the demand signal the
+// per-tenant accounting plane exists for.
+func (s *Scheduler) Run(ctx context.Context, tn *obs.TenantStats, fn func(ctx context.Context, workers int) error) error {
 	if err := s.Admit(); err != nil {
 		return err
 	}
-	return s.RunAdmitted(ctx, fn)
+	return s.RunAdmitted(ctx, tn, fn)
 }
 
 // RunAdmitted executes fn for a query that already holds an admission
 // token (see Admit), waiting for a run slot and releasing the token when
 // done.
-func (s *Scheduler) RunAdmitted(ctx context.Context, fn func(ctx context.Context, workers int) error) error {
+func (s *Scheduler) RunAdmitted(ctx context.Context, tn *obs.TenantStats, fn func(ctx context.Context, workers int) error) error {
 	defer func() { <-s.queue }()
 
 	enqueued := time.Now()
@@ -114,10 +117,14 @@ func (s *Scheduler) RunAdmitted(ctx context.Context, fn func(ctx context.Context
 		s.queued.Add(-1)
 	case <-ctx.Done():
 		s.queued.Add(-1)
-		s.queueWait.Observe(int64(time.Since(enqueued)))
+		wait := time.Since(enqueued)
+		s.queueWait.Observe(int64(wait))
+		tn.ObserveQueueWait(wait)
 		return ctx.Err()
 	}
-	s.queueWait.Observe(int64(time.Since(enqueued)))
+	wait := time.Since(enqueued)
+	s.queueWait.Observe(int64(wait))
+	tn.ObserveQueueWait(wait)
 	started := time.Now()
 	inFlight := s.active.Add(1)
 	defer func() {

@@ -20,7 +20,7 @@ func TestSchedulerBackpressure(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		s.Run(ctx, func(context.Context, int) error {
+		s.Run(ctx, nil, func(context.Context, int) error {
 			close(running)
 			<-release
 			return nil
@@ -32,7 +32,7 @@ func TestSchedulerBackpressure(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		s.Run(ctx, func(context.Context, int) error {
+		s.Run(ctx, nil, func(context.Context, int) error {
 			close(queuedStarted)
 			return nil
 		})
@@ -46,7 +46,7 @@ func TestSchedulerBackpressure(t *testing.T) {
 	}
 
 	// Queue is now full: a third query bounces without blocking.
-	if err := s.Run(ctx, func(context.Context, int) error { return nil }); !errors.Is(err, ErrQueueFull) {
+	if err := s.Run(ctx, nil, func(context.Context, int) error { return nil }); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("third query err = %v, want ErrQueueFull", err)
 	}
 	if got := s.Stats().Rejected; got != 1 {
@@ -71,7 +71,7 @@ func TestSchedulerFairShare(t *testing.T) {
 	ctx := context.Background()
 
 	var solo int
-	if err := s.Run(ctx, func(_ context.Context, workers int) error {
+	if err := s.Run(ctx, nil, func(_ context.Context, workers int) error {
 		solo = workers
 		return nil
 	}); err != nil {
@@ -87,7 +87,7 @@ func TestSchedulerFairShare(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		s.Run(ctx, func(_ context.Context, workers int) error {
+		s.Run(ctx, nil, func(_ context.Context, workers int) error {
 			first <- workers
 			<-release
 			return nil
@@ -99,7 +99,7 @@ func TestSchedulerFairShare(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		s.Run(ctx, func(_ context.Context, workers int) error {
+		s.Run(ctx, nil, func(_ context.Context, workers int) error {
 			w2 = workers
 			close(release)
 			return nil
@@ -121,7 +121,7 @@ func TestSchedulerQueuedCancellation(t *testing.T) {
 	s := NewScheduler(1, 1)
 	running := make(chan struct{})
 	release := make(chan struct{})
-	go s.Run(context.Background(), func(context.Context, int) error {
+	go s.Run(context.Background(), nil, func(context.Context, int) error {
 		close(running)
 		<-release
 		return nil
@@ -132,7 +132,7 @@ func TestSchedulerQueuedCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	ran := false
-	err := s.Run(ctx, func(context.Context, int) error { ran = true; return nil })
+	err := s.Run(ctx, nil, func(context.Context, int) error { ran = true; return nil })
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}

@@ -65,8 +65,10 @@ import (
 	"expvar"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -126,6 +128,17 @@ type Config struct {
 	// their own (cmd/vnnd's -gate flag). Nil means ungated submissions
 	// are admitted without analysis.
 	DefaultGate *vnn.GateSpec
+	// NodeID is this node's stable identity in fleet observability: it
+	// keys the node's block in /v1/fleet/metrics and stamps every trace
+	// segment the node records. Empty derives hostname-<4 hex> once at
+	// boot (stable for the process lifetime; set it explicitly for
+	// identities that survive restarts).
+	NodeID string
+	// TenantCap is the hard cardinality cap on per-tenant metric labels
+	// (<= 0 means obs.DefaultTenantCap): the first TenantCap distinct
+	// X-API-Key values get their own series, everything after accounts
+	// under the "other" tenant.
+	TenantCap int
 	// Log receives operational diagnostics (registry recovery and
 	// persistence problems); nil discards them.
 	Log func(format string, args ...any)
@@ -136,6 +149,7 @@ type Config struct {
 // deliver their anytime results.
 type Server struct {
 	cfg      Config
+	nodeID   string
 	cache    *Cache
 	monitors *monitorCache
 	sched    *Scheduler
@@ -216,8 +230,13 @@ func New(cfg Config) *Server {
 		cfg.MaxBodyBytes = 32 << 20
 	}
 	qctx, cancel := context.WithCancel(context.Background())
+	nodeID := cfg.NodeID
+	if nodeID == "" {
+		nodeID = defaultNodeID()
+	}
 	s := &Server{
 		cfg:           cfg,
+		nodeID:        nodeID,
 		cache:         NewCache(cfg.CacheEntries),
 		monitors:      newMonitorCache(cfg.CacheEntries),
 		shards:        newInferShards(cfg.InferWorkers),
@@ -225,7 +244,7 @@ func New(cfg Config) *Server {
 		sched:         NewScheduler(cfg.MaxConcurrent, cfg.QueueDepth),
 		jobs:          newRegistry(),
 		start:         time.Now(),
-		obs:           newServerObs(cfg),
+		obs:           newServerObs(cfg, nodeID),
 		queryCtx:      qctx,
 		cancelQueries: cancel,
 		analysisKinds: make(map[string]int64),
@@ -250,6 +269,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/models/{name}/promote", s.handleModelPromote)
 	mux.HandleFunc("POST /v1/models/{name}/rollback", s.handleModelRollback)
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	mux.HandleFunc("GET /v1/fleet/metrics", s.handleFleetMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -305,6 +325,40 @@ func New(cfg Config) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
+}
+
+// NodeID returns this node's stable observability identity.
+func (s *Server) NodeID() string { return s.nodeID }
+
+// defaultNodeID derives a boot-stable node identity: hostname plus a
+// short random suffix, so co-hosted nodes (tests, CI fleets on one
+// machine) never collide in the federation's nodes map.
+func defaultNodeID() string {
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "vnnd"
+	}
+	return fmt.Sprintf("%s-%04x", host, rand.Uint32()&0xffff)
+}
+
+// startTrace opens the request's trace segment. A request carrying a
+// valid W3C traceparent joins the caller's distributed trace — its
+// trace id is adopted and the caller's span id recorded as the remote
+// parent — while the local id (job id for verify/analyze) keeps the
+// trace-id=job-id contract either way.
+func (s *Server) startTrace(r *http.Request, route, id string) *obs.Trace {
+	if tp, ok := obs.ParseTraceparent(r.Header.Get("traceparent")); ok {
+		return s.obs.rec.StartRemote(route, id, tp)
+	}
+	return s.obs.rec.Start(route, id)
+}
+
+// tenantFor resolves the request's tenant from its X-API-Key header
+// (absent key → the anonymous tenant; past the cardinality cap → the
+// overflow tenant). Allocation-free for known tenants, which keeps the
+// /v1/infer hot path at 0 allocs/op with accounting on.
+func (s *Server) tenantFor(r *http.Request) *obs.TenantStats {
+	return s.obs.tenants.Tenant(r.Header.Get("X-API-Key"))
 }
 
 // Cache exposes the compile cache (read-mostly: stats and tests).
@@ -502,12 +556,15 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	s.drainMu.Unlock()
 	jb := s.jobs.create(q.fingerprint)
 	// The trace shares the job id, so the id every response (and 202
-	// acknowledgment) echoes also addresses /debug/traces/{id}.
-	tr := s.obs.rec.Start("/v1/verify", jb.id)
+	// acknowledgment) echoes also addresses /debug/traces/{id}; an
+	// inbound traceparent additionally enrolls it in the caller's
+	// distributed trace.
+	tr := s.startTrace(r, "/v1/verify", jb.id)
 	tr.Root().SetAttr("fingerprint", q.fingerprint)
+	tn := s.tenantFor(r)
 
 	if !async {
-		resp, err := s.runVerify(r.Context(), jb, tr, q, &req)
+		resp, err := s.runVerify(r.Context(), jb, tr, tn, q, &req)
 		if err != nil {
 			writeError(w, statusFor(err), err.Error())
 			return
@@ -519,7 +576,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		defer s.wg.Done()
 		// Async queries outlive their HTTP request; only the per-request
 		// deadline and server drain bound them.
-		s.runVerify(s.queryCtx, jb, tr, q, &req)
+		s.runVerify(s.queryCtx, jb, tr, tn, q, &req)
 	}()
 	writeJSON(w, http.StatusAccepted, AcceptedResponse{
 		ID: jb.id, Fingerprint: q.fingerprint, Status: "running",
@@ -540,10 +597,11 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 // stream). The root's children never overlap, so their durations sum to
 // at most the trace's wall time. The trace finishes when runVerify
 // returns — it covers the work, not the HTTP response write.
-func (s *Server) runVerify(parent context.Context, jb *job, tr *obs.Trace, q *preparedQuery, req *VerifyRequest) (*VerifyResponse, error) {
+func (s *Server) runVerify(parent context.Context, jb *job, tr *obs.Trace, tn *obs.TenantStats, q *preparedQuery, req *VerifyRequest) (*VerifyResponse, error) {
 	start := time.Now()
 	defer tr.Finish()
 	defer observeSince(s.obs.verifyLatency, start)
+	defer func() { tn.Route("/v1/verify").Count(time.Since(start)) }()
 	timeout := time.Duration(req.TimeoutMS) * time.Millisecond
 	if timeout <= 0 {
 		timeout = s.cfg.DefaultTimeout
@@ -562,7 +620,7 @@ func (s *Server) runVerify(parent context.Context, jb *job, tr *obs.Trace, q *pr
 	root := tr.Root()
 	queueSpan := root.Child("queue")
 	var resp *VerifyResponse
-	err := s.sched.RunAdmitted(qctx, func(ctx context.Context, fairWorkers int) error {
+	err := s.sched.RunAdmitted(qctx, tn, func(ctx context.Context, fairWorkers int) error {
 		queueSpan.End()
 		root.SetAttr("workers", fairWorkers)
 		opts := q.compileOpts
@@ -808,12 +866,14 @@ func (s *Server) handleFalsify(w http.ResponseWriter, r *http.Request) {
 	defer stop()
 
 	start := time.Now()
-	tr := s.obs.rec.Start("/v1/falsify", "")
+	tr := s.startTrace(r, "/v1/falsify", "")
+	tn := s.tenantFor(r)
 	defer observeSince(s.obs.falsifyLatency, start)
+	defer func() { tn.Route("/v1/falsify").Count(time.Since(start)) }()
 	defer tr.Finish()
 	queueSpan := tr.Root().Child("queue")
 	var resp *FalsifyResponse
-	err = s.sched.Run(qctx, func(ctx context.Context, _ int) error {
+	err = s.sched.Run(qctx, tn, func(ctx context.Context, _ int) error {
 		queueSpan.End()
 		runSpan := tr.Root().Child("falsify")
 		defer runSpan.End()
